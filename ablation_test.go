@@ -1,0 +1,202 @@
+package rvcte
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// concolic vs concrete data types in the ISS (§4.1's ~2.2x), exploration
+// restart-from-scratch vs clone-after-init (the freertos-sensor/s
+// discussion), search strategies (§5 item 3), and the optional
+// concretization trace conditions (§2.2).
+
+import (
+	"testing"
+	"time"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// BenchmarkAblationConcolicOverhead compares the concrete-native VP
+// against the concolic ISS on the same all-concrete workload: the cost
+// of carrying concolic data types (paper: ~2.2x).
+func BenchmarkAblationConcolicOverhead(b *testing.B) {
+	p, _ := guest.BenchProgram("dhrystone")
+	p = withDefaults(p)
+	b.Run("concrete-vp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnVP(b, p)
+		}
+	})
+	b.Run("concolic-iss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnCTE(b, p, false)
+		}
+	})
+}
+
+// snapshotAfterInit runs a fresh freertos-sensor VP until the RTOS
+// scheduler has started (mrtos_started == 1) and returns it as the
+// exploration snapshot — the paper's proposed fix for the re-
+// initialization overhead observed on freertos-sensor/s.
+func snapshotAfterInit(tb testing.TB) (*iss.Core, *smt.Builder) {
+	tb.Helper()
+	b := smt.NewBuilder()
+	core, elf, err := guest.NewCore(b, guest.FreeRTOSSensorProgram(true, 2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	startedAddr, ok := elf.Symbol("mrtos_started")
+	if !ok {
+		tb.Fatal("mrtos_started symbol missing")
+	}
+	for i := 0; i < 2_000_000; i++ {
+		if v := core.Mem.Load(startedAddr, 4); v.C == 1 {
+			break
+		}
+		if core.Halted() {
+			tb.Fatalf("halted during init: %v", core.Err)
+		}
+		core.Step()
+	}
+	if v := core.Mem.Load(startedAddr, 4); v.C != 1 {
+		tb.Fatal("scheduler did not start within the budget")
+	}
+	if b.NumVars() != 0 && len(core.EPC) != 0 {
+		tb.Fatal("snapshot point must precede symbolic branching")
+	}
+	return core, b
+}
+
+// TestAblationCloneAfterInit verifies the clone-after-init optimization
+// preserves results and reports the re-initialization cost it avoids.
+func TestAblationCloneAfterInit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// From scratch.
+	b1 := smt.NewBuilder()
+	fresh, _, err := guest.NewCore(b1, guest.FreeRTOSSensorProgram(true, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	freshRep := cte.New(fresh, cte.Options{MaxPaths: 40}).Run()
+	freshTime := time.Since(start)
+
+	// From the post-init snapshot.
+	snap, _ := snapshotAfterInit(t)
+	start = time.Now()
+	snapRep := cte.New(snap, cte.Options{MaxPaths: 40}).Run()
+	snapTime := time.Since(start)
+
+	if len(freshRep.Findings) != len(snapRep.Findings) {
+		t.Errorf("findings differ: fresh=%v snap=%v", freshRep.Findings, snapRep.Findings)
+	}
+	if freshRep.Paths != snapRep.Paths {
+		t.Errorf("paths differ: fresh=%d snap=%d", freshRep.Paths, snapRep.Paths)
+	}
+	// The snapshot run re-executes strictly fewer instructions per path.
+	if snapRep.TotalInstr >= freshRep.TotalInstr {
+		t.Errorf("clone-after-init must save instructions: fresh=%d snap=%d",
+			freshRep.TotalInstr, snapRep.TotalInstr)
+	}
+	t.Logf("from scratch: %v (%d instr); clone-after-init: %v (%d instr); speedup %.2fx",
+		freshTime, freshRep.TotalInstr, snapTime, snapRep.TotalInstr,
+		float64(freshTime)/float64(snapTime))
+}
+
+// BenchmarkAblationCloneAfterInit measures both exploration variants.
+func BenchmarkAblationCloneAfterInit(b *testing.B) {
+	b.Run("restart-from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core, _, err := guest.NewCore(smt.NewBuilder(), guest.FreeRTOSSensorProgram(true, 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cte.New(core, cte.Options{MaxPaths: 40}).Run()
+		}
+	})
+	b.Run("clone-after-init", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			snap, _ := snapshotAfterInit(b)
+			b.StartTimer()
+			cte.New(snap, cte.Options{MaxPaths: 40}).Run()
+		}
+	})
+}
+
+// BenchmarkAblationSearchStrategy compares the search strategies on the
+// counter workload (paper §5, future work item 3).
+func BenchmarkAblationSearchStrategy(b *testing.B) {
+	p, _ := guest.BenchProgram("counter-s")
+	p = withDefaults(p)
+	for _, s := range []cte.Strategy{cte.BFS, cte.DFS, cte.Random, cte.Coverage} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core, _, err := guest.NewCore(smt.NewBuilder(), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := cte.New(core, cte.Options{MaxPaths: 1500, Strategy: s, Seed: 7}).Run()
+				if !rep.Exhausted {
+					b.Fatalf("%s did not exhaust", s)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationSearchStrategyBugTime compares how quickly each strategy
+// reaches the first TCP/IP bug.
+func TestAblationSearchStrategyBugTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, s := range []cte.Strategy{cte.BFS, cte.DFS, cte.Random, cte.Coverage} {
+		core, _, err := guest.NewCore(smt.NewBuilder(), guest.TCPIPProgram(0, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cte.New(core, cte.Options{MaxPaths: 2000, Strategy: s, Seed: 11, StopOnError: true}).Run()
+		if len(rep.Findings) == 0 {
+			t.Errorf("%s: bug 1 not found in %d paths", s, rep.Paths)
+			continue
+		}
+		t.Logf("%-9s first bug after %4d paths, %5d queries, %.2fs",
+			s, rep.Paths, rep.Queries, rep.WallTime.Seconds())
+	}
+}
+
+// TestAblationConcretizationTCs shows the §2.2 optional concretization
+// trace conditions are load-bearing: without them, the DNS reply
+// overflow (bug 3) is unreachable because allocation sizes stay pinned
+// to their first concrete value.
+func TestAblationConcretizationTCs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Bugs 1, 2, 4, 5, 6 fixed; only bug 3 remains.
+	const fixed = 0b111011
+
+	run := func(disable bool) *cte.Report {
+		core, _, err := guest.NewCore(smt.NewBuilder(), guest.TCPIPProgram(fixed, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.NoConcretizationTCs = disable
+		return cte.New(core, cte.Options{MaxPaths: 3000, StopOnError: true}).Run()
+	}
+
+	with := run(false)
+	if len(with.Findings) == 0 {
+		t.Errorf("with concretization TCs, bug 3 must be found (explored %d paths)", with.Paths)
+	}
+	without := run(true)
+	if len(without.Findings) != 0 {
+		t.Logf("note: bug 3 found even without concretization TCs (%d paths)", without.Paths)
+	} else {
+		t.Logf("without concretization TCs: not found (%d paths, exhausted=%v); with: found after %d paths",
+			without.Paths, without.Exhausted, with.Paths)
+	}
+}

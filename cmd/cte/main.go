@@ -1,0 +1,187 @@
+// Command cte runs concolic testing on a guest system: it clones the VP
+// per input, explores paths by solving trace conditions and reports any
+// runtime errors or heap overflows found (the tool form of the paper's
+// CTE engine).
+//
+// Usage:
+//
+//	cte -prog sensor                     # the paper's Fig. 2/3 example
+//	cte -prog tcpip                      # FreeRTOS-style TCP/IP stack
+//	cte -prog tcpip -fix 1,2             # ... with bugs 1 and 2 patched
+//	cte -prog counter-s -strategy dfs
+//	cte -cover -trace 8 -prog sensor     # coverage + finding trace
+//	cte prog.elf                         # explore an arbitrary ELF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/relf"
+	"rvcte/internal/smt"
+)
+
+func main() {
+	progName := flag.String("prog", "", "built-in program: sensor, sensor-fixed, tcpip, freertos-sensor, qsort-s, counter-s, fibonacci-s")
+	fixList := flag.String("fix", "", "tcpip only: comma-separated bug numbers to patch (1-6)")
+	maxPaths := flag.Int("max-paths", 1000, "path budget (0 = unlimited)")
+	maxInstr := flag.Uint64("max-instr", 0, "per-path instruction budget (0 = program default)")
+	strategy := flag.String("strategy", "bfs", "search strategy: bfs, dfs, random, coverage")
+	stopOnError := flag.Bool("stop-on-error", true, "stop at the first finding")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+	pktMax := flag.Int("pkt-max", 64, "tcpip only: bound on the symbolic packet size")
+	verbose := flag.Bool("v", false, "print each explored path")
+	cover := flag.Bool("cover", false, "print per-function coverage after exploration")
+	trace := flag.Int("trace", 0, "print the last N instructions of each finding")
+	flag.Parse()
+
+	b := smt.NewBuilder()
+	var core *iss.Core
+	var elf *relf.File
+	var err error
+
+	switch {
+	case *progName != "":
+		core, elf, err = buildProg(b, *progName, *fixList, *pktMax)
+	case flag.NArg() == 1:
+		var data []byte
+		data, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			elf, err = relf.Load(data)
+		}
+		if err == nil {
+			core = iss.New(b, iss.Config{RamBase: 0x80000000, RamSize: 4 << 20, MaxInstr: 100_000_000})
+			core.LoadImage(elf.Addr, elf.Data, elf.Entry)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cte: need -prog <name> or an ELF file")
+		os.Exit(2)
+	}
+	die(err)
+
+	strat := map[string]cte.Strategy{
+		"bfs": cte.BFS, "dfs": cte.DFS, "random": cte.Random, "coverage": cte.Coverage,
+	}[*strategy]
+
+	eng := cte.New(core, cte.Options{
+		MaxPaths:       *maxPaths,
+		MaxInstrPerRun: *maxInstr,
+		Strategy:       strat,
+		StopOnError:    *stopOnError,
+		Timeout:        *timeout,
+		TrackCoverage:  *cover,
+		TraceDepth:     *trace,
+	})
+	if *verbose {
+		eng.OnPath = func(path int, c *iss.Core) {
+			status := "ok"
+			if c.Err != nil {
+				status = c.Err.Error()
+			} else if c.Exited {
+				status = fmt.Sprintf("exit %d", c.ExitCode)
+			}
+			fmt.Printf("path %4d: %8d instr, %s\n", path, c.InstrCount, status)
+		}
+	}
+
+	start := time.Now()
+	rep := eng.Run()
+	fmt.Printf("explored %d paths in %.2fs (%d queries, %.2fs solver, %d instructions total)\n",
+		rep.Paths, time.Since(start).Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
+	if rep.Exhausted {
+		fmt.Println("state space exhausted")
+	}
+	if *cover && elf != nil {
+		printCoverage(elf, rep.Covered)
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Println("no errors found")
+		return
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("FINDING: %v\n", f.Err)
+		if elf != nil {
+			fmt.Printf("  in function: %s\n", guest.LocateFunc(elf, f.Err.PC))
+		}
+		fmt.Printf("  input: %s\n", cte.DescribeInput(b, f.Input))
+		if len(f.Trace) > 0 {
+			fmt.Println("  last instructions:")
+			for _, te := range f.Trace {
+				fn := ""
+				if elf != nil {
+					fn = "  # " + guest.LocateFunc(elf, te.PC)
+				}
+				fmt.Printf("    %08x: %s%s\n", te.PC, te.Inst, fn)
+			}
+		}
+	}
+	os.Exit(1)
+}
+
+// printCoverage aggregates covered PCs per function symbol.
+func printCoverage(elf *relf.File, covered map[uint32]struct{}) {
+	if len(covered) == 0 {
+		return
+	}
+	perFn := map[string]int{}
+	for pc := range covered {
+		perFn[guest.LocateFunc(elf, pc)]++
+	}
+	names := make([]string, 0, len(perFn))
+	for n := range perFn {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("coverage: %d distinct PCs across %d functions\n", len(covered), len(names))
+	for _, n := range names {
+		fmt.Printf("  %-32s %5d instructions\n", n, perFn[n])
+	}
+}
+
+func buildProg(b *smt.Builder, name, fixList string, pktMax int) (*iss.Core, *relf.File, error) {
+	switch name {
+	case "sensor":
+		core, elf, err := guest.NewCore(b, guest.SensorProgram(false))
+		return core, elf, err
+	case "sensor-fixed":
+		core, elf, err := guest.NewCore(b, guest.SensorProgram(true))
+		return core, elf, err
+	case "tcpip":
+		var fixed uint
+		if fixList != "" {
+			for _, s := range strings.Split(fixList, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 || n > 6 {
+					return nil, nil, fmt.Errorf("bad -fix entry %q", s)
+				}
+				fixed |= 1 << (n - 1)
+			}
+		}
+		core, elf, err := guest.NewCore(b, guest.TCPIPProgram(fixed, pktMax))
+		return core, elf, err
+	case "freertos-sensor":
+		core, elf, err := guest.NewCore(b, guest.FreeRTOSSensorProgram(true, 2))
+		return core, elf, err
+	default:
+		if p, ok := guest.BenchProgram(name); ok {
+			core, elf, err := guest.NewCore(b, p)
+			return core, elf, err
+		}
+		return nil, nil, fmt.Errorf("unknown program %q", name)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cte:", err)
+		os.Exit(1)
+	}
+}

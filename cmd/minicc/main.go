@@ -1,0 +1,96 @@
+// Command minicc compiles mini-C source files to RV32IM assembly or to a
+// linked RISC-V ELF executable (with the guest runtime).
+//
+// Usage:
+//
+//	minicc file.c...            # assembly on stdout
+//	minicc -o prog.elf file.c   # link with the runtime into an ELF
+//	minicc -S -o out.s file.c   # assembly to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rvcte/internal/cc"
+	"rvcte/internal/guest"
+	"rvcte/internal/relf"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout for -S)")
+	asmOnly := flag.Bool("S", false, "emit assembly instead of an ELF")
+	base := flag.Uint("base", 0x80000000, "load address for ELF output")
+	compress := flag.Bool("compress", false, "emit RV32C compressed encodings where possible")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "minicc: no input files")
+		os.Exit(2)
+	}
+
+	if *asmOnly {
+		var parts []string
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			die(err)
+			asmText, err := cc.CompileUnit(string(src), sanitize(path))
+			die(err)
+			parts = append(parts, asmText)
+		}
+		text := strings.Join(parts, "\n")
+		if *out == "" {
+			fmt.Print(text)
+		} else {
+			die(os.WriteFile(*out, []byte(text), 0o644))
+		}
+		return
+	}
+
+	var sources []guest.Source
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		die(err)
+		if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".S") {
+			sources = append(sources, guest.Asm(filepath.Base(path), string(src)))
+		} else {
+			sources = append(sources, guest.C(filepath.Base(path), string(src)))
+		}
+	}
+	elf, err := guest.Build(guest.Program{
+		Name:     "minicc",
+		Sources:  sources,
+		RamBase:  uint32(*base),
+		Compress: *compress,
+	})
+	die(err)
+	target := *out
+	if target == "" {
+		target = "a.out"
+	}
+	die(os.WriteFile(target, relf.Write(elf), 0o755))
+	fmt.Fprintf(os.Stderr, "minicc: wrote %s (%d bytes, entry %#x)\n", target, len(elf.Data), elf.Entry)
+}
+
+func sanitize(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	sb.WriteByte('_')
+	return sb.String()
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+}

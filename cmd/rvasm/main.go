@@ -1,0 +1,60 @@
+// Command rvasm assembles RV32IM assembly into a RISC-V ELF executable.
+//
+// Usage:
+//
+//	rvasm -o prog.elf file.s...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/relf"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output ELF file")
+	base := flag.Uint("base", 0x80000000, "load address")
+	compress := flag.Bool("compress", false, "emit RV32C compressed encodings where possible")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "rvasm: no input files")
+		os.Exit(2)
+	}
+	var parts []string
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		die(err)
+		parts = append(parts, string(src))
+	}
+	assembleFn := asm.Assemble
+	if *compress {
+		assembleFn = asm.AssembleCompressed
+	}
+	img, err := assembleFn(strings.Join(parts, "\n"), uint32(*base))
+	die(err)
+	memSize := uint32(len(img.Bytes))
+	if end := img.BssAddr + img.BssSize - img.Origin; end > memSize {
+		memSize = end
+	}
+	elf := &relf.File{
+		Entry:   img.Entry(),
+		Addr:    img.Origin,
+		Data:    img.Bytes,
+		MemSize: memSize,
+		Symbols: img.Symbols,
+	}
+	die(os.WriteFile(*out, relf.Write(elf), 0o755))
+	fmt.Fprintf(os.Stderr, "rvasm: wrote %s (%d bytes, %d symbols, entry %#x)\n",
+		*out, len(elf.Data), len(elf.Symbols), elf.Entry)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvasm:", err)
+		os.Exit(1)
+	}
+}

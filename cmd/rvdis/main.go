@@ -1,0 +1,103 @@
+// Command rvdis disassembles a RISC-V ELF produced by the toolchain,
+// objdump-style: addresses, raw encodings, mnemonics, and symbol labels.
+//
+// Usage:
+//
+//	rvdis prog.elf
+//	rvdis -start 0x80000000 -count 40 prog.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rvcte/internal/relf"
+	"rvcte/internal/rv32"
+)
+
+func main() {
+	start := flag.Uint64("start", 0, "start address (default: entry point)")
+	count := flag.Int("count", 0, "max instructions (0 = whole image)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "rvdis: need exactly one ELF file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	die(err)
+	elf, err := relf.Load(data)
+	die(err)
+
+	// Function labels by address (skip compiler-internal .L labels).
+	labels := map[uint32][]string{}
+	for name, addr := range elf.Symbols {
+		if strings.HasPrefix(name, ".L") {
+			continue
+		}
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
+	}
+
+	pc := elf.Entry
+	if *start != 0 {
+		pc = uint32(*start)
+	}
+	end := elf.Addr + uint32(len(elf.Data))
+	printed := 0
+	for pc < end {
+		if *count > 0 && printed >= *count {
+			break
+		}
+		if names, ok := labels[pc]; ok {
+			for _, n := range names {
+				fmt.Printf("\n%08x <%s>:\n", pc, n)
+			}
+		}
+		off := pc - elf.Addr
+		if off+2 > uint32(len(elf.Data)) {
+			break
+		}
+		word := uint32(elf.Data[off]) | uint32(elf.Data[off+1])<<8
+		if word&3 == 3 {
+			if off+4 > uint32(len(elf.Data)) {
+				break
+			}
+			word |= uint32(elf.Data[off+2])<<16 | uint32(elf.Data[off+3])<<24
+		}
+		inst := rv32.Decode(word)
+		if inst.Size == 2 {
+			fmt.Printf("%8x:\t%04x     \t%s\n", pc, word&0xffff, describe(inst, pc, labels))
+		} else {
+			fmt.Printf("%8x:\t%08x \t%s\n", pc, word, describe(inst, pc, labels))
+		}
+		pc += uint32(inst.Size)
+		printed++
+	}
+}
+
+// describe renders an instruction, resolving branch/jump targets to
+// symbol names where possible.
+func describe(in rv32.Inst, pc uint32, labels map[uint32][]string) string {
+	s := in.String()
+	switch in.Op {
+	case rv32.OpJAL, rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU:
+		target := pc + uint32(in.Imm)
+		if names, ok := labels[target]; ok {
+			return fmt.Sprintf("%s\t# %x <%s>", s, target, names[0])
+		}
+		return fmt.Sprintf("%s\t# %x", s, target)
+	}
+	return s
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvdis:", err)
+		os.Exit(1)
+	}
+}

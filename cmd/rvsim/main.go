@@ -1,0 +1,72 @@
+// Command rvsim runs a RISC-V ELF on the concrete virtual prototype
+// (native SystemC-style peripherals, no symbolic execution) — the "VP"
+// baseline of the paper's Table 1.
+//
+// Usage:
+//
+//	rvsim prog.elf
+//	rvsim -bench qsort       # run a built-in benchmark guest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvcte/internal/guest"
+	"rvcte/internal/relf"
+	"rvcte/internal/vp"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "run a built-in benchmark (qsort, sha256, dhrystone)")
+	maxInstr := flag.Uint64("max-instr", 500_000_000, "instruction budget")
+	flag.Parse()
+
+	var elf *relf.File
+	var err error
+	switch {
+	case *benchName != "":
+		p, ok := guest.BenchProgram(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rvsim: unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		elf, err = guest.Build(p)
+		die(err)
+	case flag.NArg() == 1:
+		data, rerr := os.ReadFile(flag.Arg(0))
+		die(rerr)
+		elf, err = relf.Load(data)
+		die(err)
+	default:
+		fmt.Fprintln(os.Stderr, "rvsim: need an ELF file or -bench name")
+		os.Exit(2)
+	}
+
+	cpu := vp.New(vp.Config{
+		RamBase:  0x80000000,
+		RamSize:  4 << 20,
+		StackTop: 0x80000000 + (4 << 20) - 16384,
+		MaxInstr: *maxInstr,
+	})
+	vp.AttachStandardPeripherals(cpu)
+	die(cpu.LoadELF(elf))
+	cpu.Run(0)
+
+	os.Stdout.Write(cpu.Output)
+	if cpu.Err != nil {
+		fmt.Fprintf(os.Stderr, "rvsim: %v (after %d instructions)\n", cpu.Err, cpu.InstrCount)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rvsim: exit %d, %d instructions, %d cycles\n",
+		cpu.ExitCode, cpu.InstrCount, cpu.Cycles)
+	os.Exit(int(cpu.ExitCode & 0x7f))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package rvcte reproduces "Early Concolic Testing of Embedded Binaries
+// with Virtual Prototypes: A RISC-V Case Study" (DAC 2019): a concolic
+// testing engine (CTE) integrated with an RV32IMC instruction set
+// simulator inside a virtual prototype, with peripherals integrated as
+// software models through a small CTE-interface.
+//
+// The public surface lives in the command-line tools (cmd/cte, cmd/rvsim,
+// cmd/minicc, cmd/rvasm) and the runnable examples (examples/...); the
+// benchmark harness in bench_test.go regenerates every table and figure
+// of the paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package rvcte

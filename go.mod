@@ -1,0 +1,3 @@
+module rvcte
+
+go 1.22

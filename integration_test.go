@@ -1,0 +1,150 @@
+package rvcte
+
+// End-to-end integration tests across the toolchain: mini-C -> assembly
+// -> ELF on disk -> reload -> concolic exploration, mirroring exactly
+// what the cmd/minicc + cmd/cte tools do.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/relf"
+	"rvcte/internal/smt"
+)
+
+// TestToolchainPipeline compiles a buggy program to an ELF file on disk,
+// loads it back and lets exploration find the seeded assertion failure —
+// the `minicc -o prog.elf prog.c && cte prog.elf` flow.
+func TestToolchainPipeline(t *testing.T) {
+	src := `
+unsigned char pin[4];
+
+int check_pin(void) {
+    /* accepts exactly 7-3-1-9 */
+    if (pin[0] != 7) return 0;
+    if (pin[1] != 3) return 0;
+    if (pin[2] != 1) return 0;
+    if (pin[3] != 9) return 0;
+    return 1;
+}
+
+int main(void) {
+    CTE_make_symbolic(pin, 4, "pin");
+    if (check_pin()) {
+        CTE_assert(0 && "backdoor reached");
+    }
+    return 0;
+}
+`
+	elf, err := guest.Build(guest.Program{
+		Name:    "pin-check",
+		Sources: []guest.Source{guest.C("main.c", src)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write the ELF to disk and read it back (the on-disk tool flow).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pin.elf")
+	if err := os.WriteFile(path, relf.Write(elf), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := relf.Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := smt.NewBuilder()
+	core := iss.New(b, iss.Config{RamBase: 0x80000000, RamSize: 4 << 20, MaxInstr: 10_000_000})
+	core.LoadImage(loaded.Addr, loaded.Data, loaded.Entry)
+
+	rep := cte.New(core, cte.Options{MaxPaths: 100, StopOnError: true}).Run()
+	if len(rep.Findings) == 0 {
+		t.Fatalf("exploration must find the PIN backdoor: %v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Err.Kind != iss.ErrAssertFail {
+		t.Fatalf("kind: %v", f.Err)
+	}
+	want := []uint64{7, 3, 1, 9}
+	for i, w := range want {
+		if got := b.Value(f.Input, "pin["+string(rune('0'+i))+"]"); got != w {
+			t.Errorf("pin[%d] = %d want %d", i, got, w)
+		}
+	}
+	// One nested comparison per byte: 5 paths (4 flips + the hit).
+	if rep.Paths != 5 {
+		t.Errorf("paths: %d want 5 (one per PIN digit plus the hit)", rep.Paths)
+	}
+}
+
+// TestReplayDeterminism: re-running a finding's input must reproduce the
+// identical path (trace shape, error, instruction count) — clones are
+// deterministic, which the whole exploration scheme depends on.
+func TestReplayDeterminism(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := guest.NewCore(b, guest.SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	if len(rep.Findings) == 0 {
+		t.Fatal("no finding")
+	}
+	f := rep.Findings[0]
+
+	run := func() *iss.Core {
+		c := core.Clone()
+		c.Input = f.Input
+		c.Run(0)
+		return c
+	}
+	r1, r2 := run(), run()
+	if r1.Err == nil || r2.Err == nil || r1.Err.Kind != r2.Err.Kind || r1.Err.PC != r2.Err.PC {
+		t.Fatalf("replays diverge: %v vs %v", r1.Err, r2.Err)
+	}
+	if r1.InstrCount != r2.InstrCount || len(r1.Trace) != len(r2.Trace) || len(r1.EPC) != len(r2.EPC) {
+		t.Errorf("replay shape differs: instr %d/%d trace %d/%d epc %d/%d",
+			r1.InstrCount, r2.InstrCount, len(r1.Trace), len(r2.Trace), len(r1.EPC), len(r2.EPC))
+	}
+	// The input must actually satisfy the replayed path's EPC.
+	for _, cond := range r1.EPC {
+		if smt.Eval(cond, f.Input) != 1 {
+			t.Errorf("finding input does not satisfy its own path condition: %v", cond)
+		}
+	}
+}
+
+// TestEPCConsistency: on every explored path, the path condition is
+// satisfied by the input that produced it (soundness of the concolic
+// bookkeeping across the full sensor system).
+func TestEPCConsistency(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := guest.NewCore(b, guest.SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 32})
+	checked := 0
+	eng.OnPath = func(_ int, c *iss.Core) {
+		for _, cond := range c.EPC {
+			if smt.Eval(cond, c.Input) != 1 {
+				t.Errorf("EPC violated by own input on path with input %v", cte.DescribeInput(b, c.Input))
+			}
+			checked++
+		}
+	}
+	eng.Run()
+	if checked == 0 {
+		t.Error("no EPC conjuncts checked")
+	}
+}

@@ -1,0 +1,549 @@
+// Package asm implements a two-pass assembler for a GNU-flavoured subset
+// of RV32IM assembly. It is the back end of the mini-C compiler and the
+// way peripheral software models and runtime code are written, replacing
+// the GCC cross-toolchain the paper uses.
+//
+// Supported: labels, .text/.data/.bss sections, .globl, .word, .half,
+// .byte, .asciz, .ascii, .space, .align, .equ, all RV32IM mnemonics, the
+// common pseudo-instructions (li, la, mv, not, neg, seqz, snez, beqz,
+// bnez, blez, bgez, bltz, bgtz, bgt, ble, bgtu, bleu, j, jr, call, tail,
+// ret, nop, csrr, csrw) and %hi()/%lo() relocation operators.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rvcte/internal/rv32"
+)
+
+// Image is an assembled, fully relocated memory image.
+type Image struct {
+	Origin  uint32 // load address of Bytes
+	Bytes   []byte // .text followed by .data
+	BssAddr uint32 // start of zero-initialized region
+	BssSize uint32
+	Symbols map[string]uint32 // label -> absolute address (or .equ value)
+	Globals []string          // symbols declared .globl, in order
+}
+
+// Entry returns the address of the _start symbol, or Origin if absent.
+func (img *Image) Entry() uint32 {
+	if e, ok := img.Symbols["_start"]; ok {
+		return e
+	}
+	return img.Origin
+}
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+	secBss
+)
+
+// stmt is one parsed source statement.
+type stmt struct {
+	line  int
+	label string   // non-empty for label definitions
+	op    string   // mnemonic or directive (with leading .)
+	args  []string // raw operand strings
+	sec   section  // section active at this statement
+	addr  uint32   // assigned in pass 1
+	size  uint32   // bytes emitted
+}
+
+// Assembler carries the state of one assembly run.
+type assembler struct {
+	origin   uint32
+	stmts    []stmt
+	symbols  map[string]uint32
+	globals  []string
+	equs     map[string]int64
+	compress bool // RV32C compression pass enabled
+}
+
+// Assemble assembles src into an image loaded at origin (32-bit
+// encodings only).
+func Assemble(src string, origin uint32) (*Image, error) {
+	return assemble(src, origin, false)
+}
+
+// AssembleCompressed assembles src with the RV32C compression pass:
+// instructions with 16-bit forms are emitted compressed, iterating
+// layout to a fixpoint (sizes only shrink, so branch offsets stay in
+// range).
+func AssembleCompressed(src string, origin uint32) (*Image, error) {
+	return assemble(src, origin, true)
+}
+
+func assemble(src string, origin uint32, compress bool) (*Image, error) {
+	a := &assembler{
+		origin:   origin,
+		symbols:  make(map[string]uint32),
+		equs:     make(map[string]int64),
+		compress: compress,
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(false); err != nil {
+		return nil, err
+	}
+	if compress {
+		if err := a.compressPass(); err != nil {
+			return nil, err
+		}
+	}
+	return a.emit()
+}
+
+// compressPass shrinks compressible instructions to 16 bits, re-laying
+// out until addresses stabilize.
+func (a *assembler) compressPass() error {
+	for iter := 0; iter < 32; iter++ {
+		changed := false
+		for i := range a.stmts {
+			s := &a.stmts[i]
+			if s.label != "" || strings.HasPrefix(s.op, ".") || s.sec != secText {
+				continue
+			}
+			if s.size != 4 && s.size != 2 {
+				continue // fixed two-word pseudo expansions stay as-is
+			}
+			words, err := a.encodeInst(s)
+			if err != nil {
+				return err
+			}
+			if len(words) != 1 {
+				continue
+			}
+			want := uint32(4)
+			if _, ok := rv32.Compress(rv32.Decode(words[0])); ok {
+				want = 2
+			}
+			if s.size != want {
+				s.size = want
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+		if err := a.layout(true); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("asm: compression did not converge")
+}
+
+// parse splits the source into statements. Labels may share a line with
+// an instruction ("loop: addi ...").
+func (a *assembler) parse(src string) error {
+	sec := secText
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		for line != "" {
+			// Leading label(s).
+			if i := labelEnd(line); i >= 0 {
+				name := strings.TrimSpace(line[:i])
+				if !validSymbol(name) {
+					return &Error{lineNo + 1, fmt.Sprintf("bad label %q", name)}
+				}
+				a.stmts = append(a.stmts, stmt{line: lineNo + 1, label: name, sec: sec})
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			op, rest := splitOp(line)
+			args := splitArgs(rest)
+			switch op {
+			case ".text":
+				sec = secText
+			case ".data":
+				sec = secData
+			case ".bss":
+				sec = secBss
+			case ".section":
+				if len(args) > 0 {
+					switch strings.TrimPrefix(args[0], ".") {
+					case "text":
+						sec = secText
+					case "data", "rodata", "sdata":
+						sec = secData
+					case "bss", "sbss":
+						sec = secBss
+					default:
+						sec = secData
+					}
+				}
+			case ".globl", ".global":
+				for _, g := range args {
+					a.globals = append(a.globals, g)
+				}
+			case ".equ", ".set":
+				if len(args) != 2 {
+					return &Error{lineNo + 1, ".equ needs name, value"}
+				}
+				v, err := strconv.ParseInt(args[1], 0, 64)
+				if err != nil {
+					return &Error{lineNo + 1, fmt.Sprintf(".equ value %q: %v", args[1], err)}
+				}
+				a.equs[args[0]] = v
+			case ".type", ".size", ".file", ".ident", ".option", ".attribute", ".p2align":
+				// Ignored metadata directives (accepted for GNU compatibility).
+			default:
+				a.stmts = append(a.stmts, stmt{line: lineNo + 1, op: op, args: args, sec: sec})
+			}
+			line = ""
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#', ';':
+			if !inStr {
+				return line[:i]
+			}
+		case '/':
+			if !inStr && i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index of a leading label's colon, or -1.
+func labelEnd(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == ':':
+			return i
+		case c == '_' || c == '.' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'):
+			// still a symbol char
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func validSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c == '.' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			continue
+		}
+		if i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func splitOp(line string) (op, rest string) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			return line[:i], strings.TrimSpace(line[i:])
+		}
+	}
+	return line, ""
+}
+
+// splitArgs splits on commas not inside parens or strings.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// stmtSize returns the number of bytes a statement occupies. Pseudo
+// instructions use fixed worst-case expansions so layout is one pass.
+func (a *assembler) stmtSize(s *stmt) (uint32, error) {
+	if s.label != "" {
+		return 0, nil
+	}
+	if strings.HasPrefix(s.op, ".") {
+		switch s.op {
+		case ".word":
+			return uint32(4 * len(s.args)), nil
+		case ".half":
+			return uint32(2 * len(s.args)), nil
+		case ".byte":
+			return uint32(len(s.args)), nil
+		case ".asciz", ".string":
+			str, err := parseString(s.args)
+			if err != nil {
+				return 0, &Error{s.line, err.Error()}
+			}
+			return uint32(len(str) + 1), nil
+		case ".ascii":
+			str, err := parseString(s.args)
+			if err != nil {
+				return 0, &Error{s.line, err.Error()}
+			}
+			return uint32(len(str)), nil
+		case ".space", ".zero", ".skip":
+			if len(s.args) != 1 {
+				return 0, &Error{s.line, s.op + " needs a size"}
+			}
+			n, err := a.parseIntNoSym(s.args[0])
+			if err != nil {
+				return 0, &Error{s.line, err.Error()}
+			}
+			return uint32(n), nil
+		case ".align", ".balign":
+			// Resolved during layout (depends on current address).
+			return 0, nil
+		default:
+			return 0, &Error{s.line, fmt.Sprintf("unknown directive %s", s.op)}
+		}
+	}
+	switch s.op {
+	case "li", "la", "call":
+		return 8, nil
+	default:
+		return 4, nil
+	}
+}
+
+// layout assigns addresses (pass 1). Section order: text, data, bss.
+// With keepSizes, instruction sizes chosen by the compression pass are
+// preserved; alignment padding is always recomputed.
+func (a *assembler) layout(keepSizes bool) error {
+	// First compute per-section sizes.
+	var sizes [3]uint32
+	offsets := make([]uint32, len(a.stmts)) // offset within own section
+	for k := range a.symbols {
+		delete(a.symbols, k)
+	}
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		cur := &sizes[s.sec]
+		if s.op == ".align" || s.op == ".balign" {
+			if len(s.args) < 1 {
+				return &Error{s.line, ".align needs an argument"}
+			}
+			n, err := a.parseIntNoSym(s.args[0])
+			if err != nil {
+				return &Error{s.line, err.Error()}
+			}
+			var alignment uint32
+			if s.op == ".align" {
+				alignment = 1 << uint(n)
+			} else {
+				alignment = uint32(n)
+			}
+			if alignment == 0 {
+				alignment = 1
+			}
+			pad := (alignment - *cur%alignment) % alignment
+			s.size = pad
+			offsets[i] = *cur
+			*cur += pad
+			continue
+		}
+		if keepSizes && s.label == "" && !strings.HasPrefix(s.op, ".") {
+			offsets[i] = *cur
+			*cur += s.size
+			continue
+		}
+		sz, err := a.stmtSize(s)
+		if err != nil {
+			return err
+		}
+		s.size = sz
+		offsets[i] = *cur
+		*cur += sz
+	}
+	textBase := a.origin
+	dataBase := align4(textBase + sizes[secText])
+	bssBase := align4(dataBase + sizes[secData])
+	bases := [3]uint32{textBase, dataBase, bssBase}
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		s.addr = bases[s.sec] + offsets[i]
+		if s.label != "" {
+			if _, dup := a.symbols[s.label]; dup {
+				return &Error{s.line, fmt.Sprintf("duplicate label %q", s.label)}
+			}
+			a.symbols[s.label] = s.addr
+		}
+	}
+	// .equ values enter the symbol table as absolute constants.
+	for name, v := range a.equs {
+		a.symbols[name] = uint32(v)
+	}
+	return nil
+}
+
+func align4(v uint32) uint32 { return (v + 3) &^ 3 }
+
+func parseString(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("string directive needs exactly one operand")
+	}
+	s := args[0]
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %q", s)
+	}
+	unq, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("bad string literal %q: %v", s, err)
+	}
+	return unq, nil
+}
+
+// parseIntNoSym parses an integer (no symbol references allowed).
+func (a *assembler) parseIntNoSym(s string) (int64, error) {
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// resolve evaluates an operand that may be a number, a symbol, a
+// symbol+offset expression, a char literal, or %hi()/%lo() of those.
+func (a *assembler) resolve(s string, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		v, err := a.resolve(s[4:len(s)-1], line)
+		if err != nil {
+			return 0, err
+		}
+		return int64((uint32(v) + 0x800) >> 12), nil
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		v, err := a.resolve(s[4:len(s)-1], line)
+		if err != nil {
+			return 0, err
+		}
+		lo := uint32(v) & 0xfff
+		if lo >= 0x800 {
+			return int64(lo) - 0x1000, nil
+		}
+		return int64(lo), nil
+	}
+	// symbol+offset / symbol-offset
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			base := strings.TrimSpace(s[:i])
+			if _, ok := a.symbols[base]; ok {
+				bv, err := a.resolve(base, line)
+				if err != nil {
+					return 0, err
+				}
+				ov, err := a.resolve(s[i+1:], line)
+				if err != nil {
+					return 0, err
+				}
+				if s[i] == '-' {
+					return bv - ov, nil
+				}
+				return bv + ov, nil
+			}
+		}
+	}
+	if v, ok := a.symbols[s]; ok {
+		return int64(v), nil
+	}
+	if len(s) >= 3 && s[0] == '\'' {
+		c, _, _, err := strconv.UnquoteChar(s[1:len(s)-1], '\'')
+		if err == nil {
+			return int64(c), nil
+		}
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow unsigned hex that overflows int32 range.
+		uv, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, &Error{line, fmt.Sprintf("cannot resolve operand %q", s)}
+		}
+		return int64(uv), nil
+	}
+	return v, nil
+}
+
+// memOperand parses "imm(reg)" or "(reg)" or "sym" forms for loads/stores.
+func (a *assembler) memOperand(s string, line int) (imm int64, reg int, err error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, &Error{line, fmt.Sprintf("bad memory operand %q", s)}
+	}
+	regName := strings.TrimSpace(s[open+1 : len(s)-1])
+	reg = rv32.RegByName(regName)
+	if reg < 0 {
+		return 0, 0, &Error{line, fmt.Sprintf("bad register %q", regName)}
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		return 0, reg, nil
+	}
+	imm, err = a.resolve(immStr, line)
+	return imm, reg, err
+}
+
+func (a *assembler) reg(s string, line int) (uint8, error) {
+	r := rv32.RegByName(strings.TrimSpace(s))
+	if r < 0 {
+		return 0, &Error{line, fmt.Sprintf("bad register %q", s)}
+	}
+	return uint8(r), nil
+}

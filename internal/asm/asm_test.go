@@ -1,0 +1,344 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"rvcte/internal/rv32"
+)
+
+func mustAssemble(t *testing.T, src string, origin uint32) *Image {
+	t.Helper()
+	img, err := Assemble(src, origin)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+func word(img *Image, addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(img.Bytes[addr-img.Origin:])
+}
+
+func TestAssembleBasic(t *testing.T) {
+	img := mustAssemble(t, `
+		.globl _start
+	_start:
+		addi a0, zero, 5
+		addi a1, a0, -3
+		add  a2, a0, a1
+		ecall
+	`, 0x8000_0000)
+
+	if img.Entry() != 0x80000000 {
+		t.Errorf("entry: %#x", img.Entry())
+	}
+	d := rv32.Decode(word(img, 0x80000000))
+	if d.String() != "addi a0, zero, 5" {
+		t.Errorf("inst 0: %s", d)
+	}
+	d = rv32.Decode(word(img, 0x80000004))
+	if d.String() != "addi a1, a0, -3" {
+		t.Errorf("inst 1: %s", d)
+	}
+	d = rv32.Decode(word(img, 0x8000000c))
+	if d.Op != rv32.OpECALL {
+		t.Errorf("inst 3: %s", d)
+	}
+	if img.Globals[0] != "_start" {
+		t.Errorf("globals: %v", img.Globals)
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	img := mustAssemble(t, `
+	_start:
+		beq a0, a1, done
+		addi a0, a0, 1
+		j _start
+	done:
+		ret
+	`, 0x1000)
+
+	beq := rv32.Decode(word(img, 0x1000))
+	if beq.Op != rv32.OpBEQ || beq.Imm != 12 {
+		t.Errorf("beq: %+v", beq)
+	}
+	j := rv32.Decode(word(img, 0x1008))
+	if j.Op != rv32.OpJAL || j.Rd != 0 || j.Imm != -8 {
+		t.Errorf("j: %+v", j)
+	}
+	if img.Symbols["done"] != 0x100c {
+		t.Errorf("done: %#x", img.Symbols["done"])
+	}
+}
+
+func TestBackwardAndForwardRefs(t *testing.T) {
+	img := mustAssemble(t, `
+	loop:
+		bnez a0, exit
+		j loop
+	exit:
+		ret
+	`, 0)
+	b := rv32.Decode(word(img, 0))
+	if b.Op != rv32.OpBNE || b.Imm != 8 {
+		t.Errorf("bnez: %+v", b)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	img := mustAssemble(t, `
+		li a0, 42
+		li a1, 0x12345678
+		li a2, -1
+		li a3, 0x80000800
+	`, 0)
+	// Each li is exactly 8 bytes: lui+addi.
+	check := func(addr uint32, want uint32, reg uint8) {
+		t.Helper()
+		lui := rv32.Decode(word(img, addr))
+		addi := rv32.Decode(word(img, addr+4))
+		if lui.Op != rv32.OpLUI || addi.Op != rv32.OpADDI {
+			t.Fatalf("li at %#x: %v / %v", addr, lui, addi)
+		}
+		got := uint32(lui.Imm) + uint32(addi.Imm)
+		if got != want {
+			t.Errorf("li at %#x: loads %#x want %#x", addr, got, want)
+		}
+		if lui.Rd != reg || addi.Rd != reg {
+			t.Errorf("li at %#x: wrong reg", addr)
+		}
+	}
+	check(0, 42, 10)
+	check(8, 0x12345678, 11)
+	check(16, 0xffffffff, 12)
+	check(24, 0x80000800, 13)
+}
+
+func TestLaAndHiLo(t *testing.T) {
+	img := mustAssemble(t, `
+		la a0, message
+		lui a1, %hi(message)
+		addi a1, a1, %lo(message)
+	.data
+	message:
+		.asciz "hi"
+	`, 0x8000_0000)
+	msg := img.Symbols["message"]
+	if string(img.Bytes[msg-img.Origin:msg-img.Origin+3]) != "hi\x00" {
+		t.Errorf("message content wrong")
+	}
+	lui := rv32.Decode(word(img, 0x80000000))
+	addi := rv32.Decode(word(img, 0x80000004))
+	if uint32(lui.Imm)+uint32(addi.Imm) != msg {
+		t.Errorf("la: %#x want %#x", uint32(lui.Imm)+uint32(addi.Imm), msg)
+	}
+	lui2 := rv32.Decode(word(img, 0x80000008))
+	addi2 := rv32.Decode(word(img, 0x8000000c))
+	if uint32(lui2.Imm)+uint32(addi2.Imm) != msg {
+		t.Errorf("%%hi/%%lo: %#x want %#x", uint32(lui2.Imm)+uint32(addi2.Imm), msg)
+	}
+}
+
+func TestLoadStoreOperands(t *testing.T) {
+	img := mustAssemble(t, `
+		lw a0, 8(sp)
+		sw a1, -4(s0)
+		lbu a2, 0(a3)
+		sb a4, 127(a5)
+	`, 0)
+	lw := rv32.Decode(word(img, 0))
+	if lw.String() != "lw a0, 8(sp)" {
+		t.Errorf("lw: %s", lw)
+	}
+	sw := rv32.Decode(word(img, 4))
+	if sw.String() != "sw a1, -4(s0)" {
+		t.Errorf("sw: %s", sw)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	img := mustAssemble(t, `
+	.data
+	tbl:
+		.word 1, 2, 0xdeadbeef, tbl
+		.half 0x1234
+		.byte 1, 2, 3
+		.align 2
+	after:
+		.space 8
+		.ascii "ab"
+	`, 0x1000)
+	base := img.Symbols["tbl"]
+	if word(img, base) != 1 || word(img, base+8) != 0xdeadbeef {
+		t.Error(".word values")
+	}
+	if word(img, base+12) != base {
+		t.Error(".word symbol self-reference")
+	}
+	if binary.LittleEndian.Uint16(img.Bytes[base+16-img.Origin:]) != 0x1234 {
+		t.Error(".half")
+	}
+	after := img.Symbols["after"]
+	if after%4 != 0 {
+		t.Errorf(".align: after at %#x", after)
+	}
+	if got := string(img.Bytes[after+8-img.Origin : after+10-img.Origin]); got != "ab" {
+		t.Errorf(".ascii: %q", got)
+	}
+}
+
+func TestBssSection(t *testing.T) {
+	img := mustAssemble(t, `
+	.text
+		nop
+	.bss
+	buf:
+		.space 64
+	buf2:
+		.space 4
+	`, 0x1000)
+	if img.BssSize != 68 {
+		t.Errorf("bss size: %d", img.BssSize)
+	}
+	if img.Symbols["buf2"] != img.Symbols["buf"]+64 {
+		t.Error("bss layout")
+	}
+	if img.Symbols["buf"] < 0x1004 {
+		t.Errorf("bss must follow text: %#x", img.Symbols["buf"])
+	}
+}
+
+func TestEqu(t *testing.T) {
+	img := mustAssemble(t, `
+	.equ MAGIC, 0x1234
+		li a0, MAGIC
+		addi a1, zero, 16
+	`, 0)
+	lui := rv32.Decode(word(img, 0))
+	addi := rv32.Decode(word(img, 4))
+	if uint32(lui.Imm)+uint32(addi.Imm) != 0x1234 {
+		t.Error(".equ value not usable in li")
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	img := mustAssemble(t, `
+		nop
+		mv a0, a1
+		not a2, a3
+		neg a4, a5
+		seqz a0, a1
+		snez a2, a3
+		jr ra
+		ret
+	f:
+		call f
+		tail f
+	`, 0)
+	wantOps := []string{
+		"addi zero, zero, 0",
+		"addi a0, a1, 0",
+		"xori a2, a3, -1",
+		"sub a4, zero, a5",
+		"sltiu a0, a1, 1",
+		"sltu a2, zero, a3",
+		"jalr zero, 0(ra)",
+		"jalr zero, 0(ra)",
+	}
+	for i, want := range wantOps {
+		got := rv32.Decode(word(img, uint32(4*i))).String()
+		if got != want {
+			t.Errorf("inst %d: got %q want %q", i, got, want)
+		}
+	}
+	// call f at f: auipc ra, 0; jalr ra, 0(ra)
+	auipc := rv32.Decode(word(img, 32))
+	jalr := rv32.Decode(word(img, 36))
+	if auipc.Op != rv32.OpAUIPC || auipc.Rd != 1 || jalr.Op != rv32.OpJALR || jalr.Rd != 1 {
+		t.Errorf("call: %v / %v", auipc, jalr)
+	}
+	tail := rv32.Decode(word(img, 40))
+	if tail.Op != rv32.OpJAL || tail.Rd != 0 || tail.Imm != -8 {
+		t.Errorf("tail: %v", tail)
+	}
+}
+
+func TestCsrInstructions(t *testing.T) {
+	img := mustAssemble(t, `
+		csrr a0, mcause
+		csrw mtvec, a1
+		csrrs a2, mepc, zero
+		csrrwi zero, mstatus, 8
+	`, 0)
+	if got := rv32.Decode(word(img, 0)).String(); got != "csrrs a0, mcause, zero" {
+		t.Errorf("csrr: %s", got)
+	}
+	if got := rv32.Decode(word(img, 4)).String(); got != "csrrw zero, mtvec, a1" {
+		t.Errorf("csrw: %s", got)
+	}
+	d := rv32.Decode(word(img, 12))
+	if d.Op != rv32.OpCSRRWI || d.Rs2 != 8 {
+		t.Errorf("csrrwi: %+v", d)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",
+		"addi a0, a1",       // missing operand
+		"addi a0, a1, 5000", // imm out of range
+		"lw a0, nope",       // bad mem operand
+		"addi q9, a0, 1",    // bad register
+		"j undefined_label", // unresolved symbol
+		"dup:\ndup:\nnop",   // duplicate label
+		".word \"str\"",     // bad value
+		".asciz 5",          // bad string
+		".equ X",            // missing value
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	img := mustAssemble(t, `
+	# full line comment
+		nop            # trailing comment
+		nop            ; semicolon comment
+		nop            // C++ comment
+	lbl:	nop        # label sharing a line
+	.data
+	s:	.asciz "has # hash ; and // inside"
+	`, 0)
+	if img.Symbols["lbl"] != 12 {
+		t.Errorf("lbl: %#x", img.Symbols["lbl"])
+	}
+	sAddr := img.Symbols["s"]
+	got := string(img.Bytes[sAddr-img.Origin : sAddr-img.Origin+27])
+	if got != "has # hash ; and // inside\x00" {
+		t.Errorf("string with comment chars: %q", got)
+	}
+}
+
+// Property: assembling R-type instructions with random registers round
+// trips through decode.
+func TestAssembleDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mnems := []string{"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+		"mul", "mulh", "div", "divu", "rem", "remu"}
+	for i := 0; i < 300; i++ {
+		m := mnems[rng.Intn(len(mnems))]
+		rd, rs1, rs2 := rng.Intn(32), rng.Intn(32), rng.Intn(32)
+		src := m + " " + rv32.RegName(uint8(rd)) + ", " + rv32.RegName(uint8(rs1)) + ", " + rv32.RegName(uint8(rs2))
+		img := mustAssemble(t, src, 0)
+		d := rv32.Decode(word(img, 0))
+		if d.Op.String() != m || int(d.Rd) != rd || int(d.Rs1) != rs1 || int(d.Rs2) != rs2 {
+			t.Fatalf("round trip %q: got %v", src, d)
+		}
+	}
+}

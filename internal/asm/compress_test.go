@@ -1,0 +1,170 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rvcte/internal/rv32"
+)
+
+// disasmAll walks an image's text decoding every instruction.
+func disasmAll(img *Image, textEnd uint32) []rv32.Inst {
+	var out []rv32.Inst
+	pc := img.Origin
+	for pc < textEnd {
+		off := pc - img.Origin
+		word := uint32(binary.LittleEndian.Uint16(img.Bytes[off:]))
+		if word&3 == 3 {
+			word = binary.LittleEndian.Uint32(img.Bytes[off:])
+		}
+		in := rv32.Decode(word)
+		out = append(out, in)
+		pc += uint32(in.Size)
+	}
+	return out
+}
+
+const compressibleSrc = `
+_start:
+	li a0, 10        # addi half compresses to c.li
+	mv a1, a0        # c.mv
+	add a0, a0, a1   # c.add
+	addi a0, a0, 1   # c.addi
+	beqz a0, done
+	j loop
+loop:
+	addi a0, a0, -1
+	bnez a0, loop
+done:
+	li a7, 0
+	ecall
+`
+
+func TestAssembleCompressedShrinks(t *testing.T) {
+	plain, err := Assemble(compressibleSrc, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := AssembleCompressed(compressibleSrc, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Bytes) >= len(plain.Bytes) {
+		t.Fatalf("compression did not shrink: %d -> %d bytes", len(plain.Bytes), len(comp.Bytes))
+	}
+	t.Logf("image size %d -> %d bytes", len(plain.Bytes), len(comp.Bytes))
+
+	// Decode both streams: instruction sequences must be semantically
+	// identical except for branch/jump immediates (which shrink with
+	// the layout).
+	pi := disasmAll(plain, plain.Origin+uint32(len(plain.Bytes)))
+	ci := disasmAll(comp, comp.Origin+uint32(len(comp.Bytes)))
+	if len(pi) != len(ci) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(pi), len(ci))
+	}
+	nCompressed := 0
+	for i := range pi {
+		if ci[i].Size == 2 {
+			nCompressed++
+		}
+		if pi[i].Op != ci[i].Op || pi[i].Rd != ci[i].Rd || pi[i].Rs1 != ci[i].Rs1 {
+			t.Errorf("inst %d: %v vs %v", i, pi[i], ci[i])
+		}
+	}
+	if nCompressed < 5 {
+		t.Errorf("expected several compressed instructions, got %d", nCompressed)
+	}
+}
+
+func TestCompressedBranchTargets(t *testing.T) {
+	img, err := AssembleCompressed(`
+	_start:
+		li a0, 3
+	loop:
+		addi a0, a0, -1
+		bnez a0, loop
+		beq a0, a1, out
+		j loop
+	out:
+		ecall
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify that every branch/jump lands exactly on an instruction
+	// boundary of the compressed stream.
+	bounds := map[uint32]bool{}
+	pc := img.Origin
+	end := img.Origin + uint32(len(img.Bytes))
+	type bt struct{ from, to uint32 }
+	var branches []bt
+	for pc < end {
+		off := pc - img.Origin
+		word := uint32(binary.LittleEndian.Uint16(img.Bytes[off:]))
+		if word&3 == 3 {
+			word = binary.LittleEndian.Uint32(img.Bytes[off:])
+		}
+		in := rv32.Decode(word)
+		bounds[pc] = true
+		switch in.Op {
+		case rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU, rv32.OpJAL:
+			branches = append(branches, bt{pc, pc + uint32(in.Imm)})
+		}
+		pc += uint32(in.Size)
+	}
+	bounds[end] = true
+	for _, b := range branches {
+		if !bounds[b.to] {
+			t.Errorf("branch at %#x targets %#x, not an instruction boundary", b.from, b.to)
+		}
+	}
+}
+
+// TestCompressedAlignInterplay: .align directives inside compressed text
+// must keep labeled data and following code correctly aligned across
+// re-layout iterations.
+func TestCompressedAlignInterplay(t *testing.T) {
+	img, err := AssembleCompressed(`
+	_start:
+		li a0, 1
+		mv a1, a0
+		j next
+	.align 2
+	table:
+		.word 0x11223344
+	next:
+		lw a2, 0(a2)
+		ecall
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := img.Symbols["table"]
+	if tbl%4 != 0 {
+		t.Errorf("table at %#x must stay 4-aligned", tbl)
+	}
+	if binary.LittleEndian.Uint32(img.Bytes[tbl-img.Origin:]) != 0x11223344 {
+		t.Error("table contents corrupted by compression relayout")
+	}
+	// The jump over the table must land exactly at 'next'.
+	next := img.Symbols["next"]
+	if next <= tbl {
+		t.Errorf("layout order broken: next=%#x table=%#x", next, tbl)
+	}
+}
+
+// TestCompressionIsDeterministic: two compression runs of the same source
+// produce byte-identical images.
+func TestCompressionIsDeterministic(t *testing.T) {
+	a, err := AssembleCompressed(compressibleSrc, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssembleCompressed(compressibleSrc, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Bytes) != string(b.Bytes) {
+		t.Error("compression output not deterministic")
+	}
+}

@@ -1,0 +1,601 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"rvcte/internal/rv32"
+)
+
+// opsByName maps assembler mnemonics to base ops (non-pseudo).
+var opsByName = map[string]rv32.Op{
+	"lui": rv32.OpLUI, "auipc": rv32.OpAUIPC, "jal": rv32.OpJAL, "jalr": rv32.OpJALR,
+	"beq": rv32.OpBEQ, "bne": rv32.OpBNE, "blt": rv32.OpBLT, "bge": rv32.OpBGE,
+	"bltu": rv32.OpBLTU, "bgeu": rv32.OpBGEU,
+	"lb": rv32.OpLB, "lh": rv32.OpLH, "lw": rv32.OpLW, "lbu": rv32.OpLBU, "lhu": rv32.OpLHU,
+	"sb": rv32.OpSB, "sh": rv32.OpSH, "sw": rv32.OpSW,
+	"addi": rv32.OpADDI, "slti": rv32.OpSLTI, "sltiu": rv32.OpSLTIU,
+	"xori": rv32.OpXORI, "ori": rv32.OpORI, "andi": rv32.OpANDI,
+	"slli": rv32.OpSLLI, "srli": rv32.OpSRLI, "srai": rv32.OpSRAI,
+	"add": rv32.OpADD, "sub": rv32.OpSUB, "sll": rv32.OpSLL, "slt": rv32.OpSLT,
+	"sltu": rv32.OpSLTU, "xor": rv32.OpXOR, "srl": rv32.OpSRL, "sra": rv32.OpSRA,
+	"or": rv32.OpOR, "and": rv32.OpAND,
+	"mul": rv32.OpMUL, "mulh": rv32.OpMULH, "mulhsu": rv32.OpMULHSU, "mulhu": rv32.OpMULHU,
+	"div": rv32.OpDIV, "divu": rv32.OpDIVU, "rem": rv32.OpREM, "remu": rv32.OpREMU,
+	"fence": rv32.OpFENCE, "ecall": rv32.OpECALL, "ebreak": rv32.OpEBREAK,
+	"mret": rv32.OpMRET, "wfi": rv32.OpWFI,
+	"csrrw": rv32.OpCSRRW, "csrrs": rv32.OpCSRRS, "csrrc": rv32.OpCSRRC,
+	"csrrwi": rv32.OpCSRRWI, "csrrsi": rv32.OpCSRRSI, "csrrci": rv32.OpCSRRCI,
+}
+
+// emit is pass 2: encode every statement at its assigned address.
+func (a *assembler) emit() (*Image, error) {
+	var endText, endData uint32 = a.origin, a.origin
+	var bssStart, bssEnd uint32
+	for _, s := range a.stmts {
+		end := s.addr + s.size
+		switch s.sec {
+		case secText:
+			if end > endText {
+				endText = end
+			}
+		case secData:
+			if end > endData {
+				endData = end
+			}
+		case secBss:
+			if bssStart == 0 || s.addr < bssStart {
+				bssStart = s.addr
+			}
+			if end > bssEnd {
+				bssEnd = end
+			}
+		}
+	}
+	imgEnd := endData
+	if endText > imgEnd {
+		imgEnd = endText
+	}
+	img := &Image{
+		Origin:  a.origin,
+		Bytes:   make([]byte, imgEnd-a.origin),
+		Symbols: a.symbols,
+		Globals: a.globals,
+		BssAddr: bssStart,
+		BssSize: bssEnd - bssStart,
+	}
+	if bssStart == 0 {
+		img.BssAddr = align4(imgEnd)
+		img.BssSize = 0
+	}
+
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		if s.label != "" || s.size == 0 && strings.HasPrefix(s.op, ".align") {
+			continue
+		}
+		if s.sec == secBss {
+			if !strings.HasPrefix(s.op, ".") {
+				return nil, &Error{s.line, "instructions not allowed in .bss"}
+			}
+			continue // bss contents are implicitly zero
+		}
+		off := s.addr - a.origin
+		if strings.HasPrefix(s.op, ".") {
+			if err := a.emitDirective(img, s, off); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		words, err := a.encodeInst(s)
+		if err != nil {
+			return nil, err
+		}
+		if s.size == 2 {
+			// Chosen by the compression pass; sizes only shrink after
+			// the decision, so the compressed form must still exist.
+			h, ok := rv32.Compress(rv32.Decode(words[0]))
+			if !ok {
+				return nil, &Error{s.line, "instruction no longer compressible after layout"}
+			}
+			binary.LittleEndian.PutUint16(img.Bytes[off:], h)
+			continue
+		}
+		for wi, w := range words {
+			binary.LittleEndian.PutUint32(img.Bytes[off+uint32(4*wi):], w)
+		}
+	}
+	return img, nil
+}
+
+func (a *assembler) emitDirective(img *Image, s *stmt, off uint32) error {
+	switch s.op {
+	case ".word":
+		for i, arg := range s.args {
+			v, err := a.resolve(arg, s.line)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(img.Bytes[off+uint32(4*i):], uint32(v))
+		}
+	case ".half":
+		for i, arg := range s.args {
+			v, err := a.resolve(arg, s.line)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint16(img.Bytes[off+uint32(2*i):], uint16(v))
+		}
+	case ".byte":
+		for i, arg := range s.args {
+			v, err := a.resolve(arg, s.line)
+			if err != nil {
+				return err
+			}
+			img.Bytes[off+uint32(i)] = byte(v)
+		}
+	case ".asciz", ".string":
+		str, err := parseString(s.args)
+		if err != nil {
+			return &Error{s.line, err.Error()}
+		}
+		copy(img.Bytes[off:], str)
+		img.Bytes[off+uint32(len(str))] = 0
+	case ".ascii":
+		str, err := parseString(s.args)
+		if err != nil {
+			return &Error{s.line, err.Error()}
+		}
+		copy(img.Bytes[off:], str)
+	case ".space", ".zero", ".skip", ".align", ".balign":
+		// Already zero.
+	default:
+		return &Error{s.line, fmt.Sprintf("unknown directive %s", s.op)}
+	}
+	return nil
+}
+
+// encodeInst encodes one mnemonic (possibly a pseudo-instruction
+// expanding to two words).
+func (a *assembler) encodeInst(s *stmt) ([]uint32, error) {
+	bad := func(format string, args ...any) ([]uint32, error) {
+		return nil, &Error{s.line, fmt.Sprintf(format, args...)}
+	}
+	need := func(n int) error {
+		if len(s.args) != n {
+			return &Error{s.line, fmt.Sprintf("%s needs %d operands, got %d", s.op, n, len(s.args))}
+		}
+		return nil
+	}
+	enc1 := func(in rv32.Inst) ([]uint32, error) {
+		w, err := rv32.Encode(in)
+		if err != nil {
+			return nil, &Error{s.line, err.Error()}
+		}
+		return []uint32{w}, nil
+	}
+
+	op := s.op
+	switch op {
+	case "nop":
+		return enc1(rv32.Inst{Op: rv32.OpADDI})
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return a.encodeLI(rd, uint32(v), s.line)
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return a.encodeLI(rd, uint32(v), s.line)
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := a.reg(s.args[0], s.line)
+		rs, err2 := a.reg(s.args[1], s.line)
+		if err1 != nil || err2 != nil {
+			return bad("bad registers in mv")
+		}
+		return enc1(rv32.Inst{Op: rv32.OpADDI, Rd: rd, Rs1: rs})
+	case "not":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpSUB, Rd: rd, Rs1: 0, Rs2: rs})
+	case "seqz":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpSLTU, Rd: rd, Rs1: 0, Rs2: rs})
+	case "sltz":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpSLT, Rd: rd, Rs1: rs, Rs2: 0})
+	case "sgtz":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpSLT, Rd: rd, Rs1: 0, Rs2: rs})
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.resolve(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rel := int32(uint32(target) - s.addr)
+		switch op {
+		case "beqz":
+			return enc1(rv32.Inst{Op: rv32.OpBEQ, Rs1: rs, Rs2: 0, Imm: rel})
+		case "bnez":
+			return enc1(rv32.Inst{Op: rv32.OpBNE, Rs1: rs, Rs2: 0, Imm: rel})
+		case "blez":
+			return enc1(rv32.Inst{Op: rv32.OpBGE, Rs1: 0, Rs2: rs, Imm: rel})
+		case "bgez":
+			return enc1(rv32.Inst{Op: rv32.OpBGE, Rs1: rs, Rs2: 0, Imm: rel})
+		case "bltz":
+			return enc1(rv32.Inst{Op: rv32.OpBLT, Rs1: rs, Rs2: 0, Imm: rel})
+		default: // bgtz
+			return enc1(rv32.Inst{Op: rv32.OpBLT, Rs1: 0, Rs2: rs, Imm: rel})
+		}
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.resolve(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rel := int32(uint32(target) - s.addr)
+		// Swap operand order: bgt a,b == blt b,a.
+		switch op {
+		case "bgt":
+			return enc1(rv32.Inst{Op: rv32.OpBLT, Rs1: rs2, Rs2: rs1, Imm: rel})
+		case "ble":
+			return enc1(rv32.Inst{Op: rv32.OpBGE, Rs1: rs2, Rs2: rs1, Imm: rel})
+		case "bgtu":
+			return enc1(rv32.Inst{Op: rv32.OpBLTU, Rs1: rs2, Rs2: rs1, Imm: rel})
+		default: // bleu
+			return enc1(rv32.Inst{Op: rv32.OpBGEU, Rs1: rs2, Rs2: rs1, Imm: rel})
+		}
+	case "j":
+		target, err := a.resolve(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpJAL, Rd: 0, Imm: int32(uint32(target) - s.addr)})
+	case "jr":
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpJALR, Rd: 0, Rs1: rs})
+	case "ret":
+		return enc1(rv32.Inst{Op: rv32.OpJALR, Rd: 0, Rs1: 1})
+	case "call":
+		// Fixed two-word expansion: auipc ra, hi; jalr ra, lo(ra).
+		target, err := a.resolve(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rel := uint32(target) - s.addr
+		hi := (rel + 0x800) >> 12 << 12
+		lo := int32(rel - hi)
+		w1, err := rv32.Encode(rv32.Inst{Op: rv32.OpAUIPC, Rd: 1, Imm: int32(hi)})
+		if err != nil {
+			return nil, &Error{s.line, err.Error()}
+		}
+		w2, err := rv32.Encode(rv32.Inst{Op: rv32.OpJALR, Rd: 1, Rs1: 1, Imm: lo})
+		if err != nil {
+			return nil, &Error{s.line, err.Error()}
+		}
+		return []uint32{w1, w2}, nil
+	case "tail":
+		target, err := a.resolve(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpJAL, Rd: 0, Imm: int32(uint32(target) - s.addr)})
+	case "csrr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		csr := rv32.CSRByName(s.args[1])
+		if csr < 0 {
+			return bad("bad CSR %q", s.args[1])
+		}
+		return enc1(rv32.Inst{Op: rv32.OpCSRRS, Rd: rd, Rs1: 0, Imm: int32(csr)})
+	case "csrw":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		csr := rv32.CSRByName(s.args[0])
+		if csr < 0 {
+			return bad("bad CSR %q", s.args[0])
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: rv32.OpCSRRW, Rd: 0, Rs1: rs, Imm: int32(csr)})
+	}
+
+	base, ok := opsByName[op]
+	if !ok {
+		return bad("unknown mnemonic %q", op)
+	}
+
+	switch base {
+	case rv32.OpLUI, rv32.OpAUIPC:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Imm: int32(uint32(v) << 12)})
+	case rv32.OpJAL:
+		// jal target | jal rd, target
+		rd := uint8(1)
+		targetArg := s.args[0]
+		if len(s.args) == 2 {
+			r, err := a.reg(s.args[0], s.line)
+			if err != nil {
+				return nil, err
+			}
+			rd = r
+			targetArg = s.args[1]
+		}
+		target, err := a.resolve(targetArg, s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Imm: int32(uint32(target) - s.addr)})
+	case rv32.OpJALR:
+		// jalr rs | jalr rd, imm(rs) | jalr rd, rs, imm
+		switch len(s.args) {
+		case 1:
+			rs, err := a.reg(s.args[0], s.line)
+			if err != nil {
+				return nil, err
+			}
+			return enc1(rv32.Inst{Op: base, Rd: 1, Rs1: rs})
+		case 2:
+			rd, err := a.reg(s.args[0], s.line)
+			if err != nil {
+				return nil, err
+			}
+			imm, rs, err := a.memOperand(s.args[1], s.line)
+			if err != nil {
+				return nil, err
+			}
+			return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: uint8(rs), Imm: int32(imm)})
+		case 3:
+			rd, err := a.reg(s.args[0], s.line)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := a.reg(s.args[1], s.line)
+			if err != nil {
+				return nil, err
+			}
+			imm, err := a.resolve(s.args[2], s.line)
+			if err != nil {
+				return nil, err
+			}
+			return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: rs, Imm: int32(imm)})
+		}
+		return bad("jalr operands")
+	case rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.resolve(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rs1: rs1, Rs2: rs2, Imm: int32(uint32(target) - s.addr)})
+	case rv32.OpLB, rv32.OpLH, rv32.OpLW, rv32.OpLBU, rv32.OpLHU:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		imm, rs, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: uint8(rs), Imm: int32(imm)})
+	case rv32.OpSB, rv32.OpSH, rv32.OpSW:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rs1: uint8(rs1), Rs2: rs2, Imm: int32(imm)})
+	case rv32.OpADDI, rv32.OpSLTI, rv32.OpSLTIU, rv32.OpXORI, rv32.OpORI, rv32.OpANDI,
+		rv32.OpSLLI, rv32.OpSRLI, rv32.OpSRAI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.resolve(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: rs, Imm: int32(imm)})
+	case rv32.OpFENCE, rv32.OpECALL, rv32.OpEBREAK, rv32.OpMRET, rv32.OpWFI:
+		return enc1(rv32.Inst{Op: base})
+	case rv32.OpCSRRW, rv32.OpCSRRS, rv32.OpCSRRC:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		csr := rv32.CSRByName(s.args[1])
+		if csr < 0 {
+			return bad("bad CSR %q", s.args[1])
+		}
+		rs, err := a.reg(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: rs, Imm: int32(csr)})
+	case rv32.OpCSRRWI, rv32.OpCSRRSI, rv32.OpCSRRCI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		csr := rv32.CSRByName(s.args[1])
+		if csr < 0 {
+			return bad("bad CSR %q", s.args[1])
+		}
+		zimm, err := a.resolve(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Rs2: uint8(zimm), Imm: int32(csr)})
+	default: // R-type
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(s.args[2], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return enc1(rv32.Inst{Op: base, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+}
+
+// encodeLI emits the fixed two-word lui+addi sequence loading v into rd.
+func (a *assembler) encodeLI(rd uint8, v uint32, line int) ([]uint32, error) {
+	hi := (v + 0x800) >> 12 << 12
+	lo := int32(v - hi)
+	w1, err := rv32.Encode(rv32.Inst{Op: rv32.OpLUI, Rd: rd, Imm: int32(hi)})
+	if err != nil {
+		return nil, &Error{line, err.Error()}
+	}
+	w2, err := rv32.Encode(rv32.Inst{Op: rv32.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	if err != nil {
+		return nil, &Error{line, err.Error()}
+	}
+	return []uint32{w1, w2}, nil
+}

@@ -1,0 +1,443 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+const testCrt = `
+.globl _start
+_start:
+	call main
+	li a7, 0
+	ecall
+`
+
+// compileRun compiles C source, links the tiny crt, runs the binary on
+// the concolic ISS and returns the core (exit code in ExitCode).
+func compileRun(t *testing.T, csrc string) *iss.Core {
+	t.Helper()
+	asmText, err := Compile(csrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := asm.Assemble(testCrt+asmText, 0x80000000)
+	if err != nil {
+		t.Fatalf("assemble: %v\n--- asm ---\n%s", err, numbered(asmText))
+	}
+	c := iss.New(smt.NewBuilder(), iss.Config{RamBase: 0x80000000, RamSize: 1 << 20, MaxInstr: 5_000_000})
+	c.LoadImage(img.Origin, img.Bytes, img.Entry())
+	c.Run(0)
+	if c.Err != nil {
+		t.Fatalf("runtime error: %v\n--- asm ---\n%s", c.Err, numbered(asmText))
+	}
+	return c
+}
+
+func numbered(s string) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > 400 {
+		lines = lines[:400]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func expectExit(t *testing.T, csrc string, want uint32) {
+	t.Helper()
+	c := compileRun(t, csrc)
+	if c.ExitCode != want {
+		t.Errorf("exit code %d want %d", c.ExitCode, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, `int main(void) { return 42; }`, 42)
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	expectExit(t, `int main() { return 2 + 3 * 4 - 6 / 2; }`, 11)
+	expectExit(t, `int main() { return (2 + 3) * 4; }`, 20)
+	expectExit(t, `int main() { return 7 % 3 + (1 << 4) + (255 >> 4); }`, 32)
+	expectExit(t, `int main() { return (5 & 3) | (4 ^ 1); }`, 5)
+	expectExit(t, `int main() { return ~0 & 0xff; }`, 255)
+	expectExit(t, `int main() { return -(-7); }`, 7)
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	expectExit(t, `int main() { int a = 5; int b; b = a * 2; a += b; a -= 1; return a; }`, 14)
+	expectExit(t, `int main() { int a = 6; a *= 7; a /= 2; a %= 16; return a; }`, 5)
+	expectExit(t, `int main() { int a = 0xf0; a &= 0x3c; a |= 1; a ^= 2; a <<= 2; a >>= 1; return a; }`, 0x66)
+	expectExit(t, `int main() { int a, b, c; a = b = c = 3; return a + b + c; }`, 9)
+}
+
+func TestIfElseWhile(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int n = 0, i = 1;
+    while (i <= 10) { n += i; i++; }
+    if (n == 55) return 1; else return 0;
+}`, 1)
+	expectExit(t, `
+int main() {
+    int i = 0, even = 0;
+    for (i = 0; i < 20; i++) { if (i % 2) continue; even++; if (i > 10) break; }
+    return even;
+}`, 7)
+	expectExit(t, `
+int main() {
+    int i = 0;
+    do { i++; } while (i < 5);
+    return i;
+}`, 5)
+	expectExit(t, `
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) total += i;
+    return total;
+}`, 6)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }`, 55)
+	expectExit(t, `
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return add3(x, x, 0); }
+int main() { return twice(add3(1, 2, 3)); }`, 12)
+	expectExit(t, `
+void bump(int *p) { *p = *p + 1; }
+int main() { int v = 9; bump(&v); bump(&v); return v; }`, 11)
+}
+
+func TestEightParams(t *testing.T) {
+	expectExit(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + b + c + d + e + f + g + h;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }`, 36)
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	expectExit(t, `
+int counter = 10;
+unsigned int mask = 0xff;
+int table[4] = {1, 2, 3, 4};
+char msg[] = "abc";
+int main() {
+    counter += table[2];
+    return counter + (int)msg[1] - 'a' + (int)(mask & 0xf);
+}`, 10+3+1+15)
+	expectExit(t, `
+int zeroed[8];
+int main() { int i, s = 0; for (i = 0; i < 8; i++) s += zeroed[i]; return s; }`, 0)
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int a[5];
+    int i;
+    for (i = 0; i < 5; i++) a[i] = i * i;
+    int *p = a;
+    p++;
+    return a[4] + *p + p[2];
+}`, 16+1+9)
+	expectExit(t, `
+int main() {
+    int a[4] = {0,0,0,0};
+    int *end = a + 4;
+    int *p = a;
+    int n = 0;
+    while (p < end) { n++; p++; }
+    return n + (int)(end - a);
+}`, 8)
+	expectExit(t, `
+int g[3] = {10, 20, 30};
+int main() { int *p = &g[1]; return *(p - 1) + *(p + 1); }`, 40)
+}
+
+func TestCharAndShortAccess(t *testing.T) {
+	expectExit(t, `
+int main() {
+    unsigned char b[4];
+    b[0] = 0x12; b[1] = 0x34; b[2] = 0xff; b[3] = 0;
+    unsigned short h = (unsigned short)(b[0] | (b[1] << 8));
+    return (int)(h >> 8) + (int)b[2];
+}`, 0x34+0xff)
+	expectExit(t, `
+int main() {
+    signed char c = (signed char)0xff;  // -1
+    short s = (short)0xffff;            // -1
+    if (c != -1) return 1;
+    if (s != -1) return 2;
+    return 0;
+}`, 0)
+	// Plain char is unsigned in this dialect.
+	expectExit(t, `
+int main() { char c = (char)0xff; if (c == 255) return 1; return 0; }`, 1)
+}
+
+func TestStructs(t *testing.T) {
+	expectExit(t, `
+struct point { int x; int y; };
+struct rect { struct point a; struct point b; char tag; };
+int area(struct rect *r) { return (r->b.x - r->a.x) * (r->b.y - r->a.y); }
+int main() {
+    struct rect r;
+    r.a.x = 1; r.a.y = 2; r.b.x = 5; r.b.y = 7;
+    r.tag = 'R';
+    struct rect s;
+    s = r;          // struct copy
+    s.b.x = 9;
+    return area(&r) * 100 + area(&s) + (int)s.tag - 'R';
+}`, 20*100+40)
+	expectExit(t, `
+typedef struct node { int v; struct node *next; } node_t;
+node_t n1, n2, n3;
+int main() {
+    n1.v = 1; n1.next = &n2;
+    n2.v = 2; n2.next = &n3;
+    n3.v = 4; n3.next = 0;
+    int sum = 0;
+    node_t *p = &n1;
+    while (p) { sum += p->v; p = p->next; }
+    return sum;
+}`, 7)
+	expectExit(t, `
+struct item { char kind; int val; };
+struct item items[3];
+int main() {
+    int i;
+    for (i = 0; i < 3; i++) { items[i].kind = (char)i; items[i].val = i * 10; }
+    return items[2].val + (int)items[1].kind + (int)sizeof(struct item);
+}`, 20+1+8)
+}
+
+func TestSwitch(t *testing.T) {
+	expectExit(t, `
+int classify(int c) {
+    switch (c) {
+    case 1: return 10;
+    case 2:
+    case 3: return 23;
+    case 4: break;
+    default: return 99;
+    }
+    return 4;
+}
+int main() { return classify(1) + classify(2) + classify(3) + classify(4) + classify(7); }`,
+		10+23+23+4+99)
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	expectExit(t, `int main() { int a = 5; return a > 3 ? 1 : 2; }`, 1)
+	expectExit(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+    int r = (0 && bump()) + (1 || bump());
+    return calls * 10 + r;   // short-circuit: bump never called
+}`, 1)
+	expectExit(t, `int main() { return !0 + !5 * 10 + (3 && 2) + (0 || 0); }`, 2)
+}
+
+func TestIncDec(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int i = 5;
+    int a = i++;
+    int b = ++i;
+    int c = i--;
+    int d = --i;
+    return a*1000 + b*100 + c*10 + d;   // 5,7,7,5
+}`, 5000+700+70+5)
+	expectExit(t, `
+int main() {
+    int arr[3] = {1,2,3};
+    int *p = arr;
+    int a = *p++;
+    int b = *p;
+    return a * 10 + b;
+}`, 12)
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	expectExit(t, `
+int main() {
+    unsigned int big = 0x80000000;
+    if (big > 0x7fffffff) return 1;   // unsigned compare
+    return 0;
+}`, 1)
+	expectExit(t, `
+int main() {
+    int neg = -1;
+    if (neg < 0) { } else return 1;   // signed compare
+    unsigned int u = (unsigned int)neg;
+    if (u != 0xffffffff) return 2;
+    return (int)(u >> 28);            // logical shift for unsigned
+}`, 15)
+	expectExit(t, `
+int main() {
+    int a = -7;
+    return (a / 2 == -3) + (a % 2 == -1) * 2 + ((a >> 1) == -4) * 4;
+}`, 7)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	expectExit(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*f)(int, int), int x, int y) { return f(x, y); }
+int main() {
+    int (*op)(int, int) = add;
+    int r = op(2, 3);
+    op = &mul;
+    r += (*op)(4, 5);
+    r += apply(add, 10, 20);
+    return r;
+}`, 5+20+30)
+	expectExit(t, `
+void set1(int *p) { *p = 1; }
+void set2(int *p) { *p = 2; }
+void (*handlers[2])(int *p) = {set1, set2};
+int main() { int v = 0; handlers[1](&v); return v; }`, 2)
+}
+
+func TestSizeof(t *testing.T) {
+	expectExit(t, `
+struct s { char a; int b; char c; };
+int main() {
+    return sizeof(char) + sizeof(short) * 10 + sizeof(int) * 100 +
+           sizeof(struct s) * 1000 + sizeof(int *) * 10000;
+}`, 1+20+400+12000+40000)
+	expectExit(t, `
+int arr[10];
+int main() { return sizeof(arr) + sizeof arr[0]; }`, 44)
+}
+
+func TestPreprocessor(t *testing.T) {
+	expectExit(t, `
+#define LIMIT 10
+#define DOUBLE_LIMIT (LIMIT * 2)
+#define FEATURE_ON
+int main() {
+    int n = DOUBLE_LIMIT;
+#ifdef FEATURE_ON
+    n += 1;
+#else
+    n += 100;
+#endif
+#ifndef MISSING
+    n += 2;
+#endif
+#ifdef MISSING
+    n += 1000;
+#endif
+    return n;
+}`, 23)
+}
+
+func TestAsmPassthrough(t *testing.T) {
+	expectExit(t, `
+int main() {
+    int r;
+    asm("li a0, 123");
+    asm("mv s1, a0");
+    r = 0;
+    asm("mv a0, s1");
+    return 0 + 0; // note: asm above is clobbered by this; test only that asm parses
+}`, 0)
+	// A more meaningful use: a wrapper function whose whole body is asm
+	// (hand-written epilogue matching the compiler's frame layout).
+	expectExit(t, `
+int get_seven(void) {
+    asm("li a0, 7");
+    asm("addi sp, s0, -16");
+    asm("lw ra, 12(sp)");
+    asm("lw s0, 8(sp)");
+    asm("addi sp, sp, 16");
+    asm("ret");
+    return 0; // unreachable
+}
+int main() { return get_seven(); }`, 7)
+}
+
+func TestCommaAndNestedCalls(t *testing.T) {
+	expectExit(t, `
+int sq(int x) { return x * x; }
+int main() {
+    int a = (1, 2, 3);
+    return sq(sq(2)) + a;
+}`, 19)
+}
+
+func TestStringData(t *testing.T) {
+	expectExit(t, `
+char *msg = "hello";
+int mystrlen(char *s) { int n = 0; while (s[n]) n++; return n; }
+int main() { return mystrlen(msg) + mystrlen("hi!"); }`, 8)
+}
+
+func TestLargeLocalArray(t *testing.T) {
+	// Exercises frames beyond the 12-bit immediate range.
+	expectExit(t, `
+int main() {
+    unsigned char buf[3000];
+    int i;
+    for (i = 0; i < 3000; i++) buf[i] = (unsigned char)(i & 0xff);
+    int sum = 0;
+    for (i = 2990; i < 3000; i++) sum += buf[i];
+    return sum & 0xff;
+}`, func() uint32 {
+		sum := 0
+		for i := 2990; i < 3000; i++ {
+			sum += i & 0xff
+		}
+		return uint32(sum & 0xff)
+	}())
+}
+
+func TestVoidFunctions(t *testing.T) {
+	expectExit(t, `
+int g;
+void init(void) { g = 5; }
+void noop() { return; }
+int main() { init(); noop(); return g; }`, 5)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return x; }`,      // undeclared
+		`int main() { int a; a(); }`,    // call non-function (call of int)
+		`int main() { 5 = 3; }`,         // assign to rvalue
+		`int main() { struct nope n; }`, // incomplete struct
+		`int f(int a, int b, int c, int d, int e, int f2, int g, int h, int i) { return 0; }`, // >8 params
+		`#define M(x) x`,                     // function-like macro
+		`int main() { return 1`,              // unterminated
+		`int main() { int a; return *a; }`,   // deref non-pointer
+		`int arr[]; int main(){ return 0; }`, // unsized array
+		`int main() { break; }`,              // break outside loop
+	}
+	for i, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("case %d: expected compile error for %q", i, src)
+		}
+	}
+}
+
+func TestGlobalFuncPtrTable(t *testing.T) {
+	expectExit(t, `
+int one() { return 1; }
+int two() { return 2; }
+struct entry { int (*fn)(void); int weight; };
+struct entry tab[2] = { one, 10, two, 20 };
+int main() {
+    // flat initializer list fills fields in order
+    return tab[0].fn() * tab[1].weight + tab[1].fn();
+}`, 22)
+}

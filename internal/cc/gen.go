@@ -1,0 +1,503 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compile parses src and generates RV32IM assembly accepted by
+// internal/asm.
+func Compile(src string) (string, error) { return CompileUnit(src, "") }
+
+// CompileUnit compiles one translation unit with a label prefix, so
+// several units can be concatenated into one assembly file without
+// internal-label collisions.
+func CompileUnit(src, prefix string) (string, error) {
+	unit, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{unit: unit, prefix: prefix}
+	return g.run()
+}
+
+type gen struct {
+	unit   *Unit
+	out    strings.Builder
+	label  int
+	prefix string
+
+	fn        *Func
+	frameSize int
+	breaks    []string
+	continues []string
+	retLabel  string
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.out, format+"\n", args...)
+}
+
+func (g *gen) newLabel(hint string) string {
+	g.label++
+	return fmt.Sprintf(".L%s%s%d", g.prefix, hint, g.label)
+}
+
+func (g *gen) run() (string, error) {
+	g.emit(".text")
+	for _, fn := range g.unit.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	g.emit(".data")
+	for _, gv := range g.unit.Globals {
+		if err := g.genGlobal(gv); err != nil {
+			return "", err
+		}
+	}
+	for i, s := range g.unit.strs {
+		g.emit(".Lstr%s_%d:", g.prefix, i)
+		g.emit("\t.asciz %q", s)
+	}
+	return g.out.String(), nil
+}
+
+// --- globals ---
+
+// staticInit resolves an initializer to either a numeric constant or a
+// label+offset pair.
+func (g *gen) staticInit(e *Node) (val int64, label string, err error) {
+	switch e.Kind {
+	case NNum:
+		return e.N, "", nil
+	case NStr:
+		return 0, fmt.Sprintf(".Lstr%s_%d", g.prefix, e.N), nil
+	case NVar:
+		if e.Sym.Kind == SymFunc || e.Sym.Kind == SymGlobal {
+			return 0, e.Sym.Global, nil
+		}
+		return 0, "", &Error{e.Line, "non-static initializer"}
+	case NUn:
+		if e.S == "&" {
+			return g.staticInit(e.L)
+		}
+		if e.S == "-" {
+			v, l, err := g.staticInit(e.L)
+			if err != nil || l != "" {
+				return 0, "", &Error{e.Line, "non-constant initializer"}
+			}
+			return -v, "", nil
+		}
+	case NCast:
+		return g.staticInit(e.L)
+	case NBin:
+		_, ll, err := g.staticInit(e.L)
+		if err != nil {
+			return 0, "", err
+		}
+		rv, rl, err := g.staticInit(e.R)
+		if err != nil {
+			return 0, "", err
+		}
+		if ll == "" && rl == "" {
+			p := &parser{}
+			return mustConst(p, e), "", nil
+		}
+		if ll != "" && rl == "" && e.S == "+" {
+			return 0, fmt.Sprintf("%s+%d", ll, rv), nil
+		}
+	}
+	return 0, "", &Error{e.Line, "unsupported static initializer"}
+}
+
+func mustConst(p *parser, e *Node) int64 {
+	v, err := p.evalConst(e)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func (g *gen) genGlobal(gv *GlobalVar) error {
+	ty := gv.Sym.Ty
+	size := ty.sizeOf()
+	// Uninitialized globals go to .bss (zero-filled at load, absent from
+	// the image).
+	if gv.Init == nil && gv.Vals == nil && !gv.HasStr {
+		g.emit(".bss")
+		g.emit(".align 2")
+		g.emit(".globl %s", gv.Sym.Global)
+		g.emit("%s:", gv.Sym.Global)
+		g.emit("\t.space %d", size)
+		g.emit(".data")
+		return nil
+	}
+	g.emit(".align 2")
+	g.emit(".globl %s", gv.Sym.Global)
+	g.emit("%s:", gv.Sym.Global)
+	switch {
+	case gv.HasStr:
+		g.emit("\t.asciz %q", gv.Str)
+		if pad := size - (len(gv.Str) + 1); pad > 0 {
+			g.emit("\t.space %d", pad)
+		}
+	case gv.Vals != nil:
+		elem := ty
+		if ty.Kind == TyArray {
+			elem = ty.Elem
+		}
+		esz := elem.sizeOf()
+		for _, v := range gv.Vals {
+			val, label, err := g.staticInit(v)
+			if err != nil {
+				return err
+			}
+			switch {
+			case label != "":
+				g.emit("\t.word %s", label)
+			case esz == 1:
+				g.emit("\t.byte %d", uint8(val))
+			case esz == 2:
+				g.emit("\t.half %d", uint16(val))
+			default:
+				g.emit("\t.word %d", uint32(val))
+			}
+		}
+		if rest := size - len(gv.Vals)*esz; rest > 0 {
+			g.emit("\t.space %d", rest)
+		}
+	case gv.Init != nil:
+		val, label, err := g.staticInit(gv.Init)
+		if err != nil {
+			return err
+		}
+		if label != "" {
+			g.emit("\t.word %s", label)
+		} else {
+			switch size {
+			case 1:
+				g.emit("\t.byte %d", uint8(val))
+			case 2:
+				g.emit("\t.half %d", uint16(val))
+			default:
+				g.emit("\t.word %d", uint32(val))
+			}
+		}
+	default:
+		g.emit("\t.space %d", size)
+	}
+	return nil
+}
+
+// --- functions ---
+
+func (g *gen) genFunc(fn *Func) error {
+	g.fn = fn
+	g.retLabel = g.newLabel("ret_" + fn.Name + "_")
+
+	// Frame layout: s0 holds the caller's sp. ra at -4(s0), old s0 at
+	// -8(s0), locals below.
+	offset := 8
+	for _, l := range fn.Locals {
+		sz := l.Ty.sizeOf()
+		al := l.Ty.alignOf()
+		offset = (offset+sz+al-1)/al*al + 0
+		l.Offset = offset
+	}
+	g.frameSize = (offset + 15) / 16 * 16
+
+	g.emit(".globl %s", fn.Name)
+	g.emit("%s:", fn.Name)
+	// Never store below sp: an interrupt may push a trap frame at sp at
+	// any instruction boundary (RISC-V has no red zone).
+	g.emit("\taddi sp, sp, -16")
+	g.emit("\tsw ra, 12(sp)")
+	g.emit("\tsw s0, 8(sp)")
+	g.emit("\taddi s0, sp, 16")
+	g.genFrameAdjust(-(g.frameSize - 16))
+
+	// Spill register parameters to their frame slots.
+	for i, ps := range fn.Params {
+		g.genStoreToFrame(fmt.Sprintf("a%d", i), ps.Offset, ps.Ty)
+	}
+
+	if err := g.genStmt(fn.Body); err != nil {
+		return err
+	}
+	// Implicit return (value undefined for non-void, as in C).
+	g.emit("%s:", g.retLabel)
+	g.emit("\taddi sp, s0, -16")
+	g.emit("\tlw ra, 12(sp)")
+	g.emit("\tlw s0, 8(sp)")
+	g.emit("\taddi sp, sp, 16")
+	g.emit("\tret")
+	return nil
+}
+
+// genFrameAdjust moves sp by delta, handling large frames.
+func (g *gen) genFrameAdjust(delta int) {
+	if delta >= -2048 && delta <= 2047 {
+		g.emit("\taddi sp, sp, %d", delta)
+		return
+	}
+	g.emit("\tli t0, %d", delta)
+	g.emit("\tadd sp, sp, t0")
+}
+
+// genStoreToFrame stores reg into the frame slot at -off(s0) with the
+// width of ty.
+func (g *gen) genStoreToFrame(reg string, off int, ty *Type) {
+	op := storeOp(ty)
+	if -off >= -2048 {
+		g.emit("\t%s %s, %d(s0)", op, reg, -off)
+		return
+	}
+	g.emit("\tli t0, %d", -off)
+	g.emit("\tadd t0, s0, t0")
+	g.emit("\t%s %s, 0(t0)", op, reg)
+}
+
+func storeOp(ty *Type) string {
+	switch ty.sizeOf() {
+	case 1:
+		return "sb"
+	case 2:
+		return "sh"
+	}
+	return "sw"
+}
+
+func loadOp(ty *Type) string {
+	t := decay(ty)
+	switch t.sizeOf() {
+	case 1:
+		if t.Signed {
+			return "lb"
+		}
+		return "lbu"
+	case 2:
+		if t.Signed {
+			return "lh"
+		}
+		return "lhu"
+	}
+	return "lw"
+}
+
+func (g *gen) push(reg string) {
+	g.emit("\taddi sp, sp, -4")
+	g.emit("\tsw %s, 0(sp)", reg)
+}
+
+func (g *gen) pop(reg string) {
+	g.emit("\tlw %s, 0(sp)", reg)
+	g.emit("\taddi sp, sp, 4")
+}
+
+// --- statements ---
+
+func (g *gen) genStmt(s *Node) error {
+	switch s.Kind {
+	case NBlock:
+		for _, st := range s.List {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+	case NEmpty:
+	case NExprStmt:
+		return g.genExpr(s.L)
+	case NDeclStmt:
+		if s.List != nil {
+			// Local array initializer: store each element, zero the rest.
+			elem := s.Sym.Ty.Elem
+			esz := elem.sizeOf()
+			for i := 0; i < s.Sym.Ty.Len; i++ {
+				if i < len(s.List) {
+					if err := g.genExpr(s.List[i]); err != nil {
+						return err
+					}
+				} else {
+					g.emit("\tli a0, 0")
+				}
+				g.genStoreToFrame("a0", s.Sym.Offset-i*esz, elem)
+			}
+			return nil
+		}
+		if s.L != nil {
+			if s.Sym.Ty.Kind == TyStruct {
+				return &Error{s.Line, "struct initializers are not supported; assign instead"}
+			}
+			if err := g.genExpr(s.L); err != nil {
+				return err
+			}
+			g.genStoreToFrame("a0", s.Sym.Offset, s.Sym.Ty)
+		}
+	case NIf:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz a0, %s", elseL)
+		if err := g.genStmt(s.Then); err != nil {
+			return err
+		}
+		g.emit("\tj %s", endL)
+		g.emit("%s:", elseL)
+		if s.Else != nil {
+			if err := g.genStmt(s.Else); err != nil {
+				return err
+			}
+		}
+		g.emit("%s:", endL)
+	case NWhile:
+		top := g.newLabel("while")
+		end := g.newLabel("wend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, top)
+		g.emit("%s:", top)
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz a0, %s", end)
+		if err := g.genStmt(s.Then); err != nil {
+			return err
+		}
+		g.emit("\tj %s", top)
+		g.emit("%s:", end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+	case NDoWhile:
+		top := g.newLabel("do")
+		cond := g.newLabel("docond")
+		end := g.newLabel("doend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, cond)
+		g.emit("%s:", top)
+		if err := g.genStmt(s.Then); err != nil {
+			return err
+		}
+		g.emit("%s:", cond)
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbnez a0, %s", top)
+		g.emit("%s:", end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+	case NFor:
+		top := g.newLabel("for")
+		post := g.newLabel("fpost")
+		end := g.newLabel("fend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, post)
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		g.emit("%s:", top)
+		if s.Cond != nil {
+			if err := g.genExpr(s.Cond); err != nil {
+				return err
+			}
+			g.emit("\tbeqz a0, %s", end)
+		}
+		if err := g.genStmt(s.Then); err != nil {
+			return err
+		}
+		g.emit("%s:", post)
+		if s.Post != nil {
+			if err := g.genExpr(s.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("\tj %s", top)
+		g.emit("%s:", end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+	case NSwitch:
+		return g.genSwitch(s)
+	case NCase, NDefault:
+		return &Error{s.Line, "case label outside switch"}
+	case NBreak:
+		if len(g.breaks) == 0 {
+			return &Error{s.Line, "break outside loop/switch"}
+		}
+		g.emit("\tj %s", g.breaks[len(g.breaks)-1])
+	case NContinue:
+		if len(g.continues) == 0 {
+			return &Error{s.Line, "continue outside loop"}
+		}
+		g.emit("\tj %s", g.continues[len(g.continues)-1])
+	case NReturn:
+		if s.L != nil {
+			if err := g.genExpr(s.L); err != nil {
+				return err
+			}
+		}
+		g.emit("\tj %s", g.retLabel)
+	case NAsm:
+		for _, line := range strings.Split(s.S, "\n") {
+			g.emit("\t%s", line)
+		}
+	default:
+		return &Error{s.Line, fmt.Sprintf("cannot generate statement kind %d", s.Kind)}
+	}
+	return nil
+}
+
+// genSwitch lowers a switch into a compare chain.
+func (g *gen) genSwitch(s *Node) error {
+	end := g.newLabel("swend")
+	g.breaks = append(g.breaks, end)
+	defer func() { g.breaks = g.breaks[:len(g.breaks)-1] }()
+
+	if err := g.genExpr(s.Cond); err != nil {
+		return err
+	}
+	// Collect case labels.
+	type caseInfo struct {
+		idx   int
+		label string
+		val   int64
+		def   bool
+	}
+	var cases []caseInfo
+	for i, st := range s.Then.List {
+		switch st.Kind {
+		case NCase:
+			cases = append(cases, caseInfo{idx: i, label: g.newLabel("case"), val: st.N})
+		case NDefault:
+			cases = append(cases, caseInfo{idx: i, label: g.newLabel("default"), def: true})
+		}
+	}
+	defaultL := end
+	for _, ci := range cases {
+		if ci.def {
+			defaultL = ci.label
+			continue
+		}
+		g.emit("\tli t0, %d", ci.val)
+		g.emit("\tbeq a0, t0, %s", ci.label)
+	}
+	g.emit("\tj %s", defaultL)
+	ci := 0
+	for i, st := range s.Then.List {
+		if ci < len(cases) && cases[ci].idx == i {
+			g.emit("%s:", cases[ci].label)
+			ci++
+			continue
+		}
+		if st.Kind == NCase || st.Kind == NDefault {
+			continue
+		}
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	g.emit("%s:", end)
+	return nil
+}

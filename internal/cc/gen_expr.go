@@ -1,0 +1,538 @@
+package cc
+
+import "fmt"
+
+// genExpr evaluates e into a0.
+func (g *gen) genExpr(e *Node) error {
+	switch e.Kind {
+	case NNum:
+		g.emit("\tli a0, %d", uint32(e.N))
+	case NStr:
+		g.emit("\tla a0, .Lstr%s_%d", g.prefix, e.N)
+	case NVar:
+		return g.genVarLoad(e)
+	case NBin:
+		return g.genBinary(e)
+	case NUn:
+		return g.genUnary(e)
+	case NAssign:
+		return g.genAssign(e)
+	case NCond:
+		elseL := g.newLabel("celse")
+		endL := g.newLabel("cend")
+		if err := g.genExpr(e.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz a0, %s", elseL)
+		if err := g.genExpr(e.Then); err != nil {
+			return err
+		}
+		g.emit("\tj %s", endL)
+		g.emit("%s:", elseL)
+		if err := g.genExpr(e.Else); err != nil {
+			return err
+		}
+		g.emit("%s:", endL)
+	case NCall:
+		return g.genCall(e)
+	case NIndex, NField:
+		if err := g.genAddr(e); err != nil {
+			return err
+		}
+		g.genLoadFromA0(e.Ty)
+	case NCast:
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.genCastA0(decay(exprType(e.L)), e.Ty)
+	case NPreIncDec, NPostIncDec:
+		return g.genIncDec(e)
+	default:
+		return &Error{e.Line, fmt.Sprintf("cannot generate expression kind %d", e.Kind)}
+	}
+	return nil
+}
+
+// genVarLoad loads a variable value (or address for arrays/functions).
+func (g *gen) genVarLoad(e *Node) error {
+	sym := e.Sym
+	switch sym.Kind {
+	case SymFunc:
+		g.emit("\tla a0, %s", sym.Global)
+	case SymGlobal:
+		g.emit("\tla a0, %s", sym.Global)
+		if sym.Ty.Kind != TyArray && sym.Ty.Kind != TyStruct {
+			g.emit("\t%s a0, 0(a0)", loadOp(sym.Ty))
+		}
+	default: // local / param
+		if sym.Ty.Kind == TyArray || sym.Ty.Kind == TyStruct {
+			g.genFrameAddr(sym.Offset)
+			return nil
+		}
+		g.genFrameLoad(sym.Offset, sym.Ty)
+	}
+	return nil
+}
+
+// genFrameAddr computes s0 - off into a0.
+func (g *gen) genFrameAddr(off int) {
+	if -off >= -2048 {
+		g.emit("\taddi a0, s0, %d", -off)
+		return
+	}
+	g.emit("\tli a0, %d", -off)
+	g.emit("\tadd a0, s0, a0")
+}
+
+func (g *gen) genFrameLoad(off int, ty *Type) {
+	op := loadOp(ty)
+	if -off >= -2048 {
+		g.emit("\t%s a0, %d(s0)", op, -off)
+		return
+	}
+	g.emit("\tli a0, %d", -off)
+	g.emit("\tadd a0, s0, a0")
+	g.emit("\t%s a0, 0(a0)", op)
+}
+
+// genLoadFromA0 loads *(a0) with the width of ty, keeping addresses for
+// aggregates.
+func (g *gen) genLoadFromA0(ty *Type) {
+	if ty.Kind == TyArray || ty.Kind == TyStruct || ty.Kind == TyFunc {
+		// Aggregates evaluate to their address; dereferencing a function
+		// pointer yields the same function designator.
+		return
+	}
+	g.emit("\t%s a0, 0(a0)", loadOp(ty))
+}
+
+// genAddr evaluates the address of an lvalue into a0.
+func (g *gen) genAddr(e *Node) error {
+	switch e.Kind {
+	case NVar:
+		sym := e.Sym
+		switch sym.Kind {
+		case SymGlobal, SymFunc:
+			g.emit("\tla a0, %s", sym.Global)
+		default:
+			g.genFrameAddr(sym.Offset)
+		}
+	case NUn:
+		if e.S != "*" {
+			return &Error{e.Line, "not an lvalue"}
+		}
+		return g.genExpr(e.L)
+	case NIndex:
+		if err := g.genExpr(e.L); err != nil { // base (decays to pointer)
+			return err
+		}
+		g.push("a0")
+		if err := g.genExpr(e.R); err != nil {
+			return err
+		}
+		g.genScaleA0(e.Ty.sizeOf())
+		g.pop("a1")
+		g.emit("\tadd a0, a1, a0")
+	case NField:
+		lt := exprType(e.L)
+		f := findField(lt, e.S)
+		if f == nil {
+			return &Error{e.Line, "unknown field " + e.S}
+		}
+		if err := g.genAddr(e.L); err != nil {
+			return err
+		}
+		if f.Offset != 0 {
+			g.genAddImm("a0", f.Offset)
+		}
+	default:
+		return &Error{e.Line, "expression is not addressable"}
+	}
+	return nil
+}
+
+// genScaleA0 multiplies a0 by size.
+func (g *gen) genScaleA0(size int) {
+	switch size {
+	case 1:
+	case 2:
+		g.emit("\tslli a0, a0, 1")
+	case 4:
+		g.emit("\tslli a0, a0, 2")
+	case 8:
+		g.emit("\tslli a0, a0, 3")
+	default:
+		g.emit("\tli t0, %d", size)
+		g.emit("\tmul a0, a0, t0")
+	}
+}
+
+func (g *gen) genAddImm(reg string, v int) {
+	if v >= -2048 && v <= 2047 {
+		g.emit("\taddi %s, %s, %d", reg, reg, v)
+		return
+	}
+	g.emit("\tli t0, %d", v)
+	g.emit("\tadd %s, %s, t0", reg, reg)
+}
+
+// genCastA0 converts a0 from one scalar type to another.
+func (g *gen) genCastA0(from, to *Type) {
+	if to.Kind == TyVoid {
+		return
+	}
+	t := decay(to)
+	if !t.isInt() || t.Size == 4 {
+		return // pointer/function/32-bit: bit pattern unchanged
+	}
+	switch {
+	case t.Size == 1 && !t.Signed:
+		g.emit("\tandi a0, a0, 0xff")
+	case t.Size == 1 && t.Signed:
+		g.emit("\tslli a0, a0, 24")
+		g.emit("\tsrai a0, a0, 24")
+	case t.Size == 2 && !t.Signed:
+		g.emit("\tslli a0, a0, 16")
+		g.emit("\tsrli a0, a0, 16")
+	case t.Size == 2 && t.Signed:
+		g.emit("\tslli a0, a0, 16")
+		g.emit("\tsrai a0, a0, 16")
+	}
+	_ = from
+}
+
+// genBinary handles arithmetic, comparisons and logic. Operand order:
+// lhs ends in a1, rhs in a0.
+func (g *gen) genBinary(e *Node) error {
+	switch e.S {
+	case "&&":
+		out := g.newLabel("andF")
+		end := g.newLabel("andE")
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.emit("\tbeqz a0, %s", out)
+		if err := g.genExpr(e.R); err != nil {
+			return err
+		}
+		g.emit("\tsnez a0, a0")
+		g.emit("\tj %s", end)
+		g.emit("%s:", out)
+		g.emit("\tli a0, 0")
+		g.emit("%s:", end)
+		return nil
+	case "||":
+		out := g.newLabel("orT")
+		end := g.newLabel("orE")
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.emit("\tbnez a0, %s", out)
+		if err := g.genExpr(e.R); err != nil {
+			return err
+		}
+		g.emit("\tsnez a0, a0")
+		g.emit("\tj %s", end)
+		g.emit("%s:", out)
+		g.emit("\tli a0, 1")
+		g.emit("%s:", end)
+		return nil
+	case ",":
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		return g.genExpr(e.R)
+	}
+
+	lt, rt := decay(exprType(e.L)), decay(exprType(e.R))
+	if err := g.genExpr(e.L); err != nil {
+		return err
+	}
+	// Scale integer operand for pointer arithmetic lhs.
+	g.push("a0")
+	if err := g.genExpr(e.R); err != nil {
+		return err
+	}
+	if (e.S == "+" || e.S == "-") && lt.isPtr() && rt.isInt() {
+		g.genScaleA0(lt.Elem.sizeOf())
+	}
+	g.pop("a1")
+	if e.S == "+" && lt.isInt() && rt.isPtr() {
+		// scale the lhs (in a1)
+		sz := rt.Elem.sizeOf()
+		switch sz {
+		case 1:
+		case 2:
+			g.emit("\tslli a1, a1, 1")
+		case 4:
+			g.emit("\tslli a1, a1, 2")
+		default:
+			g.emit("\tli t0, %d", sz)
+			g.emit("\tmul a1, a1, t0")
+		}
+	}
+
+	unsigned := !usualArith(lt, rt).Signed
+	switch e.S {
+	case "+":
+		g.emit("\tadd a0, a1, a0")
+	case "-":
+		g.emit("\tsub a0, a1, a0")
+		if lt.isPtr() && rt.isPtr() {
+			// pointer difference: divide by element size
+			sz := lt.Elem.sizeOf()
+			switch sz {
+			case 1:
+			case 2:
+				g.emit("\tsrai a0, a0, 1")
+			case 4:
+				g.emit("\tsrai a0, a0, 2")
+			default:
+				g.emit("\tli t0, %d", sz)
+				g.emit("\tdiv a0, a0, t0")
+			}
+		}
+	case "*":
+		g.emit("\tmul a0, a1, a0")
+	case "/":
+		if unsigned {
+			g.emit("\tdivu a0, a1, a0")
+		} else {
+			g.emit("\tdiv a0, a1, a0")
+		}
+	case "%":
+		if unsigned {
+			g.emit("\tremu a0, a1, a0")
+		} else {
+			g.emit("\trem a0, a1, a0")
+		}
+	case "&":
+		g.emit("\tand a0, a1, a0")
+	case "|":
+		g.emit("\tor a0, a1, a0")
+	case "^":
+		g.emit("\txor a0, a1, a0")
+	case "<<":
+		g.emit("\tsll a0, a1, a0")
+	case ">>":
+		if lt.isInt() && lt.Signed && lt.Size == 4 {
+			g.emit("\tsra a0, a1, a0")
+		} else {
+			g.emit("\tsrl a0, a1, a0")
+		}
+	case "==":
+		g.emit("\tsub a0, a1, a0")
+		g.emit("\tseqz a0, a0")
+	case "!=":
+		g.emit("\tsub a0, a1, a0")
+		g.emit("\tsnez a0, a0")
+	case "<":
+		g.emit("\t%s a0, a1, a0", sltOp(unsigned || lt.isPtr() || rt.isPtr()))
+	case ">":
+		g.emit("\t%s a0, a0, a1", sltOp(unsigned || lt.isPtr() || rt.isPtr()))
+	case "<=":
+		g.emit("\t%s a0, a0, a1", sltOp(unsigned || lt.isPtr() || rt.isPtr()))
+		g.emit("\txori a0, a0, 1")
+	case ">=":
+		g.emit("\t%s a0, a1, a0", sltOp(unsigned || lt.isPtr() || rt.isPtr()))
+		g.emit("\txori a0, a0, 1")
+	default:
+		return &Error{e.Line, "unknown binary operator " + e.S}
+	}
+	return nil
+}
+
+func sltOp(unsigned bool) string {
+	if unsigned {
+		return "sltu"
+	}
+	return "slt"
+}
+
+func (g *gen) genUnary(e *Node) error {
+	switch e.S {
+	case "-":
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.emit("\tneg a0, a0")
+	case "!":
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.emit("\tseqz a0, a0")
+	case "~":
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.emit("\tnot a0, a0")
+	case "*":
+		if err := g.genExpr(e.L); err != nil {
+			return err
+		}
+		g.genLoadFromA0(e.Ty)
+	case "&":
+		return g.genAddr(e.L)
+	default:
+		return &Error{e.Line, "unknown unary operator " + e.S}
+	}
+	return nil
+}
+
+// genAssign handles = and compound assignments, including struct copy.
+func (g *gen) genAssign(e *Node) error {
+	lt := exprType(e.L)
+	if e.S == "=" && lt.Kind == TyStruct {
+		// Struct assignment: word-wise copy.
+		if err := g.genAddr(e.L); err != nil {
+			return err
+		}
+		g.push("a0")
+		if err := g.genExpr(e.R); err != nil { // struct rvalue = address
+			return err
+		}
+		g.pop("a1") // a1 = dst, a0 = src
+		size := lt.sizeOf()
+		loop := g.newLabel("scopy")
+		g.emit("\tli t0, %d", size)
+		g.emit("%s:", loop)
+		g.emit("\tlbu t1, 0(a0)")
+		g.emit("\tsb t1, 0(a1)")
+		g.emit("\taddi a0, a0, 1")
+		g.emit("\taddi a1, a1, 1")
+		g.emit("\taddi t0, t0, -1")
+		g.emit("\tbnez t0, %s", loop)
+		return nil
+	}
+
+	if e.S == "=" {
+		if err := g.genExpr(e.R); err != nil {
+			return err
+		}
+		g.push("a0")
+		if err := g.genAddr(e.L); err != nil {
+			return err
+		}
+		g.pop("a1")
+		g.emit("\t%s a1, 0(a0)", storeOp(lt))
+		g.emit("\tmv a0, a1")
+		return nil
+	}
+
+	// Compound assignment: addr in a1 (kept), rhs in a0.
+	if err := g.genAddr(e.L); err != nil {
+		return err
+	}
+	g.push("a0")
+	if err := g.genExpr(e.R); err != nil {
+		return err
+	}
+	rt := decay(exprType(e.R))
+	if (e.S == "+=" || e.S == "-=") && decay(lt).isPtr() {
+		g.genScaleA0(decay(lt).Elem.sizeOf())
+	}
+	g.pop("a1")
+	g.emit("\t%s t1, 0(a1)", loadOp(lt))
+	unsigned := !usualArith(decay(lt), rt).Signed
+	switch e.S {
+	case "+=":
+		g.emit("\tadd a0, t1, a0")
+	case "-=":
+		g.emit("\tsub a0, t1, a0")
+	case "*=":
+		g.emit("\tmul a0, t1, a0")
+	case "/=":
+		if unsigned {
+			g.emit("\tdivu a0, t1, a0")
+		} else {
+			g.emit("\tdiv a0, t1, a0")
+		}
+	case "%=":
+		if unsigned {
+			g.emit("\tremu a0, t1, a0")
+		} else {
+			g.emit("\trem a0, t1, a0")
+		}
+	case "&=":
+		g.emit("\tand a0, t1, a0")
+	case "|=":
+		g.emit("\tor a0, t1, a0")
+	case "^=":
+		g.emit("\txor a0, t1, a0")
+	case "<<=":
+		g.emit("\tsll a0, t1, a0")
+	case ">>=":
+		if decay(lt).isInt() && decay(lt).Signed {
+			g.emit("\tsra a0, t1, a0")
+		} else {
+			g.emit("\tsrl a0, t1, a0")
+		}
+	default:
+		return &Error{e.Line, "unknown compound assignment " + e.S}
+	}
+	g.emit("\t%s a0, 0(a1)", storeOp(lt))
+	return nil
+}
+
+// genIncDec handles ++/-- (pre and post).
+func (g *gen) genIncDec(e *Node) error {
+	ty := decay(exprType(e.L))
+	step := 1
+	if ty.isPtr() {
+		step = ty.Elem.sizeOf()
+	}
+	if e.S == "--" {
+		step = -step
+	}
+	if err := g.genAddr(e.L); err != nil {
+		return err
+	}
+	g.emit("\tmv a1, a0")
+	g.emit("\t%s a0, 0(a1)", loadOp(exprType(e.L)))
+	if e.Kind == NPostIncDec {
+		g.emit("\tmv t1, a0") // old value
+		g.genAddImm("a0", step)
+		g.emit("\t%s a0, 0(a1)", storeOp(exprType(e.L)))
+		g.emit("\tmv a0, t1")
+	} else {
+		g.genAddImm("a0", step)
+		g.emit("\t%s a0, 0(a1)", storeOp(exprType(e.L)))
+	}
+	return nil
+}
+
+// genCall evaluates a function call.
+func (g *gen) genCall(e *Node) error {
+	// Evaluate args left-to-right onto the stack.
+	for _, a := range e.List {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.push("a0")
+	}
+	// Direct or indirect?
+	direct := ""
+	callee := e.L
+	// Unwrap (*fp)(...) and plain fp(...).
+	if callee.Kind == NUn && callee.S == "*" {
+		callee = callee.L
+	}
+	if callee.Kind == NVar && callee.Sym.Kind == SymFunc {
+		direct = callee.Sym.Global
+	} else {
+		if err := g.genExpr(callee); err != nil {
+			return err
+		}
+		g.emit("\tmv t2, a0")
+	}
+	// Pop args into a(n-1)..a0.
+	for i := len(e.List) - 1; i >= 0; i-- {
+		g.pop(fmt.Sprintf("a%d", i))
+	}
+	if direct != "" {
+		g.emit("\tcall %s", direct)
+	} else {
+		g.emit("\tjalr ra, 0(t2)")
+	}
+	return nil
+}

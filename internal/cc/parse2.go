@@ -1,0 +1,921 @@
+package cc
+
+import "fmt"
+
+// parseUnit parses the whole translation unit.
+func (p *parser) parseUnit() error {
+	for p.tok().kind != tEOF {
+		if p.accept(";") {
+			continue
+		}
+		if p.isIdent("typedef") {
+			p.pos++
+			base, err := p.parseBaseType()
+			if err != nil {
+				return err
+			}
+			name, ty, err := p.parseDeclarator(base)
+			if err != nil {
+				return err
+			}
+			if name == "" {
+				return p.errf("typedef needs a name")
+			}
+			p.typedefs[name] = ty
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		isExtern := p.lastExtern
+		// struct definition followed by ';' declares only the type.
+		if p.accept(";") {
+			continue
+		}
+		if err := p.parseTopDecl(base, isExtern); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTopDecl parses a function definition or one-or-more global
+// variable declarations from a base type.
+func (p *parser) parseTopDecl(base *Type, isExtern bool) error {
+	for {
+		line := p.tok().line
+		name, ty, err := p.parseDeclarator(base)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return p.errf("declaration needs a name")
+		}
+		if p.isPunct("(") {
+			// Function definition or prototype. (A function-pointer
+			// declarator consumes its parameter list itself, so "(" here
+			// can only start a function's parameters.)
+			return p.parseFunc(name, ty, line)
+		}
+		if err := p.parseGlobalVar(name, ty, line, isExtern); err != nil {
+			return err
+		}
+		if p.accept(",") {
+			continue
+		}
+		return p.expect(";")
+	}
+}
+
+// parseFunc parses "(params) { body }" or "(params);".
+func (p *parser) parseFunc(name string, ret *Type, line int) error {
+	p.pos++ // (
+	ft := &Type{Kind: TyFunc, Size: 4, Ret: ret}
+	var params []*Symbol
+	if !p.isPunct(")") {
+		for {
+			if p.isIdent("void") && p.toks[p.pos+1].s == ")" {
+				p.pos++
+				break
+			}
+			if p.isPunct("...") {
+				return p.errf("variadic functions are not supported")
+			}
+			pb, err := p.parseBaseType()
+			if err != nil {
+				return err
+			}
+			pname, pty, err := p.parseDeclarator(pb)
+			if err != nil {
+				return err
+			}
+			pty = decay(pty)
+			ft.Params = append(ft.Params, pty)
+			params = append(params, &Symbol{Name: pname, Kind: SymParam, Ty: pty})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if len(params) > 8 {
+		return p.errf("function %q has more than 8 parameters", name)
+	}
+
+	sym := p.globals[name]
+	if sym == nil {
+		sym = &Symbol{Name: name, Kind: SymFunc, Ty: ft, Global: name}
+		p.globals[name] = sym
+	}
+
+	if p.accept(";") {
+		return nil // prototype only
+	}
+	if !p.isPunct("{") {
+		return p.errf("expected function body")
+	}
+
+	fn := &Func{Name: name, Ty: ft, Params: params, Line: line}
+	p.curFn = fn
+	p.pushScope()
+	for _, ps := range params {
+		if ps.Name == "" {
+			return p.errf("parameter of %q lacks a name", name)
+		}
+		p.locals[len(p.locals)-1][ps.Name] = ps
+		fn.Locals = append(fn.Locals, ps)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	p.popScope()
+	fn.Body = body
+	p.curFn = nil
+	p.unit.Funcs = append(p.unit.Funcs, fn)
+	return nil
+}
+
+// parseGlobalVar parses an optional initializer and registers the
+// global. Extern declarations without initializers register the symbol
+// but emit no storage (the definition lives in another unit).
+func (p *parser) parseGlobalVar(name string, ty *Type, line int, isExtern bool) error {
+	if _, dup := p.globals[name]; dup {
+		// Allow re-declaration (extern then definition); last wins.
+	}
+	sym := &Symbol{Name: name, Kind: SymGlobal, Ty: ty, Global: name}
+	g := &GlobalVar{Sym: sym, Line: line}
+	if p.accept("=") {
+		if p.isPunct("{") {
+			p.pos++
+			for !p.isPunct("}") {
+				e, err := p.parseTernary()
+				if err != nil {
+					return err
+				}
+				g.Vals = append(g.Vals, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return err
+			}
+		} else if p.tok().kind == tStr && ty.Kind == TyArray {
+			g.Str = p.next().s
+			g.HasStr = true
+		} else {
+			e, err := p.parseTernary()
+			if err != nil {
+				return err
+			}
+			g.Init = e
+		}
+	}
+	if ty.Kind == TyArray && ty.Len < 0 {
+		switch {
+		case g.HasStr:
+			ty.Len = len(g.Str) + 1
+		case g.Vals != nil:
+			ty.Len = len(g.Vals)
+		default:
+			return p.errf("array %q needs a size or initializer", name)
+		}
+	}
+	p.globals[name] = sym
+	if isExtern && g.Init == nil && g.Vals == nil && !g.HasStr {
+		return nil // declaration only
+	}
+	p.unit.Globals = append(p.unit.Globals, g)
+	return nil
+}
+
+// --- statements ---
+
+func (p *parser) parseBlock() (*Node, error) {
+	line := p.tok().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	blk := &Node{Kind: NBlock, Line: line}
+	for !p.isPunct("}") {
+		if p.tok().kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.pos++
+	p.popScope()
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (*Node, error) {
+	line := p.tok().line
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.accept(";"):
+		return &Node{Kind: NEmpty, Line: line}, nil
+	case p.isIdent("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{Kind: NIf, Line: line, Cond: cond, Then: then}
+		if p.isIdent("else") {
+			p.pos++
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			n.Else = els
+		}
+		return n, nil
+	case p.isIdent("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NWhile, Line: line, Cond: cond, Then: body}, nil
+	case p.isIdent("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isIdent("while") {
+			return nil, p.errf("expected while after do body")
+		}
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NDoWhile, Line: line, Cond: cond, Then: body}, nil
+	case p.isIdent("for"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		p.pushScope()
+		n := &Node{Kind: NFor, Line: line}
+		if !p.isPunct(";") {
+			if p.startsType() {
+				init, err := p.parseDeclStmt()
+				if err != nil {
+					return nil, err
+				}
+				n.Init = init
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				n.Init = &Node{Kind: NExprStmt, Line: line, L: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		if !p.isPunct(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			n.Cond = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			n.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		n.Then = body
+		p.popScope()
+		return n, nil
+	case p.isIdent("switch"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NSwitch, Line: line, Cond: cond, Then: body}, nil
+	case p.isIdent("case"):
+		p.pos++
+		v, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NCase, Line: line, N: v}, nil
+	case p.isIdent("default"):
+		p.pos++
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NDefault, Line: line}, nil
+	case p.isIdent("break"):
+		p.pos++
+		return &Node{Kind: NBreak, Line: line}, p.expect(";")
+	case p.isIdent("continue"):
+		p.pos++
+		return &Node{Kind: NContinue, Line: line}, p.expect(";")
+	case p.isIdent("return"):
+		p.pos++
+		n := &Node{Kind: NReturn, Line: line}
+		if !p.isPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			n.L = e
+		}
+		return n, p.expect(";")
+	case p.isIdent("asm") || p.isIdent("__asm__"):
+		p.pos++
+		p.accept("volatile")
+		p.accept("__volatile__")
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if p.tok().kind != tStr {
+			return nil, p.errf("asm needs a string literal")
+		}
+		text := p.next().s
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NAsm, Line: line, S: text}, p.expect(";")
+	case p.startsType():
+		return p.parseDeclStmt()
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NExprStmt, Line: line, L: e}, p.expect(";")
+	}
+}
+
+// parseDeclStmt parses a local declaration list ("int a = 1, *b;").
+func (p *parser) parseDeclStmt() (*Node, error) {
+	line := p.tok().line
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	blk := &Node{Kind: NBlock, Line: line}
+	for {
+		name, ty, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("declaration needs a name")
+		}
+		if ty.Kind == TyArray && ty.Len < 0 {
+			return nil, p.errf("local array %q needs an explicit size", name)
+		}
+		if ty.Kind == TyStruct && ty.Size < 0 {
+			return nil, p.errf("local %q has incomplete struct type", name)
+		}
+		sym, err := p.declareLocal(name, ty)
+		if err != nil {
+			return nil, err
+		}
+		d := &Node{Kind: NDeclStmt, Line: line, Sym: sym}
+		if p.accept("=") {
+			if p.isPunct("{") {
+				if ty.Kind != TyArray {
+					return nil, p.errf("brace initializer on non-array local")
+				}
+				p.pos++
+				for !p.isPunct("}") {
+					e, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					d.List = append(d.List, e)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				if len(d.List) > ty.Len {
+					return nil, p.errf("too many initializers for %q", name)
+				}
+			} else {
+				init, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				d.L = init
+			}
+		}
+		blk.List = append(blk.List, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return blk, p.expect(";")
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (*Node, error) {
+	e, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct(",") {
+		p.pos++
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		e = &Node{Kind: NBin, S: ",", Line: r.Line, L: e, R: r, Ty: r.Ty}
+	}
+	return e, nil
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) parseAssign() (*Node, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.kind == tPunct && assignOps[t.s] {
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(lhs) {
+			return nil, &Error{t.line, "assignment to non-lvalue"}
+		}
+		return &Node{Kind: NAssign, S: t.s, Line: t.line, L: lhs, R: rhs, Ty: lhs.Ty}, nil
+	}
+	return lhs, nil
+}
+
+func isLvalue(e *Node) bool {
+	switch e.Kind {
+	case NVar:
+		return e.Sym != nil && e.Sym.Kind != SymFunc
+	case NIndex, NField:
+		return true
+	case NUn:
+		return e.S == "*"
+	}
+	return false
+}
+
+func (p *parser) parseTernary() (*Node, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("?") {
+		return cond, nil
+	}
+	line := p.next().line
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: NCond, Line: line, Cond: cond, Then: then, Else: els, Ty: then.Ty}, nil
+}
+
+// binary operator precedence (C levels).
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (*Node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.s]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = p.typeBinary(t.s, lhs, rhs, t.line)
+	}
+}
+
+// typeBinary assigns the result type of a binary expression, handling
+// pointer arithmetic.
+func (p *parser) typeBinary(op string, l, r *Node, line int) *Node {
+	n := &Node{Kind: NBin, S: op, Line: line, L: l, R: r}
+	lt, rt := decay(exprType(l)), decay(exprType(r))
+	switch op {
+	case "+", "-":
+		switch {
+		case lt.isPtr() && rt.isInt():
+			n.Ty = lt
+		case lt.isInt() && rt.isPtr() && op == "+":
+			n.Ty = rt
+		case lt.isPtr() && rt.isPtr() && op == "-":
+			n.Ty = tyInt
+		default:
+			n.Ty = usualArith(lt, rt)
+		}
+	case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+		n.Ty = tyInt
+	case ",":
+		n.Ty = rt
+	default:
+		n.Ty = usualArith(lt, rt)
+	}
+	return n
+}
+
+// usualArith: both sides are 32-bit after promotion; the result is
+// unsigned if either side is an unsigned 32-bit type or a pointer.
+func usualArith(a, b *Type) *Type {
+	au := a.isPtr() || a.Kind == TyFunc || (a.isInt() && !a.Signed && a.Size == 4)
+	bu := b.isPtr() || b.Kind == TyFunc || (b.isInt() && !b.Signed && b.Size == 4)
+	if au || bu {
+		return tyUint
+	}
+	return tyInt
+}
+
+func exprType(e *Node) *Type {
+	if e.Ty != nil {
+		return e.Ty
+	}
+	return tyInt
+}
+
+func (p *parser) parseUnary() (*Node, error) {
+	t := p.tok()
+	switch {
+	case p.isPunct("-"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NUn, S: "-", Line: t.line, L: e, Ty: usualArith(decay(exprType(e)), tyInt)}, nil
+	case p.isPunct("+"):
+		p.pos++
+		return p.parseUnary()
+	case p.isPunct("!"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NUn, S: "!", Line: t.line, L: e, Ty: tyInt}, nil
+	case p.isPunct("~"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NUn, S: "~", Line: t.line, L: e, Ty: usualArith(decay(exprType(e)), tyInt)}, nil
+	case p.isPunct("*"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		et := decay(exprType(e))
+		if !et.isPtr() && et.Kind != TyFunc {
+			return nil, &Error{t.line, "dereference of non-pointer"}
+		}
+		var rty *Type
+		if et.Kind == TyFunc {
+			rty = et // *funcptr is the function itself
+		} else {
+			rty = et.Elem
+		}
+		return &Node{Kind: NUn, S: "*", Line: t.line, L: e, Ty: rty}, nil
+	case p.isPunct("&"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == NVar && e.Sym != nil && e.Sym.Kind == SymFunc {
+			return &Node{Kind: NUn, S: "&", Line: t.line, L: e, Ty: ptrTo(e.Sym.Ty)}, nil
+		}
+		if !isLvalue(e) {
+			return nil, &Error{t.line, "address of non-lvalue"}
+		}
+		return &Node{Kind: NUn, S: "&", Line: t.line, L: e, Ty: ptrTo(exprType(e))}, nil
+	case p.isPunct("++") || p.isPunct("--"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, &Error{t.line, t.s + " needs an lvalue"}
+		}
+		return &Node{Kind: NPreIncDec, S: t.s, Line: t.line, L: e, Ty: exprType(e)}, nil
+	case p.isIdent("sizeof"):
+		p.pos++
+		var ty *Type
+		if p.isPunct("(") && p.toks[p.pos+1].kind == tIdent &&
+			(typeWords[p.toks[p.pos+1].s] || p.typedefs[p.toks[p.pos+1].s] != nil) {
+			p.pos++
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			_, full, err := p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			ty = full
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			ty = exprType(e)
+		}
+		return &Node{Kind: NNum, N: int64(ty.sizeOf()), Line: t.line, Ty: tyUint}, nil
+	case p.isPunct("(") && p.toks[p.pos+1].kind == tIdent &&
+		(typeWords[p.toks[p.pos+1].s] || p.typedefs[p.toks[p.pos+1].s] != nil):
+		// Cast.
+		p.pos++
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		_, ty, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NCast, Line: t.line, L: e, Ty: ty}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Node, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		switch {
+		case p.isPunct("["):
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			bt := decay(exprType(e))
+			if !bt.isPtr() {
+				return nil, &Error{t.line, "indexing a non-pointer"}
+			}
+			e = &Node{Kind: NIndex, Line: t.line, L: e, R: idx, Ty: bt.Elem}
+		case p.isPunct("("):
+			p.pos++
+			call := &Node{Kind: NCall, Line: t.line, L: e}
+			if !p.isPunct(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.List = append(call.List, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if len(call.List) > 8 {
+				return nil, &Error{t.line, "more than 8 call arguments"}
+			}
+			ft := calleeType(e)
+			if ft == nil {
+				return nil, &Error{t.line, "call of non-function"}
+			}
+			call.Ty = ft.Ret
+			e = call
+		case p.isPunct("."):
+			p.pos++
+			if p.tok().kind != tIdent {
+				return nil, p.errf("expected field name")
+			}
+			fname := p.next().s
+			st := exprType(e)
+			f := findField(st, fname)
+			if f == nil {
+				return nil, &Error{t.line, fmt.Sprintf("no field %q in %s", fname, st)}
+			}
+			e = &Node{Kind: NField, S: fname, Line: t.line, L: e, Ty: f.Type}
+		case p.isPunct("->"):
+			p.pos++
+			if p.tok().kind != tIdent {
+				return nil, p.errf("expected field name")
+			}
+			fname := p.next().s
+			pt := decay(exprType(e))
+			if !pt.isPtr() {
+				return nil, &Error{t.line, "-> on non-pointer"}
+			}
+			f := findField(pt.Elem, fname)
+			if f == nil {
+				return nil, &Error{t.line, fmt.Sprintf("no field %q in %s", fname, pt.Elem)}
+			}
+			// Normalize p->f to (*p).f
+			deref := &Node{Kind: NUn, S: "*", Line: t.line, L: e, Ty: pt.Elem}
+			e = &Node{Kind: NField, S: fname, Line: t.line, L: deref, Ty: f.Type}
+		case p.isPunct("++") || p.isPunct("--"):
+			p.pos++
+			if !isLvalue(e) {
+				return nil, &Error{t.line, t.s + " needs an lvalue"}
+			}
+			e = &Node{Kind: NPostIncDec, S: t.s, Line: t.line, L: e, Ty: exprType(e)}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// calleeType returns the function type of a call target.
+func calleeType(e *Node) *Type {
+	t := exprType(e)
+	if t.Kind == TyFunc {
+		return t
+	}
+	if t.Kind == TyPtr && t.Elem.Kind == TyFunc {
+		return t.Elem
+	}
+	return nil
+}
+
+func findField(st *Type, name string) *Field {
+	if st == nil || st.Kind != TyStruct {
+		return nil
+	}
+	for i := range st.Fields {
+		if st.Fields[i].Name == name {
+			return &st.Fields[i]
+		}
+	}
+	return nil
+}
+
+func (p *parser) parsePrimary() (*Node, error) {
+	t := p.tok()
+	switch t.kind {
+	case tNum:
+		p.pos++
+		ty := tyInt
+		if t.n > 0x7fffffff {
+			ty = tyUint
+		}
+		return &Node{Kind: NNum, N: t.n, Line: t.line, Ty: ty}, nil
+	case tStr:
+		p.pos++
+		// Adjacent string literals concatenate.
+		s := t.s
+		for p.tok().kind == tStr {
+			s += p.next().s
+		}
+		idx := len(p.unit.strs)
+		p.unit.strs = append(p.unit.strs, s)
+		return &Node{Kind: NStr, S: s, N: int64(idx), Line: t.line, Ty: ptrTo(tyChar)}, nil
+	case tIdent:
+		if t.s == "NULL" {
+			p.pos++
+			return &Node{Kind: NNum, N: 0, Line: t.line, Ty: ptrTo(tyVoid)}, nil
+		}
+		sym := p.lookup(t.s)
+		if sym == nil {
+			return nil, &Error{t.line, fmt.Sprintf("undeclared identifier %q", t.s)}
+		}
+		p.pos++
+		return &Node{Kind: NVar, Line: t.line, Sym: sym, Ty: sym.Ty}, nil
+	case tPunct:
+		if t.s == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q", t)
+}

@@ -1,0 +1,205 @@
+package concolic
+
+import (
+	"fmt"
+
+	"rvcte/internal/smt"
+)
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// page holds pageSize bytes of concrete data plus, lazily, one 8-bit
+// symbolic expression per byte. A shared page must be copied before any
+// write (copy-on-write cloning, supporting the paper's "VP is cloned
+// before executing each new input").
+type page struct {
+	data   [pageSize]byte
+	sym    []*smt.Expr // nil until a symbolic byte is stored
+	shared bool
+}
+
+func (p *page) ensureSym() {
+	if p.sym == nil {
+		p.sym = make([]*smt.Expr, pageSize)
+	}
+}
+
+// Memory is a sparse concolic byte store covering the 32-bit address
+// space. The zero value is not usable; create with NewMemory.
+type Memory struct {
+	pages map[uint32]*page
+	ops   Ops
+}
+
+// NewMemory creates an empty memory whose symbolic bytes are built with b.
+func NewMemory(b *smt.Builder) *Memory {
+	return &Memory{pages: make(map[uint32]*page), ops: Ops{B: b}}
+}
+
+// Clone returns a copy-on-write snapshot. Both the original and the clone
+// remain usable; pages are duplicated only when either side writes.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint32]*page, len(m.pages)), ops: m.ops}
+	for k, p := range m.pages {
+		p.shared = true
+		c.pages[k] = p
+	}
+	return c
+}
+
+func (m *Memory) pageFor(addr uint32, write bool) *page {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = &page{}
+		m.pages[idx] = p
+		return p
+	}
+	if write && p.shared {
+		np := &page{data: p.data}
+		if p.sym != nil {
+			np.sym = append([]*smt.Expr(nil), p.sym...)
+		}
+		m.pages[idx] = np
+		return np
+	}
+	return p
+}
+
+// StoreByte writes a concolic byte. A nil symbolic part clears any prior
+// symbolic byte at the address.
+func (m *Memory) StoreByte(addr uint32, c byte, sym *smt.Expr) {
+	if sym != nil && sym.Width != 8 {
+		panic(fmt.Sprintf("concolic: StoreByte symbolic width %d", sym.Width))
+	}
+	p := m.pageFor(addr, true)
+	off := addr & pageMask
+	p.data[off] = c
+	if sym != nil {
+		p.ensureSym()
+		p.sym[off] = sym
+	} else if p.sym != nil {
+		p.sym[off] = nil
+	}
+}
+
+// LoadByteRaw reads one concolic byte.
+func (m *Memory) LoadByteRaw(addr uint32) (byte, *smt.Expr) {
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return 0, nil
+	}
+	off := addr & pageMask
+	if p.sym == nil {
+		return p.data[off], nil
+	}
+	return p.data[off], p.sym[off]
+}
+
+// Store writes an n-byte little-endian concolic value (n in {1,2,4}). The
+// symbolic part of v, when present, is split into byte expressions.
+func (m *Memory) Store(addr uint32, n int, v Value) {
+	for i := 0; i < n; i++ {
+		var symByte *smt.Expr
+		if v.Sym != nil {
+			symByte = m.ops.B.Extract(v.Sym, uint8(i*8+7), uint8(i*8))
+			if symByte.IsConst() {
+				symByte = nil
+			}
+		}
+		m.StoreByte(addr+uint32(i), byte(v.C>>(8*i)), symByte)
+	}
+}
+
+// Load reads an n-byte little-endian concolic value (n in {1,2,4}). When
+// every byte is concrete the result is concrete; otherwise the byte
+// expressions are concatenated (and the builder re-fuses contiguous
+// extracts, so a round trip returns the original expression).
+func (m *Memory) Load(addr uint32, n int) Value {
+	var c uint32
+	anySym := false
+	var bytes [4]*smt.Expr
+	var concs [4]byte
+	for i := 0; i < n; i++ {
+		cb, sb := m.LoadByteRaw(addr + uint32(i))
+		concs[i] = cb
+		bytes[i] = sb
+		c |= uint32(cb) << (8 * i)
+		if sb != nil {
+			anySym = true
+		}
+	}
+	if !anySym {
+		return Value{C: c}
+	}
+	b := m.ops.B
+	// Build MSB-first concat, materializing concrete bytes as constants.
+	var e *smt.Expr
+	for i := n - 1; i >= 0; i-- {
+		be := bytes[i]
+		if be == nil {
+			be = b.Const(8, uint64(concs[i]))
+		}
+		if e == nil {
+			e = be
+		} else {
+			e = b.Concat(e, be)
+		}
+	}
+	if n < 4 {
+		// Loads narrower than a word return the raw width; the ISS
+		// applies sign/zero extension via Ops.
+		return Value{C: c, Sym: b.ZExt(e, 32)}
+	}
+	if e.IsConst() {
+		return Value{C: uint32(e.Val)}
+	}
+	return Value{C: c, Sym: e}
+}
+
+// WriteBytes copies concrete bytes into memory (used by the loader).
+func (m *Memory) WriteBytes(addr uint32, data []byte) {
+	for i, by := range data {
+		m.StoreByte(addr+uint32(i), by, nil)
+	}
+}
+
+// ReadBytes copies n concrete bytes out of memory (symbolic parts are
+// ignored; used for diagnostics and for reading guest strings).
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i], _ = m.LoadByteRaw(addr + uint32(i))
+	}
+	return out
+}
+
+// ReadCString reads a NUL-terminated guest string (bounded at 4096 bytes).
+func (m *Memory) ReadCString(addr uint32) string {
+	var out []byte
+	for i := 0; i < 4096; i++ {
+		b, _ := m.LoadByteRaw(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// MakeSymbolic overwrites n bytes starting at addr with fresh symbolic
+// bytes named name[0..n). The concrete parts are set from conc (which
+// must have length n). Returns the created byte expressions.
+func (m *Memory) MakeSymbolic(addr uint32, conc []byte, name string) []*smt.Expr {
+	out := make([]*smt.Expr, len(conc))
+	for i := range conc {
+		v := m.ops.B.Var(8, fmt.Sprintf("%s[%d]", name, i))
+		out[i] = v
+		m.StoreByte(addr+uint32(i), conc[i], v)
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package cte implements the concolic exploration engine of the paper
+// (§3.1.1): it repeatedly clones the VP, executes an input, collects the
+// trace conditions emitted by the concolic ISS, solves each satisfiable
+// TC into a new input, and schedules inputs according to a search
+// strategy. Generational bounds (à la SAGE) prevent re-exploration of
+// already-covered path prefixes.
+package cte
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// Strategy selects which pending input to execute next.
+type Strategy int
+
+const (
+	// BFS explores inputs in generation order (the paper's default
+	// engine has no sophisticated heuristics; FIFO matches it closest).
+	BFS Strategy = iota
+	// DFS dives into the most recently generated input first.
+	DFS
+	// Random picks uniformly among pending inputs (seeded, reproducible).
+	Random
+	// Coverage prefers inputs whose parent path discovered new code
+	// (paper §5, future work item 3).
+	Coverage
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "dfs"
+	case Random:
+		return "random"
+	case Coverage:
+		return "coverage"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Input is one pending test case: a model for the symbolic variables
+// plus the generational bound below which no TCs are re-emitted.
+type Input struct {
+	Assignment smt.Assignment
+	Bound      int
+	Gen        int     // generation (parent's Gen+1)
+	Score      float64 // coverage score inherited from the parent path
+}
+
+// Finding is an error uncovered during exploration.
+type Finding struct {
+	Err    *iss.SimError
+	Input  smt.Assignment
+	Path   int // index of the path that hit the error
+	Output []byte
+	Instrs uint64
+	Trace  []iss.TraceEntry // last instructions, when TraceDepth was set
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("path %d: %v (input %v)", f.Path, f.Err, f.Input)
+}
+
+// Options tunes one exploration run.
+type Options struct {
+	MaxPaths       int           // stop after this many executed paths (0 = unlimited)
+	MaxInstrPerRun uint64        // per-path instruction budget (0 = snapshot default)
+	Timeout        time.Duration // wall-clock budget (0 = unlimited)
+	Strategy       Strategy
+	StopOnError    bool  // stop at the first finding (paper §4.2.3 workflow)
+	Seed           int64 // for the Random strategy
+	// TrackCoverage aggregates executed PCs across all paths into
+	// Report.Covered (implied by the Coverage strategy).
+	TrackCoverage bool
+	// TraceDepth enables the per-core diagnostic instruction ring (the
+	// finding's last instructions are exposed via Finding.Trace).
+	TraceDepth int
+}
+
+// Report aggregates the statistics the paper's tables use.
+type Report struct {
+	Paths      int           // #paths column
+	Queries    int           // #queries column
+	SolverTime time.Duration // stime column
+	WallTime   time.Duration // time column
+	TotalInstr uint64        // #instr column (combined over all paths)
+	SatTCs     int
+	UnsatTCs   int
+	Findings   []Finding
+	Pruned     int
+	Exhausted  bool // queue drained (full exploration)
+	// Covered holds every PC executed on any path (when
+	// Options.TrackCoverage or the Coverage strategy is active).
+	Covered map[uint32]struct{}
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("paths=%d queries=%d stime=%.2fs time=%.2fs instr=%d findings=%d",
+		r.Paths, r.Queries, r.SolverTime.Seconds(), r.WallTime.Seconds(), r.TotalInstr, len(r.Findings))
+}
+
+// Engine drives concolic exploration from a VP snapshot.
+type Engine struct {
+	Builder  *smt.Builder
+	Solver   *smt.Solver
+	Snapshot *iss.Core
+	Opt      Options
+
+	// OnPath, when set, observes every executed core (testing hook and
+	// tool output).
+	OnPath func(path int, core *iss.Core)
+}
+
+// New creates an engine around a prepared VP snapshot. The snapshot is
+// never mutated; every path runs on a clone (paper §3.1.1).
+func New(snapshot *iss.Core, opt Options) *Engine {
+	return &Engine{
+		Builder:  snapshot.B,
+		Solver:   smt.NewSolver(snapshot.B),
+		Snapshot: snapshot,
+		Opt:      opt,
+	}
+}
+
+// Run explores until the queue is exhausted or a budget is hit.
+func (e *Engine) Run() *Report {
+	start := time.Now()
+	rep := &Report{}
+	rng := rand.New(rand.NewSource(e.Opt.Seed + 1))
+
+	queue := []Input{{Assignment: smt.Assignment{}}}
+	globalCover := make(map[uint32]struct{})
+	seen := map[string]bool{} // dedup of (bound, assignment) pairs
+
+	for len(queue) > 0 {
+		if e.Opt.MaxPaths > 0 && rep.Paths >= e.Opt.MaxPaths {
+			break
+		}
+		if e.Opt.Timeout > 0 && time.Since(start) > e.Opt.Timeout {
+			break
+		}
+		in := e.pick(&queue, rng)
+
+		core := e.Snapshot.Clone()
+		core.Input = in.Assignment
+		core.Bound = in.Bound
+		if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
+			core.TrackCoverage = true
+		}
+		if e.Opt.TraceDepth > 0 {
+			core.TraceDepth = e.Opt.TraceDepth
+		}
+		// Count only instructions executed during this run (the
+		// snapshot may already carry pre-executed initialization, per
+		// the clone-after-init optimization).
+		startInstr := core.InstrCount
+		core.Run(e.Opt.MaxInstrPerRun)
+		rep.Paths++
+		rep.TotalInstr += core.InstrCount - startInstr
+		if e.OnPath != nil {
+			e.OnPath(rep.Paths-1, core)
+		}
+
+		// Coverage accounting: score is the number of newly discovered
+		// PCs on this path; children inherit it.
+		var score float64
+		if core.TrackCoverage {
+			for pc := range core.Coverage {
+				if _, ok := globalCover[pc]; !ok {
+					globalCover[pc] = struct{}{}
+					score++
+				}
+			}
+		}
+
+		if core.Err != nil {
+			switch core.Err.Kind {
+			case iss.ErrAssumeFail:
+				rep.Pruned++
+			case iss.ErrLimit:
+				// Budget exhaustion is not a bug; the paper bounds the
+				// search the same way (switch after one packet).
+			default:
+				rep.Findings = append(rep.Findings, Finding{
+					Err:    core.Err,
+					Input:  core.Input,
+					Path:   rep.Paths - 1,
+					Output: core.Output,
+					Instrs: core.InstrCount,
+					Trace:  core.RecentTrace(),
+				})
+				if e.Opt.StopOnError {
+					rep.Covered = globalCover
+					rep.WallTime = time.Since(start)
+					e.fillSolverStats(rep)
+					return rep
+				}
+			}
+		}
+
+		// Solve each emitted trace condition into a new input.
+		for _, tc := range core.Trace {
+			conds := make([]*smt.Expr, 0, tc.EPCLen+1)
+			conds = append(conds, core.EPC[:tc.EPCLen]...)
+			conds = append(conds, tc.Cond)
+			sat, model, unknown := e.Solver.Check(conds...)
+			if unknown {
+				rep.UnsatTCs++
+				continue
+			}
+			if !sat {
+				rep.UnsatTCs++
+				continue
+			}
+			rep.SatTCs++
+			key := fmt.Sprintf("%d|%s", tc.SiteIdx+1, DescribeInput(e.Builder, model))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, Input{
+				Assignment: model,
+				Bound:      tc.SiteIdx + 1,
+				Gen:        in.Gen + 1,
+				Score:      score,
+			})
+		}
+	}
+	rep.Exhausted = len(queue) == 0
+	rep.Covered = globalCover
+	rep.WallTime = time.Since(start)
+	e.fillSolverStats(rep)
+	return rep
+}
+
+func (e *Engine) fillSolverStats(rep *Report) {
+	rep.Queries = e.Solver.Stats.Queries
+	rep.SolverTime = e.Solver.Stats.SolverTime
+}
+
+// pick removes and returns the next input per the configured strategy.
+func (e *Engine) pick(queue *[]Input, rng *rand.Rand) Input {
+	q := *queue
+	idx := 0
+	switch e.Opt.Strategy {
+	case BFS:
+		idx = 0
+	case DFS:
+		idx = len(q) - 1
+	case Random:
+		idx = rng.Intn(len(q))
+	case Coverage:
+		// Highest score first; ties broken by earliest generation.
+		best := 0
+		for i := 1; i < len(q); i++ {
+			if q[i].Score > q[best].Score ||
+				(q[i].Score == q[best].Score && q[i].Gen < q[best].Gen) {
+				best = i
+			}
+		}
+		idx = best
+	}
+	in := q[idx]
+	*queue = append(q[:idx], q[idx+1:]...)
+	return in
+}
+
+// DescribeInput renders an input assignment with variable names, sorted,
+// for stable test output and tool display.
+func DescribeInput(b *smt.Builder, in smt.Assignment) string {
+	type kv struct {
+		name string
+		val  uint64
+	}
+	var items []kv
+	for id, v := range in {
+		if id < b.NumVars() {
+			items = append(items, kv{b.VarName(id), v})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	s := "{"
+	for i, it := range items {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", it.name, it.val)
+	}
+	return s + "}"
+}

@@ -1,0 +1,59 @@
+package guest
+
+// sensorApp is the paper's Fig. 3 example software: it installs an
+// interrupt handler for the sensor IRQ, configures the sensor with a
+// symbolic filter and a concrete scaler via memory-mapped I/O, waits for
+// the data-ready interrupt and validates the received value.
+const sensorApp = `
+#ifndef MAX_SENSOR_VALUE
+#define MAX_SENSOR_VALUE 64
+#endif
+
+unsigned int *SENSOR_SCALER_REG_ADDR = (unsigned int *)0x10000000;
+unsigned int *SENSOR_FILTER_REG_ADDR = (unsigned int *)0x10000004;
+unsigned int *SENSOR_DATA_REG_ADDR = (unsigned int *)0x10000008;
+
+volatile unsigned int sensor_has_data = 0;
+
+void sensor_irq_handler(void) {
+    sensor_has_data = 1;
+}
+
+int main(void) {
+    __install_trap_entry();
+    __set_mie_mask(1 << 11);   /* MEIE */
+    __enable_mie();
+    register_interrupt_handler(2 /* IRQ_NUMBER */, sensor_irq_handler);
+
+    unsigned int filter;
+    CTE_make_symbolic(&filter, sizeof(filter), "f");
+    *SENSOR_FILTER_REG_ADDR = filter;
+    *SENSOR_SCALER_REG_ADDR = 50;
+
+    while (!sensor_has_data) {   /* check for sensor */
+        __wfi();                 /* wait for any irq */
+    }
+
+    unsigned int n = *SENSOR_DATA_REG_ADDR;
+    CTE_assert(n <= MAX_SENSOR_VALUE);
+    return 0;
+}
+`
+
+// SensorProgram assembles the complete Fig. 2 + Fig. 3 system: the
+// sensor application plus the sensor and PLIC software-model peripherals.
+// When fixed is true the seeded filter bug (Fig. 2 line 45) is patched.
+func SensorProgram(fixed bool) Program {
+	srcs, specs := SensorPeriph()
+	p := Program{
+		Name:        "sensor-example",
+		Sources:     append([]Source{C("app.c", sensorApp)}, srcs...),
+		Peripherals: specs,
+		MaxInstr:    5_000_000,
+		Defines:     map[string]string{},
+	}
+	if fixed {
+		p.Defines["SENSOR_BUG_FIXED"] = "1"
+	}
+	return p
+}

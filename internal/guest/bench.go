@@ -1,0 +1,373 @@
+package guest
+
+// Benchmark guest programs for the Table 1 reproduction. The /s variants
+// use symbolic inputs and explore multiple paths; the plain variants are
+// single-path workloads for raw simulation-speed comparison.
+//
+// Substitution note: the paper's sha512 row is reproduced with SHA-256 —
+// the mini-C dialect is 32-bit only, and SHA-256 exercises the same code
+// shape (block-based compression function, rotations, additions) with
+// 32-bit words instead of 64-bit ones.
+
+// qsortBench sorts a pseudo-random array with a recursive quicksort (the
+// newlib qsort workload of Table 1) and self-checks the result.
+const qsortBench = `
+#ifndef QSORT_N
+#define QSORT_N 2000
+#endif
+
+unsigned int qsort_data[QSORT_N];
+
+static unsigned int lcg_state = 12345;
+static unsigned int lcg_next(void) {
+    lcg_state = lcg_state * 1103515245 + 12345;
+    return lcg_state >> 8;
+}
+
+static void swap_u32(unsigned int *a, unsigned int *b) {
+    unsigned int t = *a;
+    *a = *b;
+    *b = t;
+}
+
+void quicksort(unsigned int *a, int lo, int hi) {
+    if (lo >= hi) return;
+    unsigned int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            swap_u32(&a[i], &a[j]);
+            i++;
+            j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < QSORT_N; i++) qsort_data[i] = lcg_next();
+    quicksort(qsort_data, 0, QSORT_N - 1);
+    for (i = 1; i < QSORT_N; i++) {
+        if (qsort_data[i - 1] > qsort_data[i]) {
+            CTE_assert(0 && "not sorted");
+        }
+    }
+    return 0;
+}
+`
+
+// qsortSymBench sorts a small fully-symbolic array: the comparison
+// branches fork the exploration over element orderings (qsort/s).
+const qsortSymBench = `
+#ifndef QSORT_S_N
+#define QSORT_S_N 5
+#endif
+
+unsigned char s_data[QSORT_S_N];
+
+void qsort_bytes(unsigned char *a, int lo, int hi) {
+    if (lo >= hi) return;
+    unsigned char pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            unsigned char t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }
+    }
+    qsort_bytes(a, lo, j);
+    qsort_bytes(a, i, hi);
+}
+
+int main(void) {
+    CTE_make_symbolic(s_data, QSORT_S_N, "arr");
+    qsort_bytes(s_data, 0, QSORT_S_N - 1);
+    int i;
+    for (i = 1; i < QSORT_S_N; i++) {
+        CTE_assert(s_data[i - 1] <= s_data[i]);
+    }
+    return 0;
+}
+`
+
+// sha256Bench is a complete SHA-256 implementation hashing a buffer over
+// several iterations (stand-in for the paper's sha512 row; see the
+// substitution note above).
+const sha256Bench = `
+#ifndef SHA_ITERS
+#define SHA_ITERS 12
+#endif
+#ifndef SHA_MSG_LEN
+#define SHA_MSG_LEN 512
+#endif
+
+unsigned int sha_k[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2
+};
+
+unsigned int sha_h[8];
+unsigned char sha_msg[SHA_MSG_LEN + 72];
+
+static unsigned int rotr(unsigned int x, unsigned int n) {
+    return (x >> n) | (x << (32 - n));
+}
+
+static void sha_compress(const unsigned char *p) {
+    unsigned int w[64];
+    int i;
+    for (i = 0; i < 16; i++) {
+        w[i] = ((unsigned int)p[4*i] << 24) | ((unsigned int)p[4*i+1] << 16) |
+               ((unsigned int)p[4*i+2] << 8) | (unsigned int)p[4*i+3];
+    }
+    for (i = 16; i < 64; i++) {
+        unsigned int s0 = rotr(w[i-15], 7) ^ rotr(w[i-15], 18) ^ (w[i-15] >> 3);
+        unsigned int s1 = rotr(w[i-2], 17) ^ rotr(w[i-2], 19) ^ (w[i-2] >> 10);
+        w[i] = w[i-16] + s0 + w[i-7] + s1;
+    }
+    unsigned int a = sha_h[0], b = sha_h[1], c = sha_h[2], d = sha_h[3];
+    unsigned int e = sha_h[4], f = sha_h[5], g = sha_h[6], h = sha_h[7];
+    for (i = 0; i < 64; i++) {
+        unsigned int S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        unsigned int ch = (e & f) ^ (~e & g);
+        unsigned int t1 = h + S1 + ch + sha_k[i] + w[i];
+        unsigned int S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        unsigned int maj = (a & b) ^ (a & c) ^ (b & c);
+        unsigned int t2 = S0 + maj;
+        h = g; g = f; f = e; e = d + t1;
+        d = c; c = b; b = a; a = t1 + t2;
+    }
+    sha_h[0] += a; sha_h[1] += b; sha_h[2] += c; sha_h[3] += d;
+    sha_h[4] += e; sha_h[5] += f; sha_h[6] += g; sha_h[7] += h;
+}
+
+static void sha_init(void) {
+    sha_h[0] = 0x6a09e667; sha_h[1] = 0xbb67ae85; sha_h[2] = 0x3c6ef372; sha_h[3] = 0xa54ff53a;
+    sha_h[4] = 0x510e527f; sha_h[5] = 0x9b05688c; sha_h[6] = 0x1f83d9ab; sha_h[7] = 0x5be0cd19;
+}
+
+unsigned int sha256_of(unsigned char *msg, unsigned int len) {
+    sha_init();
+    /* pad: 0x80, zeros, 64-bit big-endian bit length */
+    unsigned int total = len + 1;
+    while (total % 64 != 56) total++;
+    msg[len] = 0x80;
+    unsigned int i;
+    for (i = len + 1; i < total; i++) msg[i] = 0;
+    unsigned int bits = len * 8;
+    msg[total] = 0; msg[total+1] = 0; msg[total+2] = 0; msg[total+3] = 0;
+    msg[total+4] = (unsigned char)(bits >> 24);
+    msg[total+5] = (unsigned char)(bits >> 16);
+    msg[total+6] = (unsigned char)(bits >> 8);
+    msg[total+7] = (unsigned char)bits;
+    for (i = 0; i < total + 8; i += 64) sha_compress(msg + i);
+    return sha_h[0];
+}
+
+int main(void) {
+    unsigned int i, iter;
+    unsigned int acc = 0;
+    for (iter = 0; iter < SHA_ITERS; iter++) {
+        for (i = 0; i < SHA_MSG_LEN; i++) sha_msg[i] = (unsigned char)(i + iter);
+        acc ^= sha256_of(sha_msg, SHA_MSG_LEN);
+    }
+    /* known-answer check for the empty message on the last round */
+    sha_msg[0] = 0;
+    unsigned int empty = sha256_of(sha_msg, 0);
+    CTE_assert(empty == 0xe3b0c442);
+    return (int)(acc & 0x7f);
+}
+`
+
+// dhrystoneBench is a compact dhrystone-flavoured workload: record
+// assignment, string comparison and integer arithmetic in a loop, with a
+// self-check of the final state (stands in for the standard dhrystone).
+const dhrystoneBench = `
+#ifndef DHRY_RUNS
+#define DHRY_RUNS 3000
+#endif
+
+typedef struct record {
+    struct record *ptr_comp;
+    int discr;
+    int enum_comp;
+    int int_comp;
+    char str_comp[31];
+} record_t;
+
+record_t glob, next_glob;
+record_t *glob_ptr;
+int int_glob;
+char ch1_glob, ch2_glob;
+int arr1_glob[50];
+int arr2_glob[50];
+
+static int func1(char c1, char c2) {
+    char loc1 = c1;
+    char loc2 = loc1;
+    if (loc2 != c2) return 0;
+    ch1_glob = loc1;
+    return 1;
+}
+
+static int func2(char *s1, char *s2) {
+    int loc = 2;
+    char ch = 'A';
+    while (loc <= 2) {
+        if (func1(s1[loc], s2[loc + 1])) { ch = 'A'; loc += 3; }
+        else loc += 1;
+    }
+    if (ch >= 'W' && ch < 'Z') loc = 7;
+    if (strcmp(s1, s2) > 0) { loc += 7; int_glob = loc; return 1; }
+    return 0;
+}
+
+static void proc7(int a, int b, int *out) { *out = a + b + 2; }
+
+static void proc8(int *a1, int *a2, int idx, int val) {
+    int loc = idx + 5;
+    a1[loc] = val;
+    a1[loc + 1] = a1[loc];
+    a1[loc + 30] = loc;
+    a2[loc] = loc;
+    int_glob = 5;
+}
+
+static void proc3(record_t **out) {
+    if (glob_ptr != 0) *out = glob_ptr->ptr_comp;
+    proc7(10, int_glob, &glob_ptr->int_comp);
+}
+
+static void proc1(record_t *p) {
+    record_t *next = p->ptr_comp;
+    *next = glob;           /* struct copy */
+    p->int_comp = 5;
+    next->int_comp = p->int_comp;
+    proc3(&next->ptr_comp);
+    if (next->discr == 0) {
+        next->int_comp = 6;
+        proc7(next->int_comp, 10, &next->int_comp);
+    }
+}
+
+int main(void) {
+    int run;
+    glob_ptr = &glob;
+    glob.ptr_comp = &next_glob;
+    glob.discr = 0;
+    glob.enum_comp = 2;
+    glob.int_comp = 40;
+    strcpy(glob.str_comp, "DHRYSTONE PROGRAM, SOME STRING");
+    char str1[31];
+    char str2[31];
+    strcpy(str1, "DHRYSTONE PROGRAM, 1ST STRING");
+    strcpy(str2, "DHRYSTONE PROGRAM, 2ND STRING");
+
+    for (run = 1; run <= DHRY_RUNS; run++) {
+        int int1 = 2;
+        int int2 = 3;
+        int int3 = 0;
+        if (func2(str1, str2) == 0) {
+            proc7(int1, int2, &int3);
+        }
+        proc8(arr1_glob, arr2_glob, int1, int3);
+        proc1(glob_ptr);
+        ch2_glob = 'B';
+        int_glob = run;
+    }
+    CTE_assert(int_glob == DHRY_RUNS);
+    CTE_assert(next_glob.int_comp == 18);
+    CTE_assert(arr1_glob[7] == 7);
+    return 0;
+}
+`
+
+// counterBench is the counter/s workload: per-bit branches on a symbolic
+// byte plus a comparison against a second symbolic value generate a few
+// hundred distinct paths of counting-related constraints.
+const counterBench = `
+unsigned char cnt_in[2];
+
+int main(void) {
+    CTE_make_symbolic(cnt_in, 2, "in");
+    unsigned int a = cnt_in[0];
+    unsigned int b = cnt_in[1];
+    unsigned int count = 0;
+    unsigned int i;
+    for (i = 0; i < 8; i++) {
+        if (b & (1u << i)) count++;
+    }
+    if (count == (a & 7u)) {
+        CTE_assert(count <= 8);
+    }
+    CTE_assert(count <= 8);
+    return (int)count;
+}
+`
+
+// fibonacciBench is the fibonacci/s workload: a recursive implementation
+// (function call intensive) applied to a symbolic, range-assumed input,
+// checked against an iterative oracle.
+const fibonacciBench = `
+unsigned int fib_rec(unsigned int n) {
+    if (n < 2) return n;
+    return fib_rec(n - 1) + fib_rec(n - 2);
+}
+
+unsigned int fib_iter(unsigned int n) {
+    unsigned int a = 0, b = 1, i;
+    for (i = 0; i < n; i++) {
+        unsigned int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+unsigned char fib_n;
+
+int main(void) {
+    CTE_make_symbolic(&fib_n, 1, "n");
+    CTE_assume(fib_n <= 10);
+    unsigned int r = fib_rec(fib_n);
+    CTE_assert(r == fib_iter(fib_n));
+    return (int)r;
+}
+`
+
+// BenchProgram returns a named benchmark program. Known names: qsort,
+// qsort-s, sha256, dhrystone, counter-s, fibonacci-s.
+func BenchProgram(name string) (Program, bool) {
+	switch name {
+	case "qsort":
+		return Program{Name: name, Sources: []Source{C("qsort.c", qsortBench)}}, true
+	case "qsort-s":
+		return Program{Name: name, Sources: []Source{C("qsort_s.c", qsortSymBench)}, MaxInstr: 2_000_000}, true
+	case "sha256":
+		return Program{Name: name, Sources: []Source{C("sha256.c", sha256Bench)}}, true
+	case "dhrystone":
+		return Program{Name: name, Sources: []Source{C("dhrystone.c", dhrystoneBench)}}, true
+	case "counter-s":
+		return Program{Name: name, Sources: []Source{C("counter.c", counterBench)}, MaxInstr: 2_000_000}, true
+	case "fibonacci-s":
+		return Program{Name: name, Sources: []Source{C("fibonacci.c", fibonacciBench)}, MaxInstr: 2_000_000}, true
+	}
+	return Program{}, false
+}

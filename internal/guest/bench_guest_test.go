@@ -1,0 +1,149 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/smt"
+)
+
+func runBench(t *testing.T, name string, overrides map[string]string) *cteResult {
+	t.Helper()
+	p, ok := BenchProgram(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	if p.Defines == nil {
+		p.Defines = map[string]string{}
+	}
+	for k, v := range overrides {
+		p.Defines[k] = v
+	}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	return &cteResult{core: core}
+}
+
+type cteResult struct{ core interface{ Halted() bool } }
+
+func TestQsortConcrete(t *testing.T) {
+	p, _ := BenchProgram("qsort")
+	p.Defines = map[string]string{"QSORT_N": "300"}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("qsort failed: %v", core.Err)
+	}
+	if !core.Exited || core.ExitCode != 0 {
+		t.Errorf("qsort exit: %d", core.ExitCode)
+	}
+	if core.InstrCount < 100_000 {
+		t.Errorf("qsort too short: %d instr", core.InstrCount)
+	}
+}
+
+func TestSha256KnownAnswer(t *testing.T) {
+	p, _ := BenchProgram("sha256")
+	p.Defines = map[string]string{"SHA_ITERS": "2", "SHA_MSG_LEN": "128"}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	// The guest itself asserts SHA256("") starts with 0xe3b0c442.
+	if core.Err != nil {
+		t.Fatalf("sha256 failed: %v", core.Err)
+	}
+}
+
+func TestDhrystoneSelfCheck(t *testing.T) {
+	p, _ := BenchProgram("dhrystone")
+	p.Defines = map[string]string{"DHRY_RUNS": "200"}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("dhrystone failed: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("dhrystone exit: %d", core.ExitCode)
+	}
+}
+
+func TestCounterSymbolicExploration(t *testing.T) {
+	p, _ := BenchProgram("counter-s")
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 1500})
+	rep := eng.Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("counter has no bugs, found %v", rep.Findings)
+	}
+	if !rep.Exhausted {
+		t.Errorf("counter exploration should exhaust (%d paths)", rep.Paths)
+	}
+	// 8 bit-branches on b plus the final comparison on a: a few hundred
+	// distinct paths (Table 1 reports 452 for the paper's variant).
+	if rep.Paths < 200 || rep.Paths > 1200 {
+		t.Errorf("counter paths: %d, want a few hundred", rep.Paths)
+	}
+	t.Logf("counter-s: %v", rep)
+}
+
+func TestFibonacciSymbolicExploration(t *testing.T) {
+	p, _ := BenchProgram("fibonacci-s")
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 200})
+	rep := eng.Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("fibonacci has no bugs, found %v", rep.Findings)
+	}
+	if !rep.Exhausted {
+		t.Errorf("fibonacci exploration should exhaust (%d paths)", rep.Paths)
+	}
+	// One full path per n in 0..10 plus assume-pruned ones: order of
+	// tens of paths (Table 1 reports 22).
+	if rep.Paths < 10 || rep.Paths > 120 {
+		t.Errorf("fibonacci paths: %d", rep.Paths)
+	}
+	t.Logf("fibonacci-s: %v", rep)
+}
+
+func TestQsortSymbolicExploration(t *testing.T) {
+	p, _ := BenchProgram("qsort-s")
+	p.Defines = map[string]string{"QSORT_S_N": "4"}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 600})
+	rep := eng.Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("qsort-s: sort must be correct on every path, found %v", rep.Findings)
+	}
+	// Orderings of 4 elements create dozens of paths.
+	if rep.Paths < 20 {
+		t.Errorf("qsort-s paths: %d", rep.Paths)
+	}
+	t.Logf("qsort-s: %v", rep)
+}

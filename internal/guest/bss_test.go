@@ -1,0 +1,59 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/smt"
+)
+
+// TestUninitializedGlobalsGoToBss: large zero-initialized state (the
+// libc heap, task stacks, packet buffers) must live in .bss — absent
+// from the ELF image but zeroed and writable at run time.
+func TestUninitializedGlobalsGoToBss(t *testing.T) {
+	prog := Program{
+		Name: "bss",
+		Sources: []Source{C("main.c", `
+unsigned char big_buffer[100000];   /* uninitialized: .bss */
+unsigned int initialized_table[4] = {1, 2, 3, 4};
+
+int main(void) {
+    if (big_buffer[0] != 0 || big_buffer[99999] != 0) return 1;
+    big_buffer[50000] = 7;
+    if (big_buffer[50000] != 7) return 2;
+    if (initialized_table[2] != 3) return 3;
+    return 0;
+}`)},
+	}
+	elf, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 100 KB buffer must not appear in the image bytes.
+	if len(elf.Data) > 50000 {
+		t.Errorf("image size %d: uninitialized buffer leaked into the image", len(elf.Data))
+	}
+	if elf.MemSize < 100000 {
+		t.Errorf("memsize %d must cover the .bss region", elf.MemSize)
+	}
+	bufAddr, ok := elf.Symbol("big_buffer")
+	if !ok {
+		t.Fatal("big_buffer symbol missing")
+	}
+	if bufAddr < elf.Addr+uint32(len(elf.Data)) {
+		t.Errorf("big_buffer at %#x overlaps the image (ends %#x)",
+			bufAddr, elf.Addr+uint32(len(elf.Data)))
+	}
+
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatal(core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("bss semantics: exit %d", core.ExitCode)
+	}
+}

@@ -1,0 +1,202 @@
+package guest
+
+import (
+	"fmt"
+	"strings"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/cc"
+	"rvcte/internal/iss"
+	"rvcte/internal/relf"
+	"rvcte/internal/smt"
+)
+
+// Lang selects the compiler front end for a source.
+type Lang int
+
+const (
+	LangC Lang = iota
+	LangAsm
+)
+
+// Source is one translation unit of a guest program.
+type Source struct {
+	Name string
+	Lang Lang
+	Text string
+}
+
+// C and Asm are convenience constructors.
+func C(name, text string) Source   { return Source{Name: name, Lang: LangC, Text: text} }
+func Asm(name, text string) Source { return Source{Name: name, Lang: LangAsm, Text: text} }
+
+// PeriphSpec maps a software-model peripheral into the VP address map.
+// The transport function and transaction buffer are resolved from ELF
+// symbols (paper §3.2.2).
+type PeriphSpec struct {
+	Name         string
+	Base         uint32
+	Size         uint32
+	TransportSym string
+	BufSym       string
+}
+
+// Program describes a guest build.
+type Program struct {
+	Name        string
+	Sources     []Source
+	Peripherals []PeriphSpec
+	RamBase     uint32 // default 0x80000000
+	RamSize     uint32 // default 4 MiB
+	MaxInstr    uint64 // default 200M
+	// NoRuntime skips crt0/cte/libc (for fully self-contained images).
+	NoRuntime bool
+	// Defines prepends #define lines to every C source (build flags,
+	// e.g. enabling one of the seeded TCP/IP bugs).
+	Defines map[string]string
+	// Compress enables the assembler's RV32C pass: eligible
+	// instructions are emitted as 16-bit compressed encodings.
+	Compress bool
+}
+
+func (p *Program) defaults() {
+	if p.RamBase == 0 {
+		p.RamBase = 0x80000000
+	}
+	if p.RamSize == 0 {
+		p.RamSize = 4 << 20
+	}
+	if p.MaxInstr == 0 {
+		p.MaxInstr = 200_000_000
+	}
+}
+
+// Build compiles and links the program into an ELF.
+func Build(p Program) (*relf.File, error) {
+	p.defaults()
+	var parts []string
+	if !p.NoRuntime {
+		parts = append(parts, crt0, cteLib)
+	}
+	var defines strings.Builder
+	for _, k := range sortedKeys(p.Defines) {
+		fmt.Fprintf(&defines, "#define %s %s\n", k, p.Defines[k])
+	}
+	if !p.NoRuntime {
+		for _, rt := range []struct{ name, text string }{
+			{"libc.c", libc},
+			{"irq.c", irqRuntime},
+		} {
+			asmText, err := cc.CompileUnit(defines.String()+header+rt.text, sanitize(rt.name))
+			if err != nil {
+				return nil, fmt.Errorf("guest %s: %s: %w", p.Name, rt.name, err)
+			}
+			parts = append(parts, asmText)
+		}
+	}
+	for _, src := range p.Sources {
+		switch src.Lang {
+		case LangC:
+			asmText, err := cc.CompileUnit(defines.String()+header+src.Text, sanitize(src.Name))
+			if err != nil {
+				return nil, fmt.Errorf("guest %s: %s: %w", p.Name, src.Name, err)
+			}
+			parts = append(parts, asmText)
+		case LangAsm:
+			parts = append(parts, src.Text)
+		}
+	}
+	assembleFn := asm.Assemble
+	if p.Compress {
+		assembleFn = asm.AssembleCompressed
+	}
+	img, err := assembleFn(strings.Join(parts, "\n"), p.RamBase)
+	if err != nil {
+		return nil, fmt.Errorf("guest %s: %w", p.Name, err)
+	}
+	memSize := uint32(len(img.Bytes))
+	if end := img.BssAddr + img.BssSize - img.Origin; end > memSize {
+		memSize = end
+	}
+	return &relf.File{
+		Entry:   img.Entry(),
+		Addr:    img.Origin,
+		Data:    img.Bytes,
+		MemSize: memSize,
+		Symbols: img.Symbols,
+	}, nil
+}
+
+// sanitize turns a source name into a label-safe prefix.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	sb.WriteByte('_')
+	return sb.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}
+
+// NewCore builds the program, serializes it through the ELF layer (the
+// same round trip the paper's flow performs) and returns a VP core ready
+// to Run or to snapshot for exploration.
+func NewCore(b *smt.Builder, p Program) (*iss.Core, *relf.File, error) {
+	p.defaults()
+	f, err := Build(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	// ELF round trip: write and reload, ensuring the image and symbol
+	// table actually survive serialization.
+	loaded, err := relf.Load(relf.Write(f))
+	if err != nil {
+		return nil, nil, fmt.Errorf("guest %s: elf round trip: %w", p.Name, err)
+	}
+
+	cfg := iss.Config{
+		RamBase:  p.RamBase,
+		RamSize:  p.RamSize,
+		MaxInstr: p.MaxInstr,
+		// Main stack below the dedicated peripheral stack region.
+		StackTop: p.RamBase + p.RamSize - 16384,
+	}
+	if top, ok := loaded.Symbol("__periph_stack_top"); ok {
+		cfg.PeriphStackTop = top
+	}
+	core := iss.New(b, cfg)
+	core.LoadImage(loaded.Addr, loaded.Data, loaded.Entry)
+
+	for _, ps := range p.Peripherals {
+		tr, ok := loaded.Symbol(ps.TransportSym)
+		if !ok {
+			return nil, nil, fmt.Errorf("guest %s: peripheral %s: transport symbol %q not found", p.Name, ps.Name, ps.TransportSym)
+		}
+		buf, ok := loaded.Symbol(ps.BufSym)
+		if !ok {
+			return nil, nil, fmt.Errorf("guest %s: peripheral %s: buffer symbol %q not found", p.Name, ps.Name, ps.BufSym)
+		}
+		core.AddPeripheral(iss.Peripheral{
+			Name: ps.Name, Base: ps.Base, Size: ps.Size,
+			Transport: tr, Buf: buf,
+		})
+	}
+	return core, loaded, nil
+}

@@ -1,0 +1,59 @@
+package guest
+
+import (
+	"strings"
+
+	"rvcte/internal/iss"
+	"rvcte/internal/relf"
+)
+
+// LocateFunc returns the name of the function containing pc: the nearest
+// function-level symbol at or below pc (compiler-internal ".L" labels are
+// skipped).
+func LocateFunc(elf *relf.File, pc uint32) string {
+	best := ""
+	var bestAddr uint32
+	for name, addr := range elf.Symbols {
+		if strings.HasPrefix(name, ".L") {
+			continue
+		}
+		if addr <= pc && (best == "" || addr > bestAddr) {
+			best, bestAddr = name, addr
+		}
+	}
+	return best
+}
+
+// ClassifyTCPIPFinding maps a heap-overflow finding in the mtcp stack to
+// the seeded bug index 1..6 (Table 2 numbering), given which bugs are
+// already fixed (bitmask, bit i = bug i+1 fixed). Returns 0 when the
+// finding does not match any seeded bug.
+func ClassifyTCPIPFinding(elf *relf.File, kind iss.ErrKind, pc uint32, fixed uint) int {
+	if kind != iss.ErrProtectedRead && kind != iss.ErrProtectedWrite {
+		return 0
+	}
+	fn := LocateFunc(elf, pc)
+	switch fn {
+	case "memmove", "prvProcessIPPacket":
+		return 1
+	case "rd16":
+		// Unguarded 16-bit field reads exist only in the DNS path
+		// (NBNS and TCP check sizes first).
+		return 2
+	case "prvProcessDNS":
+		// Both the blind label walk (bug 2) and the reply copy (bug 3)
+		// live here; once bug 2 is fixed, remaining faults are bug 3.
+		if fixed&(1<<1) == 0 {
+			return 2
+		}
+		return 3
+	case "prvProcessTCP":
+		return 4
+	case "prvProcessNBNS":
+		if kind == iss.ErrProtectedRead {
+			return 5
+		}
+		return 6
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAddressMap parses the VP's address-map configuration (paper
+// §3.2.1: "This address map information is obtained from a configuration
+// file"). Format, one peripheral per line:
+//
+//	# comment
+//	periph <name> <base> <size> <transport-symbol> <buffer-symbol>
+//
+// Numbers accept 0x prefixes. Example:
+//
+//	periph sensor 0x10000000 0x10000 sensor_transport sensor_buf
+//	periph plic   0x10010000 0x10000 plic_transport   plic_buf
+func ParseAddressMap(text string) ([]PeriphSpec, error) {
+	var specs []PeriphSpec
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != "periph" {
+			return nil, fmt.Errorf("address map line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("address map line %d: want 'periph name base size transport buf', got %d fields", lineNo+1, len(fields))
+		}
+		base, err := strconv.ParseUint(fields[2], 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("address map line %d: bad base %q", lineNo+1, fields[2])
+		}
+		size, err := strconv.ParseUint(fields[3], 0, 32)
+		if err != nil || size == 0 {
+			return nil, fmt.Errorf("address map line %d: bad size %q", lineNo+1, fields[3])
+		}
+		spec := PeriphSpec{
+			Name:         fields[1],
+			Base:         uint32(base),
+			Size:         uint32(size),
+			TransportSym: fields[4],
+			BufSym:       fields[5],
+		}
+		// Ranges must not overlap (the paper requires non-overlapping
+		// address ranges).
+		for _, prev := range specs {
+			if spec.Base < prev.Base+prev.Size && prev.Base < spec.Base+spec.Size {
+				return nil, fmt.Errorf("address map line %d: %s overlaps %s", lineNo+1, spec.Name, prev.Name)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// FormatAddressMap renders specs in the configuration-file format
+// (round-trips through ParseAddressMap).
+func FormatAddressMap(specs []PeriphSpec) string {
+	var sb strings.Builder
+	sb.WriteString("# VP address map: periph <name> <base> <size> <transport> <buf>\n")
+	for _, s := range specs {
+		fmt.Fprintf(&sb, "periph %s %#x %#x %s %s\n", s.Name, s.Base, s.Size, s.TransportSym, s.BufSym)
+	}
+	return sb.String()
+}

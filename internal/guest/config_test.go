@@ -1,0 +1,89 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"rvcte/internal/smt"
+)
+
+func TestParseAddressMap(t *testing.T) {
+	specs, err := ParseAddressMap(`
+# the standard sensor system
+periph sensor 0x10000000 0x10000 sensor_transport sensor_buf
+periph plic   0x10010000 0x10000 plic_transport   plic_buf
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs: %v", specs)
+	}
+	if specs[0].Base != 0x10000000 || specs[0].TransportSym != "sensor_transport" {
+		t.Errorf("spec 0: %+v", specs[0])
+	}
+	if specs[1].Name != "plic" || specs[1].Size != 0x10000 {
+		t.Errorf("spec 1: %+v", specs[1])
+	}
+}
+
+func TestParseAddressMapErrors(t *testing.T) {
+	cases := []string{
+		"bogus sensor 0x0 0x10 t b",
+		"periph sensor 0x0 0x10 t",                             // missing field
+		"periph sensor nothex 0x10 t b",                        // bad base
+		"periph sensor 0x0 0 t b",                              // zero size
+		"periph a 0x1000 0x100 t b\nperiph b 0x1080 0x100 t b", // overlap
+	}
+	for _, src := range cases {
+		if _, err := ParseAddressMap(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAddressMapRoundTrip(t *testing.T) {
+	_, specs := SensorPeriph()
+	text := FormatAddressMap(specs)
+	parsed, err := ParseAddressMap(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(specs) {
+		t.Fatalf("round trip lost specs: %v", parsed)
+	}
+	for i := range specs {
+		if parsed[i] != specs[i] {
+			t.Errorf("spec %d: %+v != %+v", i, parsed[i], specs[i])
+		}
+	}
+}
+
+// TestConfigDrivenSensorSystem builds the sensor example with the
+// address map supplied via the configuration-file path end to end.
+func TestConfigDrivenSensorSystem(t *testing.T) {
+	srcs, _ := SensorPeriph()
+	specs, err := ParseAddressMap(`
+periph sensor 0x10000000 0x10000 sensor_transport sensor_buf
+periph plic   0x10010000 0x10000 plic_transport   plic_buf
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Program{
+		Name:        "config-driven",
+		Sources:     append([]Source{C("app.c", sensorApp)}, srcs...),
+		Peripherals: specs,
+		MaxInstr:    5_000_000,
+	}
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	// Default input prunes at the sensor-range assume, as in Fig. 4 I0.
+	if core.Err == nil || !strings.Contains(core.Err.Error(), "assume") {
+		t.Errorf("expected assume prune, got %v", core.Err)
+	}
+}

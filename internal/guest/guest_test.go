@@ -1,0 +1,304 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+func TestBuildHelloWorld(t *testing.T) {
+	b := smt.NewBuilder()
+	core, elf, err := NewCore(b, Program{
+		Name: "hello",
+		Sources: []Source{C("main.c", `
+int main(void) {
+    puts_("hello, vp");
+    print_u32(12345);
+    cte_putchar('\n');
+    print_hex(0xdeadbeef);
+    return 7;
+}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := elf.Symbol("main"); !ok {
+		t.Error("main symbol missing from ELF")
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("runtime error: %v", core.Err)
+	}
+	if core.ExitCode != 7 {
+		t.Errorf("exit: %d", core.ExitCode)
+	}
+	want := "hello, vp\n12345\n0xdeadbeef"
+	if string(core.Output) != want {
+		t.Errorf("output %q want %q", core.Output, want)
+	}
+}
+
+func TestLibcMemoryFunctions(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, Program{
+		Name: "libc",
+		Sources: []Source{C("main.c", `
+int main(void) {
+    char buf[64];
+    char buf2[64];
+    memset(buf, 0xab, 64);
+    if ((unsigned char)buf[0] != 0xab || (unsigned char)buf[63] != 0xab) return 1;
+    memcpy(buf2, buf, 64);
+    if (memcmp(buf, buf2, 64) != 0) return 2;
+    strcpy(buf, "overlap test");
+    memmove(buf + 3, buf, 9);       /* overlapping forward */
+    if (strncmp(buf + 3, "overlap t", 9) != 0) return 3;
+    if (strlen("abcdef") != 6) return 4;
+    if (strcmp("abc", "abd") >= 0) return 5;
+    if (strcmp("same", "same") != 0) return 6;
+    return 0;
+}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatal(core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("libc test failed with code %d", core.ExitCode)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, Program{
+		Name: "malloc",
+		Sources: []Source{C("main.c", `
+int main(void) {
+    unsigned int *a = (unsigned int *)malloc(64);
+    unsigned int *b = (unsigned int *)malloc(128);
+    if (a == 0 || b == 0 || a == b) return 1;
+    a[0] = 0x1234; a[15] = 0x5678;
+    b[0] = 0x9abc;
+    if (a[0] != 0x1234 || a[15] != 0x5678 || b[0] != 0x9abc) return 2;
+    free(a);
+    unsigned int *c = (unsigned int *)malloc(32);   /* reuses a's block */
+    if (c == 0) return 3;
+    free(b);
+    free(c);
+    /* allocate something large to test coalescing */
+    void *big = malloc(200000);
+    if (big == 0) return 4;
+    free(big);
+    return 0;
+}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatal(core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("malloc test failed with code %d", core.ExitCode)
+	}
+}
+
+// TestSensorExampleBugFound reproduces the paper's running example
+// (Fig. 2-4): concolic exploration of the sensor system must find the
+// filter underflow bug — an input with filter >= MIN_SENSOR_VALUE and a
+// small data value makes "data -= filter" wrap, violating the assertion.
+func TestSensorExampleBugFound(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
+	rep := eng.Run()
+	if len(rep.Findings) == 0 {
+		t.Fatalf("exploration must find the sensor bug: %v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Err.Kind != iss.ErrAssertFail {
+		t.Fatalf("expected assertion failure, got %v", f.Err)
+	}
+	// The violating input must have filter >= 16 (so the buggy
+	// post-processing path with filter = MIN+1 = 17 was taken) and a
+	// data value below 17 (so data - 17 wraps).
+	fv := b.Value(f.Input, "f[0]") | b.Value(f.Input, "f[1]")<<8 |
+		b.Value(f.Input, "f[2]")<<16 | b.Value(f.Input, "f[3]")<<24
+	dv := b.Value(f.Input, "d[0]") | b.Value(f.Input, "d[1]")<<8 |
+		b.Value(f.Input, "d[2]")<<16 | b.Value(f.Input, "d[3]")<<24
+	if fv < 16 {
+		t.Errorf("violating filter %d should be >= 16", fv)
+	}
+	if dv < 16 || dv > 64 {
+		t.Errorf("violating data %d should be in the sensor range", dv)
+	}
+	if dv >= 17+64 {
+		t.Errorf("violating data %d cannot trigger the wrap", dv)
+	}
+	t.Logf("found Fig. 4 bug with input %s after %d paths", cte.DescribeInput(b, f.Input), rep.Paths)
+}
+
+// TestSensorExampleFixedClean verifies that the patched peripheral
+// (minus-one instead of plus-one) survives full exploration.
+func TestSensorExampleFixedClean(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, SensorProgram(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 200})
+	rep := eng.Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("fixed sensor must be clean, got %v", rep.Findings)
+	}
+	if !rep.Exhausted {
+		t.Errorf("exploration should exhaust the fixed sensor's paths (%d paths run)", rep.Paths)
+	}
+	if rep.Paths < 3 {
+		t.Errorf("expected at least 3 explored paths, got %d", rep.Paths)
+	}
+}
+
+// TestSensorDirectRun checks plain (single-path) simulation of the
+// sensor system with the default all-zeros input: filter=0 stays below
+// MIN, data=0 fails the assume, so the path is pruned inside the
+// peripheral — exactly the I0 path of Fig. 4.
+func TestSensorDirectRun(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err == nil || core.Err.Kind != iss.ErrAssumeFail {
+		t.Fatalf("zero input should prune at the sensor-range assume, got %v", core.Err)
+	}
+	if len(core.Trace) == 0 {
+		t.Error("pruned path must still emit trace conditions")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := smt.NewBuilder()
+	_, _, err := NewCore(b, Program{
+		Name:    "broken",
+		Sources: []Source{C("main.c", `int main( { return 0; }`)},
+	})
+	if err == nil {
+		t.Error("compile error must propagate")
+	}
+	_, _, err = NewCore(b, Program{
+		Name:    "missing-periph",
+		Sources: []Source{C("main.c", `int main(void) { return 0; }`)},
+		Peripherals: []PeriphSpec{
+			{Name: "ghost", Base: 0x20000000, Size: 0x1000, TransportSym: "nope", BufSym: "nada"},
+		},
+	})
+	if err == nil {
+		t.Error("missing peripheral symbol must be an error")
+	}
+}
+
+func TestDefinesPropagate(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, Program{
+		Name: "defines",
+		Sources: []Source{C("main.c", `
+int main(void) {
+#ifdef MY_FLAG
+    return MY_VALUE;
+#endif
+    return 0;
+}`)},
+		Defines: map[string]string{"MY_FLAG": "1", "MY_VALUE": "42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.ExitCode != 42 {
+		t.Errorf("defines not propagated: exit %d", core.ExitCode)
+	}
+}
+
+// TestCompressedGuestEquivalence: the same program built with the RV32C
+// compression pass must behave identically (same exit code, output and
+// retired instruction count — compression changes encodings, not
+// instructions) while producing a smaller image.
+func TestCompressedGuestEquivalence(t *testing.T) {
+	for _, name := range []string{"qsort", "dhrystone"} {
+		t.Run(name, func(t *testing.T) {
+			p, _ := BenchProgram(name)
+			p.Defines = map[string]string{"QSORT_N": "200", "DHRY_RUNS": "50"}
+
+			plainELF, err := Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Compress = true
+			compELF, err := Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(compELF.Data) >= len(plainELF.Data) {
+				t.Errorf("compressed image not smaller: %d vs %d", len(compELF.Data), len(plainELF.Data))
+			}
+			ratio := float64(len(compELF.Data)) / float64(len(plainELF.Data))
+			t.Logf("image: %d -> %d bytes (%.0f%%)", len(plainELF.Data), len(compELF.Data), ratio*100)
+
+			run := func(compress bool) *iss.Core {
+				pp := p
+				pp.Compress = compress
+				b := smt.NewBuilder()
+				core, _, err := NewCore(b, pp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				core.Run(0)
+				if core.Err != nil {
+					t.Fatalf("compress=%v: %v", compress, core.Err)
+				}
+				return core
+			}
+			plain := run(false)
+			comp := run(true)
+			if plain.ExitCode != comp.ExitCode {
+				t.Errorf("exit: %d vs %d", plain.ExitCode, comp.ExitCode)
+			}
+			if string(plain.Output) != string(comp.Output) {
+				t.Errorf("output differs")
+			}
+			if plain.InstrCount != comp.InstrCount {
+				t.Errorf("instr count: %d vs %d", plain.InstrCount, comp.InstrCount)
+			}
+		})
+	}
+}
+
+// TestCompressedSensorExploration: concolic exploration over a
+// compressed binary finds the same sensor bug.
+func TestCompressedSensorExploration(t *testing.T) {
+	p := SensorProgram(false)
+	p.Compress = true
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	if len(rep.Findings) == 0 {
+		t.Fatalf("compressed sensor exploration must find the bug: %v", rep)
+	}
+	if rep.Findings[0].Err.Kind != iss.ErrAssertFail {
+		t.Errorf("kind: %v", rep.Findings[0].Err)
+	}
+}

@@ -1,0 +1,349 @@
+package guest
+
+// Header with CTE-interface and libc prototypes, prepended to every C
+// translation unit (the "CTE SW-library" interface of paper Fig. 1).
+const header = `
+void CTE_exit(int code);
+void CTE_make_symbolic(void *ptr, unsigned int size, const char *name);
+void CTE_assume(int cond);
+void CTE_assert(int cond);
+void CTE_notify(void *fn, unsigned int delay);
+void CTE_return(void);
+unsigned int CTE_get_cycles(void);
+void CTE_trigger_irq(unsigned int line, unsigned int level);
+void CTE_register_protected_memory(void *addr, unsigned int size, unsigned int zone);
+void CTE_free_protected_memory(void *addr);
+void cte_putchar(int c);
+void CTE_cancel_notify(void *fn);
+unsigned int CTE_is_symbolic(unsigned int v);
+
+void *memcpy(void *dst, const void *src, unsigned int n);
+void *memmove(void *dst, const void *src, unsigned int n);
+void *memset(void *dst, int v, unsigned int n);
+int memcmp(const void *a, const void *b, unsigned int n);
+unsigned int strlen(const char *s);
+int strcmp(const char *a, const char *b);
+int strncmp(const char *a, const char *b, unsigned int n);
+char *strcpy(char *dst, const char *src);
+void puts_(const char *s);
+void print_str(const char *s);
+void print_u32(unsigned int v);
+void print_hex(unsigned int v);
+void *malloc(unsigned int n);
+void free(void *p);
+
+void __install_trap_entry(void);
+void __enable_mie(void);
+void __disable_mie(void);
+void __set_mie_mask(unsigned int mask);
+void __wfi(void);
+void register_interrupt_handler(unsigned int src, void (*fn)(void));
+void register_timer_handler(void (*fn)(void));
+`
+
+// Peripheral memory map (the "configuration file" address map of §3.2.1).
+const (
+	SensorBase  = 0x10000000
+	PLICBase    = 0x10010000
+	CLINTBase   = 0x10020000
+	NetcardBase = 0x10030000
+	PeriphSize  = 0x10000
+
+	// Machine interrupt lines.
+	IrqLineExternal = 11
+	IrqLineTimer    = 7
+
+	// PLIC source ids.
+	SensorIRQ  = 2
+	NetcardIRQ = 3
+)
+
+// irqRuntime dispatches traps to registered per-source handlers; the
+// external-interrupt path claims the source from the PLIC via MMIO, as
+// real RISC-V firmware does.
+const irqRuntime = `
+void (*__irq_handlers[32])(void);
+void (*__timer_handler)(void);
+
+void register_interrupt_handler(unsigned int src, void (*fn)(void)) {
+    if (src < 32) __irq_handlers[src] = fn;
+}
+
+void register_timer_handler(void (*fn)(void)) {
+    __timer_handler = fn;
+}
+
+void trap_handler(unsigned int mcause) {
+    if (mcause == 0x8000000b) {          /* machine external interrupt */
+        unsigned int src = *(volatile unsigned int *)0x10010000; /* PLIC claim */
+        while (src != 0) {
+            if (__irq_handlers[src]) __irq_handlers[src]();
+            src = *(volatile unsigned int *)0x10010000;
+        }
+    } else if (mcause == 0x80000007) {   /* machine timer interrupt */
+        if (__timer_handler) __timer_handler();
+    }
+}
+`
+
+// plicModel is the Platform Level Interrupt Controller software model.
+// Register map (local offsets): 0x0 claim/complete, 0x4 enable mask,
+// 0x8 raw pending, 0x10+4n source priorities.
+const plicModel = `
+unsigned int plic_pending_bits = 0;
+unsigned int plic_enable_mask = 0xffffffff;
+unsigned int plic_priority[32] = {0,1,1,1,1,1,1,1, 1,1,1,1,1,1,1,1, 1,1,1,1,1,1,1,1, 1,1,1,1,1,1,1,1};
+unsigned char plic_buf[8];
+
+static void plic_update_line(void) {
+    if (plic_pending_bits & plic_enable_mask) CTE_trigger_irq(11, 1);
+    else CTE_trigger_irq(11, 0);
+}
+
+/* Called directly by other peripheral models (paper Fig. 2 line 15). */
+void plic_raise(unsigned int src) {
+    if (src == 0 || src >= 32) return;
+    plic_pending_bits |= 1u << src;
+    plic_update_line();
+}
+
+static unsigned int plic_claim(void) {
+    unsigned int best = 0;
+    unsigned int bestprio = 0;
+    unsigned int i;
+    for (i = 1; i < 32; i++) {
+        if ((plic_pending_bits & (1u << i)) && (plic_enable_mask & (1u << i))) {
+            if (plic_priority[i] > bestprio) { bestprio = plic_priority[i]; best = i; }
+        }
+    }
+    if (best != 0) {
+        plic_pending_bits &= ~(1u << best);
+        plic_update_line();
+    }
+    return best;
+}
+
+void plic_transport(unsigned int addr, unsigned char *data, unsigned int size, unsigned int is_read) {
+    unsigned int *wp = (unsigned int *)data;
+    CTE_assert(size == 4);
+    if (addr == 0x0) {
+        if (is_read) *wp = plic_claim();
+        /* writes to claim/complete are accepted and ignored */
+    } else if (addr == 0x4) {
+        if (is_read) *wp = plic_enable_mask;
+        else { plic_enable_mask = *wp; plic_update_line(); }
+    } else if (addr == 0x8) {
+        if (is_read) *wp = plic_pending_bits;
+    } else if (addr >= 0x10 && addr < 0x10 + 32 * 4) {
+        unsigned int idx = (addr - 0x10) / 4;
+        if (is_read) *wp = plic_priority[idx];
+        else plic_priority[idx] = *wp;
+    } else {
+        CTE_assert(0);
+    }
+    CTE_return();
+}
+`
+
+// clintModel is the Core Local INTerruptor: a 32-bit mtime/mtimecmp pair
+// driving the machine timer interrupt via CTE_get_cycles and CTE_notify
+// (paper §3.2: CLINT is modeled with CTE_get_cycles).
+const clintModel = `
+unsigned int clint_mtimecmp = 0xffffffff;
+unsigned char clint_buf[8];
+
+void clint_tick(void) {
+    unsigned int now = CTE_get_cycles();
+    if (now >= clint_mtimecmp) {
+        CTE_trigger_irq(7, 1);
+    } else {
+        CTE_notify((void *)&clint_tick, clint_mtimecmp - now);
+    }
+    CTE_return();
+}
+
+void clint_transport(unsigned int addr, unsigned char *data, unsigned int size, unsigned int is_read) {
+    unsigned int *wp = (unsigned int *)data;
+    CTE_assert(size == 4);
+    if (addr == 0x4000) {            /* mtimecmp (low word) */
+        if (is_read) {
+            *wp = clint_mtimecmp;
+        } else {
+            clint_mtimecmp = *wp;
+            CTE_trigger_irq(7, 0);   /* writing mtimecmp clears the line */
+            unsigned int now = CTE_get_cycles();
+            if (now >= clint_mtimecmp) CTE_trigger_irq(7, 1);
+            else CTE_notify((void *)&clint_tick, clint_mtimecmp - now);
+        }
+    } else if (addr == 0xbff8) {     /* mtime (low word) */
+        if (is_read) *wp = CTE_get_cycles();
+    } else {
+        CTE_assert(0);
+    }
+    CTE_return();
+}
+`
+
+// sensorModel is the paper's Fig. 2 sensor peripheral, ported verbatim:
+// three memory-mapped registers (scaler, filter, data), periodic data
+// generation with symbolic values constrained to the sensor range, and
+// the seeded off-by-one bug in the filter post-processing (line 45 of
+// Fig. 2: "should use minus one instead of plus one").
+const sensorModel = `
+#ifndef CYCLES_PER_MS
+#define CYCLES_PER_MS 1000
+#endif
+#ifndef MIN_SENSOR_VALUE
+#define MIN_SENSOR_VALUE 16
+#endif
+#ifndef MAX_SENSOR_VALUE
+#define MAX_SENSOR_VALUE 64
+#endif
+#define SCALER_REG_ADDR 0x00
+#define FILTER_REG_ADDR 0x04
+#define DATA_REG_ADDR   0x08
+
+unsigned int sensor_scaler = 25;
+unsigned int sensor_filter = 0;
+unsigned int sensor_data = 0;
+unsigned char sensor_buf[8];
+
+void plic_raise(unsigned int src);
+
+#ifdef SENSOR_CONCRETE
+static unsigned int sensor_lcg = 77777;
+#endif
+
+void sensor_update(void) {
+#ifdef SENSOR_CONCRETE
+    /* concrete-VP mode: pseudo-random data in the sensor range */
+    sensor_lcg = sensor_lcg * 1103515245 + 12345;
+    sensor_data = MIN_SENSOR_VALUE + (sensor_lcg >> 8) % (MAX_SENSOR_VALUE - MIN_SENSOR_VALUE + 1);
+#else
+    /* overwrite data with new concolic bytes */
+    CTE_make_symbolic(&sensor_data, sizeof(sensor_data), "d");
+    CTE_assume(sensor_data >= MIN_SENSOR_VALUE && sensor_data <= MAX_SENSOR_VALUE);
+#endif
+    sensor_data -= sensor_filter;
+
+    /* PLIC receives interrupts, prioritizes them, notifies the VP */
+    plic_raise(2 /* IRQ_NUMBER */);
+
+    /* corresponds to a simple thread wait in SystemC */
+    CTE_notify((void *)&sensor_update, sensor_scaler * CYCLES_PER_MS);
+    CTE_return();
+}
+
+void sensor_transport(unsigned int addr, unsigned char *data, unsigned int size, unsigned int is_read) {
+    CTE_assert(size == 4);  /* only whole-register access */
+    unsigned int *vptr = (unsigned int *)data;
+    unsigned int *reg = 0;
+
+    /* pre-process actions */
+    if (addr == SCALER_REG_ADDR) {
+        if (!is_read)
+            CTE_notify((void *)&sensor_update, sensor_scaler * CYCLES_PER_MS);
+        reg = &sensor_scaler;
+    } else if (addr == DATA_REG_ADDR) {
+        reg = &sensor_data;
+    } else if (addr == FILTER_REG_ADDR) {
+        reg = &sensor_filter;
+    } else {
+        CTE_assert(0 && "invalid addr");
+    }
+
+    if (is_read) *vptr = *reg;
+    else *reg = *vptr;
+
+    /* post-process actions */
+    if (addr == FILTER_REG_ADDR && !is_read) {
+        if (sensor_filter >= MIN_SENSOR_VALUE)
+#ifdef SENSOR_BUG_FIXED
+            sensor_filter = MIN_SENSOR_VALUE - 1;
+#else
+            sensor_filter = MIN_SENSOR_VALUE + 1;   /* seeded bug (Fig. 2 line 45) */
+#endif
+    }
+
+    CTE_return();
+}
+`
+
+// netcardModel holds a 512-byte packet buffer with symbolic content and
+// a symbolic size N <= 512 (paper §4.2.1). Register map: 0x0 CTRL
+// (write 1: receive next packet -> raises IRQ), 0x4 RX_SIZE, 0x8
+// DMA_ADDR, 0xc DMA_START (copies the packet into guest memory).
+const netcardModel = `
+#define NET_PKT_CAP 512
+#ifndef NET_PKT_MAX
+#define NET_PKT_MAX 512
+#endif
+
+unsigned char net_packet[NET_PKT_CAP];
+unsigned int net_rx_size = 0;
+unsigned int net_dma_addr = 0;
+unsigned int net_pkts_injected = 0;
+unsigned char net_buf[8];
+
+void plic_raise(unsigned int src);
+
+static void net_receive_packet(void) {
+    CTE_make_symbolic(net_packet, NET_PKT_CAP, "pkt");
+    CTE_make_symbolic(&net_rx_size, sizeof(net_rx_size), "N");
+    CTE_assume(net_rx_size <= NET_PKT_MAX);
+    net_pkts_injected++;
+    plic_raise(3 /* NetcardIRQ */);
+}
+
+void net_transport(unsigned int addr, unsigned char *data, unsigned int size, unsigned int is_read) {
+    unsigned int *wp = (unsigned int *)data;
+    CTE_assert(size == 4);
+    if (addr == 0x0) {
+        if (!is_read && *wp == 1) net_receive_packet();
+        else if (is_read) *wp = net_pkts_injected;
+    } else if (addr == 0x4) {
+        if (is_read) *wp = net_rx_size;
+    } else if (addr == 0x8) {
+        if (is_read) *wp = net_dma_addr;
+        else net_dma_addr = *wp;
+    } else if (addr == 0xc) {
+        if (!is_read && net_dma_addr != 0) {
+            unsigned int n = net_rx_size;
+            if (n > NET_PKT_CAP) n = NET_PKT_CAP;
+            memcpy((void *)net_dma_addr, net_packet, n);
+        }
+    } else {
+        CTE_assert(0);
+    }
+    CTE_return();
+}
+`
+
+// Standard peripheral sets. Each returns the sources to link and the
+// specs to map.
+
+// SensorPeriph returns the sensor+PLIC combination of the paper's
+// running example.
+func SensorPeriph() ([]Source, []PeriphSpec) {
+	return []Source{
+			C("plic.c", plicModel),
+			C("sensor.c", sensorModel),
+		}, []PeriphSpec{
+			{Name: "sensor", Base: SensorBase, Size: PeriphSize, TransportSym: "sensor_transport", BufSym: "sensor_buf"},
+			{Name: "plic", Base: PLICBase, Size: PeriphSize, TransportSym: "plic_transport", BufSym: "plic_buf"},
+		}
+}
+
+// RTOSPeriphs returns the full peripheral set used by the mini-RTOS
+// TCP/IP evaluation: PLIC + CLINT + netcard.
+func RTOSPeriphs() ([]Source, []PeriphSpec) {
+	return []Source{
+			C("plic.c", plicModel),
+			C("clint.c", clintModel),
+			C("netcard.c", netcardModel),
+		}, []PeriphSpec{
+			{Name: "plic", Base: PLICBase, Size: PeriphSize, TransportSym: "plic_transport", BufSym: "plic_buf"},
+			{Name: "clint", Base: CLINTBase, Size: PeriphSize, TransportSym: "clint_transport", BufSym: "clint_buf"},
+			{Name: "netcard", Base: NetcardBase, Size: PeriphSize, TransportSym: "net_transport", BufSym: "net_buf"},
+		}
+}

@@ -1,0 +1,304 @@
+package guest
+
+// mrtos is a miniature FreeRTOS-like kernel: statically allocated tasks
+// with dedicated stacks and real context switching (callee-saved register
+// frames, like FreeRTOS's cooperative configuration), a tick counter
+// driven by CLINT timer interrupts, vTaskDelay, message queues with
+// blocking send/receive, and the pvPortMalloc/vPortFree memory-management
+// API. It substitutes FreeRTOS v10.0.0 + its RISC-V port in the paper's
+// §4.2 evaluation.
+
+// ctxSwitchAsm is the context-switch primitive: saves the callee-saved
+// register frame on the current stack and resumes another one.
+const ctxSwitchAsm = `
+.text
+.align 2
+# void mrtos_ctx_switch(unsigned int **save_sp, unsigned int *load_sp)
+.globl mrtos_ctx_switch
+mrtos_ctx_switch:
+	addi sp, sp, -56
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	sw s3, 16(sp)
+	sw s4, 20(sp)
+	sw s5, 24(sp)
+	sw s6, 28(sp)
+	sw s7, 32(sp)
+	sw s8, 36(sp)
+	sw s9, 40(sp)
+	sw s10, 44(sp)
+	sw s11, 48(sp)
+	sw sp, 0(a0)
+	mv sp, a1
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	lw s3, 16(sp)
+	lw s4, 20(sp)
+	lw s5, 24(sp)
+	lw s6, 28(sp)
+	lw s7, 32(sp)
+	lw s8, 36(sp)
+	lw s9, 40(sp)
+	lw s10, 44(sp)
+	lw s11, 48(sp)
+	addi sp, sp, 56
+	ret
+
+# First activation of a task: the initial frame put s0 = task function,
+# s1 = argument; jump there.
+.globl mrtos_task_bootstrap
+mrtos_task_bootstrap:
+	mv a0, s1
+	jalr ra, 0(s0)
+	# A task function returned: delete the current task.
+	call vTaskDeleteSelf
+.Lmrtos_halt:
+	j .Lmrtos_halt
+`
+
+// mrtosKernel is the kernel proper.
+const mrtosKernel = `
+#define MRTOS_MAX_TASKS 8
+#define TASK_UNUSED 0
+#define TASK_READY 1
+#define TASK_BLOCKED 2
+#define TASK_DELETED 3
+
+#ifndef MRTOS_TICK_CYCLES
+#define MRTOS_TICK_CYCLES 10000
+#endif
+
+void mrtos_ctx_switch(unsigned int **save_sp, unsigned int *load_sp);
+void mrtos_task_bootstrap(void);
+
+typedef struct tcb {
+    unsigned int *sp;
+    unsigned int state;
+    unsigned int wake_tick;
+    unsigned int prio;
+    const char *name;
+} tcb_t;
+
+tcb_t mrtos_tasks[MRTOS_MAX_TASKS];
+unsigned int mrtos_cur = 0;
+volatile unsigned int xTickCount = 0;
+unsigned int mrtos_started = 0;
+unsigned int *mrtos_sched_sp = 0;   /* scheduler (main) context */
+
+unsigned int *CLINT_MTIMECMP = (unsigned int *)0x10024000;
+unsigned int *CLINT_MTIME = (unsigned int *)0x1002bff8;
+
+static void mrtos_arm_tick(void) {
+    *CLINT_MTIMECMP = *CLINT_MTIME + MRTOS_TICK_CYCLES;
+}
+
+void mrtos_tick_handler(void) {
+    xTickCount = xTickCount + 1;
+    mrtos_arm_tick();
+}
+
+/* xTaskCreate: static stacks, priority 0..3 (higher runs first). */
+int xTaskCreate(void (*fn)(void *), const char *name, unsigned int *stack,
+                unsigned int stack_words, void *arg, unsigned int prio) {
+    unsigned int i;
+    for (i = 0; i < MRTOS_MAX_TASKS; i++) {
+        if (mrtos_tasks[i].state == TASK_UNUSED) {
+            unsigned int *top = stack + stack_words;
+            /* Build the initial callee-saved frame for ctx_switch. */
+            top -= 14;
+            top[0] = (unsigned int)&mrtos_task_bootstrap;  /* ra */
+            top[1] = (unsigned int)fn;                     /* s0 */
+            top[2] = (unsigned int)arg;                    /* s1 */
+            unsigned int k;
+            for (k = 3; k < 14; k++) top[k] = 0;
+            mrtos_tasks[i].sp = top;
+            mrtos_tasks[i].state = TASK_READY;
+            mrtos_tasks[i].wake_tick = 0;
+            mrtos_tasks[i].prio = prio;
+            mrtos_tasks[i].name = name;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/* mrtos_pick: highest priority ready task, round robin among equals. */
+static int mrtos_pick(void) {
+    int best = -1;
+    unsigned int bestprio = 0;
+    unsigned int i;
+    unsigned int tick = xTickCount;
+    for (i = 0; i < MRTOS_MAX_TASKS; i++) {
+        unsigned int idx = (mrtos_cur + 1 + i) % MRTOS_MAX_TASKS;
+        tcb_t *t = &mrtos_tasks[idx];
+        if (t->state == TASK_BLOCKED && t->wake_tick != 0 && tick >= t->wake_tick) {
+            t->state = TASK_READY;
+            t->wake_tick = 0;
+        }
+        if (t->state == TASK_READY) {
+            if (best < 0 || t->prio > bestprio) {
+                best = (int)idx;
+                bestprio = t->prio;
+            }
+        }
+    }
+    return best;
+}
+
+/* taskYIELD: switch to the next ready task, or back to the scheduler
+   loop when nothing is ready. */
+void taskYIELD(void) {
+    if (!mrtos_started) return;
+    int next = mrtos_pick();
+    unsigned int cur = mrtos_cur;
+    if (next < 0) {
+        /* Nothing ready: return to the scheduler idle loop. */
+        mrtos_ctx_switch(&mrtos_tasks[cur].sp, mrtos_sched_sp);
+        return;
+    }
+    if ((unsigned int)next == cur) return;
+    mrtos_cur = (unsigned int)next;
+    mrtos_ctx_switch(&mrtos_tasks[cur].sp, mrtos_tasks[next].sp);
+}
+
+void vTaskDelay(unsigned int ticks) {
+    tcb_t *t = &mrtos_tasks[mrtos_cur];
+    t->state = TASK_BLOCKED;
+    t->wake_tick = xTickCount + ticks;
+    if (t->wake_tick == 0) t->wake_tick = 1;
+    taskYIELD();
+}
+
+void vTaskDeleteSelf(void) {
+    mrtos_tasks[mrtos_cur].state = TASK_DELETED;
+    taskYIELD();
+}
+
+/* vTaskStartScheduler: arm the tick, run tasks until none remain
+   runnable or blockable; wfi while every task is blocked. */
+void vTaskStartScheduler(void) {
+    __install_trap_entry();
+    register_timer_handler(mrtos_tick_handler);
+    __set_mie_mask((1 << 7) | (1 << 11));  /* MTIE | MEIE */
+    __enable_mie();
+    mrtos_arm_tick();
+    mrtos_started = 1;
+    for (;;) {
+        int next = mrtos_pick();
+        if (next >= 0) {
+            mrtos_cur = (unsigned int)next;
+            mrtos_ctx_switch(&mrtos_sched_sp, mrtos_tasks[next].sp);
+            continue;
+        }
+        /* Anything still blocked? Then wait for an interrupt. */
+        unsigned int i;
+        int blocked = 0;
+        for (i = 0; i < MRTOS_MAX_TASKS; i++) {
+            if (mrtos_tasks[i].state == TASK_BLOCKED) blocked = 1;
+        }
+        if (!blocked) return;  /* all tasks deleted: scheduler exits */
+        __wfi();
+    }
+}
+
+/* ---- queues ---- */
+
+typedef struct queue {
+    unsigned char *storage;
+    unsigned int item_size;
+    unsigned int capacity;
+    unsigned int count;
+    unsigned int head;   /* next slot to read */
+} queue_t;
+
+void xQueueInit(queue_t *q, void *storage, unsigned int item_size, unsigned int capacity) {
+    q->storage = (unsigned char *)storage;
+    q->item_size = item_size;
+    q->capacity = capacity;
+    q->count = 0;
+    q->head = 0;
+}
+
+/* Returns 1 on success, 0 on timeout. timeout in ticks; 0xffffffff
+   blocks forever. */
+int xQueueSend(queue_t *q, const void *item, unsigned int timeout) {
+    unsigned int start = xTickCount;
+    while (q->count == q->capacity) {
+        if (timeout != 0xffffffff && xTickCount - start >= timeout) return 0;
+        taskYIELD();
+    }
+    unsigned int slot = (q->head + q->count) % q->capacity;
+    memcpy(q->storage + slot * q->item_size, item, q->item_size);
+    q->count = q->count + 1;
+    return 1;
+}
+
+int xQueueReceive(queue_t *q, void *item, unsigned int timeout) {
+    unsigned int start = xTickCount;
+    while (q->count == 0) {
+        if (timeout != 0xffffffff && xTickCount - start >= timeout) return 0;
+        /* Block with a wake tick so the scheduler's wfi can make
+           progress on pure-timer workloads. */
+        tcb_t *t = &mrtos_tasks[mrtos_cur];
+        t->state = TASK_BLOCKED;
+        t->wake_tick = xTickCount + 1;
+        taskYIELD();
+    }
+    memcpy(item, q->storage + q->head * q->item_size, q->item_size);
+    q->head = (q->head + 1) % q->capacity;
+    q->count = q->count - 1;
+    return 1;
+}
+
+/* ---- FreeRTOS memory management API (heap wrapper) ---- */
+
+void *pvPortMalloc(unsigned int size) {
+    return malloc(size);
+}
+
+void vPortFree(void *p) {
+    free(p);
+}
+`
+
+// mrtosHeader declares the kernel API for application units.
+const mrtosHeader = `
+typedef struct tcb {
+    unsigned int *sp;
+    unsigned int state;
+    unsigned int wake_tick;
+    unsigned int prio;
+    const char *name;
+} tcb_t;
+typedef struct queue {
+    unsigned char *storage;
+    unsigned int item_size;
+    unsigned int capacity;
+    unsigned int count;
+    unsigned int head;
+} queue_t;
+int xTaskCreate(void (*fn)(void *), const char *name, unsigned int *stack,
+                unsigned int stack_words, void *arg, unsigned int prio);
+void vTaskStartScheduler(void);
+void vTaskDelay(unsigned int ticks);
+void taskYIELD(void);
+void vTaskDeleteSelf(void);
+void xQueueInit(queue_t *q, void *storage, unsigned int item_size, unsigned int capacity);
+int xQueueSend(queue_t *q, const void *item, unsigned int timeout);
+int xQueueReceive(queue_t *q, void *item, unsigned int timeout);
+void *pvPortMalloc(unsigned int size);
+void vPortFree(void *p);
+extern volatile unsigned int xTickCount;
+`
+
+// RTOSSources returns the kernel sources to link into an RTOS program.
+func RTOSSources() []Source {
+	return []Source{
+		Asm("ctxswitch.s", ctxSwitchAsm),
+		C("mrtos.c", mrtosKernel),
+	}
+}

@@ -1,0 +1,115 @@
+package guest
+
+// freertosSensorApp embeds the sensor application into RTOS tasks
+// (Table 1's freertos-sensor benchmark): a high-priority sensor task
+// consumes interrupt-driven sensor samples while a low-priority worker
+// task crunches in the background under the preemptible tick.
+const freertosSensorApp = `
+#ifndef NSAMPLES
+#define NSAMPLES 3
+#endif
+#ifndef MAX_SENSOR_VALUE
+#define MAX_SENSOR_VALUE 64
+#endif
+
+unsigned int *SENSOR_SCALER_REG = (unsigned int *)0x10000000;
+unsigned int *SENSOR_FILTER_REG = (unsigned int *)0x10000004;
+unsigned int *SENSOR_DATA_REG = (unsigned int *)0x10000008;
+
+volatile unsigned int s_has_data = 0;
+volatile unsigned int sample_count = 0;
+unsigned int sensor_checksum = 0;
+volatile unsigned int worker_iters = 0;
+
+unsigned int sensor_task_stack[512];
+unsigned int worker_task_stack[512];
+
+void sensor_irq(void) {
+    s_has_data = 1;
+}
+
+void sensor_task(void *arg) {
+    register_interrupt_handler(2, sensor_irq);
+    *SENSOR_FILTER_REG = 5;   /* below MIN: the buggy rewrite is dormant */
+    *SENSOR_SCALER_REG = 20;  /* new data every 20 ms (longer than the
+                                 interrupt service path, avoiding an
+                                 interrupt storm) */
+    while (sample_count < NSAMPLES) {
+        while (!s_has_data) {
+            vTaskDelay(1);
+        }
+        s_has_data = 0;
+        unsigned int n = *SENSOR_DATA_REG;
+#ifdef SENSOR_SYMBOLIC_CHECK
+        CTE_assert(n <= MAX_SENSOR_VALUE);
+#endif
+        sensor_checksum += n;
+        sample_count = sample_count + 1;
+    }
+    CTE_exit(0);
+}
+
+void worker_task(void *arg) {
+    unsigned int x = 1;
+    for (;;) {
+        x = x * 1103515245 + 12345;
+        worker_iters = worker_iters + 1;
+        if ((x & 0x3ff) == 0) vTaskDelay(1);
+        taskYIELD();
+    }
+}
+
+int main(void) {
+    xTaskCreate(sensor_task, "sensor", sensor_task_stack, 512, (void *)0, 2);
+    xTaskCreate(worker_task, "worker", worker_task_stack, 512, (void *)0, 1);
+    vTaskStartScheduler();
+    return 0;
+}
+`
+
+// FreeRTOSSensorProgram builds the RTOS-hosted sensor benchmark.
+// symbolic selects the /s variant (symbolic sensor data + assertion);
+// the concrete variant drives the sensor with pseudo-random data.
+func FreeRTOSSensorProgram(symbolic bool, samples int) Program {
+	periphSrcs, _ := SensorPeriph()
+	clintSpec := PeriphSpec{Name: "clint", Base: CLINTBase, Size: PeriphSize, TransportSym: "clint_transport", BufSym: "clint_buf"}
+	specs := []PeriphSpec{
+		{Name: "sensor", Base: SensorBase, Size: PeriphSize, TransportSym: "sensor_transport", BufSym: "sensor_buf"},
+		{Name: "plic", Base: PLICBase, Size: PeriphSize, TransportSym: "plic_transport", BufSym: "plic_buf"},
+		clintSpec,
+	}
+	defines := map[string]string{}
+	if samples > 0 {
+		defines["NSAMPLES"] = itoa(samples)
+	}
+	if symbolic {
+		defines["SENSOR_SYMBOLIC_CHECK"] = "1"
+	} else {
+		defines["SENSOR_CONCRETE"] = "1"
+	}
+	srcs := append([]Source{}, RTOSSources()...)
+	srcs = append(srcs, periphSrcs...)
+	srcs = append(srcs, C("clint.c", clintModel))
+	srcs = append(srcs, C("app.c", mrtosHeader+freertosSensorApp))
+	return Program{
+		Name:        "freertos-sensor",
+		Sources:     srcs,
+		Peripherals: specs,
+		Defines:     defines,
+		MaxInstr:    50_000_000,
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,230 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// rtosProgram builds a bare RTOS program with the given app source and
+// the CLINT peripheral (needed for the scheduler tick).
+func rtosProgram(name, app string) Program {
+	srcs := append([]Source{}, RTOSSources()...)
+	srcs = append(srcs, C("clint.c", clintModel), C("app.c", mrtosHeader+app))
+	return Program{
+		Name:    name,
+		Sources: srcs,
+		Peripherals: []PeriphSpec{
+			{Name: "clint", Base: CLINTBase, Size: PeriphSize, TransportSym: "clint_transport", BufSym: "clint_buf"},
+		},
+		MaxInstr: 20_000_000,
+	}
+}
+
+func TestRTOSTwoTasksInterleave(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, rtosProgram("two-tasks", `
+volatile unsigned int log_a = 0;
+volatile unsigned int log_b = 0;
+unsigned int order[8];
+unsigned int order_n = 0;
+unsigned int stack_a[256];
+unsigned int stack_b[256];
+
+void task_a(void *arg) {
+    int i;
+    for (i = 0; i < 3; i++) {
+        log_a = log_a + 1;
+        if (order_n < 8) { order[order_n] = 1; order_n++; }
+        taskYIELD();
+    }
+    vTaskDeleteSelf();
+}
+
+void task_b(void *arg) {
+    int i;
+    for (i = 0; i < 3; i++) {
+        log_b = log_b + 1;
+        if (order_n < 8) { order[order_n] = 2; order_n++; }
+        taskYIELD();
+    }
+    vTaskDeleteSelf();
+}
+
+int main(void) {
+    xTaskCreate(task_a, "a", stack_a, 256, (void *)0, 1);
+    xTaskCreate(task_b, "b", stack_b, 256, (void *)0, 1);
+    vTaskStartScheduler();
+    /* both tasks deleted: scheduler returns */
+    if (log_a != 3 || log_b != 3) return 1;
+    /* equal priority round-robin: strict interleaving */
+    if (order[0] == order[1]) return 2;
+    return 42;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("rtos error: %v", core.Err)
+	}
+	if core.ExitCode != 42 {
+		t.Errorf("exit %d want 42 (1=counts wrong, 2=no interleave)", core.ExitCode)
+	}
+}
+
+func TestRTOSDelayUsesTimer(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, rtosProgram("delay", `
+unsigned int stack_a[256];
+void task_a(void *arg) {
+    unsigned int t0 = xTickCount;
+    vTaskDelay(3);
+    unsigned int dt = xTickCount - t0;
+    if (dt < 3) CTE_exit(1);
+    CTE_exit(0);
+}
+int main(void) {
+    xTaskCreate(task_a, "a", stack_a, 256, (void *)0, 1);
+    vTaskStartScheduler();
+    return 9;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("rtos error: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("vTaskDelay did not wait: exit %d", core.ExitCode)
+	}
+	// Delay of 3 ticks at 10000 cycles per tick.
+	if core.Cycles < 30000 {
+		t.Errorf("cycles %d: the delay must consume simulated time", core.Cycles)
+	}
+}
+
+func TestRTOSQueue(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, rtosProgram("queue", `
+queue_t q;
+unsigned int q_storage[4];
+unsigned int stack_p[256];
+unsigned int stack_c[256];
+unsigned int received_sum = 0;
+
+void producer(void *arg) {
+    unsigned int i;
+    for (i = 1; i <= 6; i++) {
+        xQueueSend(&q, &i, 0xffffffff);
+    }
+    vTaskDeleteSelf();
+}
+
+void consumer(void *arg) {
+    unsigned int v, i;
+    for (i = 0; i < 6; i++) {
+        if (!xQueueReceive(&q, &v, 0xffffffff)) CTE_exit(7);
+        received_sum += v;
+    }
+    CTE_exit(received_sum == 21 ? 0 : 8);
+}
+
+int main(void) {
+    xQueueInit(&q, q_storage, 4, 4);
+    xTaskCreate(producer, "p", stack_p, 256, (void *)0, 1);
+    xTaskCreate(consumer, "c", stack_c, 256, (void *)0, 1);
+    vTaskStartScheduler();
+    return 9;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("rtos error: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("queue test exit %d (7=recv fail, 8=sum wrong, 9=fell out)", core.ExitCode)
+	}
+}
+
+func TestRTOSQueueTimeout(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, rtosProgram("queue-timeout", `
+queue_t q;
+unsigned int q_storage[2];
+unsigned int stack_a[256];
+void task_a(void *arg) {
+    unsigned int v;
+    /* nothing ever sends: must time out */
+    if (xQueueReceive(&q, &v, 2)) CTE_exit(1);
+    CTE_exit(0);
+}
+int main(void) {
+    xQueueInit(&q, q_storage, 4, 2);
+    xTaskCreate(task_a, "a", stack_a, 256, (void *)0, 1);
+    vTaskStartScheduler();
+    return 9;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("rtos error: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("timeout test exit %d", core.ExitCode)
+	}
+}
+
+func TestFreeRTOSSensorConcrete(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, FreeRTOSSensorProgram(false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("freertos-sensor error: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("exit %d", core.ExitCode)
+	}
+	if b.NumVars() != 0 {
+		t.Errorf("concrete variant must not create symbolic variables, got %d", b.NumVars())
+	}
+}
+
+func TestFreeRTOSSensorSymbolic(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, FreeRTOSSensorProgram(true, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: 60})
+	rep := eng.Run()
+	// filter = 5 < MIN: the seeded sensor bug is dormant, so no findings;
+	// but multiple paths from the symbolic sensor range assumes.
+	for _, f := range rep.Findings {
+		if f.Err.Kind != iss.ErrAssertFail {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("filter below MIN keeps data in range; findings: %v", rep.Findings)
+	}
+	// One in-range path per consumed sample plus the out-of-range
+	// prunes; the exact count depends on which models the solver picks.
+	if rep.Paths < 3 {
+		t.Errorf("expected at least 3 explored paths, got %d", rep.Paths)
+	}
+	if rep.TotalInstr < 50_000 {
+		t.Errorf("combined instruction count too small: %d", rep.TotalInstr)
+	}
+	t.Logf("freertos-sensor/s: %v", rep)
+}

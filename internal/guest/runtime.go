@@ -1,0 +1,333 @@
+// Package guest builds RISC-V guest programs: mini-C and assembly
+// sources are compiled (internal/cc), assembled (internal/asm), linked
+// into an ELF (internal/relf) and loaded into a concolic VP
+// (internal/iss) with peripherals bound by ELF symbol name, mirroring the
+// paper's flow of compiling the software under test together with the
+// CTE SW-library into a combined RISC-V ELF (§3.1.1).
+package guest
+
+// crt0 is the program entry: the ISS initializes sp; crt0 calls main and
+// exits with its return value.
+const crt0 = `
+.text
+.align 2
+.globl _start
+_start:
+	call main
+	li a7, 0
+	ecall
+`
+
+// cteLib is the CTE-interface SW-library (paper Fig. 1): thin ecall
+// wrappers. Argument registers a0..a2 already hold the C arguments; a7
+// selects the interface function.
+const cteLib = `
+.text
+.align 2
+.globl CTE_exit
+CTE_exit:
+	li a7, 0
+	ecall
+	ret
+
+.globl CTE_make_symbolic
+CTE_make_symbolic:
+	li a7, 1
+	ecall
+	ret
+
+.globl CTE_assume
+CTE_assume:
+	li a7, 2
+	ecall
+	ret
+
+.globl CTE_assert
+CTE_assert:
+	li a7, 3
+	ecall
+	ret
+
+.globl CTE_notify
+CTE_notify:
+	li a7, 4
+	ecall
+	ret
+
+.globl CTE_return
+CTE_return:
+	li a7, 5
+	ecall
+	ret
+
+.globl CTE_get_cycles
+CTE_get_cycles:
+	li a7, 6
+	ecall
+	ret
+
+.globl CTE_trigger_irq
+CTE_trigger_irq:
+	li a7, 7
+	ecall
+	ret
+
+.globl CTE_register_protected_memory
+CTE_register_protected_memory:
+	li a7, 8
+	ecall
+	ret
+
+.globl CTE_free_protected_memory
+CTE_free_protected_memory:
+	li a7, 9
+	ecall
+	ret
+
+.globl cte_putchar
+cte_putchar:
+	li a7, 10
+	ecall
+	ret
+
+.globl CTE_cancel_notify
+CTE_cancel_notify:
+	li a7, 11
+	ecall
+	ret
+
+.globl CTE_is_symbolic
+CTE_is_symbolic:
+	li a7, 12
+	ecall
+	ret
+
+# Trap entry: saves caller-saved registers, calls the C-level handler
+# (trap_handler), restores and mret. Installed by runtime_init.
+.globl __trap_entry
+.align 2
+__trap_entry:
+	addi sp, sp, -64
+	sw ra, 0(sp)
+	sw t0, 4(sp)
+	sw t1, 8(sp)
+	sw t2, 12(sp)
+	sw a0, 16(sp)
+	sw a1, 20(sp)
+	sw a2, 24(sp)
+	sw a3, 28(sp)
+	sw a4, 32(sp)
+	sw a5, 36(sp)
+	sw a6, 40(sp)
+	sw a7, 44(sp)
+	sw t3, 48(sp)
+	sw t4, 52(sp)
+	sw t5, 56(sp)
+	sw t6, 60(sp)
+	csrr a0, mcause
+	call trap_handler
+	lw ra, 0(sp)
+	lw t0, 4(sp)
+	lw t1, 8(sp)
+	lw t2, 12(sp)
+	lw a0, 16(sp)
+	lw a1, 20(sp)
+	lw a2, 24(sp)
+	lw a3, 28(sp)
+	lw a4, 32(sp)
+	lw a5, 36(sp)
+	lw a6, 40(sp)
+	lw a7, 44(sp)
+	lw t3, 48(sp)
+	lw t4, 52(sp)
+	lw t5, 56(sp)
+	lw t6, 60(sp)
+	addi sp, sp, 64
+	mret
+
+.globl __install_trap_entry
+__install_trap_entry:
+	la t0, __trap_entry
+	csrw mtvec, t0
+	ret
+
+.globl __enable_mie
+__enable_mie:
+	csrrsi zero, mstatus, 8
+	ret
+
+.globl __disable_mie
+__disable_mie:
+	csrrci zero, mstatus, 8
+	ret
+
+.globl __set_mie_mask
+__set_mie_mask:
+	csrw mie, a0
+	ret
+
+.globl __wfi
+__wfi:
+	wfi
+	ret
+
+# Dedicated stack for peripheral software models.
+.bss
+.align 4
+__periph_stack:
+	.space 4096
+.globl __periph_stack_top
+__periph_stack_top:
+	.space 16
+`
+
+// libc is the runtime C library subset the guests rely on.
+const libc = `
+typedef unsigned int size_t;
+
+void cte_putchar(int c);
+
+void *memcpy(void *dst, const void *src, size_t n) {
+    unsigned char *d = (unsigned char *)dst;
+    const unsigned char *s = (const unsigned char *)src;
+    // Word-wise fast path when both pointers are aligned.
+    while (n >= 4 && (((unsigned int)d | (unsigned int)s) & 3) == 0) {
+        *(unsigned int *)d = *(const unsigned int *)s;
+        d += 4; s += 4; n -= 4;
+    }
+    while (n > 0) { *d = *s; d++; s++; n--; }
+    return dst;
+}
+
+void *memmove(void *dst, const void *src, size_t n) {
+    unsigned char *d = (unsigned char *)dst;
+    const unsigned char *s = (const unsigned char *)src;
+    if (d < s) {
+        while (n > 0) { *d = *s; d++; s++; n--; }
+    } else if (d > s) {
+        d += n; s += n;
+        while (n > 0) { d--; s--; *d = *s; n--; }
+    }
+    return dst;
+}
+
+void *memset(void *dst, int v, size_t n) {
+    unsigned char *d = (unsigned char *)dst;
+    unsigned char b = (unsigned char)v;
+    unsigned int word = (unsigned int)b;
+    word |= word << 8;
+    word |= word << 16;
+    while (n >= 4 && ((unsigned int)d & 3) == 0) {
+        *(unsigned int *)d = word;
+        d += 4; n -= 4;
+    }
+    while (n > 0) { *d = b; d++; n--; }
+    return dst;
+}
+
+int memcmp(const void *a, const void *b, size_t n) {
+    const unsigned char *pa = (const unsigned char *)a;
+    const unsigned char *pb = (const unsigned char *)b;
+    while (n > 0) {
+        if (*pa != *pb) return (int)*pa - (int)*pb;
+        pa++; pb++; n--;
+    }
+    return 0;
+}
+
+size_t strlen(const char *s) {
+    size_t n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int strcmp(const char *a, const char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return (int)*a - (int)*b;
+}
+
+int strncmp(const char *a, const char *b, size_t n) {
+    while (n > 0 && *a && *a == *b) { a++; b++; n--; }
+    if (n == 0) return 0;
+    return (int)*a - (int)*b;
+}
+
+char *strcpy(char *dst, const char *src) {
+    char *d = dst;
+    while ((*d = *src) != 0) { d++; src++; }
+    return dst;
+}
+
+void puts_(const char *s) {
+    while (*s) { cte_putchar((int)*s); s++; }
+    cte_putchar('\n');
+}
+
+void print_str(const char *s) {
+    while (*s) { cte_putchar((int)*s); s++; }
+}
+
+void print_u32(unsigned int v) {
+    char buf[12];
+    int i = 0;
+    if (v == 0) { cte_putchar('0'); return; }
+    while (v > 0) { buf[i] = (char)('0' + v % 10); v /= 10; i++; }
+    while (i > 0) { i--; cte_putchar((int)buf[i]); }
+}
+
+void print_hex(unsigned int v) {
+    int i;
+    print_str("0x");
+    for (i = 28; i >= 0; i -= 4) {
+        unsigned int d = (v >> (unsigned int)i) & 0xf;
+        if (d < 10) cte_putchar((int)('0' + d));
+        else cte_putchar((int)('a' + d - 10));
+    }
+}
+
+/* First-fit free-list allocator over a static heap. */
+#define HEAP_SIZE 262144
+static unsigned char heap_area[HEAP_SIZE];
+typedef struct blockhdr { size_t size; struct blockhdr *next; int used; } blockhdr_t;
+static blockhdr_t *heap_head = 0;
+
+static void heap_init(void) {
+    heap_head = (blockhdr_t *)heap_area;
+    heap_head->size = HEAP_SIZE - sizeof(blockhdr_t);
+    heap_head->next = 0;
+    heap_head->used = 0;
+}
+
+void *malloc(size_t n) {
+    if (heap_head == 0) heap_init();
+    n = (n + 7u) & ~7u;
+    blockhdr_t *b = heap_head;
+    while (b) {
+        if (!b->used && b->size >= n) {
+            if (b->size >= n + sizeof(blockhdr_t) + 8) {
+                blockhdr_t *rest = (blockhdr_t *)((unsigned char *)b + sizeof(blockhdr_t) + n);
+                rest->size = b->size - n - sizeof(blockhdr_t);
+                rest->next = b->next;
+                rest->used = 0;
+                b->next = rest;
+                b->size = n;
+            }
+            b->used = 1;
+            return (void *)((unsigned char *)b + sizeof(blockhdr_t));
+        }
+        b = b->next;
+    }
+    return 0;
+}
+
+void free(void *p) {
+    if (p == 0) return;
+    blockhdr_t *b = (blockhdr_t *)((unsigned char *)p - sizeof(blockhdr_t));
+    b->used = 0;
+    // Coalesce with the next block when free.
+    if (b->next && !b->next->used) {
+        b->size += b->next->size + sizeof(blockhdr_t);
+        b->next = b->next->next;
+    }
+}
+`

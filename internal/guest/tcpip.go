@@ -1,0 +1,359 @@
+package guest
+
+// mtcp is the miniature TCP/IP stack evaluated in §4.2: a platform-
+// independent IP task processes packets delivered by a network driver
+// through a queue; UDP payloads are dispatched to DNS (port 53) and NBNS
+// (port 137) responders, TCP segments are matched against a listening
+// socket and their options parsed. Six heap-buffer-overflow bugs of the
+// same classes as the paper's Table 2 findings are seeded and
+// individually fixable with FIX_BUG1..FIX_BUG6 defines:
+//
+//  1. IP total-length underflow -> memmove with a size close to UINT_MAX
+//  2. DNS/NBNS header fields and name labels read without bounds checks
+//  3. DNS reply generator copies the query name into a fixed reply
+//     buffer without a length check (heap corruption)
+//  4. TCP option walker trusts the data-offset/option-length fields
+//  5. NBNS trusts a 16-bit record length, allocating a large reply and
+//     filling it from far beyond the much smaller input buffer
+//  6. NBNS sizes its reply buffer from the packet's UDP length field,
+//     which can be smaller than the fixed reply it then writes
+//
+// Heap accesses are guarded by the paper's Fig. 5 pvPortMalloc/vPortFree
+// wrappers (protected zones before and after each block); the -Wl,-wrap
+// linker trick is replicated with object-like macros.
+const mtcpStack = `
+/* ---- Fig. 5: heap guard wrappers ---- */
+#define PROT_ZONE_SIZE 512
+
+void *__wrap_pvPortMalloc(unsigned int xWantedSize) {
+    unsigned int xSize = xWantedSize + 2 * PROT_ZONE_SIZE;
+    unsigned char *p = (unsigned char *)pvPortMalloc(xSize);
+    if (p == 0) return 0;
+    void *addr = (void *)(p + PROT_ZONE_SIZE);
+    CTE_register_protected_memory(addr, xWantedSize, PROT_ZONE_SIZE);
+    return addr;
+}
+
+void __wrap_vPortFree(void *pv) {
+    CTE_assert(pv != 0);
+    CTE_free_protected_memory(pv);
+    void *pv_real = (void *)((unsigned char *)pv - PROT_ZONE_SIZE);
+    vPortFree(pv_real);
+}
+
+/* Redirect the stack's allocations through the wrappers (the paper uses
+   -Wl,-wrap=pvPortMalloc -Wl,-wrap=vPortFree). */
+#define pvPortMalloc __wrap_pvPortMalloc
+#define vPortFree __wrap_vPortFree
+
+/* ---- protocol constants ---- */
+#define IPPROTO_TCP 6
+#define IPPROTO_UDP 17
+#define DNS_PORT 53
+#define NBNS_PORT 137
+#define DNS_REPLY_SIZE 16
+#define NBNS_REPLY_HDR 50
+
+unsigned int tcp_listen_port = 0;   /* 0 = no listening socket */
+unsigned int packets_processed = 0;
+
+static unsigned int rd16(const unsigned char *p) {
+    return ((unsigned int)p[0] << 8) | (unsigned int)p[1];
+}
+
+void vSocketListen(unsigned int port) {
+    tcp_listen_port = port;
+}
+
+/* ---- DNS responder ---- */
+static void prvProcessDNS(unsigned char *p, unsigned int n) {
+    unsigned int flags, qd, off, nameLen, i;
+#ifdef FIX_BUG2
+    if (n < 12) return;
+#endif
+    /* BUG2 when unfixed: header fields read blindly */
+    flags = rd16(p + 2);
+    qd = rd16(p + 4);
+    if (qd == 0) return;
+    off = 12;
+    while (p[off] != 0) {
+        off += (unsigned int)p[off] + 1;
+#ifdef FIX_BUG2
+        if (off >= n) return;
+#endif
+    }
+    nameLen = off - 12;
+    if ((flags & 0x8000) == 0) {
+        /* a query: generate a reply */
+        unsigned char *reply = (unsigned char *)pvPortMalloc(DNS_REPLY_SIZE);
+        if (reply == 0) return;
+        unsigned int m = nameLen + 12;
+#ifdef FIX_BUG3
+        if (m > DNS_REPLY_SIZE) m = DNS_REPLY_SIZE;
+#endif
+        /* BUG3 when unfixed: the copy below overruns the reply buffer */
+        for (i = 0; i < m; i++) reply[i] = p[i];
+        vPortFree(reply);
+    }
+}
+
+/* ---- NBNS responder ---- */
+static void prvProcessNBNS(unsigned char *p, unsigned int n, unsigned int udpLen) {
+    unsigned int flags, qd, rdlen, i;
+    if (n < 13) return;
+    flags = rd16(p + 2);
+    if ((flags & 0x7800) != 0) return;   /* only name queries */
+    qd = rd16(p + 4);
+    if (qd != 1) return;
+    if (p[12] != 0x20) return;           /* NBNS encoded-name marker */
+
+    /* BUG5 when unfixed: a 16-bit record length from the packet is
+       trusted: a large reply is allocated and filled by reading far
+       beyond the received data. */
+    rdlen = rd16(p + 10);
+    if (rdlen > 0) {
+        unsigned char *big = (unsigned char *)pvPortMalloc(rdlen + 20);
+        if (big == 0) return;
+#ifndef FIX_BUG5
+        for (i = 0; i < rdlen; i++) big[20 + i] = p[12 + i];
+#else
+        {
+            unsigned int m = rdlen;
+            if (m > n - 12) m = n - 12;
+            for (i = 0; i < m; i++) big[20 + i] = p[12 + i];
+        }
+#endif
+        vPortFree(big);
+    }
+
+    /* Reply generation for node-status queries (deeper gate). */
+    if (n >= 15 && p[13] == 'C' && p[14] == 'K') {
+        /* BUG6 when unfixed: the reply buffer is sized from the
+           packet's UDP length field, which can undershoot the fixed
+           reply header written below. */
+        unsigned int replyLen = udpLen - 8 + 4;
+#ifdef FIX_BUG6
+        if (replyLen < NBNS_REPLY_HDR) replyLen = NBNS_REPLY_HDR;
+#endif
+        unsigned char *reply = (unsigned char *)pvPortMalloc(replyLen);
+        if (reply == 0) return;
+        for (i = 0; i < NBNS_REPLY_HDR; i++) reply[i] = (unsigned char)(0x80 + i);
+        vPortFree(reply);
+    }
+}
+
+/* ---- TCP segment handling ---- */
+static void prvProcessTCP(unsigned char *p, unsigned int n) {
+    unsigned int dstPort, dataOff, off;
+    if (n < 20) return;
+    dstPort = rd16(p + 2);
+    if (tcp_listen_port == 0 || dstPort != tcp_listen_port) return; /* drop: no socket */
+    dataOff = ((unsigned int)p[12] >> 4) * 4;
+    if (dataOff < 20) return;
+#ifdef FIX_BUG4
+    if (dataOff > n) return;
+#endif
+    /* BUG4 when unfixed: options walked using in-packet lengths without
+       checking against the real segment size. */
+    off = 20;
+    while (off < dataOff) {
+        unsigned int kind = p[off];
+        if (kind == 0) break;       /* end of options */
+        if (kind == 1) { off++; continue; }  /* NOP */
+        {
+#ifdef FIX_BUG4
+            if (off + 1 >= dataOff) break;   /* no room for a length byte */
+#endif
+            unsigned int optlen = p[off + 1];
+            if (optlen < 2) break;
+#ifdef FIX_BUG4
+            if (off + optlen > n) return;
+#endif
+            unsigned int i;
+            unsigned int acc = 0;
+            for (i = 2; i < optlen; i++) acc += p[off + i];
+            (void)acc;
+            off += optlen;
+        }
+    }
+}
+
+/* Internet checksum over the IP header (one's complement sum of
+   16-bit words). */
+static unsigned int ip_header_checksum(const unsigned char *p, unsigned int ihl) {
+    unsigned int sum = 0;
+    unsigned int i;
+    for (i = 0; i < ihl; i += 2) {
+        sum += rd16(p + i);
+    }
+    while (sum > 0xffff) {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    return sum;
+}
+
+/* ---- IP input ---- */
+void prvProcessIPPacket(unsigned char *pkt, unsigned int size) {
+    unsigned int verIhl, ihl, totalLen, dataLen, proto;
+    if (size < 20) return;
+    verIhl = pkt[0];
+    if ((verIhl >> 4) != 4) return;
+    ihl = (verIhl & 0xf) * 4;
+    if (ihl < 20) return;
+    totalLen = rd16(pkt + 2);
+#ifdef NET_CHECKSUM_VALIDATE
+    /* Real stacks verify the header checksum before anything else; with
+       symbolic packet content this forces the solver to construct
+       packets whose one's-complement sum folds to 0xffff. The base
+       20-byte header is always present (size >= 20 was checked). */
+    if (ip_header_checksum(pkt, 20) != 0xffff) return;
+#endif
+#ifdef FIX_BUG1
+    if (totalLen < ihl || totalLen > size) return;
+#endif
+    /* BUG1 when unfixed: totalLen < ihl underflows dataLen and the
+       normalizing memmove runs with a size close to UINT_MAX. */
+    dataLen = totalLen - ihl;
+    proto = pkt[9];
+    if (ihl > 20) {
+        /* strip IP options: compact the payload to a fixed offset */
+        memmove(pkt + 20, pkt + ihl, dataLen);
+        ihl = 20;
+    }
+    if (proto == IPPROTO_UDP) {
+        unsigned char *udp = pkt + ihl;
+        unsigned int udpLen, dstPort;
+        if (dataLen < 8) return;
+        udpLen = rd16(udp + 4);
+        if (udpLen < 8 || udpLen > dataLen) return;
+        dstPort = rd16(udp + 2);
+        if (dstPort == DNS_PORT) prvProcessDNS(udp + 8, udpLen - 8);
+        else if (dstPort == NBNS_PORT) prvProcessNBNS(udp + 8, udpLen - 8, udpLen);
+    } else if (proto == IPPROTO_TCP) {
+        if (dataLen < 20 || dataLen > size) return;
+        prvProcessTCP(pkt + ihl, dataLen);
+    }
+    packets_processed = packets_processed + 1;
+}
+`
+
+// mtcpApp is the test harness of §4.2.1: network driver task + IP task
+// connected by a queue, a listening TCP socket, one symbolic packet
+// injected through the netcard peripheral, and the stop-after-one-packet
+// switch.
+const mtcpApp = `
+unsigned int *NET_CTRL = (unsigned int *)0x10030000;
+unsigned int *NET_RX_SIZE = (unsigned int *)0x10030004;
+unsigned int *NET_DMA_ADDR = (unsigned int *)0x10030008;
+unsigned int *NET_DMA_START = (unsigned int *)0x1003000c;
+
+volatile unsigned int net_irq_seen = 0;
+
+typedef struct pktdesc {
+    unsigned char *data;
+    unsigned int len;
+} pktdesc_t;
+
+queue_t ip_queue;
+unsigned char ip_queue_storage[32];   /* 4 descriptors x 8 bytes */
+
+unsigned int driver_stack[768];
+unsigned int ip_stack[768];
+
+void prvProcessIPPacket(unsigned char *pkt, unsigned int size);
+void vSocketListen(unsigned int port);
+void *__wrap_pvPortMalloc(unsigned int n);
+void __wrap_vPortFree(void *p);
+
+void net_irq_handler(void) {
+    net_irq_seen = 1;
+}
+
+/* The three glue functions of the FreeRTOS porting guide (§4.2.1). */
+unsigned int xNetworkReceiveSize(void) {
+    return *NET_RX_SIZE;
+}
+
+void xNetworkReceiveData(unsigned char *buf) {
+    *NET_DMA_ADDR = (unsigned int)buf;
+    *NET_DMA_START = 1;
+}
+
+void vNetworkDriverTask(void *arg) {
+    register_interrupt_handler(3 /* netcard */, net_irq_handler);
+    *NET_CTRL = 1;                   /* start symbolic testing: inject */
+    while (!net_irq_seen) {
+        vTaskDelay(1);
+    }
+    net_irq_seen = 0;
+    unsigned int size = xNetworkReceiveSize();
+    if (size < 20 || size > 512) {
+        CTE_exit(0);                 /* undersized frame: dropped */
+    }
+    unsigned char *buf = (unsigned char *)__wrap_pvPortMalloc(size);
+    if (buf == 0) CTE_exit(0);
+    xNetworkReceiveData(buf);
+    pktdesc_t d;
+    d.data = buf;
+    d.len = size;
+    xQueueSend(&ip_queue, &d, 0xffffffff);
+    for (;;) vTaskDelay(100);
+}
+
+void vIPTask(void *arg) {
+    pktdesc_t d;
+    xQueueReceive(&ip_queue, &d, 0xffffffff);
+    prvProcessIPPacket(d.data, d.len);
+    __wrap_vPortFree(d.data);
+    /* stop-after-one-packet switch (§4.2.1) */
+    CTE_exit(0);
+}
+
+int main(void) {
+    xQueueInit(&ip_queue, ip_queue_storage, sizeof(pktdesc_t), 4);
+    vSocketListen(7);   /* TCP socket in listening mode */
+    xTaskCreate(vNetworkDriverTask, "drv", driver_stack, 768, (void *)0, 2);
+    xTaskCreate(vIPTask, "ip", ip_stack, 768, (void *)0, 1);
+    vTaskStartScheduler();
+    return 0;
+}
+`
+
+// TCPIPChecksumProgram is TCPIPProgram with IP header checksum
+// validation enabled: every explored packet must carry a correct
+// internet checksum, which the SMT solver has to construct.
+func TCPIPChecksumProgram(fixedBugs uint, pktMax int) Program {
+	p := TCPIPProgram(fixedBugs, pktMax)
+	p.Defines["NET_CHECKSUM_VALIDATE"] = "1"
+	return p
+}
+
+// TCPIPProgram builds the §4.2 evaluation target with the given set of
+// bugs fixed (fixedBugs is a bitmask: bit 0 = FIX_BUG1 ... bit 5 =
+// FIX_BUG6). pktMax bounds the symbolic packet size N (the paper uses
+// 512; smaller values shrink the search space proportionally).
+func TCPIPProgram(fixedBugs uint, pktMax int) Program {
+	periphSrcs, specs := RTOSPeriphs()
+	defines := map[string]string{}
+	for i := 0; i < 6; i++ {
+		if fixedBugs&(1<<i) != 0 {
+			defines["FIX_BUG"+itoa(i+1)] = "1"
+		}
+	}
+	if pktMax > 0 {
+		defines["NET_PKT_MAX"] = itoa(pktMax)
+	}
+	srcs := append([]Source{}, RTOSSources()...)
+	srcs = append(srcs, periphSrcs...)
+	srcs = append(srcs,
+		C("mtcp.c", mrtosHeader+mtcpStack),
+		C("app.c", mrtosHeader+mtcpApp),
+	)
+	return Program{
+		Name:        "freertos-tcpip",
+		Sources:     srcs,
+		Peripherals: specs,
+		Defines:     defines,
+		MaxInstr:    20_000_000,
+	}
+}

@@ -1,0 +1,219 @@
+// Package hostperiph provides host-side concolic-aware peripheral models
+// — the paper's future-work item §5.1 ("C++ peripheral models with a
+// more comprehensive abstraction layer to avoid the current peripheral
+// transformation step"). These models implement iss.HostModel: they run
+// natively on the host but manipulate concolic values directly, so no
+// software-model transformation (and no per-access context switch) is
+// needed. The trade-off is exactly the one §3.1.2 describes: best
+// performance, but concolic-awareness must be implemented per
+// peripheral.
+package hostperiph
+
+import (
+	"rvcte/internal/concolic"
+	"rvcte/internal/iss"
+)
+
+// PLIC is the host-model platform-level interrupt controller. Register
+// layout matches the software model (0x0 claim, 0x4 enable, 0x8 pending,
+// 0x10+4n priority).
+type PLIC struct {
+	Pending  uint32
+	Enable   uint32
+	Priority [32]uint32
+}
+
+// NewPLIC creates a host PLIC with all sources enabled at priority 1.
+func NewPLIC() *PLIC {
+	p := &PLIC{Enable: 0xffffffff}
+	for i := 1; i < 32; i++ {
+		p.Priority[i] = 1
+	}
+	return p
+}
+
+// Raise asserts source src and updates the external line.
+func (p *PLIC) Raise(c *iss.Core, src uint32) {
+	if src == 0 || src >= 32 {
+		return
+	}
+	p.Pending |= 1 << src
+	p.update(c)
+}
+
+func (p *PLIC) update(c *iss.Core) {
+	c.TriggerIRQ(11, p.Pending&p.Enable != 0)
+}
+
+func (p *PLIC) claim(c *iss.Core) uint32 {
+	var best, bestPrio uint32
+	for i := uint32(1); i < 32; i++ {
+		if p.Pending&(1<<i) != 0 && p.Enable&(1<<i) != 0 && p.Priority[i] > bestPrio {
+			best, bestPrio = i, p.Priority[i]
+		}
+	}
+	if best != 0 {
+		p.Pending &^= 1 << best
+		p.update(c)
+	}
+	return best
+}
+
+// Transport implements iss.HostModel.
+func (p *PLIC) Transport(c *iss.Core, addr uint32, size int, v concolic.Value, isRead bool) concolic.Value {
+	switch {
+	case addr == 0x0:
+		if isRead {
+			return concolic.Concrete(p.claim(c))
+		}
+	case addr == 0x4:
+		if isRead {
+			return concolic.Concrete(p.Enable)
+		}
+		p.Enable = c.Concretize(v, "plic enable")
+		p.update(c)
+	case addr == 0x8:
+		if isRead {
+			return concolic.Concrete(p.Pending)
+		}
+	case addr >= 0x10 && addr < 0x10+32*4:
+		idx := (addr - 0x10) / 4
+		if isRead {
+			return concolic.Concrete(p.Priority[idx])
+		}
+		p.Priority[idx] = c.Concretize(v, "plic priority")
+	}
+	return concolic.Concrete(0)
+}
+
+// Notify implements iss.HostModel (the PLIC has no timed processes).
+func (p *PLIC) Notify(c *iss.Core, event uint32) {}
+
+// CloneModel implements iss.HostModel.
+func (p *PLIC) CloneModel() iss.HostModel {
+	cp := *p
+	return &cp
+}
+
+// Sensor is the host-model port of the paper's Fig. 2 sensor: identical
+// register layout, symbolic data generation, range assumption, filter
+// application and the seeded off-by-one bug — but written directly
+// against the concolic API instead of as guest software.
+type Sensor struct {
+	Scaler      concolic.Value
+	Filter      concolic.Value
+	Data        concolic.Value
+	Min         uint32
+	Max         uint32
+	IRQ         uint32
+	Fixed       bool // apply the corrected (minus one) post-processing
+	CyclesPerMS uint64
+}
+
+// NewSensor creates the host sensor with the Fig. 2 defaults.
+func NewSensor(fixed bool) *Sensor {
+	return &Sensor{
+		Scaler: concolic.Concrete(25),
+		Min:    16, Max: 64, IRQ: 2,
+		Fixed:       fixed,
+		CyclesPerMS: 1000,
+	}
+}
+
+// findPLIC locates the (possibly cloned) host PLIC on the core, so
+// cross-model references stay valid after VP cloning.
+func findPLIC(c *iss.Core) *PLIC {
+	for i := range c.Peripherals {
+		if p, ok := c.Peripherals[i].Host.(*PLIC); ok {
+			return p
+		}
+	}
+	return nil
+}
+
+const sensorUpdateEvent = 1
+
+// Notify implements the periodic update process (Fig. 2's update()).
+func (s *Sensor) Notify(c *iss.Core, event uint32) {
+	if event != sensorUpdateEvent {
+		return
+	}
+	// Overwrite data with a fresh symbolic value constrained to the
+	// sensor range.
+	s.Data = c.MakeSymbolicValue("d")
+	ge, geE := c.Ops.CmpGeu(s.Data, concolic.Concrete(s.Min))
+	le, leE := c.Ops.CmpGeu(concolic.Concrete(s.Max), s.Data)
+	// assume(data >= MIN && data <= MAX), built concolically.
+	and := concolic.Concrete(boolToU32(ge && le))
+	if geE != nil && leE != nil {
+		and.Sym = c.B.ZExt(c.B.And(geE, leE), 32)
+	}
+	c.AssumeValue(and)
+	if c.Halted() {
+		return
+	}
+	s.Data = c.Ops.Sub(s.Data, s.Filter)
+	if plic := findPLIC(c); plic != nil {
+		plic.Raise(c, s.IRQ)
+	}
+	c.NotifyHostModel(s, sensorUpdateEvent, uint64(s.Scaler.C)*s.CyclesPerMS)
+}
+
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Transport implements the register file (0x0 scaler, 0x4 filter, 0x8
+// data), including the pre/post-processing actions of Fig. 2.
+func (s *Sensor) Transport(c *iss.Core, addr uint32, size int, v concolic.Value, isRead bool) concolic.Value {
+	switch addr {
+	case 0x0:
+		if isRead {
+			return s.Scaler
+		}
+		s.Scaler = v
+		c.NotifyHostModel(s, sensorUpdateEvent, uint64(s.Scaler.C)*s.CyclesPerMS)
+	case 0x4:
+		if isRead {
+			return s.Filter
+		}
+		s.Filter = v
+		// Post-process action with the seeded bug (Fig. 2 line 45).
+		conc, cond := c.Ops.CmpGeu(s.Filter, concolic.Concrete(s.Min))
+		if cond != nil {
+			c.Branch(conc, cond)
+		}
+		if conc {
+			if s.Fixed {
+				s.Filter = concolic.Concrete(s.Min - 1)
+			} else {
+				s.Filter = concolic.Concrete(s.Min + 1)
+			}
+		}
+	case 0x8:
+		if isRead {
+			return s.Data
+		}
+		s.Data = v
+	}
+	return concolic.Concrete(0)
+}
+
+// CloneModel deep-copies the sensor (the PLIC is found through the core
+// at dispatch time, so no re-linking is needed).
+func (s *Sensor) CloneModel() iss.HostModel {
+	cp := *s
+	return &cp
+}
+
+// Attach maps a host sensor + PLIC at the standard addresses.
+func Attach(c *iss.Core, fixed bool) (*Sensor, *PLIC) {
+	plic := NewPLIC()
+	sensor := NewSensor(fixed)
+	c.AddPeripheral(iss.Peripheral{Name: "sensor", Base: 0x10000000, Size: 0x10000, Host: sensor})
+	c.AddPeripheral(iss.Peripheral{Name: "plic", Base: 0x10010000, Size: 0x10000, Host: plic})
+	return sensor, plic
+}

@@ -1,0 +1,128 @@
+package hostperiph
+
+import (
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// buildHostSensorSystem compiles the paper's Fig. 3 application but maps
+// host-model peripherals (this package) instead of software models.
+func buildHostSensorSystem(t testing.TB, fixed bool) (*iss.Core, *smt.Builder) {
+	t.Helper()
+	b := smt.NewBuilder()
+	// Build the app WITHOUT the SW peripheral models and without
+	// peripheral mappings; host models are attached afterwards.
+	p := guest.SensorProgram(fixed)
+	p.Sources = p.Sources[:1] // keep only app.c
+	p.Peripherals = nil
+	core, _, err := guest.NewCore(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(core, fixed)
+	return core, b
+}
+
+// TestHostModelFindsSameBug: the host-model integration must find the
+// same sensor bug as the software-model integration, with an equivalent
+// violating input region.
+func TestHostModelFindsSameBug(t *testing.T) {
+	core, b := buildHostSensorSystem(t, false)
+	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
+	rep := eng.Run()
+	if len(rep.Findings) == 0 {
+		t.Fatalf("host-model exploration must find the sensor bug: %v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Err.Kind != iss.ErrAssertFail {
+		t.Fatalf("kind: %v", f.Err)
+	}
+	fv := b.Value(f.Input, "f[0]")
+	dv := b.Value(f.Input, "d")
+	if fv < 16 {
+		t.Errorf("violating filter %d must be >= 16", fv)
+	}
+	if dv < 16 || dv > 64 {
+		t.Errorf("violating data %d must be in the sensor range", dv)
+	}
+	t.Logf("host-model bug found after %d paths with f=%d d=%d", rep.Paths, fv, dv)
+}
+
+// TestHostModelFixedClean: with the corrected post-processing the
+// host-model system explores cleanly.
+func TestHostModelFixedClean(t *testing.T) {
+	core, _ := buildHostSensorSystem(t, true)
+	rep := cte.New(core, cte.Options{MaxPaths: 200}).Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("fixed host sensor must be clean: %v", rep.Findings)
+	}
+	if !rep.Exhausted {
+		t.Errorf("exploration should exhaust (%d paths)", rep.Paths)
+	}
+}
+
+// TestHostModelCloneIsolation: state mutated on one explored path must
+// not leak into sibling paths (CloneModel correctness).
+func TestHostModelCloneIsolation(t *testing.T) {
+	core, _ := buildHostSensorSystem(t, false)
+	var filters []uint32
+	eng := cte.New(core, cte.Options{MaxPaths: 16})
+	eng.OnPath = func(_ int, c *iss.Core) {
+		for i := range c.Peripherals {
+			if s, ok := c.Peripherals[i].Host.(*Sensor); ok {
+				filters = append(filters, s.Filter.C)
+			}
+		}
+	}
+	eng.Run()
+	// The base snapshot's sensor must remain untouched.
+	for i := range core.Peripherals {
+		if s, ok := core.Peripherals[i].Host.(*Sensor); ok {
+			if s.Filter.C != 0 || s.Filter.Sym != nil {
+				t.Errorf("snapshot sensor mutated: %v", s.Filter)
+			}
+		}
+	}
+	// Different paths saw different filter values (state diverges).
+	distinct := map[uint32]bool{}
+	for _, f := range filters {
+		distinct[f] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("expected divergent per-path peripheral state, got %v", filters)
+	}
+}
+
+// BenchmarkPeripheralIntegration compares the two concolic peripheral
+// integration styles of §3.1.2 on the sensor system: software models
+// (executed on the ISS, inheriting concolic execution) vs. host models
+// (fully specialized). The software model costs guest instructions per
+// access; the host model costs host-side implementation effort.
+func BenchmarkPeripheralIntegration(b *testing.B) {
+	b.Run("sw-model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bld := smt.NewBuilder()
+			core, _, err := guest.NewCore(bld, guest.SensorProgram(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+			if len(rep.Findings) == 0 {
+				b.Fatal("bug not found")
+			}
+		}
+	})
+	b.Run("host-model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core, _ := buildHostSensorSystem(b, false)
+			rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+			if len(rep.Findings) == 0 {
+				b.Fatal("bug not found")
+			}
+		}
+	})
+}

@@ -1,0 +1,587 @@
+// Package iss implements the concolic RV32IMC instruction set simulator
+// at the heart of the CTE virtual prototype (paper §3). The ISS operates
+// on concolic data types, propagates symbolic constraints during
+// execution, tracks the execution path condition (EPC) and emits trace
+// conditions (TCs) at symbolic branches and at assume/assert sites. It
+// also implements the CTE-interface used by peripheral software models:
+// notifications with a cycle-accurate timing model, context switching
+// between the software under test and peripheral functions, interrupt
+// lines, and protected memory zones for heap overflow detection.
+package iss
+
+import (
+	"fmt"
+
+	"rvcte/internal/concolic"
+	"rvcte/internal/rv32"
+	"rvcte/internal/smt"
+)
+
+// ErrKind classifies the runtime checks of §3.1.1 and §4.2.2.
+type ErrKind int
+
+const (
+	ErrNone ErrKind = iota
+	ErrAssertFail
+	ErrAssumeFail // not an error per se: path pruned by a false assume
+	ErrNullDeref
+	ErrIllegalLoad
+	ErrIllegalStore
+	ErrMisaligned
+	ErrIllegalJump
+	ErrIllegalInstr
+	ErrProtectedRead  // heap buffer overflow (read)
+	ErrProtectedWrite // heap buffer overflow (write)
+	ErrDoubleFree
+	ErrBadFree
+	ErrDeadlock // wfi with no pending event source
+	ErrLimit    // instruction budget exhausted
+)
+
+var errKindNames = map[ErrKind]string{
+	ErrAssertFail: "assertion failure", ErrAssumeFail: "assume pruned",
+	ErrNullDeref: "null pointer dereference", ErrIllegalLoad: "illegal memory read",
+	ErrIllegalStore: "illegal memory write", ErrMisaligned: "misaligned access",
+	ErrIllegalJump: "invalid jump target", ErrIllegalInstr: "illegal instruction",
+	ErrProtectedRead: "heap buffer overflow (read)", ErrProtectedWrite: "heap buffer overflow (write)",
+	ErrDoubleFree: "double free", ErrBadFree: "free of non-allocated block",
+	ErrDeadlock: "wfi deadlock", ErrLimit: "instruction limit exceeded",
+}
+
+func (k ErrKind) String() string {
+	if s, ok := errKindNames[k]; ok {
+		return s
+	}
+	return "ok"
+}
+
+// SimError is a simulation-terminating error detected by a runtime check.
+type SimError struct {
+	Kind ErrKind
+	PC   uint32
+	Addr uint32
+	Msg  string
+}
+
+func (e *SimError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("%v at pc=%#x: %s", e.Kind, e.PC, e.Msg)
+	}
+	return fmt.Sprintf("%v at pc=%#x addr=%#x", e.Kind, e.PC, e.Addr)
+}
+
+// TraceCond records one emitted trace condition: the conjunction of the
+// first EPCLen entries of the final EPC with Cond. SiteIdx is the index
+// of the emission site along the path (used for generational search).
+type TraceCond struct {
+	EPCLen  int
+	Cond    *smt.Expr
+	SiteIdx int
+}
+
+// HostModel is a peripheral implemented on the host side with full
+// access to concolic values — the "C++ peripheral models with a more
+// comprehensive abstraction layer" of the paper's future work (§5 item
+// 1). It avoids the software-model transformation step at the price of
+// writing concolic-aware code per peripheral (the trade-off §3.1.2
+// calls "fully specialized").
+type HostModel interface {
+	// Transport handles one bus access at a peripheral-local address.
+	// For reads the model returns the value; for writes v holds the
+	// stored value. The core gives access to the CTE facilities
+	// (NotifyHostModel, TriggerIRQ, MakeSymbolicValue, AssumeValue...).
+	Transport(c *Core, addr uint32, size int, v concolic.Value, isRead bool) concolic.Value
+	// Notify delivers a scheduled callback (the host-side counterpart
+	// of a CTE_notify-driven process).
+	Notify(c *Core, event uint32)
+	// CloneModel deep-copies the model state (the VP is cloned before
+	// every explored input).
+	CloneModel() HostModel
+}
+
+// Peripheral describes one memory-mapped peripheral: either a
+// software model (paper §3.2 — accesses are routed to the guest
+// Transport function via a context switch) or a host model (future
+// work §5.1 — Host is non-nil and handles accesses directly).
+type Peripheral struct {
+	Name      string
+	Base      uint32
+	Size      uint32
+	Transport uint32 // guest address of transport(addr, data, size, is_read)
+	Buf       uint32 // guest address of the transaction data array
+	Host      HostModel
+}
+
+// Zone is a protected memory region guarding a heap allocation
+// (paper Fig. 5): [Start, Start+Size) must not be touched.
+type Zone struct {
+	Start uint32
+	Size  uint32
+	Block uint32 // user block address this zone protects (for messages)
+}
+
+// savedCtx is a saved execution context for peripheral context switching
+// (paper §3.2.2): registers and PC, plus the memory operation to finish
+// when CTE_return fires.
+type savedCtx struct {
+	regs    [32]concolic.Value
+	pc      uint32
+	pending pendingOp
+}
+
+type pendingOp struct {
+	active bool
+	isLoad bool
+	size   int
+	rd     uint8
+	buf    uint32 // transaction buffer to read the result from
+	signed bool
+}
+
+// notification is a pending CTE_notify: either a guest function Fn
+// (invoked via context switch) or a host-model callback (resolved
+// through the peripheral index so clones dispatch to their own model
+// instance).
+type notification struct {
+	Fn        uint32
+	HostIdx   int // index+1 into Peripherals; 0 = guest notification
+	HostEvent uint32
+	Due       uint64
+}
+
+// Config fixes the memory map of the VP.
+type Config struct {
+	RamBase uint32
+	RamSize uint32
+	// StackTop is where sp starts; 0 means RamBase+RamSize.
+	StackTop uint32
+	// PeriphStackTop is the dedicated stack for peripheral SW models;
+	// 0 disables the dedicated stack (peripherals then run on the
+	// interrupted software's stack).
+	PeriphStackTop uint32
+	// MaxInstr bounds one run; 0 means no limit.
+	MaxInstr uint64
+}
+
+// Core is the concolic ISS state. Create with New, load an image, then
+// Run. Clone snapshots the whole VP between exploration runs.
+type Core struct {
+	B   *smt.Builder
+	Ops concolic.Ops
+	Mem *concolic.Memory
+
+	Regs [32]concolic.Value
+	PC   uint32
+
+	// Machine-mode CSRs.
+	MStatus  uint32
+	MIE      uint32
+	MIP      uint32
+	MTVec    uint32
+	MEPC     uint32
+	MCause   uint32
+	MTVal    uint32
+	MScratch uint32
+
+	Cycles     uint64
+	InstrCount uint64
+
+	Cfg         Config
+	Peripherals []Peripheral
+
+	// CTE state.
+	EPC       []*smt.Expr // path condition, append-only within a run
+	Trace     []TraceCond
+	siteCount int
+	Bound     int // sites below Bound do not emit TCs (generational search)
+	Input     smt.Assignment
+
+	notifications []notification
+	ctxStack      []savedCtx
+	zones         []Zone
+
+	symCounters map[string]int // per-name make_symbolic counters
+
+	Exited   bool
+	ExitCode uint32
+	Err      *SimError
+
+	// TrackCoverage enables per-run PC coverage collection (used by the
+	// coverage-guided search strategy, paper §5 future work 3).
+	TrackCoverage bool
+	Coverage      map[uint32]struct{}
+
+	// NoConcretizationTCs disables the §2.2 optional trace conditions at
+	// size concretizations (used by the ablation benchmarks).
+	NoConcretizationTCs bool
+
+	// AddressTCs additionally emits alternative-value trace conditions
+	// when a symbolic memory address is concretized, letting exploration
+	// steer accesses into protected zones (off by default: symbolic
+	// addresses are frequent and the extra queries are only worthwhile
+	// for out-of-bounds hunting on index-driven code).
+	AddressTCs bool
+
+	// SymbolicTimes enables exploration of symbolic CTE_notify delays
+	// (paper future work §5.2): alternative firing times become trace
+	// conditions, so interrupt/notification orderings relative to the
+	// software are explored and timing bugs (lost updates, races)
+	// surface.
+	SymbolicTimes bool
+
+	// TraceDepth keeps a ring buffer of the last N executed
+	// instructions for error diagnosis (0 disables).
+	TraceDepth int
+	traceRing  []TraceEntry
+	traceNext  int
+
+	// ExecHook, when set, may take over execution of an instruction
+	// (returning true). Used by the nested-interpretation baseline
+	// (internal/nestedvm) that models running the VP inside a generic
+	// symbolic execution engine like S2E.
+	ExecHook func(c *Core, inst rv32.Inst) bool
+
+	Output []byte // console output from the guest
+
+	// CyclesPer assigns each executed instruction a fixed cycle cost
+	// (paper §3.2: "a simple timing model that assigns each RISC-V
+	// instruction a fixed number of cycles").
+	CyclesPer func(op rv32.Op) uint64
+}
+
+// New creates a core with the given builder and configuration.
+func New(b *smt.Builder, cfg Config) *Core {
+	if cfg.StackTop == 0 {
+		cfg.StackTop = cfg.RamBase + cfg.RamSize
+	}
+	c := &Core{
+		B:           b,
+		Ops:         concolic.Ops{B: b},
+		Mem:         concolic.NewMemory(b),
+		Cfg:         cfg,
+		symCounters: map[string]int{},
+		Input:       smt.Assignment{},
+	}
+	c.Regs[2] = concolic.Concrete(cfg.StackTop)
+	return c
+}
+
+// Clone deep-copies the VP state so a new input can be executed from the
+// same starting point (paper §3.1.1: "The VP is cloned each time before
+// executing a new input"). The SMT builder is shared (expressions are
+// immutable).
+func (c *Core) Clone() *Core {
+	n := &Core{}
+	*n = *c
+	n.Mem = c.Mem.Clone()
+	n.EPC = append([]*smt.Expr(nil), c.EPC...)
+	n.Trace = append([]TraceCond(nil), c.Trace...)
+	n.notifications = append([]notification(nil), c.notifications...)
+	n.ctxStack = append([]savedCtx(nil), c.ctxStack...)
+	n.zones = append([]Zone(nil), c.zones...)
+	n.Peripherals = append([]Peripheral(nil), c.Peripherals...)
+	for i := range n.Peripherals {
+		if n.Peripherals[i].Host != nil {
+			n.Peripherals[i].Host = n.Peripherals[i].Host.CloneModel()
+		}
+	}
+	n.Output = append([]byte(nil), c.Output...)
+	n.symCounters = make(map[string]int, len(c.symCounters))
+	for k, v := range c.symCounters {
+		n.symCounters[k] = v
+	}
+	n.Input = smt.Assignment{}
+	for k, v := range c.Input {
+		n.Input[k] = v
+	}
+	n.Coverage = nil // coverage is per-run
+	n.traceRing = append([]TraceEntry(nil), c.traceRing...)
+	return n
+}
+
+// TraceEntry is one executed instruction in the diagnostic ring buffer.
+type TraceEntry struct {
+	PC   uint32
+	Inst rv32.Inst
+}
+
+// RecentTrace returns the last executed instructions, oldest first
+// (empty unless TraceDepth was set).
+func (c *Core) RecentTrace() []TraceEntry {
+	if len(c.traceRing) < c.TraceDepth {
+		return append([]TraceEntry(nil), c.traceRing...)
+	}
+	out := make([]TraceEntry, 0, len(c.traceRing))
+	for i := 0; i < len(c.traceRing); i++ {
+		out = append(out, c.traceRing[(c.traceNext+i)%len(c.traceRing)])
+	}
+	return out
+}
+
+// LoadImage copies an assembled/linked image into memory and points the
+// PC at its entry.
+func (c *Core) LoadImage(origin uint32, data []byte, entry uint32) {
+	c.Mem.WriteBytes(origin, data)
+	c.PC = entry
+}
+
+// AddPeripheral registers a memory-mapped peripheral range.
+func (c *Core) AddPeripheral(p Peripheral) { c.Peripherals = append(c.Peripherals, p) }
+
+func (c *Core) fail(kind ErrKind, addr uint32, msg string) {
+	if c.Err != nil {
+		return
+	}
+	c.Err = &SimError{Kind: kind, PC: c.PC, Addr: addr, Msg: msg}
+}
+
+// Halted reports whether the core has stopped (exit, prune, or error).
+func (c *Core) Halted() bool { return c.Exited || c.Err != nil }
+
+// reg reads a register (x0 is always zero).
+func (c *Core) reg(r uint8) concolic.Value {
+	if r == 0 {
+		return concolic.Concrete(0)
+	}
+	return c.Regs[r]
+}
+
+func (c *Core) setReg(r uint8, v concolic.Value) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}
+
+// inRAM reports whether [addr, addr+n) falls in RAM.
+func (c *Core) inRAM(addr uint32, n int) bool {
+	return addr >= c.Cfg.RamBase && addr+uint32(n) >= addr &&
+		addr+uint32(n) <= c.Cfg.RamBase+c.Cfg.RamSize
+}
+
+// findPeripheral returns the peripheral mapped at addr, or nil.
+func (c *Core) findPeripheral(addr uint32) *Peripheral {
+	for i := range c.Peripherals {
+		p := &c.Peripherals[i]
+		if addr >= p.Base && addr < p.Base+p.Size {
+			return p
+		}
+	}
+	return nil
+}
+
+// Run executes until the core halts or maxInstr instructions have
+// retired (0 = use Cfg.MaxInstr; both 0 = unbounded).
+func (c *Core) Run(maxInstr uint64) {
+	if maxInstr == 0 {
+		maxInstr = c.Cfg.MaxInstr
+	}
+	for !c.Halted() {
+		if maxInstr > 0 && c.InstrCount >= maxInstr {
+			c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
+			return
+		}
+		c.Step()
+	}
+}
+
+// Step retires one instruction (or takes one interrupt).
+func (c *Core) Step() {
+	if c.Halted() {
+		return
+	}
+	// Deliver notifications and interrupts only at peripheral depth 0,
+	// so peripheral functions execute atomically (they model hardware).
+	if len(c.ctxStack) == 0 {
+		if c.dispatchNotifications() {
+			// Context-switched into a notified peripheral function; the
+			// next fetch executes it.
+		} else if c.takeInterrupt() {
+			return
+		}
+	}
+	inst, ok := c.fetch()
+	if !ok {
+		return
+	}
+	if c.TrackCoverage {
+		if c.Coverage == nil {
+			c.Coverage = make(map[uint32]struct{})
+		}
+		c.Coverage[c.PC] = struct{}{}
+	}
+	if c.TraceDepth > 0 {
+		if len(c.traceRing) < c.TraceDepth {
+			c.traceRing = append(c.traceRing, TraceEntry{PC: c.PC, Inst: inst})
+		} else {
+			c.traceRing[c.traceNext] = TraceEntry{PC: c.PC, Inst: inst}
+		}
+		c.traceNext = (c.traceNext + 1) % c.TraceDepth
+	}
+	if c.ExecHook == nil || !c.ExecHook(c, inst) {
+		c.execute(inst)
+	}
+	c.InstrCount++
+	if c.CyclesPer != nil {
+		c.Cycles += c.CyclesPer(inst.Op)
+	} else {
+		c.Cycles++
+	}
+}
+
+// fetch reads and decodes the instruction at PC.
+func (c *Core) fetch() (rv32.Inst, bool) {
+	if c.PC&1 != 0 {
+		c.fail(ErrIllegalJump, c.PC, "misaligned pc")
+		return rv32.Inst{}, false
+	}
+	if !c.inRAM(c.PC, 2) {
+		c.fail(ErrIllegalJump, c.PC, "pc outside memory")
+		return rv32.Inst{}, false
+	}
+	lo := c.Mem.Load(c.PC, 2)
+	word := lo.C
+	if word&3 == 3 {
+		if !c.inRAM(c.PC, 4) {
+			c.fail(ErrIllegalJump, c.PC, "pc outside memory")
+			return rv32.Inst{}, false
+		}
+		hi := c.Mem.Load(c.PC+2, 2)
+		word |= hi.C << 16
+	}
+	inst := rv32.Decode(word)
+	if inst.Op == rv32.OpIllegal {
+		c.fail(ErrIllegalInstr, c.PC, fmt.Sprintf("encoding %#x", word))
+		return rv32.Inst{}, false
+	}
+	return inst, true
+}
+
+// dispatchNotifications fires due CTE_notify callbacks. Reports whether a
+// context switch happened.
+func (c *Core) dispatchNotifications() bool {
+	for i := 0; i < len(c.notifications); i++ {
+		n := c.notifications[i]
+		if c.Cycles >= n.Due {
+			c.notifications = append(c.notifications[:i], c.notifications[i+1:]...)
+			if n.HostIdx > 0 {
+				// Host-model callbacks run atomically on the host side,
+				// dispatched through the (possibly cloned) peripheral.
+				c.Peripherals[n.HostIdx-1].Host.Notify(c, n.HostEvent)
+				return false
+			}
+			c.enterPeripheral(n.Fn, [4]concolic.Value{}, pendingOp{})
+			return true // one at a time; the rest fire on later steps
+		}
+	}
+	return false
+}
+
+// NotifyHostModel schedules a callback to the given host model after
+// delay cycles (the host-side counterpart of CTE_notify). A pending
+// notification with the same (model, event) is reset.
+func (c *Core) NotifyHostModel(m HostModel, event uint32, delay uint64) {
+	idx := -1
+	for i := range c.Peripherals {
+		if c.Peripherals[i].Host == m {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.fail(ErrIllegalInstr, c.PC, "NotifyHostModel: model not registered")
+		return
+	}
+	for i := range c.notifications {
+		if c.notifications[i].HostIdx == idx+1 && c.notifications[i].HostEvent == event {
+			c.notifications[i].Due = c.Cycles + delay
+			return
+		}
+	}
+	c.notifications = append(c.notifications, notification{HostIdx: idx + 1, HostEvent: event, Due: c.Cycles + delay})
+}
+
+// TriggerIRQ drives a machine interrupt line (host-side counterpart of
+// CTE_trigger_irq).
+func (c *Core) TriggerIRQ(line uint32, level bool) {
+	if level {
+		c.MIP |= 1 << (line & 31)
+	} else {
+		c.MIP &^= 1 << (line & 31)
+	}
+}
+
+// MakeSymbolicValue mints a fresh symbolic 32-bit value whose concrete
+// part comes from the current input assignment (host-side counterpart
+// of CTE_make_symbolic for register-like values).
+func (c *Core) MakeSymbolicValue(name string) concolic.Value {
+	gen := c.symCounters[name]
+	c.symCounters[name] = gen + 1
+	full := name
+	if gen > 0 {
+		full = fmt.Sprintf("%s#%d", name, gen)
+	}
+	v := c.B.Var(32, full)
+	return concolic.Value{C: uint32(c.Input[int(v.Val)]), Sym: v}
+}
+
+// AssumeValue applies CTE_assume semantics to a concolic condition
+// (non-zero = true).
+func (c *Core) AssumeValue(v concolic.Value) { c.assumeVal(v) }
+
+// AssertValue applies CTE_assert semantics to a concolic condition.
+func (c *Core) AssertValue(v concolic.Value) { c.assertVal(v) }
+
+// takeInterrupt checks mstatus.MIE and mie/mip and vectors to mtvec.
+func (c *Core) takeInterrupt() bool {
+	const mieBit = 1 << 3
+	if c.MStatus&mieBit == 0 {
+		return false
+	}
+	pending := c.MIP & c.MIE
+	if pending == 0 {
+		return false
+	}
+	// Priority: external > software > timer (per privileged spec).
+	var cause uint32
+	switch {
+	case pending&(1<<rv32.IrqMachineExternal) != 0:
+		cause = rv32.IrqMachineExternal
+	case pending&(1<<rv32.IrqMachineSoftware) != 0:
+		cause = rv32.IrqMachineSoftware
+	default:
+		cause = rv32.IrqMachineTimer
+	}
+	c.MEPC = c.PC
+	c.MCause = rv32.CauseInterruptFlag | cause
+	// mstatus: MPIE <- MIE, MIE <- 0
+	const mpieBit = 1 << 7
+	c.MStatus = c.MStatus&^mpieBit | (c.MStatus&mieBit)<<4
+	c.MStatus &^= mieBit
+	c.PC = c.MTVec &^ 3
+	return true
+}
+
+// WaitForInterrupt implements WFI: fast-forward the cycle counter to the
+// next notification if no interrupt is pending yet.
+func (c *Core) waitForInterrupt() {
+	if c.MIP&c.MIE != 0 {
+		return // something is already pending; wfi completes immediately
+	}
+	// Find the earliest notification that could eventually raise an
+	// interrupt and jump time forward.
+	var best uint64
+	found := false
+	for _, n := range c.notifications {
+		if !found || n.Due < best {
+			best = n.Due
+			found = true
+		}
+	}
+	if !found {
+		c.fail(ErrDeadlock, c.PC, "wfi with no pending notification or interrupt")
+		return
+	}
+	if best > c.Cycles {
+		c.Cycles = best
+	}
+}

@@ -1,0 +1,499 @@
+package iss
+
+import (
+	"fmt"
+
+	"rvcte/internal/concolic"
+	"rvcte/internal/rv32"
+	"rvcte/internal/smt"
+)
+
+// execute retires one decoded instruction.
+func (c *Core) execute(in rv32.Inst) {
+	o := c.Ops
+	cur := c.PC
+	next := c.PC + uint32(in.Size)
+
+	switch in.Op {
+	case rv32.OpLUI:
+		c.setReg(in.Rd, concolic.Concrete(uint32(in.Imm)))
+	case rv32.OpAUIPC:
+		c.setReg(in.Rd, concolic.Concrete(c.PC+uint32(in.Imm)))
+	case rv32.OpJAL:
+		c.setReg(in.Rd, concolic.Concrete(next))
+		c.PC = c.PC + uint32(in.Imm)
+		return
+	case rv32.OpJALR:
+		target := c.reg(in.Rs1)
+		// A symbolic jump target is concretized (paper §2.2
+		// "Concretization"): the EPC is extended with target == N.
+		taddr := c.concretize(target, "jump target")
+		c.setReg(in.Rd, concolic.Concrete(next))
+		c.PC = (taddr + uint32(in.Imm)) &^ 1
+		return
+
+	case rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU:
+		a, b := c.reg(in.Rs1), c.reg(in.Rs2)
+		var taken bool
+		var cond *smt.Expr
+		switch in.Op {
+		case rv32.OpBEQ:
+			taken, cond = o.CmpEq(a, b)
+		case rv32.OpBNE:
+			taken, cond = o.CmpNe(a, b)
+		case rv32.OpBLT:
+			taken, cond = o.CmpLt(a, b)
+		case rv32.OpBGE:
+			taken, cond = o.CmpGe(a, b)
+		case rv32.OpBLTU:
+			taken, cond = o.CmpLtu(a, b)
+		default:
+			taken, cond = o.CmpGeu(a, b)
+		}
+		if cond != nil {
+			c.branch(taken, cond)
+		}
+		if taken {
+			c.PC = c.PC + uint32(in.Imm)
+		} else {
+			c.PC = next
+		}
+		return
+
+	case rv32.OpLB, rv32.OpLH, rv32.OpLW, rv32.OpLBU, rv32.OpLHU:
+		size := map[rv32.Op]int{rv32.OpLB: 1, rv32.OpLBU: 1, rv32.OpLH: 2, rv32.OpLHU: 2, rv32.OpLW: 4}[in.Op]
+		signed := in.Op == rv32.OpLB || in.Op == rv32.OpLH
+		addr := c.effAddr(in)
+		if c.Halted() {
+			return
+		}
+		if !c.memLoad(addr, size, in.Rd, signed, next) {
+			return // context switched to a peripheral; pc already saved
+		}
+	case rv32.OpSB, rv32.OpSH, rv32.OpSW:
+		size := map[rv32.Op]int{rv32.OpSB: 1, rv32.OpSH: 2, rv32.OpSW: 4}[in.Op]
+		addr := c.effAddr(in)
+		if c.Halted() {
+			return
+		}
+		if !c.memStore(addr, size, c.reg(in.Rs2), next) {
+			return
+		}
+
+	case rv32.OpADDI:
+		c.setReg(in.Rd, o.Add(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpSLTI:
+		c.setReg(in.Rd, o.Slt(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpSLTIU:
+		c.setReg(in.Rd, o.Sltu(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpXORI:
+		c.setReg(in.Rd, o.Xor(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpORI:
+		c.setReg(in.Rd, o.Or(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpANDI:
+		c.setReg(in.Rd, o.And(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpSLLI:
+		c.setReg(in.Rd, o.Sll(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpSRLI:
+		c.setReg(in.Rd, o.Srl(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+	case rv32.OpSRAI:
+		c.setReg(in.Rd, o.Sra(c.reg(in.Rs1), concolic.Concrete(uint32(in.Imm))))
+
+	case rv32.OpADD:
+		c.setReg(in.Rd, o.Add(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSUB:
+		c.setReg(in.Rd, o.Sub(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSLL:
+		c.setReg(in.Rd, o.Sll(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSLT:
+		c.setReg(in.Rd, o.Slt(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSLTU:
+		c.setReg(in.Rd, o.Sltu(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpXOR:
+		c.setReg(in.Rd, o.Xor(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSRL:
+		c.setReg(in.Rd, o.Srl(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpSRA:
+		c.setReg(in.Rd, o.Sra(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpOR:
+		c.setReg(in.Rd, o.Or(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpAND:
+		c.setReg(in.Rd, o.And(c.reg(in.Rs1), c.reg(in.Rs2)))
+
+	case rv32.OpMUL:
+		c.setReg(in.Rd, o.Mul(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpMULH:
+		c.setReg(in.Rd, o.MulH(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpMULHSU:
+		c.setReg(in.Rd, o.MulHSU(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpMULHU:
+		c.setReg(in.Rd, o.MulHU(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpDIV:
+		c.setReg(in.Rd, o.Div(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpDIVU:
+		c.setReg(in.Rd, o.DivU(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpREM:
+		c.setReg(in.Rd, o.Rem(c.reg(in.Rs1), c.reg(in.Rs2)))
+	case rv32.OpREMU:
+		c.setReg(in.Rd, o.RemU(c.reg(in.Rs1), c.reg(in.Rs2)))
+
+	case rv32.OpFENCE:
+		// No-op on a single-hart VP.
+	case rv32.OpECALL:
+		c.ecall()
+		if c.Halted() {
+			return
+		}
+		// CTE_return redirects the PC; only advance when the ecall left
+		// it in place.
+		if c.PC == cur {
+			c.PC = next
+		}
+		return
+	case rv32.OpEBREAK:
+		c.fail(ErrAssertFail, c.PC, "ebreak")
+		return
+	case rv32.OpMRET:
+		const mieBit, mpieBit = uint32(1 << 3), uint32(1 << 7)
+		c.MStatus = c.MStatus&^mieBit | (c.MStatus&mpieBit)>>4
+		c.MStatus |= mpieBit
+		c.PC = c.MEPC
+		return
+	case rv32.OpWFI:
+		c.waitForInterrupt()
+
+	case rv32.OpCSRRW, rv32.OpCSRRS, rv32.OpCSRRC:
+		old := c.readCSR(uint16(in.Imm))
+		v := c.reg(in.Rs1)
+		nv := c.concretizeVal(v, "csr write")
+		switch in.Op {
+		case rv32.OpCSRRW:
+			c.writeCSR(uint16(in.Imm), nv)
+		case rv32.OpCSRRS:
+			if in.Rs1 != 0 {
+				c.writeCSR(uint16(in.Imm), old|nv)
+			}
+		case rv32.OpCSRRC:
+			if in.Rs1 != 0 {
+				c.writeCSR(uint16(in.Imm), old&^nv)
+			}
+		}
+		c.setReg(in.Rd, concolic.Concrete(old))
+	case rv32.OpCSRRWI, rv32.OpCSRRSI, rv32.OpCSRRCI:
+		old := c.readCSR(uint16(in.Imm))
+		z := uint32(in.Rs2)
+		switch in.Op {
+		case rv32.OpCSRRWI:
+			c.writeCSR(uint16(in.Imm), z)
+		case rv32.OpCSRRSI:
+			if z != 0 {
+				c.writeCSR(uint16(in.Imm), old|z)
+			}
+		case rv32.OpCSRRCI:
+			if z != 0 {
+				c.writeCSR(uint16(in.Imm), old&^z)
+			}
+		}
+		c.setReg(in.Rd, concolic.Concrete(old))
+
+	default:
+		c.fail(ErrIllegalInstr, c.PC, in.Op.String())
+		return
+	}
+	if !c.Halted() {
+		c.PC = next
+	}
+}
+
+// Exported accessors for ExecHook implementations (the nested-VM
+// baseline executes through these so CTE semantics stay identical).
+
+// Reg reads register r as a concolic value.
+func (c *Core) Reg(r uint8) concolic.Value { return c.reg(r) }
+
+// SetReg writes register r (x0 writes are discarded).
+func (c *Core) SetReg(r uint8, v concolic.Value) { c.setReg(r, v) }
+
+// Branch records a symbolic branch decision (EPC/TC bookkeeping).
+func (c *Core) Branch(taken bool, cond *smt.Expr) { c.branch(taken, cond) }
+
+// Concretize pins a concolic value to its concrete part via the EPC.
+func (c *Core) Concretize(v concolic.Value, what string) uint32 {
+	return c.concretize(v, what)
+}
+
+// HookLoad performs a load including MMIO routing; returns false when a
+// peripheral context switch occurred.
+func (c *Core) HookLoad(addr uint32, size int, rd uint8, signed bool, next uint32) bool {
+	return c.memLoad(addr, size, rd, signed, next)
+}
+
+// HookStore performs a store including MMIO routing; returns false when
+// a peripheral context switch occurred.
+func (c *Core) HookStore(addr uint32, size int, v concolic.Value, next uint32) bool {
+	return c.memStore(addr, size, v, next)
+}
+
+// effAddr computes the effective address of a load/store, concretizing a
+// symbolic address (paper §2.2). Returns the concrete address. When
+// AddressTCs is enabled, a ladder of alternative-address trace
+// conditions is emitted before concretization so exploration can steer
+// symbolic addresses into protected zones (the optional concretization
+// TCs of §2.2, applied to addresses).
+func (c *Core) effAddr(in rv32.Inst) uint32 {
+	base := c.reg(in.Rs1)
+	addr := base.C + uint32(in.Imm)
+	if base.Sym != nil {
+		full := c.Ops.Add(base, concolic.Concrete(uint32(in.Imm)))
+		if full.Sym != nil && c.AddressTCs {
+			site := c.siteCount
+			c.siteCount++
+			if site >= c.Bound {
+				for _, step := range []uint64{0, 7, 31, 127, 511, 4095} {
+					target := uint64(full.C) + step
+					if target > 0xffffffff {
+						break
+					}
+					cond := c.B.Ugt(full.Sym, c.B.Const(32, target))
+					if cond.IsFalse() {
+						break
+					}
+					c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
+				}
+			}
+		}
+		c.concretize(full, "memory address")
+	}
+	return addr
+}
+
+// concretize pins a (possibly symbolic) value to its concrete part by
+// extending the EPC with v == N, and returns N.
+func (c *Core) concretize(v concolic.Value, what string) uint32 {
+	if v.Sym != nil {
+		c.EPC = append(c.EPC, c.B.Eq(v.Sym, c.B.Const(32, uint64(v.C))))
+		_ = what
+	}
+	return v.C
+}
+
+func (c *Core) concretizeVal(v concolic.Value, what string) uint32 {
+	return c.concretize(v, what)
+}
+
+// branch handles a symbolic branch condition per §2.2: emit a TC for the
+// unexplored side (subject to the generational bound) and extend the EPC
+// with the taken side.
+func (c *Core) branch(taken bool, cond *smt.Expr) {
+	site := c.siteCount
+	c.siteCount++
+	var follow, flip *smt.Expr
+	if taken {
+		follow, flip = cond, c.B.Not(cond)
+	} else {
+		follow, flip = c.B.Not(cond), cond
+	}
+	if site >= c.Bound && !flip.IsFalse() {
+		c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: flip, SiteIdx: site})
+	}
+	if !follow.IsTrue() {
+		c.EPC = append(c.EPC, follow)
+	}
+}
+
+// memLoad performs a load, routing MMIO to peripherals. Returns false if
+// a context switch happened (the load completes on CTE_return).
+func (c *Core) memLoad(addr uint32, size int, rd uint8, signed bool, next uint32) bool {
+	if err := c.checkAccess(addr, size, false); err {
+		return true
+	}
+	if c.inRAM(addr, size) {
+		c.setReg(rd, c.loadRAM(addr, size, signed))
+		return true
+	}
+	p := c.findPeripheral(addr)
+	if p == nil {
+		c.fail(ErrIllegalLoad, addr, "")
+		return true
+	}
+	if p.Host != nil {
+		v := p.Host.Transport(c, addr-p.Base, size, concolic.Concrete(0), true)
+		c.setReg(rd, c.extendLoaded(v, size, signed))
+		return true
+	}
+	// Global-to-local address translation, then transport(local, buf,
+	// size, is_read=1) via context switch (paper §3.2.1-§3.2.2).
+	args := [4]concolic.Value{
+		concolic.Concrete(addr - p.Base),
+		concolic.Concrete(p.Buf),
+		concolic.Concrete(uint32(size)),
+		concolic.Concrete(1),
+	}
+	c.PC = next // resume after the load once the peripheral returns
+	c.enterPeripheral(p.Transport, args, pendingOp{active: true, isLoad: true, size: size, rd: rd, buf: p.Buf, signed: signed})
+	return false
+}
+
+// memStore performs a store, routing MMIO to peripherals.
+func (c *Core) memStore(addr uint32, size int, v concolic.Value, next uint32) bool {
+	if err := c.checkAccess(addr, size, true); err {
+		return true
+	}
+	if c.inRAM(addr, size) {
+		c.Mem.Store(addr, size, v)
+		return true
+	}
+	p := c.findPeripheral(addr)
+	if p == nil {
+		c.fail(ErrIllegalStore, addr, "")
+		return true
+	}
+	if p.Host != nil {
+		p.Host.Transport(c, addr-p.Base, size, v, false)
+		return true
+	}
+	// Copy the store value into the transaction buffer, then switch.
+	c.Mem.Store(p.Buf, size, v)
+	args := [4]concolic.Value{
+		concolic.Concrete(addr - p.Base),
+		concolic.Concrete(p.Buf),
+		concolic.Concrete(uint32(size)),
+		concolic.Concrete(0),
+	}
+	c.PC = next
+	c.enterPeripheral(p.Transport, args, pendingOp{active: true, buf: p.Buf, size: size})
+	return false
+}
+
+// loadRAM loads from RAM with sign/zero extension.
+func (c *Core) loadRAM(addr uint32, size int, signed bool) concolic.Value {
+	return c.extendLoaded(c.Mem.Load(addr, size), size, signed)
+}
+
+// extendLoaded applies load sign/zero extension to a raw value.
+func (c *Core) extendLoaded(v concolic.Value, size int, signed bool) concolic.Value {
+	switch size {
+	case 1:
+		if signed {
+			return c.Ops.SextByte(v)
+		}
+		return c.Ops.ZextByte(v)
+	case 2:
+		if signed {
+			return c.Ops.SextHalf(v)
+		}
+		return c.Ops.ZextHalf(v)
+	}
+	return v
+}
+
+// checkAccess runs the generic runtime checks: null dereference,
+// alignment, and protected zones. Returns true when the path has failed.
+func (c *Core) checkAccess(addr uint32, size int, isWrite bool) bool {
+	if addr < 0x100 {
+		c.fail(ErrNullDeref, addr, "")
+		return true
+	}
+	if addr%uint32(size) != 0 {
+		c.fail(ErrMisaligned, addr, fmt.Sprintf("%d-byte access", size))
+		return true
+	}
+	for i := range c.zones {
+		z := &c.zones[i]
+		if addr < z.Start+z.Size && addr+uint32(size) > z.Start {
+			kind := ErrProtectedRead
+			if isWrite {
+				kind = ErrProtectedWrite
+			}
+			c.fail(kind, addr, fmt.Sprintf("protected zone of block %#x", z.Block))
+			return true
+		}
+	}
+	return false
+}
+
+// enterPeripheral saves the execution context and jumps to a peripheral
+// function (paper §3.2.2). Args are placed in a0..a3.
+func (c *Core) enterPeripheral(fn uint32, args [4]concolic.Value, pend pendingOp) {
+	ctx := savedCtx{regs: c.Regs, pc: c.PC, pending: pend}
+	c.ctxStack = append(c.ctxStack, ctx)
+	for i, a := range args {
+		c.Regs[10+i] = a
+	}
+	// ra points at an invalid address: well-formed peripheral models end
+	// with CTE_return, never a plain ret.
+	c.Regs[1] = concolic.Concrete(0xdead0000)
+	if c.Cfg.PeriphStackTop != 0 && len(c.ctxStack) == 1 {
+		c.Regs[2] = concolic.Concrete(c.Cfg.PeriphStackTop)
+	}
+	c.PC = fn
+}
+
+// cteReturn pops the context stack and completes any pending memory
+// operation (the CTE_return interface function).
+func (c *Core) cteReturn() {
+	if len(c.ctxStack) == 0 {
+		c.fail(ErrIllegalInstr, c.PC, "CTE_return outside peripheral context")
+		return
+	}
+	ctx := c.ctxStack[len(c.ctxStack)-1]
+	c.ctxStack = c.ctxStack[:len(c.ctxStack)-1]
+	c.Regs = ctx.regs
+	c.PC = ctx.pc
+	if ctx.pending.active && ctx.pending.isLoad {
+		v := c.loadRAM(ctx.pending.buf, ctx.pending.size, ctx.pending.signed)
+		c.setReg(ctx.pending.rd, v)
+	}
+}
+
+// readCSR implements the machine-mode CSR file.
+func (c *Core) readCSR(csr uint16) uint32 {
+	switch csr {
+	case rv32.CSRMStatus:
+		return c.MStatus
+	case rv32.CSRMISA:
+		return 1<<30 | 1<<8 | 1<<12 | 1<<2 // RV32IMC
+	case rv32.CSRMIE:
+		return c.MIE
+	case rv32.CSRMIP:
+		return c.MIP
+	case rv32.CSRMTVec:
+		return c.MTVec
+	case rv32.CSRMScratch:
+		return c.MScratch
+	case rv32.CSRMEPC:
+		return c.MEPC
+	case rv32.CSRMCause:
+		return c.MCause
+	case rv32.CSRMTVal:
+		return c.MTVal
+	case rv32.CSRMCycle:
+		return uint32(c.Cycles)
+	case rv32.CSRMCycleH:
+		return uint32(c.Cycles >> 32)
+	case rv32.CSRMHartID:
+		return 0
+	}
+	return 0
+}
+
+func (c *Core) writeCSR(csr uint16, v uint32) {
+	switch csr {
+	case rv32.CSRMStatus:
+		c.MStatus = v
+	case rv32.CSRMIE:
+		c.MIE = v
+	case rv32.CSRMIP:
+		c.MIP = v
+	case rv32.CSRMTVec:
+		c.MTVec = v
+	case rv32.CSRMScratch:
+		c.MScratch = v
+	case rv32.CSRMEPC:
+		c.MEPC = v
+	case rv32.CSRMCause:
+		c.MCause = v
+	case rv32.CSRMTVal:
+		c.MTVal = v
+	}
+}

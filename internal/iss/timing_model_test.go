@@ -1,0 +1,60 @@
+package iss
+
+import (
+	"testing"
+
+	"rvcte/internal/rv32"
+)
+
+// TestCyclesPerInstructionModel: the fixed-cycles-per-instruction timing
+// model of §3.2 is configurable per opcode.
+func TestCyclesPerInstructionModel(t *testing.T) {
+	c := buildCore(t, `
+	_start:
+		li a0, 6      # 2 instructions (li = lui+addi)
+		li a1, 7      # 2 instructions
+		mul a2, a0, a1
+		divu a3, a2, a0
+	`+exitSeq)
+	c.CyclesPer = func(op rv32.Op) uint64 {
+		switch op {
+		case rv32.OpMUL:
+			return 3
+		case rv32.OpDIVU:
+			return 34
+		}
+		return 1
+	}
+	c.Run(0)
+	if c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	// Three li pseudo-instructions expand to lui+addi (6 instructions),
+	// plus ecall, all at 1 cycle; mul costs 3, divu 34.
+	want := uint64(7*1 + 3 + 34)
+	if c.Cycles != want {
+		t.Errorf("cycles: %d want %d", c.Cycles, want)
+	}
+	if c.InstrCount != 9 {
+		t.Errorf("instr: %d want 9", c.InstrCount)
+	}
+}
+
+// TestDefaultTimingOneCyclePerInstr: without a model, cycles == retired
+// instructions.
+func TestDefaultTimingOneCyclePerInstr(t *testing.T) {
+	c := run(t, `
+	_start:
+		li a0, 0
+		li a1, 100
+	lp:
+		addi a0, a0, 1
+		bltu a0, a1, lp
+	`+exitSeq)
+	if c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	if c.Cycles != c.InstrCount {
+		t.Errorf("cycles %d != instr %d", c.Cycles, c.InstrCount)
+	}
+}

@@ -1,0 +1,141 @@
+package iss_test
+
+import (
+	"testing"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/cte"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+const (
+	tRamBase = 0x80000000
+	tRamSize = 1 << 20
+)
+
+// raceSrc contains a classic lost-update race: main performs a
+// non-atomic read-modify-write of a counter while a notified peripheral
+// function increments the same counter. If the notification fires inside
+// the window between main's load and store, the peripheral's update is
+// lost and the final assertion fails. The notification delay is
+// symbolic, so only timing exploration can expose the bug.
+const raceSrc = `
+_start:
+	# d = symbolic delay
+	la a0, d
+	li a1, 4
+	la a2, dname
+	li a7, 1
+	ecall                 # make_symbolic(&d, 4, "d")
+	la a0, d
+	lw s2, 0(a0)
+	li t0, 2048
+	sltu a0, s2, t0
+	li a7, 2
+	ecall                 # CTE_assume(d < 2048): always fires before
+	                      # the spin loop below finishes
+	mv a1, s2
+	la a0, bump
+	li a7, 4
+	ecall                 # CTE_notify(bump, d)
+
+	# non-atomic counter += 1 with a widened race window
+	la s0, counter
+	lw s1, 0(s0)          # load
+	nop
+	nop
+	nop
+	nop
+	nop
+	nop
+	addi s1, s1, 1
+	sw s1, 0(s0)          # store
+
+	# wait until the notification certainly fired
+spin:
+	li a7, 6
+	ecall                 # get_cycles
+	li t0, 4096
+	bltu a0, t0, spin
+
+	la s0, counter
+	lw a0, 0(s0)
+	li a1, 11
+	sub a0, a0, a1
+	seqz a0, a0           # counter == 11 ?
+	li a7, 3
+	ecall                 # CTE_assert(counter == 11)
+	li a0, 0
+	li a7, 0
+	ecall
+
+bump:
+	la t0, counter
+	lw t1, 0(t0)
+	addi t1, t1, 10
+	sw t1, 0(t0)
+	li a7, 5
+	ecall                 # CTE_return
+
+.data
+counter: .word 0
+d: .word 0
+dname: .asciz "d"
+`
+
+// TestSymbolicNotificationTimeFindsRace: with SymbolicTimes enabled,
+// exploration finds a delay that drops the notification into the
+// read-modify-write window (paper future work §5.2).
+func TestSymbolicNotificationTimeFindsRace(t *testing.T) {
+	img, err := asmAssembleHelper(raceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	core := iss.New(b, iss.Config{RamBase: tRamBase, RamSize: tRamSize, MaxInstr: 1_000_000})
+	core.LoadImage(img.Origin, img.Bytes, img.Entry())
+	core.SymbolicTimes = true
+
+	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
+	rep := eng.Run()
+	if len(rep.Findings) == 0 {
+		t.Fatalf("timing exploration must find the lost update: %v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Err.Kind != iss.ErrAssertFail {
+		t.Fatalf("kind: %v", f.Err)
+	}
+	d := b.Value(f.Input, "d[0]") | b.Value(f.Input, "d[1]")<<8
+	t.Logf("lost update with notification delay d=%d after %d paths", d, rep.Paths)
+	// The violating delay must fall inside the read-modify-write window
+	// (non-zero, and well before the spin loop ends).
+	if d == 0 || d >= 2048 {
+		t.Errorf("delay %d cannot be a lost-update window hit", d)
+	}
+}
+
+// TestSymbolicTimesOffMissesRace: without the extension the delay is
+// silently concretized to the input value and the race is not found —
+// demonstrating why the paper lists this as future work.
+func TestSymbolicTimesOffMissesRace(t *testing.T) {
+	img, err := asmAssembleHelper(raceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	core := iss.New(b, iss.Config{RamBase: tRamBase, RamSize: tRamSize, MaxInstr: 1_000_000})
+	core.LoadImage(img.Origin, img.Bytes, img.Entry())
+	// SymbolicTimes left off.
+
+	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("without timing exploration the race should stay hidden, found %v", rep.Findings)
+	}
+	if !rep.Exhausted {
+		t.Error("exploration should exhaust (no symbolic branches beyond the delay)")
+	}
+}
+
+// asmAssembleHelper assembles a test source at the standard base.
+func asmAssembleHelper(src string) (*asm.Image, error) { return asm.Assemble(src, tRamBase) }

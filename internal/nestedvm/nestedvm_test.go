@@ -1,0 +1,144 @@
+package nestedvm
+
+import (
+	"testing"
+	"time"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// TestNestedMatchesNative: executing any guest through the nested
+// interpreter must produce bit-identical results to the native engine.
+func TestNestedMatchesNative(t *testing.T) {
+	progs := []guest.Program{
+		func() guest.Program {
+			p, _ := guest.BenchProgram("qsort")
+			p.Defines = map[string]string{"QSORT_N": "150"}
+			return p
+		}(),
+		func() guest.Program {
+			p, _ := guest.BenchProgram("dhrystone")
+			p.Defines = map[string]string{"DHRY_RUNS": "40"}
+			return p
+		}(),
+		{Name: "strings", Sources: []guest.Source{guest.C("m.c", `
+int main(void) {
+    char buf[40];
+    strcpy(buf, "nested interpretation");
+    print_u32(strlen(buf));
+    return strcmp(buf, "nested interpretation") == 0 ? 3 : 4;
+}`)}},
+	}
+	for _, p := range progs {
+		t.Run(p.Name, func(t *testing.T) {
+			native, _, err := guest.NewCore(smt.NewBuilder(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native.Run(0)
+
+			nested, _, err := guest.NewCore(smt.NewBuilder(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Attach(nested)
+			nested.Run(0)
+
+			if native.Err != nil || nested.Err != nil {
+				t.Fatalf("errors: native=%v nested=%v", native.Err, nested.Err)
+			}
+			if native.ExitCode != nested.ExitCode {
+				t.Errorf("exit: native=%d nested=%d", native.ExitCode, nested.ExitCode)
+			}
+			if string(native.Output) != string(nested.Output) {
+				t.Errorf("output: native=%q nested=%q", native.Output, nested.Output)
+			}
+			if native.InstrCount != nested.InstrCount {
+				t.Errorf("instr: native=%d nested=%d", native.InstrCount, nested.InstrCount)
+			}
+		})
+	}
+}
+
+// TestNestedSymbolicEquivalence: symbolic exploration through the nested
+// layer finds the same paths and the same bug as the native engine.
+func TestNestedSymbolicEquivalence(t *testing.T) {
+	b1 := smt.NewBuilder()
+	nativeCore, _, err := guest.NewCore(b1, guest.SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeRep := cte.New(nativeCore, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+
+	b2 := smt.NewBuilder()
+	nestedCore, _, err := guest.NewCore(b2, guest.SensorProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(nestedCore)
+	nestedRep := cte.New(nestedCore, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+
+	if len(nativeRep.Findings) == 0 || len(nestedRep.Findings) == 0 {
+		t.Fatalf("both engines must find the sensor bug: native=%v nested=%v",
+			nativeRep.Findings, nestedRep.Findings)
+	}
+	if nativeRep.Paths != nestedRep.Paths {
+		t.Errorf("path counts differ: native=%d nested=%d", nativeRep.Paths, nestedRep.Paths)
+	}
+	if nativeRep.Findings[0].Err.Kind != nestedRep.Findings[0].Err.Kind {
+		t.Errorf("finding kinds differ")
+	}
+}
+
+// TestNestedIsSlower: the added interpretation layer must cost real time
+// (the factor underlying the paper's FoI column). We only assert a
+// conservative lower bound to keep the test robust across machines.
+func TestNestedIsSlower(t *testing.T) {
+	p, _ := guest.BenchProgram("sha256")
+	p.Defines = map[string]string{"SHA_ITERS": "6", "SHA_MSG_LEN": "256"}
+
+	run := func(attach bool) time.Duration {
+		core, _, err := guest.NewCore(smt.NewBuilder(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			Attach(core)
+		}
+		start := time.Now()
+		core.Run(0)
+		if core.Err != nil {
+			t.Fatal(core.Err)
+		}
+		return time.Since(start)
+	}
+	native := run(false)
+	nested := run(true)
+	ratio := float64(nested) / float64(native)
+	t.Logf("native=%v nested=%v factor=%.1fx", native, nested, ratio)
+	if ratio < 1.5 {
+		t.Errorf("nested interpretation should be clearly slower, factor %.2f", ratio)
+	}
+}
+
+// TestNestedSystemFallback: ecall/wfi/csr fall back to the native path
+// and still work under the hook (peripheral interrupt flow).
+func TestNestedSystemFallback(t *testing.T) {
+	core, _, err := guest.NewCore(smt.NewBuilder(), guest.FreeRTOSSensorProgram(false, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(core)
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("nested RTOS run: %v", core.Err)
+	}
+	if core.ExitCode != 0 {
+		t.Errorf("exit %d", core.ExitCode)
+	}
+}
+
+var _ = iss.ErrNone

@@ -1,0 +1,80 @@
+package relf
+
+import (
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := &File{
+		Entry:   0x80000000,
+		Addr:    0x80000000,
+		Data:    []byte{0x13, 0, 0, 0, 0x73, 0, 0, 0},
+		MemSize: 64,
+		Symbols: map[string]uint32{
+			"_start":            0x80000000,
+			"sensor_transport":  0x80000004,
+			"cte_transport_buf": 0x80000100,
+		},
+	}
+	blob := Write(in)
+	out, err := Load(blob)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if out.Entry != in.Entry || out.Addr != in.Addr || out.MemSize != in.MemSize {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if string(out.Data) != string(in.Data) {
+		t.Error("segment data mismatch")
+	}
+	for name, addr := range in.Symbols {
+		got, ok := out.Symbol(name)
+		if !ok || got != addr {
+			t.Errorf("symbol %s: got %#x,%v want %#x", name, got, ok, addr)
+		}
+	}
+	if _, ok := out.Symbol("missing"); ok {
+		t.Error("missing symbol should not resolve")
+	}
+}
+
+func TestRoundTripNoSymbols(t *testing.T) {
+	in := &File{Entry: 0, Addr: 0x1000, Data: []byte{1, 2, 3}, MemSize: 3}
+	out, err := Load(Write(in))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(out.Symbols) != 0 {
+		t.Errorf("expected no symbols, got %v", out.Symbols)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not an elf"),
+		[]byte("\x7fELF and then garbage that is long enough to pass the size check.............."),
+	}
+	for i, blob := range cases {
+		if _, err := Load(blob); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Corrupt the machine type of a valid file.
+	blob := Write(&File{Data: []byte{1}, MemSize: 1})
+	blob[18] = 0x3e // EM_X86_64
+	if _, err := Load(blob); err == nil {
+		t.Error("wrong machine must fail")
+	}
+}
+
+func TestBssViaMemSize(t *testing.T) {
+	in := &File{Addr: 0x2000, Data: make([]byte, 16), MemSize: 4096}
+	out, err := Load(Write(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MemSize != 4096 || len(out.Data) != 16 {
+		t.Errorf("memsz %d filesz %d", out.MemSize, len(out.Data))
+	}
+}

@@ -1,0 +1,184 @@
+package rv32
+
+// Compress attempts to encode inst as a 16-bit C-extension instruction.
+// It returns the encoding and true when a compressed form exists (the
+// assembler's optional compression pass uses this; Decode expands the
+// result back to the identical base instruction).
+func Compress(in Inst) (uint16, bool) {
+	prime := func(r uint8) (uint16, bool) { // x8..x15 -> 3-bit encoding
+		if r >= 8 && r <= 15 {
+			return uint16(r - 8), true
+		}
+		return 0, false
+	}
+	r5 := func(r uint8) uint16 { return uint16(r & 31) }
+
+	switch in.Op {
+	case OpADDI:
+		imm := in.Imm
+		switch {
+		case in.Rd == in.Rs1 && imm >= -32 && imm <= 31 && !(in.Rd == 0 && imm != 0):
+			// C.ADDI (C.NOP when rd=0, imm=0). imm==0 with rd!=0 is a
+			// HINT encoding; keep it only for the canonical nop.
+			if imm == 0 && in.Rd != 0 {
+				return 0, false
+			}
+			u := uint16(imm) & 0x3f
+			return 0x0001 | (u>>5)<<12 | r5(in.Rd)<<7 | (u&31)<<2, true
+		case in.Rs1 == 0 && in.Rd != 0 && imm >= -32 && imm <= 31:
+			// C.LI
+			u := uint16(imm) & 0x3f
+			return 0x4001 | (u>>5)<<12 | r5(in.Rd)<<7 | (u&31)<<2, true
+		case in.Rd == 2 && in.Rs1 == 2 && imm != 0 && imm >= -512 && imm <= 511 && imm%16 == 0:
+			// C.ADDI16SP
+			u := uint32(imm)
+			return uint16(0x6101 |
+				(u>>9&1)<<12 | (u>>4&1)<<6 | (u>>6&1)<<5 |
+				(u>>7&3)<<3 | (u>>5&1)<<2), true
+		}
+		// C.ADDI4SPN: addi rd', sp, nzuimm (multiple of 4, 0..1020)
+		if in.Rs1 == 2 {
+			if rdP, ok := prime(in.Rd); ok && in.Imm > 0 && in.Imm <= 1020 && in.Imm%4 == 0 {
+				u := uint32(in.Imm)
+				return uint16((u>>4&3)<<11 | (u>>6&15)<<7 |
+					(u>>2&1)<<6 | (u>>3&1)<<5 | uint32(rdP)<<2), true
+			}
+		}
+		return 0, false
+
+	case OpLUI:
+		// C.LUI: rd != 0,2; imm[17:12] != 0, sign-extended from bit 17.
+		if in.Rd == 0 || in.Rd == 2 {
+			return 0, false
+		}
+		hi := in.Imm >> 12
+		if hi == 0 || hi < -32 || hi > 31 {
+			return 0, false
+		}
+		u := uint16(hi) & 0x3f
+		return 0x6001 | (u>>5)<<12 | r5(in.Rd)<<7 | (u&31)<<2, true
+
+	case OpADD:
+		switch {
+		case in.Rs1 == 0 && in.Rd != 0 && in.Rs2 != 0:
+			// C.MV
+			return 0x8002 | r5(in.Rd)<<7 | r5(in.Rs2)<<2, true
+		case in.Rd == in.Rs1 && in.Rd != 0 && in.Rs2 != 0:
+			// C.ADD
+			return 0x9002 | r5(in.Rd)<<7 | r5(in.Rs2)<<2, true
+		}
+		return 0, false
+
+	case OpSUB, OpXOR, OpOR, OpAND:
+		rdP, ok1 := prime(in.Rd)
+		rs2P, ok2 := prime(in.Rs2)
+		if !ok1 || !ok2 || in.Rd != in.Rs1 {
+			return 0, false
+		}
+		f2 := map[Op]uint16{OpSUB: 0, OpXOR: 1, OpOR: 2, OpAND: 3}[in.Op]
+		return 0x8c01 | rdP<<7 | f2<<5 | rs2P<<2, true
+
+	case OpSLLI:
+		// C.SLLI: rd != 0, shamt 1..31
+		if in.Rd == in.Rs1 && in.Rd != 0 && in.Imm >= 1 && in.Imm <= 31 {
+			return 0x0002 | r5(in.Rd)<<7 | uint16(in.Imm&31)<<2, true
+		}
+		return 0, false
+
+	case OpSRLI, OpSRAI:
+		rdP, ok := prime(in.Rd)
+		if !ok || in.Rd != in.Rs1 || in.Imm < 1 || in.Imm > 31 {
+			return 0, false
+		}
+		f2 := uint16(0)
+		if in.Op == OpSRAI {
+			f2 = 1
+		}
+		return 0x8001 | f2<<10 | rdP<<7 | uint16(in.Imm&31)<<2, true
+
+	case OpANDI:
+		rdP, ok := prime(in.Rd)
+		if !ok || in.Rd != in.Rs1 || in.Imm < -32 || in.Imm > 31 {
+			return 0, false
+		}
+		u := uint16(in.Imm) & 0x3f
+		return 0x8801 | (u>>5)<<12 | rdP<<7 | (u&31)<<2, true
+
+	case OpLW:
+		if in.Rs1 == 2 && in.Rd != 0 && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0 {
+			// C.LWSP
+			u := uint32(in.Imm)
+			return uint16(0x4002 | (u>>5&1)<<12 | uint32(r5(in.Rd))<<7 |
+				(u>>2&7)<<4 | (u>>6&3)<<2), true
+		}
+		rdP, ok1 := prime(in.Rd)
+		rs1P, ok2 := prime(in.Rs1)
+		if ok1 && ok2 && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0 {
+			// C.LW
+			u := uint32(in.Imm)
+			return uint16(0x4000 | (u>>3&7)<<10 | uint32(rs1P)<<7 |
+				(u>>2&1)<<6 | (u>>6&1)<<5 | uint32(rdP)<<2), true
+		}
+		return 0, false
+
+	case OpSW:
+		if in.Rs1 == 2 && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0 {
+			// C.SWSP
+			u := uint32(in.Imm)
+			return uint16(0xc002 | (u>>2&15)<<9 | (u>>6&3)<<7 | uint32(r5(in.Rs2))<<2), true
+		}
+		rs2P, ok1 := prime(in.Rs2)
+		rs1P, ok2 := prime(in.Rs1)
+		if ok1 && ok2 && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0 {
+			// C.SW
+			u := uint32(in.Imm)
+			return uint16(0xc000 | (u>>3&7)<<10 | uint32(rs1P)<<7 |
+				(u>>2&1)<<6 | (u>>6&1)<<5 | uint32(rs2P)<<2), true
+		}
+		return 0, false
+
+	case OpJAL:
+		if in.Imm < -2048 || in.Imm > 2047 || in.Imm%2 != 0 {
+			return 0, false
+		}
+		u := uint32(in.Imm)
+		enc := (u>>11&1)<<12 | (u>>4&1)<<11 | (u>>8&3)<<9 | (u>>10&1)<<8 |
+			(u>>6&1)<<7 | (u>>7&1)<<6 | (u>>1&7)<<3 | (u>>5&1)<<2
+		switch in.Rd {
+		case 0: // C.J
+			return uint16(0xa001 | enc), true
+		case 1: // C.JAL (RV32)
+			return uint16(0x2001 | enc), true
+		}
+		return 0, false
+
+	case OpJALR:
+		if in.Imm != 0 || in.Rs1 == 0 {
+			return 0, false
+		}
+		switch in.Rd {
+		case 0: // C.JR
+			return 0x8002 | r5(in.Rs1)<<7, true
+		case 1: // C.JALR
+			return 0x9002 | r5(in.Rs1)<<7, true
+		}
+		return 0, false
+
+	case OpBEQ, OpBNE:
+		rs1P, ok := prime(in.Rs1)
+		if !ok || in.Rs2 != 0 || in.Imm < -256 || in.Imm > 255 || in.Imm%2 != 0 {
+			return 0, false
+		}
+		u := uint32(in.Imm)
+		enc := (u>>8&1)<<12 | (u>>3&3)<<10 | uint32(rs1P)<<7 |
+			(u>>6&3)<<5 | (u>>1&3)<<3 | (u>>5&1)<<2
+		if in.Op == OpBEQ {
+			return uint16(0xc001 | enc), true
+		}
+		return uint16(0xe001 | enc), true
+
+	case OpEBREAK:
+		return 0x9002, true
+	}
+	return 0, false
+}

@@ -1,0 +1,120 @@
+package rv32
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompressRoundTrip: every successful compression must decode back
+// to the exact same semantic instruction.
+func TestCompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tried, compressed := 0, 0
+	for i := 0; i < 200000; i++ {
+		var in Inst
+		switch rng.Intn(12) {
+		case 0:
+			in = Inst{Op: OpADDI, Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Imm: int32(rng.Intn(128) - 64)}
+		case 1:
+			in = Inst{Op: OpLUI, Rd: uint8(rng.Intn(32)), Imm: int32(rng.Intn(1<<20)-(1<<19)) << 12}
+		case 2:
+			in = Inst{Op: OpADD, Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32))}
+		case 3:
+			in = Inst{Op: []Op{OpSUB, OpXOR, OpOR, OpAND}[rng.Intn(4)],
+				Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32))}
+			if rng.Intn(2) == 0 {
+				in.Rs1 = in.Rd
+			}
+		case 4:
+			in = Inst{Op: []Op{OpSLLI, OpSRLI, OpSRAI}[rng.Intn(3)],
+				Rd: uint8(rng.Intn(32)), Imm: int32(rng.Intn(32))}
+			in.Rs1 = in.Rd
+		case 5:
+			in = Inst{Op: OpANDI, Rd: uint8(rng.Intn(32)), Imm: int32(rng.Intn(128) - 64)}
+			in.Rs1 = in.Rd
+		case 6:
+			in = Inst{Op: OpLW, Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Imm: int32(rng.Intn(300) &^ 3)}
+		case 7:
+			in = Inst{Op: OpSW, Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32)), Imm: int32(rng.Intn(300) &^ 3)}
+		case 8:
+			in = Inst{Op: OpJAL, Rd: uint8(rng.Intn(2)), Imm: int32(rng.Intn(4096)-2048) &^ 1}
+		case 9:
+			in = Inst{Op: OpJALR, Rd: uint8(rng.Intn(2)), Rs1: uint8(rng.Intn(32))}
+		case 10:
+			in = Inst{Op: []Op{OpBEQ, OpBNE}[rng.Intn(2)], Rs1: uint8(rng.Intn(32)), Imm: int32(rng.Intn(512)-256) &^ 1}
+		default:
+			in = Inst{Op: OpEBREAK}
+		}
+		tried++
+		h, ok := Compress(in)
+		if !ok {
+			continue
+		}
+		compressed++
+		out := Decode(uint32(h))
+		if out.Size != 2 {
+			t.Fatalf("compressed decode size %d for %+v -> %#x", out.Size, in, h)
+		}
+		if out.Op != in.Op || out.Rd != in.Rd || out.Rs1 != in.Rs1 || out.Rs2 != in.Rs2 || out.Imm != in.Imm {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v (enc %#04x)", in, out, h)
+		}
+	}
+	if compressed < tried/20 {
+		t.Errorf("too few compressions exercised: %d of %d", compressed, tried)
+	}
+	t.Logf("round-tripped %d compressed encodings out of %d candidates", compressed, tried)
+}
+
+// TestCompressKnownEncodings cross-checks specific encodings against the
+// spec values used in the decoder tests.
+func TestCompressKnownEncodings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint16
+	}{
+		{Inst{Op: OpADDI, Rd: 0, Rs1: 0, Imm: 0}, 0x0001},    // c.nop
+		{Inst{Op: OpADDI, Rd: 10, Rs1: 0, Imm: 10}, 0x4529},  // c.li a0,10
+		{Inst{Op: OpADDI, Rd: 10, Rs1: 10, Imm: -1}, 0x157d}, // c.addi a0,-1
+		{Inst{Op: OpJALR, Rd: 0, Rs1: 1}, 0x8082},            // c.jr ra
+		{Inst{Op: OpADD, Rd: 10, Rs1: 0, Rs2: 11}, 0x852e},   // c.mv a0,a1
+		{Inst{Op: OpADD, Rd: 10, Rs1: 10, Rs2: 12}, 0x9532},  // c.add a0,a2
+		{Inst{Op: OpLW, Rd: 10, Rs1: 10, Imm: 0}, 0x4108},    // c.lw a0,0(a0)
+		{Inst{Op: OpSW, Rs1: 10, Rs2: 11, Imm: 0}, 0xc10c},   // c.sw a1,0(a0)
+		{Inst{Op: OpADDI, Rd: 2, Rs1: 2, Imm: -16}, 0x1141},  // c.addi sp,-16
+		{Inst{Op: OpEBREAK}, 0x9002},                         // c.ebreak
+	}
+	for _, tc := range cases {
+		got, ok := Compress(tc.in)
+		if !ok {
+			t.Errorf("%+v: not compressed", tc.in)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%+v: got %#04x want %#04x", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestCompressRejects: encodings without compressed forms must be
+// rejected.
+func TestCompressRejects(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: 1},   // rd != rs1, rs1 != 0
+		{Op: OpADDI, Rd: 5, Rs1: 5, Imm: 100}, // imm too big
+		{Op: OpLUI, Rd: 2, Imm: 0x1000},       // rd == sp
+		{Op: OpLW, Rd: 5, Rs1: 6, Imm: 0},     // non-prime regs
+		{Op: OpLW, Rd: 9, Rs1: 9, Imm: 2},     // misaligned imm
+		{Op: OpJAL, Rd: 5, Imm: 4},            // rd not x0/x1
+		{Op: OpJAL, Rd: 0, Imm: 4096},         // out of range
+		{Op: OpBEQ, Rs1: 8, Rs2: 9, Imm: 4},   // rs2 != x0
+		{Op: OpBEQ, Rs1: 8, Rs2: 0, Imm: 512}, // out of range
+		{Op: OpJALR, Rd: 1, Rs1: 5, Imm: 8},   // nonzero offset
+		{Op: OpMUL, Rd: 8, Rs1: 8, Rs2: 9},    // no C form for mul
+		{Op: OpECALL},                         // no C form
+	}
+	for _, in := range cases {
+		if h, ok := Compress(in); ok {
+			t.Errorf("%+v: unexpectedly compressed to %#04x", in, h)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package rv32
+
+import "fmt"
+
+// Instruction encoders for the assembler. Each returns the 32-bit
+// little-endian encoding. Immediate ranges are validated; out-of-range
+// immediates return an error so the assembler can report source locations.
+
+type encInfo struct {
+	opcode uint32
+	funct3 uint32
+	funct7 uint32
+	format byte // R I S B U J E(system) C(csr) Z(csr-imm)
+}
+
+var encTable = map[Op]encInfo{
+	OpLUI:    {0x37, 0, 0, 'U'},
+	OpAUIPC:  {0x17, 0, 0, 'U'},
+	OpJAL:    {0x6f, 0, 0, 'J'},
+	OpJALR:   {0x67, 0, 0, 'I'},
+	OpBEQ:    {0x63, 0, 0, 'B'},
+	OpBNE:    {0x63, 1, 0, 'B'},
+	OpBLT:    {0x63, 4, 0, 'B'},
+	OpBGE:    {0x63, 5, 0, 'B'},
+	OpBLTU:   {0x63, 6, 0, 'B'},
+	OpBGEU:   {0x63, 7, 0, 'B'},
+	OpLB:     {0x03, 0, 0, 'I'},
+	OpLH:     {0x03, 1, 0, 'I'},
+	OpLW:     {0x03, 2, 0, 'I'},
+	OpLBU:    {0x03, 4, 0, 'I'},
+	OpLHU:    {0x03, 5, 0, 'I'},
+	OpSB:     {0x23, 0, 0, 'S'},
+	OpSH:     {0x23, 1, 0, 'S'},
+	OpSW:     {0x23, 2, 0, 'S'},
+	OpADDI:   {0x13, 0, 0, 'I'},
+	OpSLTI:   {0x13, 2, 0, 'I'},
+	OpSLTIU:  {0x13, 3, 0, 'I'},
+	OpXORI:   {0x13, 4, 0, 'I'},
+	OpORI:    {0x13, 6, 0, 'I'},
+	OpANDI:   {0x13, 7, 0, 'I'},
+	OpSLLI:   {0x13, 1, 0x00, 'R'}, // shamt in rs2 slot
+	OpSRLI:   {0x13, 5, 0x00, 'R'},
+	OpSRAI:   {0x13, 5, 0x20, 'R'},
+	OpADD:    {0x33, 0, 0x00, 'R'},
+	OpSUB:    {0x33, 0, 0x20, 'R'},
+	OpSLL:    {0x33, 1, 0x00, 'R'},
+	OpSLT:    {0x33, 2, 0x00, 'R'},
+	OpSLTU:   {0x33, 3, 0x00, 'R'},
+	OpXOR:    {0x33, 4, 0x00, 'R'},
+	OpSRL:    {0x33, 5, 0x00, 'R'},
+	OpSRA:    {0x33, 5, 0x20, 'R'},
+	OpOR:     {0x33, 6, 0x00, 'R'},
+	OpAND:    {0x33, 7, 0x00, 'R'},
+	OpMUL:    {0x33, 0, 0x01, 'R'},
+	OpMULH:   {0x33, 1, 0x01, 'R'},
+	OpMULHSU: {0x33, 2, 0x01, 'R'},
+	OpMULHU:  {0x33, 3, 0x01, 'R'},
+	OpDIV:    {0x33, 4, 0x01, 'R'},
+	OpDIVU:   {0x33, 5, 0x01, 'R'},
+	OpREM:    {0x33, 6, 0x01, 'R'},
+	OpREMU:   {0x33, 7, 0x01, 'R'},
+	OpFENCE:  {0x0f, 0, 0, 'E'},
+	OpECALL:  {0x73, 0, 0, 'E'},
+	OpEBREAK: {0x73, 0, 0, 'E'},
+	OpMRET:   {0x73, 0, 0, 'E'},
+	OpWFI:    {0x73, 0, 0, 'E'},
+	OpCSRRW:  {0x73, 1, 0, 'C'},
+	OpCSRRS:  {0x73, 2, 0, 'C'},
+	OpCSRRC:  {0x73, 3, 0, 'C'},
+	OpCSRRWI: {0x73, 5, 0, 'Z'},
+	OpCSRRSI: {0x73, 6, 0, 'Z'},
+	OpCSRRCI: {0x73, 7, 0, 'Z'},
+}
+
+// Encode produces the 32-bit encoding of inst. It validates immediate
+// ranges and returns an error for unencodable instructions.
+func Encode(inst Inst) (uint32, error) {
+	info, ok := encTable[inst.Op]
+	if !ok {
+		return 0, fmt.Errorf("rv32: cannot encode %v", inst.Op)
+	}
+	rd := uint32(inst.Rd) & 31
+	rs1 := uint32(inst.Rs1) & 31
+	rs2 := uint32(inst.Rs2) & 31
+	imm := inst.Imm
+
+	switch info.format {
+	case 'R':
+		if inst.Op == OpSLLI || inst.Op == OpSRLI || inst.Op == OpSRAI {
+			if imm < 0 || imm > 31 {
+				return 0, fmt.Errorf("rv32: shift amount %d out of range", imm)
+			}
+			rs2 = uint32(imm)
+		}
+		return info.funct7<<25 | rs2<<20 | rs1<<15 | info.funct3<<12 | rd<<7 | info.opcode, nil
+	case 'I':
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("rv32: I-immediate %d out of range", imm)
+		}
+		return uint32(imm)&0xfff<<20 | rs1<<15 | info.funct3<<12 | rd<<7 | info.opcode, nil
+	case 'S':
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("rv32: S-immediate %d out of range", imm)
+		}
+		u := uint32(imm) & 0xfff
+		return u>>5<<25 | rs2<<20 | rs1<<15 | info.funct3<<12 | (u&31)<<7 | info.opcode, nil
+	case 'B':
+		if imm < -4096 || imm > 4095 || imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: B-immediate %d out of range", imm)
+		}
+		u := uint32(imm)
+		return bits(u, 12, 12)<<31 | bits(u, 10, 5)<<25 | rs2<<20 | rs1<<15 |
+			info.funct3<<12 | bits(u, 4, 1)<<8 | bits(u, 11, 11)<<7 | info.opcode, nil
+	case 'U':
+		return uint32(imm)&0xfffff000 | rd<<7 | info.opcode, nil
+	case 'J':
+		if imm < -(1<<20) || imm >= 1<<20 || imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: J-immediate %d out of range", imm)
+		}
+		u := uint32(imm)
+		return bits(u, 20, 20)<<31 | bits(u, 10, 1)<<21 | bits(u, 11, 11)<<20 |
+			bits(u, 19, 12)<<12 | rd<<7 | info.opcode, nil
+	case 'E':
+		switch inst.Op {
+		case OpECALL:
+			return 0x00000073, nil
+		case OpEBREAK:
+			return 0x00100073, nil
+		case OpMRET:
+			return 0x30200073, nil
+		case OpWFI:
+			return 0x10500073, nil
+		case OpFENCE:
+			return 0x0000000f, nil
+		}
+	case 'C':
+		if imm < 0 || imm > 4095 {
+			return 0, fmt.Errorf("rv32: CSR number %d out of range", imm)
+		}
+		return uint32(imm)<<20 | rs1<<15 | info.funct3<<12 | rd<<7 | info.opcode, nil
+	case 'Z':
+		if imm < 0 || imm > 4095 {
+			return 0, fmt.Errorf("rv32: CSR number %d out of range", imm)
+		}
+		if rs2 > 31 {
+			return 0, fmt.Errorf("rv32: CSR zimm %d out of range", rs2)
+		}
+		return uint32(imm)<<20 | rs2<<15 | info.funct3<<12 | rd<<7 | info.opcode, nil
+	}
+	return 0, fmt.Errorf("rv32: cannot encode %v", inst.Op)
+}

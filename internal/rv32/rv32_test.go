@@ -1,0 +1,200 @@
+package rv32
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known encodings cross-checked against the RISC-V spec examples /
+// GNU as output.
+func TestDecodeKnownEncodings(t *testing.T) {
+	cases := []struct {
+		word uint32
+		want string
+	}{
+		{0x00000013, "addi zero, zero, 0"}, // nop
+		{0x00150513, "addi a0, a0, 1"},     // addi a0,a0,1
+		{0x800000b7, "lui ra, 0x80000"},    // lui ra,0x80000
+		{0x00008067, "jalr zero, 0(ra)"},   // ret
+		{0xfe010113, "addi sp, sp, -32"},   // addi sp,sp,-32
+		{0x00112e23, "sw ra, 28(sp)"},      // sw ra,28(sp)
+		{0x01c12083, "lw ra, 28(sp)"},      // lw ra,28(sp)
+		{0x00209463, "bne ra, sp, 8"},      // bne ra,sp,+8
+		{0x02a5d533, "divu a0, a1, a0"},    // divu a0,a1,a0
+		{0x02b50533, "mul a0, a0, a1"},     // mul a0,a0,a1
+		{0x40b50533, "sub a0, a0, a1"},     // sub a0,a0,a1
+		{0x00000073, "ecall"},
+		{0x00100073, "ebreak"},
+		{0x30200073, "mret"},
+		{0x10500073, "wfi"},
+		{0x30529073, "csrrw zero, mtvec, t0"}, // csrrw x0,mtvec,t0
+		{0x341022f3, "csrrs t0, mepc, zero"},  // csrr t0,mepc
+	}
+	for _, tc := range cases {
+		got := Decode(tc.word)
+		if got.String() != tc.want {
+			t.Errorf("decode %#08x: got %q want %q", tc.word, got.String(), tc.want)
+		}
+		if got.Size != 4 {
+			t.Errorf("decode %#08x: size %d", tc.word, got.Size)
+		}
+	}
+}
+
+func TestDecodeCompressed(t *testing.T) {
+	cases := []struct {
+		half uint16
+		want string
+	}{
+		{0x0001, "addi zero, zero, 0"}, // c.nop
+		{0x4501, "addi a0, zero, 0"},   // c.li a0,0
+		{0x4529, "addi a0, zero, 10"},  // c.li a0,10
+		{0x157d, "addi a0, a0, -1"},    // c.addi a0,-1
+		{0x8082, "jalr zero, 0(ra)"},   // c.jr ra (ret)
+		{0x852e, "add a0, zero, a1"},   // c.mv a0,a1
+		{0x9532, "add a0, a0, a2"},     // c.add a0,a2
+		{0x05e1, "addi a1, a1, 24"},    // c.addi a1, 24
+		{0x4108, "lw a0, 0(a0)"},       // c.lw a0,0(a0)
+		{0xc10c, "sw a1, 0(a0)"},       // c.sw a1,0(a0)
+		{0x1141, "addi sp, sp, -16"},   // c.addi sp,-16
+		{0x0141, "addi sp, sp, 16"},    // c.addi sp,16
+		{0x9002, "ebreak"},             // c.ebreak
+	}
+	for _, tc := range cases {
+		got := Decode(uint32(tc.half))
+		if got.String() != tc.want {
+			t.Errorf("decode c %#04x: got %q want %q", tc.half, got.String(), tc.want)
+		}
+		if got.Size != 2 {
+			t.Errorf("decode c %#04x: size %d want 2", tc.half, got.Size)
+		}
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	for _, w := range []uint32{0x00000000, 0xffffffff, 0x0000707f} {
+		if got := Decode(w); got.Op != OpIllegal && w == 0 {
+			t.Errorf("decode %#08x: expected illegal, got %v", w, got)
+		}
+	}
+	if Decode(0).Op != OpIllegal {
+		t.Error("all-zero word must decode as illegal")
+	}
+}
+
+// Property: encoding then decoding is the identity on the semantic fields.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rTypes := []Op{OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+		OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+	iTypes := []Op{OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpJALR, OpLB, OpLH, OpLW, OpLBU, OpLHU}
+
+	for iter := 0; iter < 5000; iter++ {
+		var in Inst
+		switch rng.Intn(7) {
+		case 0:
+			in = Inst{Op: rTypes[rng.Intn(len(rTypes))], Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32))}
+		case 1:
+			in = Inst{Op: iTypes[rng.Intn(len(iTypes))], Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Imm: int32(rng.Intn(4096) - 2048)}
+		case 2:
+			in = Inst{Op: []Op{OpSB, OpSH, OpSW}[rng.Intn(3)], Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32)), Imm: int32(rng.Intn(4096) - 2048)}
+		case 3:
+			in = Inst{Op: []Op{OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU}[rng.Intn(6)],
+				Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32)), Imm: int32(rng.Intn(4096)-2048) * 2}
+		case 4:
+			in = Inst{Op: []Op{OpLUI, OpAUIPC}[rng.Intn(2)], Rd: uint8(rng.Intn(32)), Imm: int32(rng.Uint32() & 0xfffff000)}
+		case 5:
+			in = Inst{Op: OpJAL, Rd: uint8(rng.Intn(32)), Imm: int32(rng.Intn(1<<20)-(1<<19)) * 2}
+		default:
+			in = Inst{Op: []Op{OpSLLI, OpSRLI, OpSRAI}[rng.Intn(3)], Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Imm: int32(rng.Intn(32))}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out := Decode(w)
+		if out.Op != in.Op || out.Rd != in.Rd || out.Rs1 != in.Rs1 || out.Imm != in.Imm {
+			t.Fatalf("round trip: in=%+v out=%+v (word %#08x)", in, out, w)
+		}
+		if in.Op != OpSLLI && in.Op != OpSRLI && in.Op != OpSRAI && in.Op != OpLUI && in.Op != OpAUIPC &&
+			in.Op != OpJAL && in.Op != OpJALR && out.Rs2 != in.Rs2 &&
+			(in.Op == OpADD || in.Op == OpSUB || in.Op == OpBEQ || in.Op == OpSW) {
+			t.Fatalf("round trip rs2: in=%+v out=%+v", in, out)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Imm: 5000},
+		{Op: OpADDI, Imm: -3000},
+		{Op: OpSW, Imm: 2048},
+		{Op: OpBEQ, Imm: 1}, // odd branch offset
+		{Op: OpBEQ, Imm: 8192},
+		{Op: OpJAL, Imm: 1 << 21},
+		{Op: OpSLLI, Imm: 32},
+		{Op: OpIllegal},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("encode %+v: expected error", in)
+		}
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	if RegName(0) != "zero" || RegName(2) != "sp" || RegName(10) != "a0" {
+		t.Error("ABI names wrong")
+	}
+	if RegByName("sp") != 2 || RegByName("a7") != 17 || RegByName("x31") != 31 {
+		t.Error("RegByName wrong")
+	}
+	if RegByName("fp") != 8 {
+		t.Error("fp must alias s0")
+	}
+	if RegByName("bogus") != -1 {
+		t.Error("unknown register must be -1")
+	}
+}
+
+func TestCSRNames(t *testing.T) {
+	if CSRName(CSRMTVec) != "mtvec" || CSRName(CSRMEPC) != "mepc" {
+		t.Error("CSR names wrong")
+	}
+	if CSRByName("mtvec") != CSRMTVec || CSRByName("mcause") != CSRMCause {
+		t.Error("CSRByName wrong")
+	}
+	if CSRByName("nope") != -1 {
+		t.Error("unknown CSR must be -1")
+	}
+}
+
+// Property: compressed decodes always have Size 2, uncompressed Size 4.
+func TestDecodeSizeProperty(t *testing.T) {
+	f := func(w uint32) bool {
+		d := Decode(w)
+		if w&3 != 3 {
+			return d.Size == 2
+		}
+		return d.Size == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics and the raw field is preserved.
+func TestDecodeTotality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		w := rng.Uint32()
+		d := Decode(w)
+		if d.Size == 4 && d.Raw != w {
+			t.Fatalf("raw not preserved: %#x vs %#x", d.Raw, w)
+		}
+		if d.Size == 2 && d.Raw != w&0xffff {
+			t.Fatalf("compressed raw not masked: %#x", d.Raw)
+		}
+	}
+}

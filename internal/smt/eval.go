@@ -1,0 +1,114 @@
+package smt
+
+import "fmt"
+
+// Assignment maps variable ids to concrete values. Values are stored
+// width-masked.
+type Assignment map[int]uint64
+
+// Eval computes the concrete value of e under the assignment. Unassigned
+// variables evaluate to zero (the solver's don't-care completion). The
+// result is masked to e.Width.
+func Eval(e *Expr, a Assignment) uint64 {
+	cache := map[*Expr]uint64{}
+	return evalRec(e, a, cache)
+}
+
+func evalRec(e *Expr, a Assignment, cache map[*Expr]uint64) uint64 {
+	if v, ok := cache[e]; ok {
+		return v
+	}
+	var v uint64
+	switch e.Kind {
+	case KConst:
+		v = e.Val
+	case KVar:
+		v = a[int(e.Val)] & mask(e.Width)
+	case KAdd:
+		v = evalRec(e.K0, a, cache) + evalRec(e.K1, a, cache)
+	case KSub:
+		v = evalRec(e.K0, a, cache) - evalRec(e.K1, a, cache)
+	case KMul:
+		v = evalRec(e.K0, a, cache) * evalRec(e.K1, a, cache)
+	case KUDiv:
+		d := evalRec(e.K1, a, cache)
+		if d == 0 {
+			v = mask(e.Width)
+		} else {
+			v = evalRec(e.K0, a, cache) / d
+		}
+	case KURem:
+		d := evalRec(e.K1, a, cache)
+		if d == 0 {
+			v = evalRec(e.K0, a, cache)
+		} else {
+			v = evalRec(e.K0, a, cache) % d
+		}
+	case KAnd:
+		v = evalRec(e.K0, a, cache) & evalRec(e.K1, a, cache)
+	case KOr:
+		v = evalRec(e.K0, a, cache) | evalRec(e.K1, a, cache)
+	case KXor:
+		v = evalRec(e.K0, a, cache) ^ evalRec(e.K1, a, cache)
+	case KNot:
+		v = ^evalRec(e.K0, a, cache)
+	case KNeg:
+		v = -evalRec(e.K0, a, cache)
+	case KShl:
+		s := evalRec(e.K1, a, cache)
+		if s >= uint64(e.Width) {
+			v = 0
+		} else {
+			v = evalRec(e.K0, a, cache) << s
+		}
+	case KLShr:
+		s := evalRec(e.K1, a, cache)
+		if s >= uint64(e.Width) {
+			v = 0
+		} else {
+			v = evalRec(e.K0, a, cache) >> s
+		}
+	case KAShr:
+		s := evalRec(e.K1, a, cache)
+		if s >= uint64(e.Width) {
+			s = uint64(e.Width) - 1
+		}
+		v = uint64(sext64(evalRec(e.K0, a, cache), e.K0.Width) >> s)
+	case KEq:
+		v = b2u(evalRec(e.K0, a, cache) == evalRec(e.K1, a, cache))
+	case KUlt:
+		v = b2u(evalRec(e.K0, a, cache) < evalRec(e.K1, a, cache))
+	case KUle:
+		v = b2u(evalRec(e.K0, a, cache) <= evalRec(e.K1, a, cache))
+	case KSlt:
+		v = b2u(sext64(evalRec(e.K0, a, cache), e.K0.Width) < sext64(evalRec(e.K1, a, cache), e.K1.Width))
+	case KSle:
+		v = b2u(sext64(evalRec(e.K0, a, cache), e.K0.Width) <= sext64(evalRec(e.K1, a, cache), e.K1.Width))
+	case KConcat:
+		v = evalRec(e.K0, a, cache)<<e.K1.Width | evalRec(e.K1, a, cache)
+	case KExtract:
+		v = evalRec(e.K0, a, cache) >> (e.Val & 0xff)
+	case KZExt:
+		v = evalRec(e.K0, a, cache)
+	case KSExt:
+		v = uint64(sext64(evalRec(e.K0, a, cache), e.K0.Width))
+	case KIte:
+		if evalRec(e.K0, a, cache) == 1 {
+			v = evalRec(e.K1, a, cache)
+		} else {
+			v = evalRec(e.K2, a, cache)
+		}
+	default:
+		panic(fmt.Sprintf("smt: eval of %v", e.Kind))
+	}
+	v &= mask(e.Width)
+	cache[e] = v
+	return v
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,596 @@
+package smt
+
+// CDCL SAT solver with two-watched-literal propagation, VSIDS-style
+// activity-based decision heuristics, first-UIP clause learning, phase
+// saving and geometric restarts. This is the engine underneath the
+// bit-blaster; it plays the role of MiniSat inside STP.
+
+// Lit is a literal: variable v is encoded as 2v (positive) / 2v+1
+// (negative). Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v with the given sign (neg == true
+// means the negated literal).
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether l is a negated literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complement literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // a literal of c; if true, the clause is satisfied
+}
+
+// Sat is the CDCL solver instance. The zero value is not usable; create
+// with NewSat.
+type Sat struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool // indexed by variable
+	phase    []bool  // saved phases
+	level    []int32 // decision level per variable
+	reason   []*clause
+	trail    []Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	seen     []bool // scratch for conflict analysis
+	claInc   float64
+	ok       bool // false once UNSAT at level 0
+	Conflict int  // number of conflicts (statistics)
+	Props    int64
+
+	// Budget limits an individual Solve call; <= 0 means unlimited.
+	// When exceeded, Solve returns Unknown.
+	Budget int
+}
+
+// SolveResult is the outcome of a Solve call.
+type SolveResult int8
+
+const (
+	Unsat SolveResult = iota
+	SatResult
+	Unknown
+)
+
+// NewSat creates an empty solver.
+func NewSat() *Sat {
+	s := &Sat{varInc: 1, claInc: 1, ok: true}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Sat) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Sat) NumVars() int { return len(s.assigns) }
+
+func (s *Sat) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause; returns false if the formula became trivially
+// UNSAT. Must be called at decision level 0.
+func (s *Sat) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: remove duplicates and false literals, detect tautology.
+	out := lits[:0:len(lits)]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied forever (level 0)
+		case lUndef:
+			dup := false
+			for _, o := range out {
+				if o == l {
+					dup = true
+					break
+				}
+				if o == l.Flip() {
+					return true // tautology
+				}
+			}
+			if !dup {
+				out = append(out, l)
+			}
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Sat) watchClause(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], watcher{c, c.lits[0]})
+}
+
+func (s *Sat) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.phase[v] = !l.Neg()
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Sat) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Sat) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Props++
+		ws := s.watches[p]
+		j := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (p.Flip()) is lits[1].
+			if c.lits[0] == p.Flip() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], watcher{c, first})
+					continue nextWatch
+				}
+			}
+			// Unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.value(first) == lFalse {
+				// Conflict: copy back remaining watchers, return.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+func (s *Sat) analyze(confl *clause) (learnt []Lit, backLevel int) {
+	pathC := 0
+	var p Lit = -1
+	learnt = append(learnt, 0) // placeholder for the asserting literal
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		confl = s.reason[v]
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Flip()
+	toClear := append([]Lit(nil), learnt...)
+
+	// Minimize: drop literals implied by the rest (cheap local check).
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		r := s.reason[q.Var()]
+		if r == nil {
+			out = append(out, q)
+			continue
+		}
+		redundant := true
+		for _, l := range r.lits {
+			if l == q.Flip() {
+				continue
+			}
+			if !s.seen[l.Var()] && s.level[l.Var()] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, q)
+		}
+	}
+	// Keep seen consistent: clear flags for every var touched, including
+	// literals dropped by minimization.
+	for _, q := range toClear {
+		s.seen[q.Var()] = false
+	}
+	learnt = out
+
+	// Compute backtrack level: max level among learnt[1:].
+	backLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, backLevel
+}
+
+func (s *Sat) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Sat) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Sat) pickBranchVar() int {
+	for {
+		v := s.order.pop()
+		if v < 0 {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+func (s *Sat) reduceDB() {
+	// Drop the least active half of the learnt clauses (keep binary ones).
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Partial selection: simple threshold on median-ish activity.
+	var sum float64
+	for _, c := range s.learnts {
+		sum += c.activity
+	}
+	avg := sum / float64(len(s.learnts))
+	kept := s.learnts[:0]
+	removed := map[*clause]bool{}
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || c.activity >= avg || s.locked(c) {
+			kept = append(kept, c)
+		} else {
+			removed[c] = true
+		}
+	}
+	if len(removed) == 0 {
+		return
+	}
+	s.learnts = kept
+	// Rebuild watches excluding removed clauses.
+	for li := range s.watches {
+		ws := s.watches[li]
+		j := 0
+		for _, w := range ws {
+			if !removed[w.c] {
+				ws[j] = w
+				j++
+			}
+		}
+		s.watches[li] = ws[:j]
+	}
+}
+
+func (s *Sat) locked(c *clause) bool {
+	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+}
+
+// Solve determines satisfiability under the given assumptions. On
+// SatResult, ModelValue reports the assignment. The solver remains usable
+// afterwards (assumptions are retracted).
+func (s *Sat) Solve(assumptions ...Lit) SolveResult {
+	res := s.solveKeep(assumptions...)
+	if res != SatResult {
+		s.cancelUntil(0)
+	}
+	return res
+}
+
+// solveKeep is Solve without the final backtrack on success, so the caller
+// can read the full model (including assumption-level assignments) before
+// calling cancelUntil(0) itself.
+func (s *Sat) solveKeep(assumptions ...Lit) SolveResult {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0) // discard any model left by a previous solveKeep
+
+	maxConflicts := 256
+	conflicts := 0
+	budget := s.Budget
+
+	for {
+		// (Re-)establish assumptions after any restart.
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(p, nil)
+			if confl := s.propagate(); confl != nil {
+				// A conflict while placing assumptions means the
+				// assumption set is inconsistent with the formula.
+				return Unsat
+			}
+		}
+
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			s.Conflict++
+			if budget > 0 && s.Conflict > budget {
+				return Unknown
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				return Unsat
+			}
+			learnt, backLevel := s.analyze(confl)
+			if backLevel < len(assumptions) {
+				backLevel = len(assumptions)
+			}
+			s.cancelUntil(backLevel)
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return Unsat
+				}
+				// Restart loop re-establishes assumptions.
+				continue
+			}
+			c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+			s.learnts = append(s.learnts, c)
+			s.watchClause(c)
+			s.enqueue(learnt[0], c)
+			s.varInc *= 1.0 / 0.95
+			continue
+		}
+
+		if conflicts >= maxConflicts {
+			// Restart.
+			conflicts = 0
+			maxConflicts = maxConflicts * 3 / 2
+			s.reduceDB()
+			s.cancelUntil(len(assumptions))
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v < 0 {
+			return SatResult
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// ModelValue returns the value of variable v in the last satisfying
+// assignment. Unassigned variables report false.
+func (s *Sat) ModelValue(v int) bool { return s.assigns[v] == lTrue }
+
+// varHeap is a max-heap on variable activity with lazy deletion.
+type varHeap struct {
+	act   *[]float64
+	heap  []int
+	index []int // var -> position in heap, -1 if absent
+}
+
+func (h *varHeap) less(i, j int) bool { return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]] }
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i]] = i
+	h.index[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.index) <= v {
+		h.index = append(h.index, -1)
+	}
+	if h.index[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	if len(h.heap) == 0 {
+		return -1
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.index[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.index) && h.index[v] >= 0 {
+		h.up(h.index[v])
+	}
+}

@@ -1,0 +1,101 @@
+package smt
+
+import (
+	"time"
+)
+
+// Stats accumulates query statistics, mirroring the "stime" and "#queries"
+// columns of the paper's Table 1 and Table 2.
+type Stats struct {
+	Queries    int           // number of Check calls
+	SolverTime time.Duration // total wall time spent inside Check
+	Conflicts  int           // SAT conflicts across all queries
+	SatVars    int           // SAT variables allocated
+	SatProps   int64         // unit propagations
+}
+
+// Solver answers satisfiability queries over expressions from one Builder.
+// Blasted CNF structure is retained between queries; assertions are passed
+// as SAT assumptions, so the common concolic pattern — many queries that
+// share a long path-condition prefix — is incremental.
+type Solver struct {
+	bld   *Builder
+	sat   *Sat
+	bl    *blaster
+	Stats Stats
+
+	// MaxConflictsPerQuery bounds each query; 0 means unlimited. When a
+	// query exceeds the budget Check returns unknown=true.
+	MaxConflictsPerQuery int
+}
+
+// NewSolver creates a solver bound to the builder b.
+func NewSolver(b *Builder) *Solver {
+	sat := NewSat()
+	return &Solver{bld: b, sat: sat, bl: newBlaster(b, sat)}
+}
+
+// Check determines whether the conjunction of conds is satisfiable. Each
+// cond must have width 1. On sat, model assigns every variable blasted so
+// far (variables not constrained get zero). unknown reports budget
+// exhaustion (callers treat it as unsat-for-now during exploration).
+func (s *Solver) Check(conds ...*Expr) (sat bool, model Assignment, unknown bool) {
+	start := time.Now()
+	defer func() {
+		s.Stats.Queries++
+		s.Stats.SolverTime += time.Since(start)
+		s.Stats.Conflicts = s.sat.Conflict
+		s.Stats.SatVars = s.sat.NumVars()
+		s.Stats.SatProps = s.sat.Props
+	}()
+
+	assumptions := make([]Lit, 0, len(conds))
+	for _, c := range conds {
+		if c.Width != 1 {
+			panic("smt: Check condition must have width 1")
+		}
+		if c.IsFalse() {
+			return false, nil, false
+		}
+		if c.IsTrue() {
+			continue
+		}
+		assumptions = append(assumptions, s.bl.blastBool(c))
+	}
+	s.sat.Budget = s.MaxConflictsPerQuery
+	res := s.sat.solveKeep(assumptions...)
+	if res != SatResult {
+		s.sat.cancelUntil(0)
+		if res == Unknown {
+			return false, nil, true
+		}
+		return false, nil, false
+	}
+	model = Assignment{}
+	for id, bits := range s.bl.varBits {
+		var v uint64
+		for i, l := range bits {
+			bv := s.sat.ModelValue(l.Var())
+			if l.Neg() {
+				bv = !bv
+			}
+			if bv {
+				v |= 1 << i
+			}
+		}
+		model[id] = v
+	}
+	s.sat.cancelUntil(0)
+	return true, model, false
+}
+
+// Value returns the model value of the named variable, defaulting to 0
+// when the variable is absent from the model or unknown to the builder.
+func (b *Builder) Value(model Assignment, name string) uint64 {
+	for id, n := range b.varNames {
+		if n == name {
+			return model[id] & mask(b.varWidth[id])
+		}
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package sysc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.Schedule(30, func() { order = append(order, 3) })
+	k.Schedule(10, func() { order = append(order, 1) })
+	k.Schedule(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order: %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("now: %d", k.Now())
+	}
+}
+
+func TestKernelFIFOWithinTimestamp(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO at same timestamp: %v", order)
+		}
+	}
+}
+
+func TestAdvanceToPartial(t *testing.T) {
+	var k Kernel
+	fired := map[int]bool{}
+	k.Schedule(10, func() { fired[10] = true })
+	k.Schedule(50, func() { fired[50] = true })
+	k.AdvanceTo(20)
+	if !fired[10] || fired[50] {
+		t.Errorf("fired: %v", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("now: %d", k.Now())
+	}
+	if !k.Pending() {
+		t.Error("one event must remain pending")
+	}
+	if next, ok := k.NextEventTime(); !ok || next != 50 {
+		t.Errorf("next: %v %v", next, ok)
+	}
+	k.AdvanceTo(100)
+	if !fired[50] {
+		t.Error("second event must fire")
+	}
+	if k.Pending() {
+		t.Error("queue must be drained")
+	}
+}
+
+func TestSelfReschedulingProcess(t *testing.T) {
+	var k Kernel
+	count := 0
+	var proc func()
+	proc = func() {
+		count++
+		if count < 5 {
+			k.Schedule(10, proc)
+		}
+	}
+	k.Schedule(10, proc)
+	k.Run()
+	if count != 5 {
+		t.Errorf("count: %d", count)
+	}
+	if k.Now() != 50 {
+		t.Errorf("now: %d", k.Now())
+	}
+}
+
+func TestEventFanout(t *testing.T) {
+	var k Kernel
+	e := k.NewEvent()
+	total := 0
+	e.Sensitive(func() { total += 1 })
+	e.Sensitive(func() { total += 100 })
+	e.Notify(2)
+	e.Notify(4) // second notification fires both again
+	k.Run()
+	if total != 202 {
+		t.Errorf("total: %d", total)
+	}
+}
+
+type recorder struct {
+	lastAddr uint32
+	lastRead bool
+}
+
+func (r *recorder) BTransport(addr uint32, data []byte, isRead bool) {
+	r.lastAddr = addr
+	r.lastRead = isRead
+	if isRead {
+		for i := range data {
+			data[i] = byte(addr) + byte(i)
+		}
+	}
+}
+
+func TestBusGlobalToLocal(t *testing.T) {
+	var bus Bus
+	a := &recorder{}
+	b := &recorder{}
+	bus.Map("a", 0x1000, 0x100, a)
+	bus.Map("b", 0x2000, 0x200, b)
+
+	tgt, local, err := bus.Route(0x1010)
+	if err != nil || tgt != Target(a) || local != 0x10 {
+		t.Errorf("route a: %v %v %v", tgt, local, err)
+	}
+	tgt, local, err = bus.Route(0x21ff)
+	if err != nil || tgt != Target(b) || local != 0x1ff {
+		t.Errorf("route b: %v %v %v", tgt, local, err)
+	}
+	if _, _, err := bus.Route(0x1100); err == nil {
+		t.Error("gap between ranges must not route")
+	}
+	// Transport through the routed target.
+	buf := make([]byte, 4)
+	tgt.BTransport(local, buf, true)
+	if b.lastAddr != 0x1ff || !b.lastRead || buf[0] != byte(local) {
+		t.Errorf("transport: %+v buf=%v", b, buf)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// scheduling order.
+func TestKernelMonotonicTime(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		var k Kernel
+		var times []Time
+		for _, d := range delays {
+			d := Time(d)
+			k.Schedule(d, func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

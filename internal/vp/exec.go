@@ -1,0 +1,312 @@
+package vp
+
+import (
+	"rvcte/internal/rv32"
+	"rvcte/internal/sysc"
+)
+
+// exec retires one decoded instruction with native arithmetic.
+func (c *CPU) exec(in rv32.Inst) {
+	next := c.PC + uint32(in.Size)
+	switch in.Op {
+	case rv32.OpLUI:
+		c.setReg(in.Rd, uint32(in.Imm))
+	case rv32.OpAUIPC:
+		c.setReg(in.Rd, c.PC+uint32(in.Imm))
+	case rv32.OpJAL:
+		c.setReg(in.Rd, next)
+		c.PC += uint32(in.Imm)
+		return
+	case rv32.OpJALR:
+		t := (c.reg(in.Rs1) + uint32(in.Imm)) &^ 1
+		c.setReg(in.Rd, next)
+		c.PC = t
+		return
+	case rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU:
+		a, b := c.reg(in.Rs1), c.reg(in.Rs2)
+		var taken bool
+		switch in.Op {
+		case rv32.OpBEQ:
+			taken = a == b
+		case rv32.OpBNE:
+			taken = a != b
+		case rv32.OpBLT:
+			taken = int32(a) < int32(b)
+		case rv32.OpBGE:
+			taken = int32(a) >= int32(b)
+		case rv32.OpBLTU:
+			taken = a < b
+		default:
+			taken = a >= b
+		}
+		if taken {
+			c.PC += uint32(in.Imm)
+		} else {
+			c.PC = next
+		}
+		return
+	case rv32.OpLB, rv32.OpLH, rv32.OpLW, rv32.OpLBU, rv32.OpLHU:
+		addr := c.reg(in.Rs1) + uint32(in.Imm)
+		size := map[rv32.Op]int{rv32.OpLB: 1, rv32.OpLBU: 1, rv32.OpLH: 2, rv32.OpLHU: 2, rv32.OpLW: 4}[in.Op]
+		v, ok := c.load(addr, size)
+		if !ok {
+			return
+		}
+		switch in.Op {
+		case rv32.OpLB:
+			v = uint32(int32(int8(v)))
+		case rv32.OpLH:
+			v = uint32(int32(int16(v)))
+		}
+		c.setReg(in.Rd, v)
+	case rv32.OpSB, rv32.OpSH, rv32.OpSW:
+		addr := c.reg(in.Rs1) + uint32(in.Imm)
+		size := map[rv32.Op]int{rv32.OpSB: 1, rv32.OpSH: 2, rv32.OpSW: 4}[in.Op]
+		if !c.store(addr, size, c.reg(in.Rs2)) {
+			return
+		}
+	case rv32.OpADDI:
+		c.setReg(in.Rd, c.reg(in.Rs1)+uint32(in.Imm))
+	case rv32.OpSLTI:
+		c.setReg(in.Rd, b2u(int32(c.reg(in.Rs1)) < in.Imm))
+	case rv32.OpSLTIU:
+		c.setReg(in.Rd, b2u(c.reg(in.Rs1) < uint32(in.Imm)))
+	case rv32.OpXORI:
+		c.setReg(in.Rd, c.reg(in.Rs1)^uint32(in.Imm))
+	case rv32.OpORI:
+		c.setReg(in.Rd, c.reg(in.Rs1)|uint32(in.Imm))
+	case rv32.OpANDI:
+		c.setReg(in.Rd, c.reg(in.Rs1)&uint32(in.Imm))
+	case rv32.OpSLLI:
+		c.setReg(in.Rd, c.reg(in.Rs1)<<uint32(in.Imm&31))
+	case rv32.OpSRLI:
+		c.setReg(in.Rd, c.reg(in.Rs1)>>uint32(in.Imm&31))
+	case rv32.OpSRAI:
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))>>uint32(in.Imm&31)))
+	case rv32.OpADD:
+		c.setReg(in.Rd, c.reg(in.Rs1)+c.reg(in.Rs2))
+	case rv32.OpSUB:
+		c.setReg(in.Rd, c.reg(in.Rs1)-c.reg(in.Rs2))
+	case rv32.OpSLL:
+		c.setReg(in.Rd, c.reg(in.Rs1)<<(c.reg(in.Rs2)&31))
+	case rv32.OpSLT:
+		c.setReg(in.Rd, b2u(int32(c.reg(in.Rs1)) < int32(c.reg(in.Rs2))))
+	case rv32.OpSLTU:
+		c.setReg(in.Rd, b2u(c.reg(in.Rs1) < c.reg(in.Rs2)))
+	case rv32.OpXOR:
+		c.setReg(in.Rd, c.reg(in.Rs1)^c.reg(in.Rs2))
+	case rv32.OpSRL:
+		c.setReg(in.Rd, c.reg(in.Rs1)>>(c.reg(in.Rs2)&31))
+	case rv32.OpSRA:
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))>>(c.reg(in.Rs2)&31)))
+	case rv32.OpOR:
+		c.setReg(in.Rd, c.reg(in.Rs1)|c.reg(in.Rs2))
+	case rv32.OpAND:
+		c.setReg(in.Rd, c.reg(in.Rs1)&c.reg(in.Rs2))
+	case rv32.OpMUL:
+		c.setReg(in.Rd, c.reg(in.Rs1)*c.reg(in.Rs2))
+	case rv32.OpMULH:
+		c.setReg(in.Rd, uint32(uint64(int64(int32(c.reg(in.Rs1)))*int64(int32(c.reg(in.Rs2))))>>32))
+	case rv32.OpMULHSU:
+		c.setReg(in.Rd, uint32(uint64(int64(int32(c.reg(in.Rs1)))*int64(uint64(c.reg(in.Rs2))))>>32))
+	case rv32.OpMULHU:
+		c.setReg(in.Rd, uint32(uint64(c.reg(in.Rs1))*uint64(c.reg(in.Rs2))>>32))
+	case rv32.OpDIV:
+		a, b := int32(c.reg(in.Rs1)), int32(c.reg(in.Rs2))
+		switch {
+		case b == 0:
+			c.setReg(in.Rd, 0xffffffff)
+		case a == -0x80000000 && b == -1:
+			c.setReg(in.Rd, 0x80000000)
+		default:
+			c.setReg(in.Rd, uint32(a/b))
+		}
+	case rv32.OpDIVU:
+		if c.reg(in.Rs2) == 0 {
+			c.setReg(in.Rd, 0xffffffff)
+		} else {
+			c.setReg(in.Rd, c.reg(in.Rs1)/c.reg(in.Rs2))
+		}
+	case rv32.OpREM:
+		a, b := int32(c.reg(in.Rs1)), int32(c.reg(in.Rs2))
+		switch {
+		case b == 0:
+			c.setReg(in.Rd, uint32(a))
+		case a == -0x80000000 && b == -1:
+			c.setReg(in.Rd, 0)
+		default:
+			c.setReg(in.Rd, uint32(a%b))
+		}
+	case rv32.OpREMU:
+		if c.reg(in.Rs2) == 0 {
+			c.setReg(in.Rd, c.reg(in.Rs1))
+		} else {
+			c.setReg(in.Rd, c.reg(in.Rs1)%c.reg(in.Rs2))
+		}
+	case rv32.OpFENCE:
+	case rv32.OpECALL:
+		c.ecall()
+		if c.Halted() {
+			return
+		}
+	case rv32.OpEBREAK:
+		c.fail("ebreak")
+		return
+	case rv32.OpMRET:
+		const mieBit, mpieBit = uint32(1 << 3), uint32(1 << 7)
+		c.MStatus = c.MStatus&^mieBit | (c.MStatus&mpieBit)>>4
+		c.MStatus |= mpieBit
+		c.PC = c.MEPC
+		return
+	case rv32.OpWFI:
+		// Fast-forward to the next kernel event if nothing is pending.
+		if c.MIP&c.MIE == 0 {
+			if t, ok := c.Kernel.NextEventTime(); ok {
+				if uint64(t) > c.Cycles {
+					c.Cycles = uint64(t)
+				}
+				c.Kernel.AdvanceTo(t)
+			} else {
+				c.fail("wfi deadlock")
+				return
+			}
+		}
+	case rv32.OpCSRRW, rv32.OpCSRRS, rv32.OpCSRRC:
+		old := c.readCSR(uint16(in.Imm))
+		v := c.reg(in.Rs1)
+		switch in.Op {
+		case rv32.OpCSRRW:
+			c.writeCSR(uint16(in.Imm), v)
+		case rv32.OpCSRRS:
+			if in.Rs1 != 0 {
+				c.writeCSR(uint16(in.Imm), old|v)
+			}
+		case rv32.OpCSRRC:
+			if in.Rs1 != 0 {
+				c.writeCSR(uint16(in.Imm), old&^v)
+			}
+		}
+		c.setReg(in.Rd, old)
+	case rv32.OpCSRRWI, rv32.OpCSRRSI, rv32.OpCSRRCI:
+		old := c.readCSR(uint16(in.Imm))
+		z := uint32(in.Rs2)
+		switch in.Op {
+		case rv32.OpCSRRWI:
+			c.writeCSR(uint16(in.Imm), z)
+		case rv32.OpCSRRSI:
+			if z != 0 {
+				c.writeCSR(uint16(in.Imm), old|z)
+			}
+		case rv32.OpCSRRCI:
+			if z != 0 {
+				c.writeCSR(uint16(in.Imm), old&^z)
+			}
+		}
+		c.setReg(in.Rd, old)
+	default:
+		c.fail("unimplemented op %v", in.Op)
+		return
+	}
+	if !c.Halted() {
+		c.PC = next
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ecall implements the concrete subset of the CTE interface: guests built
+// for the concolic VP run unchanged, with symbolic operations degraded to
+// their concrete semantics (make_symbolic assigns pseudo-random values,
+// assume/assert check their concrete condition).
+func (c *CPU) ecall() {
+	code := c.Regs[17]
+	a0, a1 := c.Regs[10], c.Regs[11]
+	switch code {
+	case 0: // exit
+		c.Exited = true
+		c.ExitCode = a0
+	case 1: // make_symbolic -> pseudo-random concrete values
+		for i := uint32(0); i < a1; i++ {
+			c.lcg = c.lcg*1103515245 + 12345
+			c.store(a0+i, 1, c.lcg>>16)
+		}
+	case 2: // assume
+		if a0 == 0 {
+			c.fail("assume(false)")
+		}
+	case 3: // assert
+		if a0 == 0 {
+			c.fail("assertion failed")
+		}
+	case 6: // get_cycles
+		c.setReg(10, uint32(c.Cycles))
+		c.setReg(11, uint32(c.Cycles>>32))
+	case 7: // trigger_irq (reachable only from SW peripheral models,
+		// which the concrete VP replaces with native ones)
+		c.SetIRQ(a0&31, a1 != 0)
+	case 10: // putchar
+		c.Output = append(c.Output, byte(a0))
+	case 8, 9, 11, 12:
+		// protected-memory registration, cancel_notify, is_symbolic:
+		// no-ops on the concrete VP
+		if code == 12 {
+			c.setReg(10, 0)
+		}
+	default:
+		c.fail("unsupported ecall %d on concrete VP", code)
+	}
+}
+
+func (c *CPU) readCSR(csr uint16) uint32 {
+	switch csr {
+	case rv32.CSRMStatus:
+		return c.MStatus
+	case rv32.CSRMIE:
+		return c.MIE
+	case rv32.CSRMIP:
+		return c.MIP
+	case rv32.CSRMTVec:
+		return c.MTVec
+	case rv32.CSRMScratch:
+		return c.MScratch
+	case rv32.CSRMEPC:
+		return c.MEPC
+	case rv32.CSRMCause:
+		return c.MCause
+	case rv32.CSRMTVal:
+		return c.MTVal
+	case rv32.CSRMCycle:
+		return uint32(c.Cycles)
+	case rv32.CSRMCycleH:
+		return uint32(c.Cycles >> 32)
+	}
+	return 0
+}
+
+func (c *CPU) writeCSR(csr uint16, v uint32) {
+	switch csr {
+	case rv32.CSRMStatus:
+		c.MStatus = v
+	case rv32.CSRMIE:
+		c.MIE = v
+	case rv32.CSRMIP:
+		c.MIP = v
+	case rv32.CSRMTVec:
+		c.MTVec = v
+	case rv32.CSRMScratch:
+		c.MScratch = v
+	case rv32.CSRMEPC:
+		c.MEPC = v
+	case rv32.CSRMCause:
+		c.MCause = v
+	case rv32.CSRMTVal:
+		c.MTVal = v
+	}
+}
+
+var _ = sysc.Time(0)

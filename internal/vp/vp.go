@@ -1,0 +1,218 @@
+// Package vp is the concrete virtual prototype baseline of Table 1: the
+// same RV32IMC ISS as the CTE core, but operating on native uint32 data
+// with direct (DMI-style) flat memory access, and with peripherals
+// implemented natively in Go on a SystemC-like kernel (package sysc)
+// instead of as software models. It executes the same guest ELFs as the
+// concolic VP.
+package vp
+
+import (
+	"fmt"
+
+	"rvcte/internal/relf"
+	"rvcte/internal/rv32"
+	"rvcte/internal/sysc"
+)
+
+// Config fixes the memory map.
+type Config struct {
+	RamBase  uint32
+	RamSize  uint32
+	StackTop uint32
+	MaxInstr uint64
+}
+
+// CPU is the concrete RV32IMC core.
+type CPU struct {
+	Mem  []byte // flat RAM, index = addr - RamBase (DMI)
+	Regs [32]uint32
+	PC   uint32
+
+	MStatus, MIE, MIP, MTVec, MEPC, MCause, MTVal, MScratch uint32
+
+	Cycles     uint64
+	InstrCount uint64
+
+	Cfg    Config
+	Kernel *sysc.Kernel
+	Bus    *sysc.Bus
+
+	Exited   bool
+	ExitCode uint32
+	Err      error
+
+	Output []byte
+
+	lcg uint32 // concrete stand-in for make_symbolic
+}
+
+// New creates a concrete VP.
+func New(cfg Config) *CPU {
+	if cfg.StackTop == 0 {
+		cfg.StackTop = cfg.RamBase + cfg.RamSize
+	}
+	c := &CPU{
+		Mem:    make([]byte, cfg.RamSize),
+		Cfg:    cfg,
+		Kernel: &sysc.Kernel{},
+		Bus:    &sysc.Bus{},
+		lcg:    0xdecafbad,
+	}
+	c.Regs[2] = cfg.StackTop
+	return c
+}
+
+// LoadELF loads a guest executable.
+func (c *CPU) LoadELF(f *relf.File) error {
+	if f.Addr < c.Cfg.RamBase || f.Addr+uint32(len(f.Data)) > c.Cfg.RamBase+c.Cfg.RamSize {
+		return fmt.Errorf("vp: image outside RAM")
+	}
+	copy(c.Mem[f.Addr-c.Cfg.RamBase:], f.Data)
+	c.PC = f.Entry
+	return nil
+}
+
+// SetIRQ drives a machine interrupt line (3, 7 or 11).
+func (c *CPU) SetIRQ(line uint32, level bool) {
+	if level {
+		c.MIP |= 1 << line
+	} else {
+		c.MIP &^= 1 << line
+	}
+}
+
+func (c *CPU) fail(format string, args ...any) {
+	if c.Err == nil {
+		c.Err = fmt.Errorf("vp: pc=%#x: %s", c.PC, fmt.Sprintf(format, args...))
+	}
+}
+
+// Halted reports whether execution has stopped.
+func (c *CPU) Halted() bool { return c.Exited || c.Err != nil }
+
+func (c *CPU) inRAM(addr uint32, n int) bool {
+	return addr >= c.Cfg.RamBase && addr+uint32(n) >= addr &&
+		addr+uint32(n) <= c.Cfg.RamBase+c.Cfg.RamSize
+}
+
+// load reads n bytes little-endian.
+func (c *CPU) load(addr uint32, n int) (uint32, bool) {
+	if c.inRAM(addr, n) {
+		off := addr - c.Cfg.RamBase
+		var v uint32
+		for i := 0; i < n; i++ {
+			v |= uint32(c.Mem[off+uint32(i)]) << (8 * i)
+		}
+		return v, true
+	}
+	t, local, err := c.Bus.Route(addr)
+	if err != nil {
+		c.fail("illegal load at %#x", addr)
+		return 0, false
+	}
+	var buf [4]byte
+	t.BTransport(local, buf[:n], true)
+	var v uint32
+	for i := 0; i < n; i++ {
+		v |= uint32(buf[i]) << (8 * i)
+	}
+	return v, true
+}
+
+func (c *CPU) store(addr uint32, n int, v uint32) bool {
+	if c.inRAM(addr, n) {
+		off := addr - c.Cfg.RamBase
+		for i := 0; i < n; i++ {
+			c.Mem[off+uint32(i)] = byte(v >> (8 * i))
+		}
+		return true
+	}
+	t, local, err := c.Bus.Route(addr)
+	if err != nil {
+		c.fail("illegal store at %#x", addr)
+		return false
+	}
+	var buf [4]byte
+	for i := 0; i < n; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	t.BTransport(local, buf[:n], false)
+	return true
+}
+
+// Run executes until halt or the instruction budget is exhausted.
+func (c *CPU) Run(maxInstr uint64) {
+	if maxInstr == 0 {
+		maxInstr = c.Cfg.MaxInstr
+	}
+	for !c.Halted() {
+		if maxInstr > 0 && c.InstrCount >= maxInstr {
+			c.fail("instruction limit exceeded")
+			return
+		}
+		c.Step()
+	}
+}
+
+// Step retires one instruction, interleaving kernel events.
+func (c *CPU) Step() {
+	if c.Halted() {
+		return
+	}
+	c.Kernel.AdvanceTo(sysc.Time(c.Cycles))
+	if c.takeInterrupt() {
+		return
+	}
+	if !c.inRAM(c.PC, 4) || c.PC&1 != 0 {
+		c.fail("bad pc")
+		return
+	}
+	off := c.PC - c.Cfg.RamBase
+	word := uint32(c.Mem[off]) | uint32(c.Mem[off+1])<<8
+	if word&3 == 3 {
+		word |= uint32(c.Mem[off+2])<<16 | uint32(c.Mem[off+3])<<24
+	}
+	inst := rv32.Decode(word)
+	if inst.Op == rv32.OpIllegal {
+		c.fail("illegal instruction %#x", word)
+		return
+	}
+	c.exec(inst)
+	c.InstrCount++
+	c.Cycles++
+}
+
+func (c *CPU) takeInterrupt() bool {
+	const mieBit = uint32(1 << 3)
+	if c.MStatus&mieBit == 0 {
+		return false
+	}
+	pending := c.MIP & c.MIE
+	if pending == 0 {
+		return false
+	}
+	var cause uint32
+	switch {
+	case pending&(1<<rv32.IrqMachineExternal) != 0:
+		cause = rv32.IrqMachineExternal
+	case pending&(1<<rv32.IrqMachineSoftware) != 0:
+		cause = rv32.IrqMachineSoftware
+	default:
+		cause = rv32.IrqMachineTimer
+	}
+	c.MEPC = c.PC
+	c.MCause = rv32.CauseInterruptFlag | cause
+	const mpieBit = uint32(1 << 7)
+	c.MStatus = c.MStatus&^mpieBit | (c.MStatus&mieBit)<<4
+	c.MStatus &^= mieBit
+	c.PC = c.MTVec &^ 3
+	return true
+}
+
+func (c *CPU) reg(r uint8) uint32 { return c.Regs[r] }
+
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}

@@ -1,0 +1,205 @@
+package vp
+
+import (
+	"testing"
+
+	"rvcte/internal/guest"
+	"rvcte/internal/smt"
+	"rvcte/internal/sysc"
+)
+
+const ramBase = 0x80000000
+const ramSize = 4 << 20
+
+// runGuest builds a guest program and executes it on the concrete VP.
+func runGuest(t *testing.T, p guest.Program) *CPU {
+	t.Helper()
+	elf, err := guest.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(Config{RamBase: ramBase, RamSize: ramSize, MaxInstr: 100_000_000,
+		StackTop: ramBase + ramSize - 16384})
+	AttachStandardPeripherals(cpu)
+	if err := cpu.LoadELF(elf); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(0)
+	return cpu
+}
+
+func TestVPHelloWorld(t *testing.T) {
+	cpu := runGuest(t, guest.Program{
+		Name: "hello",
+		Sources: []guest.Source{guest.C("main.c", `
+int main(void) { puts_("vp says hi"); return 5; }`)},
+	})
+	if cpu.Err != nil {
+		t.Fatalf("vp error: %v", cpu.Err)
+	}
+	if cpu.ExitCode != 5 || string(cpu.Output) != "vp says hi\n" {
+		t.Errorf("exit=%d output=%q", cpu.ExitCode, cpu.Output)
+	}
+}
+
+func TestVPBenchmarksRun(t *testing.T) {
+	for _, name := range []string{"qsort", "sha256", "dhrystone"} {
+		t.Run(name, func(t *testing.T) {
+			p, ok := guest.BenchProgram(name)
+			if !ok {
+				t.Fatal("unknown bench")
+			}
+			p.Defines = map[string]string{"QSORT_N": "300", "SHA_ITERS": "2", "SHA_MSG_LEN": "128", "DHRY_RUNS": "200"}
+			cpu := runGuest(t, p)
+			if cpu.Err != nil {
+				t.Fatalf("%s on VP: %v", name, cpu.Err)
+			}
+			if !cpu.Exited {
+				t.Errorf("%s did not exit", name)
+			}
+		})
+	}
+}
+
+// TestVPMatchesCTEOnConcreteRuns: the concrete VP and the concolic ISS
+// must produce identical results (exit code, output, instruction count)
+// on deterministic programs — they implement the same ISA.
+func TestVPMatchesCTEOnConcreteRuns(t *testing.T) {
+	progs := []guest.Program{
+		func() guest.Program {
+			p, _ := guest.BenchProgram("qsort")
+			p.Defines = map[string]string{"QSORT_N": "200"}
+			return p
+		}(),
+		func() guest.Program {
+			p, _ := guest.BenchProgram("dhrystone")
+			p.Defines = map[string]string{"DHRY_RUNS": "50"}
+			return p
+		}(),
+		{Name: "mix", Sources: []guest.Source{guest.C("m.c", `
+int main(void) {
+    unsigned int acc = 7;
+    int i;
+    for (i = 0; i < 1000; i++) {
+        acc = acc * 31 + (unsigned int)i;
+        acc ^= acc >> 5;
+        if (acc & 1) acc += 3; else acc -= (unsigned int)i;
+    }
+    print_u32(acc);
+    return (int)(acc & 0x3f);
+}`)}},
+	}
+	for _, p := range progs {
+		t.Run(p.Name, func(t *testing.T) {
+			// Concrete VP run.
+			cpu := runGuest(t, p)
+			if cpu.Err != nil {
+				t.Fatalf("vp: %v", cpu.Err)
+			}
+			// Concolic ISS run on the same program.
+			b := smt.NewBuilder()
+			core, _, err := guest.NewCore(b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			core.Run(0)
+			if core.Err != nil {
+				t.Fatalf("cte: %v", core.Err)
+			}
+			if cpu.ExitCode != core.ExitCode {
+				t.Errorf("exit mismatch: vp=%d cte=%d", cpu.ExitCode, core.ExitCode)
+			}
+			if string(cpu.Output) != string(core.Output) {
+				t.Errorf("output mismatch: vp=%q cte=%q", cpu.Output, core.Output)
+			}
+			if cpu.InstrCount != core.InstrCount {
+				t.Errorf("instr count mismatch: vp=%d cte=%d", cpu.InstrCount, core.InstrCount)
+			}
+		})
+	}
+}
+
+func TestVPSensorInterrupts(t *testing.T) {
+	// The sensor example app runs on the concrete VP against the NATIVE
+	// sensor/PLIC models; a concrete filter below MIN keeps the value in
+	// range and the assert passes.
+	cpu := runGuest(t, guest.Program{
+		Name: "vp-sensor",
+		Sources: []guest.Source{guest.C("app.c", `
+unsigned int *SCALER = (unsigned int *)0x10000000;
+unsigned int *FILTER = (unsigned int *)0x10000004;
+unsigned int *DATA = (unsigned int *)0x10000008;
+volatile unsigned int got = 0;
+void handler(void) { got = 1; }
+int main(void) {
+    __install_trap_entry();
+    __set_mie_mask(1 << 11);
+    __enable_mie();
+    register_interrupt_handler(2, handler);
+    *FILTER = 3;
+    *SCALER = 10;
+    while (!got) __wfi();
+    unsigned int n = *DATA;
+    CTE_assert(n <= 64);
+    return (int)(n > 0);
+}`)},
+	})
+	if cpu.Err != nil {
+		t.Fatalf("vp sensor: %v", cpu.Err)
+	}
+	if cpu.ExitCode != 1 {
+		t.Errorf("exit %d", cpu.ExitCode)
+	}
+	if cpu.Cycles < 10000 {
+		t.Errorf("wfi must fast-forward to the sensor event: %d cycles", cpu.Cycles)
+	}
+}
+
+func TestSyscKernel(t *testing.T) {
+	k := &sysc.Kernel{}
+	var order []int
+	k.Schedule(10, func() { order = append(order, 1) })
+	k.Schedule(5, func() { order = append(order, 2) })
+	k.Schedule(5, func() { order = append(order, 3) }) // FIFO at same time
+	k.Schedule(20, func() {
+		order = append(order, 4)
+		k.Schedule(0, func() { order = append(order, 5) }) // delta cycle
+	})
+	k.Run()
+	want := []int{2, 3, 1, 4, 5}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("event order %v want %v", order, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Errorf("final time %d", k.Now())
+	}
+}
+
+func TestSyscEvent(t *testing.T) {
+	k := &sysc.Kernel{}
+	e := k.NewEvent()
+	count := 0
+	e.Sensitive(func() { count++ })
+	e.Sensitive(func() { count += 10 })
+	e.Notify(3)
+	k.Run()
+	if count != 11 {
+		t.Errorf("count %d", count)
+	}
+}
+
+func TestSyscBusRouting(t *testing.T) {
+	var bus sysc.Bus
+	p := &PLIC{enable: 0xffffffff}
+	p.cpu = New(Config{RamBase: 0, RamSize: 4096})
+	bus.Map("plic", 0x1000, 0x100, p)
+	tgt, local, err := bus.Route(0x1008)
+	if err != nil || tgt != sysc.Target(p) || local != 8 {
+		t.Errorf("route: %v %v %v", tgt, local, err)
+	}
+	if _, _, err := bus.Route(0x5000); err == nil {
+		t.Error("unmapped address must error")
+	}
+}
