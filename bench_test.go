@@ -101,8 +101,9 @@ func runOnCTE(tb testing.TB, p guest.Program, nested bool) (time.Duration, uint6
 }
 
 // explore runs full concolic exploration, optionally through the nested
-// (S2E-proxy) interpreter.
-func explore(tb testing.TB, p guest.Program, maxPaths int, nested bool) (*cte.Report, time.Duration) {
+// (S2E-proxy) interpreter. workers selects the exploration pool size
+// (1 = the paper's sequential engine).
+func explore(tb testing.TB, p guest.Program, maxPaths int, nested bool, workers int) (*cte.Report, time.Duration) {
 	core, _, err := guest.NewCore(smt.NewBuilder(), p)
 	if err != nil {
 		tb.Fatal(err)
@@ -111,7 +112,7 @@ func explore(tb testing.TB, p guest.Program, maxPaths int, nested bool) (*cte.Re
 		nestedvm.Attach(core)
 	}
 	start := time.Now()
-	rep := cte.New(core, cte.Options{MaxPaths: maxPaths}).Run()
+	rep := cte.New(core, cte.Options{MaxPaths: maxPaths, Workers: workers}).Run()
 	return rep, time.Since(start)
 }
 
@@ -155,8 +156,8 @@ func TestTable1(t *testing.T) {
 
 	for _, row := range table1Symbolic() {
 		p := withDefaults(row.prog)
-		s2eRep, s2eTime := explore(t, p, row.maxPaths, true)
-		cteRep, cteTime := explore(t, p, row.maxPaths, false)
+		s2eRep, s2eTime := explore(t, p, row.maxPaths, true, 1)
+		cteRep, cteTime := explore(t, p, row.maxPaths, false, 1)
 		if cteRep.Paths != s2eRep.Paths {
 			t.Errorf("%s: path mismatch cte=%d s2e=%d", p.Name, cteRep.Paths, s2eRep.Paths)
 		}
@@ -304,12 +305,12 @@ func BenchmarkTable1Symbolic(b *testing.B) {
 		p := withDefaults(row.prog)
 		b.Run(p.Name+"/cte", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				explore(b, p, row.maxPaths, false)
+				explore(b, p, row.maxPaths, false, 1)
 			}
 		})
 		b.Run(p.Name+"/s2e", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				explore(b, p, row.maxPaths, true)
+				explore(b, p, row.maxPaths, true, 1)
 			}
 		})
 	}
@@ -327,6 +328,54 @@ func BenchmarkTable2FirstBug(b *testing.B) {
 		if len(rep.Findings) == 0 {
 			b.Fatal("bug 1 not found")
 		}
+	}
+}
+
+// BenchmarkParallelExploreTCPIP measures path throughput of the worker
+// pool on the TCP/IP workload (all bugs fixed, fixed path budget, no
+// early stop). Compare the j1 and j4 variants: ns/op is the cost of the
+// same 200-path exploration, so on a >= 4-core host j4 should explore at
+// a multiple of the j1 throughput (paths/s is reported explicitly).
+// The snapshot is built once per variant; each iteration explores
+// fresh clones of it, exactly like the -j flag of cmd/cte.
+func BenchmarkParallelExploreTCPIP(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			core, _, err := guest.NewCore(smt.NewBuilder(), guest.TCPIPProgram(0x3f, 64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			paths := 0
+			for i := 0; i < b.N; i++ {
+				rep := cte.New(core, cte.Options{MaxPaths: 200, Workers: j}).Run()
+				paths += rep.Paths
+			}
+			b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
+		})
+	}
+}
+
+// BenchmarkParallelExploreCounter is the same comparison on the small
+// counter-s benchmark (solver-light, ISS-dominated — the paper's
+// Table 1 observation that per-path ISS execution dominates wall time).
+func BenchmarkParallelExploreCounter(b *testing.B) {
+	p, _ := guest.BenchProgram("counter-s")
+	p = withDefaults(p)
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			core, _, err := guest.NewCore(smt.NewBuilder(), p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			paths := 0
+			for i := 0; i < b.N; i++ {
+				rep := cte.New(core, cte.Options{MaxPaths: 1500, Workers: j}).Run()
+				paths += rep.Paths
+			}
+			b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,6 +42,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print each explored path")
 	cover := flag.Bool("cover", false, "print per-function coverage after exploration")
 	trace := flag.Int("trace", 0, "print the last N instructions of each finding")
+	workers := flag.Int("j", runtime.NumCPU(), "parallel exploration workers (1 = sequential, deterministic path order)")
+	maxConflicts := flag.Int("max-conflicts", 0, "per-query solver conflict budget; exhausted queries count as unknown (0 = unlimited)")
 	flag.Parse()
 
 	b := smt.NewBuilder()
@@ -72,13 +75,15 @@ func main() {
 	}[*strategy]
 
 	eng := cte.New(core, cte.Options{
-		MaxPaths:       *maxPaths,
-		MaxInstrPerRun: *maxInstr,
-		Strategy:       strat,
-		StopOnError:    *stopOnError,
-		Timeout:        *timeout,
-		TrackCoverage:  *cover,
-		TraceDepth:     *trace,
+		MaxPaths:             *maxPaths,
+		MaxInstrPerRun:       *maxInstr,
+		Strategy:             strat,
+		StopOnError:          *stopOnError,
+		Timeout:              *timeout,
+		TrackCoverage:        *cover,
+		TraceDepth:           *trace,
+		Workers:              *workers,
+		MaxConflictsPerQuery: *maxConflicts,
 	})
 	if *verbose {
 		eng.OnPath = func(path int, c *iss.Core) {
@@ -96,6 +101,15 @@ func main() {
 	rep := eng.Run()
 	fmt.Printf("explored %d paths in %.2fs (%d queries, %.2fs solver, %d instructions total)\n",
 		rep.Paths, time.Since(start).Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
+	fmt.Printf("trace conditions: %d sat, %d unsat, %d unknown (budget-exhausted)\n",
+		rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs)
+	if rep.Workers > 1 {
+		fmt.Printf("workers: %d\n", rep.Workers)
+		for i, ws := range rep.PerWorker {
+			fmt.Printf("  worker %d: %5d paths, %6d queries, %.2fs solver\n",
+				i, ws.Paths, ws.Queries, ws.SolverTime.Seconds())
+		}
+	}
 	if rep.Exhausted {
 		fmt.Println("state space exhausted")
 	}

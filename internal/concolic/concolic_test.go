@@ -1,6 +1,7 @@
 package concolic
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -310,5 +311,65 @@ func TestReadHelpers(t *testing.T) {
 	}
 	if got := string(m.ReadBytes(0x106, 5)); got != "world" {
 		t.Errorf("readbytes: %q", got)
+	}
+}
+
+// TestFreezeCloneConcurrent: after Freeze, Clone must not mutate the
+// snapshot's pages, so many goroutines may clone (and write to their
+// clones) at once. Run under -race to catch regressions of the old
+// clone-time shared-flag flip.
+func TestFreezeCloneConcurrent(t *testing.T) {
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	const span = 3 * pageSize
+	for i := 0; i < span; i++ {
+		m.StoreByte(uint32(i), byte(i), nil)
+	}
+	m.MakeSymbolic(100, make([]byte, 8), "frz")
+	m.Freeze()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := m.Clone()
+			// Writes land on copy-on-write page copies private to the clone.
+			for i := 0; i < 512; i++ {
+				c.StoreByte(uint32(i*7%span), byte(g), nil)
+			}
+			if got, _ := c.LoadByteRaw(0); got != byte(g) {
+				t.Errorf("clone %d: own write lost, got %d", g, got)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The frozen snapshot is untouched.
+	for i := 0; i < span; i += 97 {
+		if got, _ := m.LoadByteRaw(uint32(i)); got != byte(i) {
+			t.Fatalf("snapshot byte %d corrupted: got %d want %d", i, got, byte(i))
+		}
+	}
+	if _, sym := m.LoadByteRaw(100); sym == nil {
+		t.Fatal("snapshot symbolic byte lost")
+	}
+}
+
+// TestUnfrozenCloneStillCopiesOnWrite guards the single-threaded
+// contract: cloning an unfrozen memory and writing on either side must
+// not leak into the other.
+func TestUnfrozenCloneStillCopiesOnWrite(t *testing.T) {
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	m.StoreByte(42, 1, nil)
+	c := m.Clone()
+	m.StoreByte(42, 2, nil)
+	c.StoreByte(42, 3, nil)
+	if got, _ := m.LoadByteRaw(42); got != 2 {
+		t.Errorf("original sees %d want 2", got)
+	}
+	if got, _ := c.LoadByteRaw(42); got != 3 {
+		t.Errorf("clone sees %d want 3", got)
 	}
 }

@@ -31,8 +31,9 @@ func (p *page) ensureSym() {
 // Memory is a sparse concolic byte store covering the 32-bit address
 // space. The zero value is not usable; create with NewMemory.
 type Memory struct {
-	pages map[uint32]*page
-	ops   Ops
+	pages  map[uint32]*page
+	ops    Ops
+	frozen bool // pages are already marked shared; Clone must not mutate them
 }
 
 // NewMemory creates an empty memory whose symbolic bytes are built with b.
@@ -40,12 +41,29 @@ func NewMemory(b *smt.Builder) *Memory {
 	return &Memory{pages: make(map[uint32]*page), ops: Ops{B: b}}
 }
 
+// Freeze marks every current page shared, turning this memory into an
+// immutable snapshot that may be Cloned concurrently: Clone then only
+// reads the page table instead of flipping shared flags (which would be
+// a data race between two workers cloning at the same time). The frozen
+// memory must not be written afterwards while clones are outstanding.
+func (m *Memory) Freeze() {
+	for _, p := range m.pages {
+		p.shared = true
+	}
+	m.frozen = true
+}
+
 // Clone returns a copy-on-write snapshot. Both the original and the clone
-// remain usable; pages are duplicated only when either side writes.
+// remain usable; pages are duplicated only when either side writes. A
+// frozen memory may be cloned from multiple goroutines concurrently; an
+// unfrozen one retains the original single-threaded contract (cloning
+// marks its pages shared in place).
 func (m *Memory) Clone() *Memory {
 	c := &Memory{pages: make(map[uint32]*page, len(m.pages)), ops: m.ops}
 	for k, p := range m.pages {
-		p.shared = true
+		if !m.frozen {
+			p.shared = true
+		}
 		c.pages[k] = p
 	}
 	return c

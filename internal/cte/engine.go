@@ -4,11 +4,23 @@
 // TC into a new input, and schedules inputs according to a search
 // strategy. Generational bounds (à la SAGE) prevent re-exploration of
 // already-covered path prefixes.
+//
+// Exploration can run on a pool of parallel workers (Options.Workers):
+// every path is independent by construction — the snapshot is frozen
+// once, each worker clones it and runs on its own core with its own
+// solver — so only the input queue, the dedup set, the coverage map and
+// the report are shared, guarded by one mutex. With more than one worker
+// the path *order* (and therefore OnPath invocation order and Finding
+// indices) depends on scheduling, but the explored path set, the dedup
+// decisions and the set of findings do not; Workers == 1 preserves the
+// fully deterministic sequential engine. See DESIGN.md ("Parallel
+// exploration") for the clone-safety contract.
 package cte
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -83,48 +95,89 @@ type Options struct {
 	// TraceDepth enables the per-core diagnostic instruction ring (the
 	// finding's last instructions are exposed via Finding.Trace).
 	TraceDepth int
+	// Workers is the number of parallel exploration workers. 0 or 1
+	// keeps the sequential deterministic engine; AutoWorkers (or any
+	// negative value) selects runtime.NumCPU(). With several workers
+	// path order is scheduling-dependent but the explored path set,
+	// dedup and findings are not (cmd/cte exposes this as -j).
+	Workers int
+	// MaxConflictsPerQuery bounds each individual solver query; a query
+	// exceeding the budget counts as an unknown TC (Report.UnknownTCs)
+	// instead of blocking exploration. 0 = unlimited.
+	MaxConflictsPerQuery int
+}
+
+// AutoWorkers selects one exploration worker per CPU.
+const AutoWorkers = -1
+
+// effectiveWorkers resolves Workers to a concrete pool size.
+func (o Options) effectiveWorkers() int {
+	if o.Workers < 0 {
+		return runtime.NumCPU()
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// WorkerStats is the per-worker breakdown of a parallel run.
+type WorkerStats struct {
+	Paths      int
+	Queries    int
+	SolverTime time.Duration
 }
 
 // Report aggregates the statistics the paper's tables use.
 type Report struct {
 	Paths      int           // #paths column
 	Queries    int           // #queries column
-	SolverTime time.Duration // stime column
+	SolverTime time.Duration // stime column (summed across workers)
 	WallTime   time.Duration // time column
 	TotalInstr uint64        // #instr column (combined over all paths)
 	SatTCs     int
-	UnsatTCs   int
+	UnsatTCs   int // proven unsatisfiable
+	UnknownTCs int // solver budget exhausted — not proven either way
 	Findings   []Finding
 	Pruned     int
 	Exhausted  bool // queue drained (full exploration)
 	// Covered holds every PC executed on any path (when
 	// Options.TrackCoverage or the Coverage strategy is active).
 	Covered map[uint32]struct{}
+	// Workers is the resolved pool size; PerWorker holds the per-worker
+	// breakdown for parallel runs (nil for sequential runs).
+	Workers   int
+	PerWorker []WorkerStats
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("paths=%d queries=%d stime=%.2fs time=%.2fs instr=%d findings=%d",
-		r.Paths, r.Queries, r.SolverTime.Seconds(), r.WallTime.Seconds(), r.TotalInstr, len(r.Findings))
+	return fmt.Sprintf("paths=%d queries=%d stime=%.2fs time=%.2fs instr=%d sat=%d unsat=%d unknown=%d findings=%d",
+		r.Paths, r.Queries, r.SolverTime.Seconds(), r.WallTime.Seconds(), r.TotalInstr,
+		r.SatTCs, r.UnsatTCs, r.UnknownTCs, len(r.Findings))
 }
 
 // Engine drives concolic exploration from a VP snapshot.
 type Engine struct {
 	Builder  *smt.Builder
-	Solver   *smt.Solver
+	Solver   *smt.Solver // used by sequential runs; parallel workers own solvers
 	Snapshot *iss.Core
 	Opt      Options
 
 	// OnPath, when set, observes every executed core (testing hook and
-	// tool output).
+	// tool output). Parallel runs invoke it under the run lock, so the
+	// callback never races with itself, but invocation order is
+	// scheduling-dependent.
 	OnPath func(path int, core *iss.Core)
 }
 
 // New creates an engine around a prepared VP snapshot. The snapshot is
 // never mutated; every path runs on a clone (paper §3.1.1).
 func New(snapshot *iss.Core, opt Options) *Engine {
+	solver := smt.NewSolver(snapshot.B)
+	solver.MaxConflictsPerQuery = opt.MaxConflictsPerQuery
 	return &Engine{
 		Builder:  snapshot.B,
-		Solver:   smt.NewSolver(snapshot.B),
+		Solver:   solver,
 		Snapshot: snapshot,
 		Opt:      opt,
 	}
@@ -132,39 +185,129 @@ func New(snapshot *iss.Core, opt Options) *Engine {
 
 // Run explores until the queue is exhausted or a budget is hit.
 func (e *Engine) Run() *Report {
+	// Freeze the snapshot's copy-on-write pages once, up front: Clone
+	// then never mutates shared state, making concurrent clones safe
+	// (and the sequential path identical).
+	e.Snapshot.Freeze()
+	if w := e.Opt.effectiveWorkers(); w > 1 {
+		return e.runParallel(w)
+	}
+	return e.runSequential()
+}
+
+// pathResult is everything one executed path contributes back to the
+// shared exploration state. It is produced without touching shared
+// mutable state, so workers can build it outside the run lock.
+type pathResult struct {
+	core     *iss.Core
+	instrs   uint64
+	children []Input // sat models, not yet deduped; Score filled by the merger
+	sat      int
+	unsat    int
+	unknown  int
+}
+
+// executePath clones the snapshot, runs one input and solves its trace
+// conditions with the given solver. Only the (frozen) snapshot and the
+// internally-locked builder are shared; the caller merges the result
+// under its own synchronization.
+func (e *Engine) executePath(in Input, solver *smt.Solver) pathResult {
+	core := e.Snapshot.Clone()
+	core.Input = in.Assignment
+	core.Bound = in.Bound
+	if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
+		core.TrackCoverage = true
+	}
+	if e.Opt.TraceDepth > 0 {
+		core.TraceDepth = e.Opt.TraceDepth
+	}
+	// Count only instructions executed during this run (the snapshot may
+	// already carry pre-executed initialization, per the clone-after-init
+	// optimization).
+	startInstr := core.InstrCount
+	core.Run(e.Opt.MaxInstrPerRun)
+	res := pathResult{core: core, instrs: core.InstrCount - startInstr}
+
+	if e.Opt.StopOnError {
+		if f, prune := findingOf(core, 0); f != nil && !prune {
+			// The run stops here anyway; skip the solver work.
+			return res
+		}
+	}
+	for _, tc := range core.Trace {
+		conds := make([]*smt.Expr, 0, tc.EPCLen+1)
+		conds = append(conds, core.EPC[:tc.EPCLen]...)
+		conds = append(conds, tc.Cond)
+		sat, model, unknown := solver.Check(conds...)
+		switch {
+		case unknown:
+			res.unknown++
+		case !sat:
+			res.unsat++
+		default:
+			res.sat++
+			res.children = append(res.children, Input{
+				Assignment: model,
+				Bound:      tc.SiteIdx + 1,
+				Gen:        in.Gen + 1,
+			})
+		}
+	}
+	return res
+}
+
+// findingOf classifies a halted core: a Finding for a hard error, prune
+// for an assume failure, neither for clean exits and budget exhaustion.
+func findingOf(core *iss.Core, path int) (f *Finding, prune bool) {
+	if core.Err == nil {
+		return nil, false
+	}
+	switch core.Err.Kind {
+	case iss.ErrAssumeFail:
+		return nil, true
+	case iss.ErrLimit:
+		// Budget exhaustion is not a bug; the paper bounds the search
+		// the same way (switch after one packet).
+		return nil, false
+	}
+	return &Finding{
+		Err:    core.Err,
+		Input:  core.Input,
+		Path:   path,
+		Output: core.Output,
+		Instrs: core.InstrCount,
+		Trace:  core.RecentTrace(),
+	}, false
+}
+
+// childKey is the (bound, assignment) dedup key of a pending input.
+func childKey(b *smt.Builder, in Input) string {
+	return fmt.Sprintf("%d|%s", in.Bound, DescribeInput(b, in.Assignment))
+}
+
+// runSequential is the deterministic single-worker engine.
+func (e *Engine) runSequential() *Report {
 	start := time.Now()
-	rep := &Report{}
+	rep := &Report{Workers: 1}
 	rng := rand.New(rand.NewSource(e.Opt.Seed + 1))
 
-	queue := []Input{{Assignment: smt.Assignment{}}}
+	front := newFrontier(e.Opt.Strategy, rng)
+	front.push(Input{Assignment: smt.Assignment{}})
 	globalCover := make(map[uint32]struct{})
 	seen := map[string]bool{} // dedup of (bound, assignment) pairs
 
-	for len(queue) > 0 {
+	for front.len() > 0 {
 		if e.Opt.MaxPaths > 0 && rep.Paths >= e.Opt.MaxPaths {
 			break
 		}
 		if e.Opt.Timeout > 0 && time.Since(start) > e.Opt.Timeout {
 			break
 		}
-		in := e.pick(&queue, rng)
-
-		core := e.Snapshot.Clone()
-		core.Input = in.Assignment
-		core.Bound = in.Bound
-		if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
-			core.TrackCoverage = true
-		}
-		if e.Opt.TraceDepth > 0 {
-			core.TraceDepth = e.Opt.TraceDepth
-		}
-		// Count only instructions executed during this run (the
-		// snapshot may already carry pre-executed initialization, per
-		// the clone-after-init optimization).
-		startInstr := core.InstrCount
-		core.Run(e.Opt.MaxInstrPerRun)
+		in := front.pop()
+		res := e.executePath(in, e.Solver)
+		core := res.core
 		rep.Paths++
-		rep.TotalInstr += core.InstrCount - startInstr
+		rep.TotalInstr += res.instrs
 		if e.OnPath != nil {
 			e.OnPath(rep.Paths-1, core)
 		}
@@ -181,60 +324,32 @@ func (e *Engine) Run() *Report {
 			}
 		}
 
-		if core.Err != nil {
-			switch core.Err.Kind {
-			case iss.ErrAssumeFail:
-				rep.Pruned++
-			case iss.ErrLimit:
-				// Budget exhaustion is not a bug; the paper bounds the
-				// search the same way (switch after one packet).
-			default:
-				rep.Findings = append(rep.Findings, Finding{
-					Err:    core.Err,
-					Input:  core.Input,
-					Path:   rep.Paths - 1,
-					Output: core.Output,
-					Instrs: core.InstrCount,
-					Trace:  core.RecentTrace(),
-				})
-				if e.Opt.StopOnError {
-					rep.Covered = globalCover
-					rep.WallTime = time.Since(start)
-					e.fillSolverStats(rep)
-					return rep
-				}
+		if f, prune := findingOf(core, rep.Paths-1); prune {
+			rep.Pruned++
+		} else if f != nil {
+			rep.Findings = append(rep.Findings, *f)
+			if e.Opt.StopOnError {
+				rep.Covered = globalCover
+				rep.WallTime = time.Since(start)
+				e.fillSolverStats(rep)
+				return rep
 			}
 		}
 
-		// Solve each emitted trace condition into a new input.
-		for _, tc := range core.Trace {
-			conds := make([]*smt.Expr, 0, tc.EPCLen+1)
-			conds = append(conds, core.EPC[:tc.EPCLen]...)
-			conds = append(conds, tc.Cond)
-			sat, model, unknown := e.Solver.Check(conds...)
-			if unknown {
-				rep.UnsatTCs++
-				continue
-			}
-			if !sat {
-				rep.UnsatTCs++
-				continue
-			}
-			rep.SatTCs++
-			key := fmt.Sprintf("%d|%s", tc.SiteIdx+1, DescribeInput(e.Builder, model))
+		rep.SatTCs += res.sat
+		rep.UnsatTCs += res.unsat
+		rep.UnknownTCs += res.unknown
+		for _, ch := range res.children {
+			key := childKey(e.Builder, ch)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			queue = append(queue, Input{
-				Assignment: model,
-				Bound:      tc.SiteIdx + 1,
-				Gen:        in.Gen + 1,
-				Score:      score,
-			})
+			ch.Score = score
+			front.push(ch)
 		}
 	}
-	rep.Exhausted = len(queue) == 0
+	rep.Exhausted = front.len() == 0
 	rep.Covered = globalCover
 	rep.WallTime = time.Since(start)
 	e.fillSolverStats(rep)
@@ -244,33 +359,6 @@ func (e *Engine) Run() *Report {
 func (e *Engine) fillSolverStats(rep *Report) {
 	rep.Queries = e.Solver.Stats.Queries
 	rep.SolverTime = e.Solver.Stats.SolverTime
-}
-
-// pick removes and returns the next input per the configured strategy.
-func (e *Engine) pick(queue *[]Input, rng *rand.Rand) Input {
-	q := *queue
-	idx := 0
-	switch e.Opt.Strategy {
-	case BFS:
-		idx = 0
-	case DFS:
-		idx = len(q) - 1
-	case Random:
-		idx = rng.Intn(len(q))
-	case Coverage:
-		// Highest score first; ties broken by earliest generation.
-		best := 0
-		for i := 1; i < len(q); i++ {
-			if q[i].Score > q[best].Score ||
-				(q[i].Score == q[best].Score && q[i].Gen < q[best].Gen) {
-				best = i
-			}
-		}
-		idx = best
-	}
-	in := q[idx]
-	*queue = append(q[:idx], q[idx+1:]...)
-	return in
 }
 
 // DescribeInput renders an input assignment with variable names, sorted,

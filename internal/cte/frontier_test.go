@@ -1,0 +1,81 @@
+package cte
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oldPick is the previous O(n) scan-and-splice Coverage selection,
+// kept as the ordering oracle for the heap-backed frontier.
+func oldPick(queue *[]Input) Input {
+	q := *queue
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].Score > q[best].Score ||
+			(q[i].Score == q[best].Score && q[i].Gen < q[best].Gen) {
+			best = i
+		}
+	}
+	in := q[best]
+	*queue = append(q[:best], q[best+1:]...)
+	return in
+}
+
+func TestFrontierCoverageMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := newFrontier(Coverage, nil)
+	var ref []Input
+	push := func(in Input) {
+		f.push(in)
+		ref = append(ref, in)
+	}
+	for i := 0; i < 50; i++ {
+		push(Input{Score: float64(rng.Intn(5)), Gen: rng.Intn(4), Bound: i})
+	}
+	// Interleave pops and pushes to exercise heap re-ordering.
+	for i := 0; i < 80; i++ {
+		if f.len() == 0 {
+			break
+		}
+		got := f.pop()
+		want := oldPick(&ref)
+		if got.Score != want.Score || got.Gen != want.Gen || got.Bound != want.Bound {
+			t.Fatalf("pop %d: got {score %v gen %d bound %d} want {score %v gen %d bound %d}",
+				i, got.Score, got.Gen, got.Bound, want.Score, want.Gen, want.Bound)
+		}
+		if i%3 == 0 {
+			push(Input{Score: float64(rng.Intn(5)), Gen: rng.Intn(4), Bound: 100 + i})
+		}
+	}
+	if f.len() != len(ref) {
+		t.Fatalf("length drift: frontier %d oracle %d", f.len(), len(ref))
+	}
+}
+
+func TestFrontierBFSOrderAndCompaction(t *testing.T) {
+	f := newFrontier(BFS, nil)
+	const n = 300 // enough to trigger the dead-prefix compaction
+	for i := 0; i < n; i++ {
+		f.push(Input{Bound: i})
+	}
+	for i := 0; i < n; i++ {
+		if got := f.pop(); got.Bound != i {
+			t.Fatalf("pop %d: got bound %d", i, got.Bound)
+		}
+	}
+	if f.len() != 0 {
+		t.Fatalf("leftover %d", f.len())
+	}
+}
+
+func TestFrontierDFSOrder(t *testing.T) {
+	f := newFrontier(DFS, nil)
+	for i := 0; i < 5; i++ {
+		f.push(Input{Bound: i})
+	}
+	for i := 4; i >= 0; i-- {
+		if got := f.pop(); got.Bound != i {
+			t.Fatalf("dfs pop: got bound %d want %d", got.Bound, i)
+		}
+	}
+}

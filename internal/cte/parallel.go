@@ -1,0 +1,196 @@
+package cte
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"rvcte/internal/smt"
+)
+
+// parallelRun is the shared state of one multi-worker exploration. The
+// mutex guards the frontier, the dedup set, the coverage map and the
+// report; everything path-local (core clone, solver, blasted CNF) is
+// worker-owned and needs no locking. The condition variable wakes idle
+// workers when children are enqueued or the run stops.
+type parallelRun struct {
+	e    *Engine
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	front    *frontier
+	seen     map[string]bool
+	cover    map[uint32]struct{}
+	rep      *Report
+	started  int // paths claimed, bounds MaxPaths
+	inflight int // claimed but not yet merged
+	deadline time.Time
+	stop     bool // no further paths may be claimed
+	abandon  bool // stopped with work left (timeout / StopOnError finding)
+}
+
+// runParallel explores with a pool of workers. Each worker clones the
+// frozen snapshot, executes one path on its own core and solves the
+// trace conditions on its own solver; results are merged under the run
+// lock. Path order depends on scheduling; the explored path set, dedup
+// and findings do not (paths are independent by construction, §3.1.1).
+func (e *Engine) runParallel(workers int) *Report {
+	start := time.Now()
+	x := &parallelRun{
+		e:     e,
+		front: newFrontier(e.Opt.Strategy, rand.New(rand.NewSource(e.Opt.Seed+1))),
+		seen:  map[string]bool{},
+		cover: make(map[uint32]struct{}),
+		rep:   &Report{Workers: workers, PerWorker: make([]WorkerStats, workers)},
+	}
+	x.cond = sync.NewCond(&x.mu)
+	x.front.push(Input{Assignment: smt.Assignment{}})
+
+	var timer *time.Timer
+	if e.Opt.Timeout > 0 {
+		x.deadline = start.Add(e.Opt.Timeout)
+		// The deadline is checked at claim time; the timer additionally
+		// wakes workers blocked waiting for new queue entries.
+		timer = time.AfterFunc(e.Opt.Timeout, func() {
+			x.mu.Lock()
+			x.stop = true
+			x.abandon = true
+			x.mu.Unlock()
+			x.cond.Broadcast()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			x.worker(id)
+		}(w)
+	}
+	wg.Wait()
+	if timer != nil {
+		timer.Stop()
+	}
+
+	rep := x.rep
+	rep.Exhausted = !x.abandon && x.front.len() == 0
+	rep.Covered = x.cover
+	rep.WallTime = time.Since(start)
+	for _, ws := range rep.PerWorker {
+		rep.Queries += ws.Queries
+		rep.SolverTime += ws.SolverTime
+	}
+	return rep
+}
+
+// worker claims inputs until the queue drains or the run stops. Each
+// worker owns a solver (and thus its own SAT instance and blasted CNF);
+// the builder behind it is shared and internally locked.
+func (x *parallelRun) worker(id int) {
+	solver := smt.NewSolver(x.e.Builder)
+	solver.MaxConflictsPerQuery = x.e.Opt.MaxConflictsPerQuery
+	paths := 0
+	for {
+		x.mu.Lock()
+		for !x.stop && x.front.len() == 0 && x.inflight > 0 {
+			x.cond.Wait()
+		}
+		if x.stop || x.front.len() == 0 {
+			// Stopped, or the queue drained with no path in flight that
+			// could still produce children: the run is over.
+			x.finish(id, solver, paths)
+			return
+		}
+		if x.e.Opt.MaxPaths > 0 && x.started >= x.e.Opt.MaxPaths {
+			x.stop = true
+			x.finish(id, solver, paths)
+			return
+		}
+		if !x.deadline.IsZero() && !time.Now().Before(x.deadline) {
+			x.stop = true
+			x.abandon = true
+			x.finish(id, solver, paths)
+			return
+		}
+		in := x.front.pop()
+		x.started++
+		x.inflight++
+		x.mu.Unlock()
+
+		res := x.e.executePath(in, solver)
+		paths++
+
+		x.mu.Lock()
+		x.merge(res)
+		x.inflight--
+		x.mu.Unlock()
+		x.cond.Broadcast()
+	}
+}
+
+// finish records the worker's solver statistics and wakes any blocked
+// sibling so it can observe the stop. Called with x.mu held; releases it.
+func (x *parallelRun) finish(id int, solver *smt.Solver, paths int) {
+	x.rep.PerWorker[id] = WorkerStats{
+		Paths:      paths,
+		Queries:    solver.Stats.Queries,
+		SolverTime: solver.Stats.SolverTime,
+	}
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// merge folds one executed path into the shared report and enqueues its
+// deduplicated children. Called with x.mu held.
+func (x *parallelRun) merge(res pathResult) {
+	e := x.e
+	rep := x.rep
+	core := res.core
+	path := rep.Paths
+	rep.Paths++
+	rep.TotalInstr += res.instrs
+	if e.OnPath != nil {
+		// Serialized under the run lock; order is scheduling-dependent.
+		e.OnPath(path, core)
+	}
+
+	var score float64
+	if core.TrackCoverage {
+		for pc := range core.Coverage {
+			if _, ok := x.cover[pc]; !ok {
+				x.cover[pc] = struct{}{}
+				score++
+			}
+		}
+	}
+
+	if f, prune := findingOf(core, path); prune {
+		rep.Pruned++
+	} else if f != nil {
+		rep.Findings = append(rep.Findings, *f)
+		if e.Opt.StopOnError {
+			// In-flight siblings still merge their results, so the
+			// report may carry more than one finding; no new paths are
+			// claimed after this point.
+			x.stop = true
+			x.abandon = true
+		}
+	}
+
+	rep.SatTCs += res.sat
+	rep.UnsatTCs += res.unsat
+	rep.UnknownTCs += res.unknown
+	if x.stop {
+		return
+	}
+	for _, ch := range res.children {
+		key := childKey(e.Builder, ch)
+		if x.seen[key] {
+			continue
+		}
+		x.seen[key] = true
+		ch.Score = score
+		x.front.push(ch)
+	}
+}

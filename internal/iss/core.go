@@ -266,10 +266,18 @@ func New(b *smt.Builder, cfg Config) *Core {
 	return c
 }
 
+// Freeze prepares the core to serve as a shared exploration snapshot:
+// its memory pages are marked copy-on-write once, so subsequent Clone
+// calls never mutate snapshot state and may run concurrently from
+// multiple worker goroutines. The frozen core itself must no longer be
+// stepped or mutated while clones are outstanding.
+func (c *Core) Freeze() { c.Mem.Freeze() }
+
 // Clone deep-copies the VP state so a new input can be executed from the
 // same starting point (paper §3.1.1: "The VP is cloned each time before
 // executing a new input"). The SMT builder is shared (expressions are
-// immutable).
+// immutable and the builder is internally locked). After Freeze, Clone
+// only reads the receiver and is safe to call concurrently.
 func (c *Core) Clone() *Core {
 	n := &Core{}
 	*n = *c

@@ -8,6 +8,7 @@ package smt
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind identifies the operator of an expression node.
@@ -91,10 +92,12 @@ type exprKey struct {
 	k0, k1, k2 *Expr
 }
 
-// Builder creates and interns expressions. It is not safe for concurrent
-// use; the concolic engine runs single-threaded per explored path, matching
-// the paper's sequential exploration loop.
+// Builder creates and interns expressions. A single mutex guards the
+// intern table and the variable registry, so one Builder may be shared by
+// concurrent exploration workers (each running its own core and solver);
+// the expressions themselves are immutable and need no synchronization.
 type Builder struct {
+	mu       sync.Mutex
 	intern   map[exprKey]*Expr
 	varNames []string // variable id -> name
 	varWidth []uint8  // variable id -> width
@@ -106,15 +109,34 @@ func NewBuilder() *Builder {
 }
 
 // NumVars reports how many distinct variables have been created.
-func (b *Builder) NumVars() int { return len(b.varNames) }
+func (b *Builder) NumVars() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.varNames)
+}
 
 // VarName returns the name of variable id.
-func (b *Builder) VarName(id int) string { return b.varNames[id] }
+func (b *Builder) VarName(id int) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.varNames[id]
+}
 
 // VarWidth returns the width of variable id.
-func (b *Builder) VarWidth(id int) uint8 { return b.varWidth[id] }
+func (b *Builder) VarWidth(id int) uint8 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.varWidth[id]
+}
 
 func (b *Builder) mk(kind Kind, width uint8, val uint64, k0, k1, k2 *Expr) *Expr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mkLocked(kind, width, val, k0, k1, k2)
+}
+
+// mkLocked interns a node; the caller must hold b.mu.
+func (b *Builder) mkLocked(kind Kind, width uint8, val uint64, k0, k1, k2 *Expr) *Expr {
 	key := exprKey{kind, width, val, k0, k1, k2}
 	if e, ok := b.intern[key]; ok {
 		return e
@@ -179,18 +201,22 @@ func (b *Builder) Var(width uint8, name string) *Expr {
 	if width == 0 || width > 64 {
 		panic(fmt.Sprintf("smt: bad var width %d", width))
 	}
+	// The lock spans the lookup and the registration so concurrent
+	// workers minting the same name agree on one variable id.
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for id, n := range b.varNames {
 		if n == name {
 			if b.varWidth[id] != width {
 				panic(fmt.Sprintf("smt: variable %q redeclared with width %d (was %d)", name, width, b.varWidth[id]))
 			}
-			return b.mk(KVar, width, uint64(id), nil, nil, nil)
+			return b.mkLocked(KVar, width, uint64(id), nil, nil, nil)
 		}
 	}
 	id := len(b.varNames)
 	b.varNames = append(b.varNames, name)
 	b.varWidth = append(b.varWidth, width)
-	return b.mk(KVar, width, uint64(id), nil, nil, nil)
+	return b.mkLocked(KVar, width, uint64(id), nil, nil, nil)
 }
 
 func ckWidth(op string, a, b *Expr) {

@@ -437,6 +437,9 @@ func (s *Sat) solveKeep(assumptions ...Lit) SolveResult {
 	maxConflicts := 256
 	conflicts := 0
 	budget := s.Budget
+	// s.Conflict accumulates across queries; the budget bounds only this
+	// query, so compare against the delta from here, not the total.
+	baseConflicts := s.Conflict
 
 	for {
 		// (Re-)establish assumptions after any restart.
@@ -462,7 +465,7 @@ func (s *Sat) solveKeep(assumptions ...Lit) SolveResult {
 		if confl != nil {
 			conflicts++
 			s.Conflict++
-			if budget > 0 && s.Conflict > budget {
+			if budget > 0 && s.Conflict-baseConflicts > budget {
 				return Unknown
 			}
 			if s.decisionLevel() == 0 {

@@ -92,6 +92,8 @@ func (s *Solver) Check(conds ...*Expr) (sat bool, model Assignment, unknown bool
 // Value returns the model value of the named variable, defaulting to 0
 // when the variable is absent from the model or unknown to the builder.
 func (b *Builder) Value(model Assignment, name string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for id, n := range b.varNames {
 		if n == name {
 			return model[id] & mask(b.varWidth[id])

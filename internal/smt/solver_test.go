@@ -482,3 +482,89 @@ func TestSolverStatsAccumulate(t *testing.T) {
 		t.Error("sat vars should be recorded")
 	}
 }
+
+// TestSatBudgetIsPerQuery: the conflict budget bounds one Solve call,
+// not the solver's lifetime. A solver that has already accumulated many
+// conflicts from earlier queries must still answer a query whose own
+// conflict count fits the budget (regression: the budget used to be
+// compared against the cumulative counter, so every query after the
+// first ones spuriously returned Unknown).
+func TestSatBudgetIsPerQuery(t *testing.T) {
+	s := NewSat()
+	a := s.NewVar()
+	b := s.NewVar()
+	// UNSAT over {a,b}: solving requires at least one conflict.
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, true))
+
+	// Simulate a long-lived solver: many conflicts already accumulated.
+	s.Conflict = 1_000_000
+	s.Budget = 100
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("got %v, want Unsat: per-query budget must ignore conflicts from earlier queries", res)
+	}
+}
+
+// hardFactorQuery builds "x * y == p*q && x > 1 && y > 1" over fresh
+// 16-bit variables — the solver has to search for the factors, which
+// reliably costs conflicts.
+func hardFactorQuery(b *Builder, xn, yn string, p, q uint64) []*Expr {
+	x := b.Var(16, xn)
+	y := b.Var(16, yn)
+	one := b.Const(16, 1)
+	return []*Expr{
+		b.Eq(b.Mul(x, y), b.Const(16, p*q)),
+		b.Ugt(x, one),
+		b.Ugt(y, one),
+	}
+}
+
+// TestSolverBudgetNotCumulative runs two hard queries on one solver
+// under a per-query conflict budget sized so that each query fits but
+// their sum does not: the second query must not be starved.
+func TestSolverBudgetNotCumulative(t *testing.T) {
+	// Measure each query's conflict cost on an unbudgeted solver (the
+	// solver is deterministic, so the budgeted run repeats it exactly).
+	b := NewBuilder()
+	s := NewSolver(b)
+	q1 := hardFactorQuery(b, "bx", "by", 251, 241)
+	q2 := hardFactorQuery(b, "bz", "bw", 239, 233)
+	checkSat(t, s, q1...)
+	c1 := s.Stats.Conflicts
+	checkSat(t, s, q2...)
+	c2 := s.Stats.Conflicts - c1
+	if c1 < 2 || c2 < 2 {
+		t.Fatalf("queries too easy to exercise the budget (c1=%d c2=%d); harden them", c1, c2)
+	}
+
+	budget := c1
+	if c2 > budget {
+		budget = c2
+	}
+	budget++ // each query fits ...
+	if c1+c2 <= budget {
+		t.Fatalf("budget %d not exceeded cumulatively (c1=%d c2=%d); the test would be vacuous", budget, c1, c2)
+	}
+
+	b2 := NewBuilder()
+	s2 := NewSolver(b2)
+	s2.MaxConflictsPerQuery = budget
+	checkSat(t, s2, hardFactorQuery(b2, "bx", "by", 251, 241)...)
+	// The regression: with a cumulative comparison the second query
+	// crosses the budget and returns unknown.
+	checkSat(t, s2, hardFactorQuery(b2, "bz", "bw", 239, 233)...)
+}
+
+// TestSolverBudgetStillBoundsQueries: a query genuinely harder than the
+// budget must still return unknown (the fix must not disable limiting).
+func TestSolverBudgetStillBoundsQueries(t *testing.T) {
+	b := NewBuilder()
+	s := NewSolver(b)
+	s.MaxConflictsPerQuery = 1
+	_, _, unknown := s.Check(hardFactorQuery(b, "hx", "hy", 251, 241)...)
+	if !unknown {
+		t.Fatal("budget of 1 conflict should exhaust on a factoring query")
+	}
+}
