@@ -1,0 +1,38 @@
+# rvcte — stdlib-only Go repo; everything here works offline.
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench examples clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent layers (worker-pool exploration, the shared query
+# cache, the solver it drives, and the COW memory it clones) must stay
+# race-clean.
+race:
+	$(GO) test -race ./internal/cte/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/...
+
+# The repo's verification recipe (see README.md and
+# .claude/skills/verify/SKILL.md): build, vet, full tests, race pass.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heap-guard
+	$(GO) run ./examples/branch-storm
+	$(GO) run ./examples/tcpip-fuzz
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ package rvcte
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"rvcte/internal/guest"
 	"rvcte/internal/iss"
 	"rvcte/internal/nestedvm"
+	"rvcte/internal/qcache"
 	"rvcte/internal/smt"
 	"rvcte/internal/vp"
 )
@@ -377,6 +379,67 @@ func BenchmarkParallelExploreCounter(b *testing.B) {
 			b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
 		})
 	}
+}
+
+// BenchmarkQueryCacheExplore measures end-to-end exploration of the
+// branch-storm benchmark with the query cache off, cold and warm
+// (primed from a persisted cache file, the -cache-dir workflow).
+// Every iteration builds a fresh system — builder, core and cache are
+// all per-iteration, so "warm" measures the real warm-start cost
+// including Load and model hydration.
+func BenchmarkQueryCacheExplore(b *testing.B) {
+	p, _ := guest.BenchProgram("storm-s")
+	p = withDefaults(p)
+
+	run := func(b *testing.B, cacheFile string, load bool) *cte.Report {
+		bld := smt.NewBuilder()
+		core, _, err := guest.NewCore(bld, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var qc *qcache.Cache
+		if cacheFile != "" {
+			qc = qcache.New(bld, qcache.Options{})
+			if load {
+				if err := qc.Load(cacheFile); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		rep := cte.New(core, cte.Options{MaxPaths: 2000, Workers: 1, Cache: qc}).Run()
+		if cacheFile != "" && !load {
+			if err := qc.Save(cacheFile); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return rep
+	}
+
+	b.Run("off", func(b *testing.B) {
+		queries := 0
+		for i := 0; i < b.N; i++ {
+			queries += run(b, "", false).Queries
+		}
+		b.ReportMetric(float64(queries)/float64(b.N), "queries/explore")
+	})
+	b.Run("cold", func(b *testing.B) {
+		cacheFile := filepath.Join(b.TempDir(), "storm.qcache")
+		queries := 0
+		for i := 0; i < b.N; i++ {
+			queries += run(b, cacheFile, false).Queries
+		}
+		b.ReportMetric(float64(queries)/float64(b.N), "queries/explore")
+	})
+	b.Run("warm", func(b *testing.B) {
+		cacheFile := filepath.Join(b.TempDir(), "storm.qcache")
+		run(b, cacheFile, false) // prime the cache file once
+		b.ResetTimer()
+		queries := 0
+		for i := 0; i < b.N; i++ {
+			queries += run(b, cacheFile, true).Queries
+		}
+		b.ReportMetric(float64(queries)/float64(b.N), "queries/explore")
+	})
 }
 
 // BenchmarkFigure4Sensor measures full exploration of the sensor example.

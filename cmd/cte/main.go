@@ -14,9 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -26,12 +28,13 @@ import (
 	"rvcte/internal/cte"
 	"rvcte/internal/guest"
 	"rvcte/internal/iss"
+	"rvcte/internal/qcache"
 	"rvcte/internal/relf"
 	"rvcte/internal/smt"
 )
 
 func main() {
-	progName := flag.String("prog", "", "built-in program: sensor, sensor-fixed, tcpip, freertos-sensor, qsort-s, counter-s, fibonacci-s")
+	progName := flag.String("prog", "", "built-in program: sensor, sensor-fixed, tcpip, freertos-sensor, qsort-s, counter-s, fibonacci-s, storm-s")
 	fixList := flag.String("fix", "", "tcpip only: comma-separated bug numbers to patch (1-6)")
 	maxPaths := flag.Int("max-paths", 1000, "path budget (0 = unlimited)")
 	maxInstr := flag.Uint64("max-instr", 0, "per-path instruction budget (0 = program default)")
@@ -44,6 +47,9 @@ func main() {
 	trace := flag.Int("trace", 0, "print the last N instructions of each finding")
 	workers := flag.Int("j", runtime.NumCPU(), "parallel exploration workers (1 = sequential, deterministic path order)")
 	maxConflicts := flag.Int("max-conflicts", 0, "per-query solver conflict budget; exhausted queries count as unknown (0 = unlimited)")
+	useCache := flag.Bool("cache", true, "enable the SMT query cache (model reuse, unsat subsumption, independence slicing)")
+	cacheDir := flag.String("cache-dir", "", "persist the query cache under this directory so repeated runs warm-start")
+	jsonOut := flag.Bool("json", false, "emit the full report as a single JSON object on stdout (suppresses the human summary)")
 	flag.Parse()
 
 	b := smt.NewBuilder()
@@ -74,6 +80,23 @@ func main() {
 		"bfs": cte.BFS, "dfs": cte.DFS, "random": cte.Random, "coverage": cte.Coverage,
 	}[*strategy]
 
+	// The query cache is shared by all exploration workers; -cache-dir
+	// additionally persists it per guest identity across runs.
+	var qc *qcache.Cache
+	var cacheFile string
+	if *useCache {
+		qc = qcache.New(b, qcache.Options{})
+		if *cacheDir != "" {
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				die(err)
+			}
+			cacheFile = filepath.Join(*cacheDir, cacheID(*progName, *fixList, *pktMax, flag.Args())+".qcache")
+			if err := qc.Load(cacheFile); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "cte: warning: ignoring cache file: %v\n", err)
+			}
+		}
+	}
+
 	eng := cte.New(core, cte.Options{
 		MaxPaths:             *maxPaths,
 		MaxInstrPerRun:       *maxInstr,
@@ -84,8 +107,9 @@ func main() {
 		TraceDepth:           *trace,
 		Workers:              *workers,
 		MaxConflictsPerQuery: *maxConflicts,
+		Cache:                qc,
 	})
-	if *verbose {
+	if *verbose && !*jsonOut {
 		eng.OnPath = func(path int, c *iss.Core) {
 			status := "ok"
 			if c.Err != nil {
@@ -99,10 +123,26 @@ func main() {
 
 	start := time.Now()
 	rep := eng.Run()
+	if cacheFile != "" {
+		if err := qc.Save(cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "cte: warning: could not persist cache: %v\n", err)
+		}
+	}
+	if *jsonOut {
+		emitJSON(b, elf, *progName, rep)
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("explored %d paths in %.2fs (%d queries, %.2fs solver, %d instructions total)\n",
 		rep.Paths, time.Since(start).Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
 	fmt.Printf("trace conditions: %d sat, %d unsat, %d unknown (budget-exhausted)\n",
 		rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs)
+	if cs := rep.Cache; cs != nil {
+		fmt.Printf("query cache: %d exact, %d eval-reuse, %d subsumed of %d lookups; %d SAT calls (%d sliced), %d entries (%d loaded)\n",
+			cs.Hits, cs.EvalHits, cs.SubsumeHits, cs.Queries, cs.SolverCalls, cs.SliceSolves, cs.Entries, cs.Loaded)
+	}
 	if rep.Workers > 1 {
 		fmt.Printf("workers: %d\n", rep.Workers)
 		for i, ws := range rep.PerWorker {
@@ -190,6 +230,105 @@ func buildProg(b *smt.Builder, name, fixList string, pktMax int) (*iss.Core, *re
 			return core, elf, err
 		}
 		return nil, nil, fmt.Errorf("unknown program %q", name)
+	}
+}
+
+// cacheID derives the persisted cache's file stem from the guest
+// identity: same guest (and constraint-shaping options) — same file.
+func cacheID(prog, fixList string, pktMax int, args []string) string {
+	id := prog
+	if id == "" && len(args) == 1 {
+		id = strings.TrimSuffix(filepath.Base(args[0]), ".elf")
+	}
+	if id == "tcpip" {
+		id = fmt.Sprintf("%s-p%d", id, pktMax)
+		if fixList != "" {
+			id += "-fix" + strings.ReplaceAll(fixList, ",", "_")
+		}
+	}
+	var sb strings.Builder
+	for _, r := range id {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}
+
+// jsonFinding is the machine-readable form of one finding.
+type jsonFinding struct {
+	Error    string            `json:"error"`
+	PC       uint32            `json:"pc"`
+	Function string            `json:"function,omitempty"`
+	Path     int               `json:"path"`
+	Input    map[string]uint64 `json:"input"`
+	Instrs   uint64            `json:"instrs"`
+}
+
+// jsonReport is the machine-readable form of cte.Report emitted by
+// -json, for scripting and diffing EXPERIMENTS.md runs.
+type jsonReport struct {
+	Program    string            `json:"program,omitempty"`
+	Workers    int               `json:"workers"`
+	Paths      int               `json:"paths"`
+	Queries    int               `json:"queries"`
+	SolverTime float64           `json:"solver_time_sec"`
+	WallTime   float64           `json:"wall_time_sec"`
+	TotalInstr uint64            `json:"total_instr"`
+	SatTCs     int               `json:"sat_tcs"`
+	UnsatTCs   int               `json:"unsat_tcs"`
+	UnknownTCs int               `json:"unknown_tcs"`
+	Pruned     int               `json:"pruned"`
+	Exhausted  bool              `json:"exhausted"`
+	CoveredPCs int               `json:"covered_pcs"`
+	Cache      *qcache.Stats     `json:"cache,omitempty"`
+	PerWorker  []cte.WorkerStats `json:"per_worker,omitempty"`
+	Findings   []jsonFinding     `json:"findings"`
+}
+
+func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
+	jr := jsonReport{
+		Program:    prog,
+		Workers:    rep.Workers,
+		Paths:      rep.Paths,
+		Queries:    rep.Queries,
+		SolverTime: rep.SolverTime.Seconds(),
+		WallTime:   rep.WallTime.Seconds(),
+		TotalInstr: rep.TotalInstr,
+		SatTCs:     rep.SatTCs,
+		UnsatTCs:   rep.UnsatTCs,
+		UnknownTCs: rep.UnknownTCs,
+		Pruned:     rep.Pruned,
+		Exhausted:  rep.Exhausted,
+		CoveredPCs: len(rep.Covered),
+		Cache:      rep.Cache,
+		PerWorker:  rep.PerWorker,
+		Findings:   []jsonFinding{},
+	}
+	for _, f := range rep.Findings {
+		jf := jsonFinding{
+			Error:  f.Err.Error(),
+			PC:     f.Err.PC,
+			Path:   f.Path,
+			Input:  map[string]uint64{},
+			Instrs: f.Instrs,
+		}
+		if elf != nil {
+			jf.Function = guest.LocateFunc(elf, f.Err.PC)
+		}
+		for id, v := range f.Input {
+			if id < b.NumVars() {
+				jf.Input[b.VarName(id)] = v
+			}
+		}
+		jr.Findings = append(jr.Findings, jf)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&jr); err != nil {
+		die(err)
 	}
 }
 

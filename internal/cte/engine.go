@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rvcte/internal/iss"
+	"rvcte/internal/qcache"
 	"rvcte/internal/smt"
 )
 
@@ -105,6 +106,10 @@ type Options struct {
 	// exceeding the budget counts as an unknown TC (Report.UnknownTCs)
 	// instead of blocking exploration. 0 = unlimited.
 	MaxConflictsPerQuery int
+	// Cache, when non-nil, is the SMT query cache consulted before any
+	// solver call. One cache is shared by every worker of a parallel run
+	// (it is internally synchronized); its counters land in Report.Cache.
+	Cache *qcache.Cache
 }
 
 // AutoWorkers selects one exploration worker per CPU.
@@ -148,12 +153,21 @@ type Report struct {
 	// breakdown for parallel runs (nil for sequential runs).
 	Workers   int
 	PerWorker []WorkerStats
+	// Cache holds the query-cache counters when Options.Cache was set
+	// (nil otherwise). Queries then counts only the SAT queries that
+	// missed the cache.
+	Cache *qcache.Stats
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("paths=%d queries=%d stime=%.2fs time=%.2fs instr=%d sat=%d unsat=%d unknown=%d findings=%d",
+	s := fmt.Sprintf("paths=%d queries=%d stime=%.2fs time=%.2fs instr=%d sat=%d unsat=%d unknown=%d findings=%d",
 		r.Paths, r.Queries, r.SolverTime.Seconds(), r.WallTime.Seconds(), r.TotalInstr,
 		r.SatTCs, r.UnsatTCs, r.UnknownTCs, len(r.Findings))
+	if r.Cache != nil {
+		s += fmt.Sprintf(" cache[hit=%d eval=%d subsume=%d solve=%d]",
+			r.Cache.Hits, r.Cache.EvalHits, r.Cache.SubsumeHits, r.Cache.SolverCalls)
+	}
+	return s
 }
 
 // Engine drives concolic exploration from a VP snapshot.
@@ -189,10 +203,17 @@ func (e *Engine) Run() *Report {
 	// then never mutates shared state, making concurrent clones safe
 	// (and the sequential path identical).
 	e.Snapshot.Freeze()
+	var rep *Report
 	if w := e.Opt.effectiveWorkers(); w > 1 {
-		return e.runParallel(w)
+		rep = e.runParallel(w)
+	} else {
+		rep = e.runSequential()
 	}
-	return e.runSequential()
+	if e.Opt.Cache != nil {
+		st := e.Opt.Cache.Stats()
+		rep.Cache = &st
+	}
+	return rep
 }
 
 // pathResult is everything one executed path contributes back to the
@@ -238,7 +259,15 @@ func (e *Engine) executePath(in Input, solver *smt.Solver) pathResult {
 		conds := make([]*smt.Expr, 0, tc.EPCLen+1)
 		conds = append(conds, core.EPC[:tc.EPCLen]...)
 		conds = append(conds, tc.Cond)
-		sat, model, unknown := solver.Check(conds...)
+		var sat, unknown bool
+		var model smt.Assignment
+		if e.Opt.Cache != nil {
+			// The incumbent input satisfied the whole prefix; passing it
+			// as the hint enables independence slicing in the cache.
+			sat, model, unknown = e.Opt.Cache.Check(solver, conds, in.Assignment)
+		} else {
+			sat, model, unknown = solver.Check(conds...)
+		}
 		switch {
 		case unknown:
 			res.unknown++

@@ -1,0 +1,200 @@
+package cte
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rvcte/internal/iss"
+	"rvcte/internal/qcache"
+	"rvcte/internal/smt"
+)
+
+// cachedOptions returns opt with a fresh cache for the engine's builder.
+func cachedOptions(snap *iss.Core, opt Options) Options {
+	opt.Cache = qcache.New(snap.B, qcache.Options{})
+	return opt
+}
+
+// stormSrc is the cache-friendly workload: three symbolic bytes, one
+// independent threshold branch per byte (separable constraint groups —
+// slicing and per-group reuse), then overlapping equality branches that
+// chain neighbours together. The same flipped conditions recur under
+// many different prefixes, which is what the cache exploits.
+const stormSrc = `
+_start:
+	la a0, x
+	li a1, 3
+	la a2, name
+	li a7, 1
+	ecall
+	la a0, x
+	lbu s0, 0(a0)
+	lbu s1, 1(a0)
+	lbu s2, 2(a0)
+	li t0, 100
+	li a0, 0
+	bgeu t0, s0, skip0
+	addi a0, a0, 1
+skip0:
+	bgeu t0, s1, skip1
+	addi a0, a0, 1
+skip1:
+	bgeu t0, s2, skip2
+	addi a0, a0, 1
+skip2:
+	bne s0, s1, ne01
+	addi a0, a0, 8
+ne01:
+	bne s1, s2, ne12
+	addi a0, a0, 16
+ne12:
+	li a7, 0
+	ecall
+.data
+x: .byte 0, 0, 0
+name: .asciz "x"
+`
+
+// TestCachedMatchesUncached: the query cache is a pure solver
+// accelerator — it must not change the explored path set, the TC
+// classification or the findings, sequentially or under the worker pool,
+// while strictly reducing the number of SAT queries.
+func TestCachedMatchesUncached(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			plain, plainExits := runExits(t, stormSrc, Options{MaxPaths: 200, Workers: workers})
+
+			snap := snapshot(t, stormSrc)
+			eng := New(snap, cachedOptions(snap, Options{MaxPaths: 200, Workers: workers}))
+			var cachedExits []uint32
+			var mu sync.Mutex
+			eng.OnPath = func(_ int, c *iss.Core) {
+				mu.Lock()
+				cachedExits = append(cachedExits, c.ExitCode)
+				mu.Unlock()
+			}
+			cached := eng.Run()
+
+			if !plain.Exhausted || !cached.Exhausted {
+				t.Fatalf("both runs must exhaust (plain=%v cached=%v)", plain.Exhausted, cached.Exhausted)
+			}
+			if plain.Paths != cached.Paths {
+				t.Errorf("paths: plain=%d cached=%d", plain.Paths, cached.Paths)
+			}
+			if plain.SatTCs != cached.SatTCs || plain.UnsatTCs != cached.UnsatTCs || plain.UnknownTCs != cached.UnknownTCs {
+				t.Errorf("TC classification differs: plain=%v cached=%v", plain, cached)
+			}
+			if len(plain.Findings) != len(cached.Findings) {
+				t.Errorf("findings: plain=%d cached=%d", len(plain.Findings), len(cached.Findings))
+			}
+			exitCount := func(exits []uint32) map[uint32]int {
+				m := map[uint32]int{}
+				for _, e := range exits {
+					m[e]++
+				}
+				return m
+			}
+			pc, cc := exitCount(plainExits), exitCount(cachedExits)
+			if len(pc) != len(cc) {
+				t.Errorf("exit multisets differ: plain=%v cached=%v", pc, cc)
+			}
+			for e, n := range pc {
+				if cc[e] != n {
+					t.Errorf("exit %d: plain=%d cached=%d", e, n, cc[e])
+				}
+			}
+			if cached.Queries >= plain.Queries {
+				t.Errorf("cache must strictly reduce SAT queries: plain=%d cached=%d", plain.Queries, cached.Queries)
+			}
+			if cached.Cache == nil || cached.Cache.Queries == 0 {
+				t.Fatalf("cached report must carry cache stats: %+v", cached.Cache)
+			}
+			if hits := cached.Cache.Hits + cached.Cache.EvalHits + cached.Cache.SubsumeHits; hits == 0 {
+				t.Errorf("exploration of overlapping prefixes must hit the cache (%+v)", cached.Cache)
+			}
+			if plain.Cache != nil {
+				t.Error("uncached report must not carry cache stats")
+			}
+		})
+	}
+}
+
+// TestSharedCacheHitModelsValid is the engine-level correctness property
+// test of the satellite task: with one cache shared by four workers
+// (run under -race via `make verify`), every cache-served sat answer
+// must carry a model that satisfies the queried constraint set, audited
+// with the cache-independent qcache.ValidateModel.
+func TestSharedCacheHitModelsValid(t *testing.T) {
+	snap := snapshot(t, stormSrc)
+	opt := cachedOptions(snap, Options{MaxPaths: 200, Workers: 4})
+
+	var mu sync.Mutex
+	audited, cacheServed := 0, 0
+	opt.Cache.OnAnswer = func(conds []*smt.Expr, sat bool, model smt.Assignment, fromCache bool) {
+		mu.Lock()
+		audited++
+		if fromCache {
+			cacheServed++
+		}
+		mu.Unlock()
+		if sat && !qcache.ValidateModel(conds, model) {
+			t.Errorf("cache answer (fromCache=%v) carries an invalid model %v", fromCache, model)
+		}
+	}
+	rep := New(snap, opt).Run()
+	if audited == 0 || cacheServed == 0 {
+		t.Fatalf("audit hook saw %d answers, %d cache-served (%v)", audited, cacheServed, rep)
+	}
+}
+
+// TestCacheWarmStartEngine: persisting the cache and reloading it in a
+// fresh process-equivalent (new builder, new snapshot, new engine)
+// reduces the SAT queries of the second run.
+func TestCacheWarmStartEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "counter.qcache")
+
+	snap1 := snapshot(t, counterSrc)
+	opt1 := cachedOptions(snap1, Options{MaxPaths: 100})
+	first := New(snap1, opt1).Run()
+	if err := opt1.Cache.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if first.Queries == 0 {
+		t.Fatalf("cold run must issue SAT queries: %v", first)
+	}
+
+	snap2 := snapshot(t, counterSrc)
+	opt2 := cachedOptions(snap2, Options{MaxPaths: 100})
+	if err := opt2.Cache.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	second := New(snap2, opt2).Run()
+	if second.Paths != first.Paths {
+		t.Errorf("warm run explored %d paths, cold %d", second.Paths, first.Paths)
+	}
+	if second.Queries >= first.Queries {
+		t.Errorf("warm start must reduce SAT queries: first=%d second=%d", first.Queries, second.Queries)
+	}
+	if second.Cache.Loaded == 0 {
+		t.Errorf("warm run loaded no entries: %+v", second.Cache)
+	}
+}
+
+// TestCacheWithBudgetedSolver: unknown results pass through the cache
+// uncached and keep being counted as UnknownTCs.
+func TestCacheWithBudgetedSolver(t *testing.T) {
+	snap := snapshot(t, mulGateSrc)
+	opt := cachedOptions(snap, Options{MaxPaths: 20, MaxConflictsPerQuery: 1})
+	rep := New(snap, opt).Run()
+	if rep.UnknownTCs == 0 {
+		t.Errorf("budgeted factoring TC should stay unknown through the cache (%v)", rep)
+	}
+	if rep.UnsatTCs != 0 {
+		t.Errorf("unknown results must not be miscounted as unsat (%v)", rep)
+	}
+	if rep.Cache.Unknowns == 0 {
+		t.Errorf("cache must count passed-through unknowns (%+v)", rep.Cache)
+	}
+}

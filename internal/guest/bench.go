@@ -352,8 +352,36 @@ int main(void) {
 }
 `
 
+// stormBench is the branch-storm workload: a stress test for the SMT
+// query cache (internal/qcache). The first loop's branches touch one
+// symbolic byte each — independent constraint groups, which the cache's
+// independence slicing reduces to single-variable solves — while the
+// second loop chains neighbouring bytes into overlapping groups, and the
+// score gate re-uses all of them. Exploration re-issues the same small
+// condition set under hundreds of prefixes, the pattern query caching is
+// built for.
+const stormBench = `
+unsigned char st_v[5];
+
+int main(void) {
+    CTE_make_symbolic(st_v, 5, "v");
+    int score = 0;
+    int i;
+    for (i = 0; i < 5; i++) {
+        if (st_v[i] > 100) score++;
+    }
+    for (i = 1; i < 5; i++) {
+        if (st_v[i - 1] == st_v[i]) score--;
+    }
+    if (score == 5) {
+        CTE_assert(st_v[0] != 200);
+    }
+    return score;
+}
+`
+
 // BenchProgram returns a named benchmark program. Known names: qsort,
-// qsort-s, sha256, dhrystone, counter-s, fibonacci-s.
+// qsort-s, sha256, dhrystone, counter-s, fibonacci-s, storm-s.
 func BenchProgram(name string) (Program, bool) {
 	switch name {
 	case "qsort":
@@ -368,6 +396,8 @@ func BenchProgram(name string) (Program, bool) {
 		return Program{Name: name, Sources: []Source{C("counter.c", counterBench)}, MaxInstr: 2_000_000}, true
 	case "fibonacci-s":
 		return Program{Name: name, Sources: []Source{C("fibonacci.c", fibonacciBench)}, MaxInstr: 2_000_000}, true
+	case "storm-s":
+		return Program{Name: name, Sources: []Source{C("storm.c", stormBench)}, MaxInstr: 2_000_000}, true
 	}
 	return Program{}, false
 }

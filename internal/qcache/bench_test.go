@@ -1,0 +1,88 @@
+package qcache
+
+import (
+	"testing"
+
+	"rvcte/internal/smt"
+)
+
+// benchConds returns the i-th distinct two-group constraint set: an
+// equality pinning x and a range constraint on y — the generic shape of
+// a path-condition prefix plus flipped branch.
+func benchConds(b *smt.Builder, x, y *smt.Expr, i int) []*smt.Expr {
+	return []*smt.Expr{
+		b.Eq(x, b.Const(32, uint64(i))),
+		b.Ult(y, b.Const(32, uint64(i%1000)+1)),
+	}
+}
+
+// BenchmarkQueryCacheHit measures the exact-hit path: canonicalization,
+// lookup and the Eval-based model validation, with no SAT work.
+func BenchmarkQueryCacheHit(b *testing.B) {
+	bld := smt.NewBuilder()
+	x, y := bld.Var(32, "x"), bld.Var(32, "y")
+	c := New(bld, Options{})
+	conds := benchConds(bld, x, y, 7)
+	solver := smt.NewSolver(bld)
+	if sat, _, _ := c.Check(solver, conds, nil); !sat {
+		b.Fatal("seed query must be sat")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sat, _, _ := c.Check(solver, conds, nil); !sat {
+			b.Fatal("hit must stay sat")
+		}
+	}
+	if st := c.Stats(); st.SolverCalls != 1 {
+		b.Fatalf("benchmark must not re-solve (%+v)", st)
+	}
+}
+
+// BenchmarkQueryCacheMiss measures the miss path end to end: hashing a
+// fresh set, the failed lookups, the SAT solve and the store.
+func BenchmarkQueryCacheMiss(b *testing.B) {
+	bld := smt.NewBuilder()
+	x, y := bld.Var(32, "x"), bld.Var(32, "y")
+	sets := make([][]*smt.Expr, b.N)
+	for i := range sets {
+		sets[i] = benchConds(bld, x, y, i)
+	}
+	c := New(bld, Options{})
+	solver := smt.NewSolver(bld)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sat, _, _ := c.Check(solver, sets[i], nil); !sat {
+			b.Fatal("miss must be sat")
+		}
+	}
+}
+
+// BenchmarkQueryCacheEvalReuse measures the counterexample-cache path:
+// every query is a fresh set (no exact hit possible) sharing one element
+// with a cached sat entry whose model happens to satisfy the rest, so
+// each iteration is answered by model re-evaluation instead of SAT.
+func BenchmarkQueryCacheEvalReuse(b *testing.B) {
+	bld := smt.NewBuilder()
+	x, y := bld.Var(32, "x"), bld.Var(32, "y")
+	c := New(bld, Options{})
+	solver := smt.NewSolver(bld)
+	pin := bld.Eq(x, bld.Const(32, 3))
+	if sat, _, _ := c.Check(solver, []*smt.Expr{pin, bld.Ult(y, bld.Const(32, 10))}, nil); !sat {
+		b.Fatal("seed query must be sat")
+	}
+	sets := make([][]*smt.Expr, b.N)
+	for i := range sets {
+		// The cached model (y < 10) satisfies every wider bound.
+		sets[i] = []*smt.Expr{pin, bld.Ult(y, bld.Const(32, uint64(i)+1000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sat, _, _ := c.Check(solver, sets[i], nil); !sat {
+			b.Fatal("reuse query must be sat")
+		}
+	}
+	b.StopTimer()
+	if st := c.Stats(); st.SolverCalls != 1 {
+		b.Fatalf("reuse benchmark must not re-solve (%+v)", st)
+	}
+}

@@ -1,0 +1,103 @@
+package qcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Cross-run persistence. The cache serializes to JSONL — one entry per
+// line — so repeated runs on the same guest binary warm-start. The
+// format is self-describing and safe to merge:
+//
+//	{"k":<key>,"e":[<elem>...],"s":true,"m":{"<var name>":<value>}}
+//
+// Keys and element hashes are structural (variables hash by name, see
+// key.go), so entries from a previous process land on the same keys.
+// Sat models are stored keyed by variable *name* and re-validated with
+// smt.Eval before any hit is served, so a stale or foreign sat entry can
+// cost a re-solve but never a wrong model. Unsat entries are trusted by
+// key: a matching key means a structurally identical constraint set
+// (modulo 64-bit hash collision, the standard exposure of any hashed
+// cache).
+
+// persistEntry is the on-disk form of one cache entry.
+type persistEntry struct {
+	Key   uint64            `json:"k"`
+	Elems []uint64          `json:"e"`
+	Sat   bool              `json:"s"`
+	Model map[string]uint64 `json:"m,omitempty"`
+}
+
+// Save writes every cache entry to path (atomically, via a temp file in
+// the same directory).
+func (c *Cache) Save(path string) error {
+	var ents []*entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, ent := range s.exact {
+			ents = append(ents, ent)
+		}
+		s.mu.Unlock()
+	}
+	// Deterministic file contents for a given entry set.
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, ent := range ents {
+		pe := persistEntry{Key: ent.key, Elems: ent.elems, Sat: ent.sat, Model: ent.model}
+		if err := enc.Encode(&pe); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load merges entries from path into the cache. Malformed lines abort
+// with an error; a missing file is reported via os.IsNotExist on the
+// returned error, which warm-start callers treat as an empty cache.
+func (c *Cache) Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var pe persistEntry
+		if err := json.Unmarshal(sc.Bytes(), &pe); err != nil {
+			return fmt.Errorf("qcache: %s:%d: %v", path, line, err)
+		}
+		if len(pe.Elems) == 0 || (pe.Sat && pe.Model == nil) {
+			return fmt.Errorf("qcache: %s:%d: malformed entry", path, line)
+		}
+		c.insert(&entry{key: pe.Key, elems: pe.Elems, sat: pe.Sat, model: pe.Model}, &c.stats.Loaded)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,466 @@
+// Package qcache is the SMT query-cache subsystem sitting between the
+// concolic exploration engine (internal/cte) and the solver
+// (internal/smt). Concolic exploration re-issues highly overlapping
+// queries — a long shared path-condition prefix plus one flipped branch —
+// and the cache turns most of them into dictionary lookups and cheap
+// model evaluations, in the spirit of KLEE's counterexample cache:
+//
+//   - Canonical keys. A constraint set is keyed by the sorted,
+//     deduplicated structural hashes of its conditions (key.go). Hashing
+//     is memoized per interned DAG node, so a query costs O(roots) after
+//     the first visit. Variables hash by name, making keys stable across
+//     processes (persist.go).
+//   - Model reuse. Cached sat models (and, during slicing, the incumbent
+//     input) are *tried* against a new set with smt.Eval before any SAT
+//     call. A cached superset model automatically satisfies a subset
+//     query, so superset subsumption falls out of the candidate index +
+//     Eval check; no cached model is ever returned unvalidated.
+//   - Unsat subsumption. Any superset of a known-unsat set is unsat.
+//     Unsat entries are indexed under their minimum element hash (which a
+//     superset necessarily contains), so the subset scan is a bounded
+//     per-element probe, not a cache-wide sweep.
+//   - Independence slicing. On a miss the set is partitioned into
+//     variable-connectivity groups (slice.go); only the group containing
+//     the flipped branch goes to the SAT solver, the untouched prefix
+//     groups are re-satisfied by the incumbent input, and the per-group
+//     models merge soundly because groups are variable-disjoint.
+//
+// One Cache may be shared by every worker of a parallel exploration:
+// lookups and stores take fine-grained sharded locks, counters are
+// atomics, and entries are immutable after insertion.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rvcte/internal/smt"
+)
+
+const (
+	numShards   = 16
+	maxElemList = 32 // cap per-element index lists (exact map is unbounded)
+)
+
+// Options tunes a cache.
+type Options struct {
+	// MaxCandidates bounds how many cached models are tried (via
+	// smt.Eval) per lookup before falling back to the solver. 0 selects
+	// the default of 8.
+	MaxCandidates int
+}
+
+// Stats is a snapshot of the cache counters. Hits+EvalHits+SubsumeHits
+// is the number of Check calls answered without any SAT query;
+// SolverCalls is the number that reached the SAT solver, of which
+// SliceSolves solved only the flipped-branch group.
+type Stats struct {
+	Queries     int64 `json:"queries"`      // non-trivial Check calls
+	Hits        int64 `json:"hits"`         // exact-key hits
+	EvalHits    int64 `json:"eval_hits"`    // answered by re-evaluating a cached model
+	SubsumeHits int64 `json:"subsume_hits"` // unsat by subset subsumption
+	SolverCalls int64 `json:"solver_calls"` // fell through to the SAT solver
+	SliceSolves int64 `json:"slice_solves"` // ... of which solved only the sliced group
+	Unknowns    int64 `json:"unknowns"`     // solver budget exhaustion passed through (uncached)
+	Stores      int64 `json:"stores"`       // entries inserted this run
+	Loaded      int64 `json:"loaded"`       // entries loaded from disk
+	Entries     int64 `json:"entries"`      // current entry count
+}
+
+type entry struct {
+	key   uint64
+	elems []uint64 // sorted, deduplicated element hashes
+	sat   bool
+	model map[string]uint64 // name-keyed model projection; nil for unsat
+}
+
+type shard struct {
+	mu    sync.Mutex
+	exact map[uint64]*entry
+	// satByElem indexes sat entries under each of their element hashes
+	// (bounded lists — the reuse heuristic); unsatByMin indexes unsat
+	// entries under their minimum element hash (exact subset detection:
+	// a superset necessarily contains the minimum).
+	satByElem  map[uint64][]*entry
+	unsatByMin map[uint64][]*entry
+}
+
+// Cache is a concurrency-safe SMT query cache bound to one Builder.
+type Cache struct {
+	b       *smt.Builder
+	maxCand int
+
+	// OnAnswer, when set before first use, observes every non-trivial
+	// Check answer: the canonicalized conditions, the verdict, the model
+	// (nil unless sat) and whether the full-set cache lookup answered
+	// (sliced and solved queries report false). It is invoked
+	// synchronously from Check on the calling goroutine — the audit hook
+	// the correctness property tests hang off.
+	OnAnswer func(conds []*smt.Expr, sat bool, model smt.Assignment, fromCache bool)
+
+	hmu    sync.Mutex
+	hashes map[*smt.Expr]uint64
+	vars   map[*smt.Expr][]int
+
+	shards [numShards]shard
+
+	stats Stats // accessed atomically
+}
+
+// New creates an empty cache for expressions of b.
+func New(b *smt.Builder, opt Options) *Cache {
+	c := &Cache{
+		b:       b,
+		maxCand: opt.MaxCandidates,
+		hashes:  map[*smt.Expr]uint64{},
+		vars:    map[*smt.Expr][]int{},
+	}
+	if c.maxCand <= 0 {
+		c.maxCand = 8
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			exact:      map[uint64]*entry{},
+			satByElem:  map[uint64][]*entry{},
+			unsatByMin: map[uint64][]*entry{},
+		}
+	}
+	return c
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Queries:     atomic.LoadInt64(&c.stats.Queries),
+		Hits:        atomic.LoadInt64(&c.stats.Hits),
+		EvalHits:    atomic.LoadInt64(&c.stats.EvalHits),
+		SubsumeHits: atomic.LoadInt64(&c.stats.SubsumeHits),
+		SolverCalls: atomic.LoadInt64(&c.stats.SolverCalls),
+		SliceSolves: atomic.LoadInt64(&c.stats.SliceSolves),
+		Unknowns:    atomic.LoadInt64(&c.stats.Unknowns),
+		Stores:      atomic.LoadInt64(&c.stats.Stores),
+		Loaded:      atomic.LoadInt64(&c.stats.Loaded),
+		Entries:     atomic.LoadInt64(&c.stats.Entries),
+	}
+}
+
+// ValidateModel reports whether m satisfies every condition. It is the
+// cache-independent correctness oracle: the cache runs it before handing
+// out any cached or merged model, and tests use it to audit hits.
+func ValidateModel(conds []*smt.Expr, m smt.Assignment) bool {
+	for _, e := range conds {
+		if smt.Eval(e, m) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Check determines the satisfiability of the conjunction of conds,
+// consulting and updating the cache and falling back to solver for
+// residual SAT work. Each cond must have width 1. hint, when non-nil, is
+// an assignment known to satisfy all but the final condition (the
+// engine's incumbent input: the flipped branch is last); it enables
+// independence slicing. The returned model, like smt.Solver.Check's, may
+// leave unconstrained variables unassigned (they read as zero).
+//
+// Check is safe for concurrent use with distinct solvers; the solver
+// itself is only used by the calling goroutine.
+func (c *Cache) Check(solver *smt.Solver, conds []*smt.Expr, hint smt.Assignment) (sat bool, model smt.Assignment, unknown bool) {
+	live := make([]*smt.Expr, 0, len(conds))
+	for _, e := range conds {
+		if e.IsTrue() {
+			continue
+		}
+		if e.IsFalse() {
+			return false, nil, false
+		}
+		live = append(live, e)
+	}
+	if len(live) == 0 {
+		return true, smt.Assignment{}, false
+	}
+	atomic.AddInt64(&c.stats.Queries, 1)
+	sat, model, unknown, fromCache := c.resolve(solver, live, hint)
+	if c.OnAnswer != nil && !unknown {
+		c.OnAnswer(live, sat, model, fromCache)
+	}
+	return sat, model, unknown
+}
+
+func (c *Cache) resolve(solver *smt.Solver, live []*smt.Expr, hint smt.Assignment) (sat bool, model smt.Assignment, unknown, fromCache bool) {
+	elems := c.hashSet(live)
+	key := setKey(elems)
+	if st, m, ok := c.lookupSet(key, elems, live); ok {
+		return st, m, false, true
+	}
+
+	if hint != nil {
+		if st, m, unk, ok := c.checkSliced(solver, live, hint, key, elems); ok {
+			return st, m, unk, false
+		}
+	}
+
+	// Full solve.
+	atomic.AddInt64(&c.stats.SolverCalls, 1)
+	sat, model, unknown = solver.Check(live...)
+	if unknown {
+		atomic.AddInt64(&c.stats.Unknowns, 1)
+		return false, nil, true, false
+	}
+	if sat {
+		c.store(&entry{key: key, elems: elems, sat: true, model: c.project(live, model)})
+	} else {
+		c.store(&entry{key: key, elems: elems, sat: false})
+	}
+	return sat, model, false, false
+}
+
+// checkSliced partitions live into independence groups and solves only
+// the group containing the final (flipped-branch) condition; the other
+// groups are re-satisfied by the hint. ok reports whether slicing
+// applied; when false the caller falls back to a full solve.
+func (c *Cache) checkSliced(solver *smt.Solver, live []*smt.Expr, hint smt.Assignment, key uint64, elems []uint64) (sat bool, model smt.Assignment, unknown, ok bool) {
+	groups := c.slice(live)
+	if len(groups) < 2 {
+		return false, nil, false, false
+	}
+	last := len(live) - 1
+	var flipped []int
+	merged := smt.Assignment{}
+	for _, g := range groups {
+		inFlipped := false
+		for _, i := range g {
+			if i == last {
+				inFlipped = true
+				break
+			}
+		}
+		if inFlipped {
+			flipped = g
+			continue
+		}
+		// Prefix group: the incumbent input satisfied the whole prefix,
+		// so it satisfies this group. Verify (cheap) rather than trust —
+		// callers other than the engine may pass arbitrary hints.
+		for _, i := range g {
+			if smt.Eval(live[i], hint) != 1 {
+				return false, nil, false, false
+			}
+			for _, v := range c.varsOf(live[i]) {
+				merged[v] = hint[v]
+			}
+		}
+	}
+
+	sub := make([]*smt.Expr, 0, len(flipped))
+	for _, i := range flipped {
+		sub = append(sub, live[i])
+	}
+	subElems := c.hashSet(sub)
+	subKey := setKey(subElems)
+
+	var subModel smt.Assignment
+	if st, m, hit := c.lookupSet(subKey, subElems, sub); hit {
+		if !st {
+			// The flipped group alone is unsat, hence so is the superset.
+			c.store(&entry{key: key, elems: elems, sat: false})
+			return false, nil, false, true
+		}
+		subModel = m
+	} else {
+		atomic.AddInt64(&c.stats.SolverCalls, 1)
+		atomic.AddInt64(&c.stats.SliceSolves, 1)
+		st, m, unk := solver.Check(sub...)
+		if unk {
+			atomic.AddInt64(&c.stats.Unknowns, 1)
+			return false, nil, true, true
+		}
+		if !st {
+			c.store(&entry{key: subKey, elems: subElems, sat: false})
+			c.store(&entry{key: key, elems: elems, sat: false})
+			return false, nil, false, true
+		}
+		c.store(&entry{key: subKey, elems: subElems, sat: true, model: c.project(sub, m)})
+		subModel = m
+	}
+
+	for _, i := range flipped {
+		for _, v := range c.varsOf(live[i]) {
+			merged[v] = subModel[v]
+		}
+	}
+	// Groups are variable-disjoint, so the merge must satisfy the whole
+	// set; the check guards against misuse (a hint overlapping the
+	// flipped group's variables would have been caught by slicing).
+	if !ValidateModel(live, merged) {
+		return false, nil, false, false
+	}
+	c.store(&entry{key: key, elems: elems, sat: true, model: c.project(live, merged)})
+	return true, merged, false, true
+}
+
+// lookupSet resolves a canonicalized set from the cache alone: exact key,
+// unsat subset subsumption, then bounded model reuse. ok reports whether
+// the cache answered.
+func (c *Cache) lookupSet(key uint64, elems []uint64, conds []*smt.Expr) (sat bool, model smt.Assignment, ok bool) {
+	if ent := c.getExact(key); ent != nil {
+		if !ent.sat {
+			atomic.AddInt64(&c.stats.Hits, 1)
+			return false, nil, true
+		}
+		if m := c.hydrate(ent.model); ValidateModel(conds, m) {
+			atomic.AddInt64(&c.stats.Hits, 1)
+			return true, m, true
+		}
+		// Key collision or stale persisted model: fall through and let
+		// the normal path re-solve (the store keeps the first entry, so
+		// this query will keep re-solving — correct, merely unlucky).
+	}
+	if c.unsatSubset(elems) {
+		atomic.AddInt64(&c.stats.SubsumeHits, 1)
+		c.store(&entry{key: key, elems: elems, sat: false})
+		return false, nil, true
+	}
+	for _, ent := range c.satCandidates(elems) {
+		if m := c.hydrate(ent.model); ValidateModel(conds, m) {
+			atomic.AddInt64(&c.stats.EvalHits, 1)
+			c.store(&entry{key: key, elems: elems, sat: true, model: c.project(conds, m)})
+			return true, m, true
+		}
+	}
+	return false, nil, false
+}
+
+func (c *Cache) getExact(key uint64) *entry {
+	s := &c.shards[key%numShards]
+	s.mu.Lock()
+	ent := s.exact[key]
+	s.mu.Unlock()
+	return ent
+}
+
+// unsatSubset reports whether some cached unsat set is a subset of elems.
+func (c *Cache) unsatSubset(elems []uint64) bool {
+	var have map[uint64]bool
+	for _, e := range elems {
+		s := &c.shards[e%numShards]
+		s.mu.Lock()
+		cands := s.unsatByMin[e]
+		s.mu.Unlock()
+		if len(cands) == 0 {
+			continue
+		}
+		if have == nil {
+			have = make(map[uint64]bool, len(elems))
+			for _, h := range elems {
+				have[h] = true
+			}
+		}
+	scan:
+		for _, u := range cands {
+			if len(u.elems) > len(elems) {
+				continue
+			}
+			for _, h := range u.elems {
+				if !have[h] {
+					continue scan
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// satCandidates gathers up to maxCand distinct cached sat entries sharing
+// at least one element with elems. Entries indexed under more elements
+// are found earlier; supersets of elems (whose models are guaranteed to
+// validate) are indexed under every element and thus always candidates.
+func (c *Cache) satCandidates(elems []uint64) []*entry {
+	var out []*entry
+	seen := map[*entry]bool{}
+	for _, e := range elems {
+		s := &c.shards[e%numShards]
+		s.mu.Lock()
+		list := s.satByElem[e]
+		for _, ent := range list {
+			if !seen[ent] {
+				seen[ent] = true
+				out = append(out, ent)
+			}
+		}
+		s.mu.Unlock()
+		if len(out) >= c.maxCand {
+			out = out[:c.maxCand]
+			break
+		}
+	}
+	return out
+}
+
+// store inserts an immutable entry; the first writer of a key wins.
+func (c *Cache) store(ent *entry) { c.insert(ent, &c.stats.Stores) }
+
+func (c *Cache) insert(ent *entry, counter *int64) {
+	s := &c.shards[ent.key%numShards]
+	s.mu.Lock()
+	if _, dup := s.exact[ent.key]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.exact[ent.key] = ent
+	s.mu.Unlock()
+	atomic.AddInt64(counter, 1)
+	atomic.AddInt64(&c.stats.Entries, 1)
+	c.index(ent)
+}
+
+// index registers ent in the per-element lookup structures.
+func (c *Cache) index(ent *entry) {
+	if ent.sat {
+		for _, e := range ent.elems {
+			s := &c.shards[e%numShards]
+			s.mu.Lock()
+			if len(s.satByElem[e]) < maxElemList {
+				s.satByElem[e] = append(s.satByElem[e], ent)
+			}
+			s.mu.Unlock()
+		}
+		return
+	}
+	min := ent.elems[0]
+	s := &c.shards[min%numShards]
+	s.mu.Lock()
+	if len(s.unsatByMin[min]) < maxElemList {
+		s.unsatByMin[min] = append(s.unsatByMin[min], ent)
+	}
+	s.mu.Unlock()
+}
+
+// project restricts model to the variables of conds, keyed by name (the
+// persistable, id-stable representation).
+func (c *Cache) project(conds []*smt.Expr, model smt.Assignment) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, e := range conds {
+		for _, v := range c.varsOf(e) {
+			if _, ok := out[c.b.VarName(v)]; !ok {
+				out[c.b.VarName(v)] = model[v]
+			}
+		}
+	}
+	return out
+}
+
+// hydrate converts a name-keyed model back to builder variable ids.
+// Names unknown to the builder are skipped: they cannot appear in any
+// condition this builder constructed.
+func (c *Cache) hydrate(m map[string]uint64) smt.Assignment {
+	out := make(smt.Assignment, len(m))
+	for name, v := range m {
+		if id, ok := c.b.VarID(name); ok {
+			out[id] = v
+		}
+	}
+	return out
+}

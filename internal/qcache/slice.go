@@ -1,0 +1,59 @@
+package qcache
+
+import "rvcte/internal/smt"
+
+// Independence slicing (the "independent constraint sets" optimization of
+// EXE/KLEE): two conditions belong to the same group iff they share a
+// free variable, transitively. A conjunction is satisfiable iff every
+// group is, and per-group models merge into a whole-set model because the
+// groups are variable-disjoint by construction.
+
+// slice partitions conds into connectivity groups of condition indices
+// via union-find over the shared variables. Group order is by first
+// member; the members of each group keep their original order.
+func (c *Cache) slice(conds []*smt.Expr) [][]int {
+	parent := make([]int, len(conds))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	owner := map[int]int{} // variable id -> first cond index using it
+	for i, e := range conds {
+		for _, v := range c.varsOf(e) {
+			if j, ok := owner[v]; ok {
+				union(i, j)
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+
+	groups := map[int][]int{}
+	var order []int
+	for i := range conds {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -122,6 +122,18 @@ func (b *Builder) VarName(id int) string {
 	return b.varNames[id]
 }
 
+// VarID returns the id of the named variable, if it exists.
+func (b *Builder) VarID(name string) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, n := range b.varNames {
+		if n == name {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
 // VarWidth returns the width of variable id.
 func (b *Builder) VarWidth(id int) uint8 {
 	b.mu.Lock()
