@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench examples clean
+.PHONY: all build vet test race verify fuzz-smoke bench examples clean
 
 all: verify
 
@@ -15,15 +15,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrent layers (worker-pool exploration, the shared query
-# cache, the solver it drives, and the COW memory it clones) must stay
-# race-clean.
+# The concurrent layers (worker-pool exploration, the fuzzer, the
+# shared query cache, the solver it drives, and the COW memory it
+# clones) must stay race-clean.
 race:
-	$(GO) test -race ./internal/cte/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/...
+	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/...
+
+# A bounded hybrid-fuzzing run against the tcpip stack: must report at
+# least one finding (exit code 1) well inside the time budget.
+fuzz-smoke: build
+	$(GO) build -o /tmp/cte-smoke ./cmd/cte
+	/tmp/cte-smoke -prog tcpip -fuzz -fuzz-time 120s -seed 1 -j 2; test $$? -eq 1
 
 # The repo's verification recipe (see README.md and
-# .claude/skills/verify/SKILL.md): build, vet, full tests, race pass.
-verify: build vet test race
+# .claude/skills/verify/SKILL.md): build, vet, full tests, race pass,
+# then the end-to-end fuzzing smoke.
+verify: build vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

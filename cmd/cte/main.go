@@ -10,13 +10,19 @@
 //	cte -prog tcpip -fix 1,2             # ... with bugs 1 and 2 patched
 //	cte -prog counter-s -strategy dfs
 //	cte -cover -trace 8 -prog sensor     # coverage + finding trace
+//	cte -fuzz -prog tcpip -fuzz-time 60s # hybrid fuzzing instead of pure CTE
 //	cte prog.elf                         # explore an arbitrary ELF
+//
+// Exit codes: 0 = explored clean, 1 = findings reported, 2 = usage or
+// setup error.
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -50,6 +56,10 @@ func main() {
 	useCache := flag.Bool("cache", true, "enable the SMT query cache (model reuse, unsat subsumption, independence slicing)")
 	cacheDir := flag.String("cache-dir", "", "persist the query cache under this directory so repeated runs warm-start")
 	jsonOut := flag.Bool("json", false, "emit the full report as a single JSON object on stdout (suppresses the human summary)")
+	seed := flag.Int64("seed", 0, "PRNG seed for the random strategy and the fuzzer (runs are reproducible for a fixed seed at -j 1)")
+	fuzzMode := flag.Bool("fuzz", false, "hybrid fuzzing: coverage-guided concrete fuzzing with concolic escalation on stall, instead of pure concolic exploration")
+	fuzzTime := flag.Duration("fuzz-time", 30*time.Second, "fuzzing wall-clock budget (0 = until dry or first finding)")
+	corpusDir := flag.String("corpus-dir", "", "fuzz only: load initial inputs from this directory and persist the final corpus back to it")
 	flag.Parse()
 
 	b := smt.NewBuilder()
@@ -76,9 +86,13 @@ func main() {
 	}
 	die(err)
 
-	strat := map[string]cte.Strategy{
+	strat, ok := map[string]cte.Strategy{
 		"bfs": cte.BFS, "dfs": cte.DFS, "random": cte.Random, "coverage": cte.Coverage,
 	}[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cte: unknown -strategy %q (want bfs, dfs, random or coverage)\n", *strategy)
+		os.Exit(2)
+	}
 
 	// The query cache is shared by all exploration workers; -cache-dir
 	// additionally persists it per guest identity across runs.
@@ -97,12 +111,50 @@ func main() {
 		}
 	}
 
+	if *fuzzMode {
+		opt := cte.HybridOptions{
+			Seed:                 *seed,
+			Workers:              *workers,
+			Timeout:              *fuzzTime,
+			MaxInstrPerRun:       *maxInstr,
+			StopOnError:          *stopOnError,
+			MaxConflictsPerQuery: *maxConflicts,
+			Cache:                qc,
+		}
+		if *corpusDir != "" {
+			seeds, err := loadCorpus(*corpusDir)
+			die(err)
+			opt.Seeds = seeds
+		}
+		rep := cte.RunHybrid(core, opt)
+		if cacheFile != "" {
+			if err := qc.Save(cacheFile); err != nil {
+				fmt.Fprintf(os.Stderr, "cte: warning: could not persist cache: %v\n", err)
+			}
+		}
+		if *corpusDir != "" {
+			if err := saveCorpus(*corpusDir, rep.Corpus); err != nil {
+				fmt.Fprintf(os.Stderr, "cte: warning: could not persist corpus: %v\n", err)
+			}
+		}
+		if *jsonOut {
+			emitFuzzJSON(elf, *progName, rep)
+		} else {
+			printFuzzReport(elf, rep)
+		}
+		if len(rep.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	eng := cte.New(core, cte.Options{
 		MaxPaths:             *maxPaths,
 		MaxInstrPerRun:       *maxInstr,
 		Strategy:             strat,
 		StopOnError:          *stopOnError,
 		Timeout:              *timeout,
+		Seed:                 *seed,
 		TrackCoverage:        *cover,
 		TraceDepth:           *trace,
 		Workers:              *workers,
@@ -233,6 +285,155 @@ func buildProg(b *smt.Builder, name, fixList string, pktMax int) (*iss.Core, *re
 	}
 }
 
+// loadCorpus reads every regular file in dir (sorted by name, so runs
+// are reproducible) as one seed input.
+func loadCorpus(dir string) ([][]byte, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // first run: the directory is created on save
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var seeds [][]byte
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, data)
+	}
+	return seeds, nil
+}
+
+// saveCorpus persists the final corpus, one file per input, named by
+// content hash so re-saving an unchanged corpus is idempotent.
+func saveCorpus(dir string, corpus [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, data := range corpus {
+		h := fnv.New64a()
+		h.Write(data)
+		path := filepath.Join(dir, fmt.Sprintf("%016x.bin", h.Sum64()))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printFuzzReport is the human summary of a hybrid fuzzing run.
+func printFuzzReport(elf *relf.File, rep *cte.HybridReport) {
+	st := rep.Fuzz
+	rate := 0.0
+	if rep.WallTime > 0 {
+		rate = float64(st.Execs) / rep.WallTime.Seconds()
+	}
+	fmt.Printf("hybrid fuzzing: %d execs in %.2fs (%.0f exec/s), corpus %d, %d edges, %d pruned\n",
+		st.Execs, rep.WallTime.Seconds(), rate, st.CorpusSize, st.Edges, st.Pruned)
+	fmt.Printf("concolic assist: %d stalls escalated, %d flips solved (%d sat, %d unsat, %d unknown), %d solved inputs fed back\n",
+		rep.Escalations, rep.FlipsAttempted, rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs, rep.Solves)
+	fmt.Printf("solver: %d queries, %.2fs\n", rep.Queries, rep.SolverTime.Seconds())
+	if cs := rep.Cache; cs != nil {
+		fmt.Printf("query cache: %d exact, %d eval-reuse, %d subsumed of %d lookups; %d SAT calls (%d sliced), %d entries (%d loaded)\n",
+			cs.Hits, cs.EvalHits, cs.SubsumeHits, cs.Queries, cs.SolverCalls, cs.SliceSolves, cs.Entries, cs.Loaded)
+	}
+	if rep.SkipInitInstrs > 0 {
+		fmt.Printf("skip-init: %d instructions executed once and snapshotted\n", rep.SkipInitInstrs)
+	}
+	fmt.Printf("stopped: %s\n", rep.Stopped)
+	if len(rep.Findings) == 0 {
+		fmt.Println("no errors found")
+		return
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("FINDING: %v\n", f.Err)
+		if elf != nil {
+			fmt.Printf("  in function: %s\n", guest.LocateFunc(elf, f.Err.PC))
+		}
+		fmt.Printf("  input: %s  (exec %d)\n", hex.EncodeToString(f.Data), f.Exec)
+	}
+}
+
+// jsonFuzz is the machine-readable form of the hybrid side of a run.
+type jsonFuzz struct {
+	Execs          uint64  `json:"execs"`
+	ExecsPerSec    float64 `json:"execs_per_sec"`
+	TotalInstr     uint64  `json:"total_instr"`
+	CorpusSize     int     `json:"corpus_size"`
+	Edges          int     `json:"edges"`
+	Pruned         uint64  `json:"pruned"`
+	Injected       int     `json:"injected"`
+	Escalations    int     `json:"escalations"`
+	FlipsAttempted int     `json:"flips_attempted"`
+	Solves         int     `json:"solves"`
+	SkipInitInstrs uint64  `json:"skip_init_instrs"`
+	Stopped        string  `json:"stopped"`
+}
+
+func emitFuzzJSON(elf *relf.File, prog string, rep *cte.HybridReport) {
+	st := rep.Fuzz
+	rate := 0.0
+	if rep.WallTime > 0 {
+		rate = float64(st.Execs) / rep.WallTime.Seconds()
+	}
+	jr := jsonReport{
+		Program:    prog,
+		Workers:    rep.Workers,
+		Queries:    rep.Queries,
+		SolverTime: rep.SolverTime.Seconds(),
+		WallTime:   rep.WallTime.Seconds(),
+		TotalInstr: st.TotalInstr,
+		SatTCs:     rep.SatTCs,
+		UnsatTCs:   rep.UnsatTCs,
+		UnknownTCs: rep.UnknownTCs,
+		Cache:      rep.Cache,
+		Findings:   []jsonFinding{},
+		Fuzz: &jsonFuzz{
+			Execs:          st.Execs,
+			ExecsPerSec:    rate,
+			TotalInstr:     st.TotalInstr,
+			CorpusSize:     st.CorpusSize,
+			Edges:          st.Edges,
+			Pruned:         st.Pruned,
+			Injected:       st.Injected,
+			Escalations:    rep.Escalations,
+			FlipsAttempted: rep.FlipsAttempted,
+			Solves:         rep.Solves,
+			SkipInitInstrs: rep.SkipInitInstrs,
+			Stopped:        rep.Stopped,
+		},
+	}
+	for _, f := range rep.Findings {
+		jf := jsonFinding{
+			Error:  f.Err.Error(),
+			PC:     f.Err.PC,
+			Data:   hex.EncodeToString(f.Data),
+			Instrs: f.Instrs,
+		}
+		if elf != nil {
+			jf.Function = guest.LocateFunc(elf, f.Err.PC)
+		}
+		jr.Findings = append(jr.Findings, jf)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&jr); err != nil {
+		die(err)
+	}
+}
+
 // cacheID derives the persisted cache's file stem from the guest
 // identity: same guest (and constraint-shaping options) — same file.
 func cacheID(prog, fixList string, pktMax int, args []string) string {
@@ -257,13 +458,16 @@ func cacheID(prog, fixList string, pktMax int, args []string) string {
 	return sb.String()
 }
 
-// jsonFinding is the machine-readable form of one finding.
+// jsonFinding is the machine-readable form of one finding. Concolic
+// findings report the solved variable assignment (Input); fuzz findings
+// report the raw input stream (Data, hex).
 type jsonFinding struct {
 	Error    string            `json:"error"`
 	PC       uint32            `json:"pc"`
 	Function string            `json:"function,omitempty"`
-	Path     int               `json:"path"`
-	Input    map[string]uint64 `json:"input"`
+	Path     int               `json:"path,omitempty"`
+	Input    map[string]uint64 `json:"input,omitempty"`
+	Data     string            `json:"data,omitempty"`
 	Instrs   uint64            `json:"instrs"`
 }
 
@@ -285,6 +489,7 @@ type jsonReport struct {
 	CoveredPCs int               `json:"covered_pcs"`
 	Cache      *qcache.Stats     `json:"cache,omitempty"`
 	PerWorker  []cte.WorkerStats `json:"per_worker,omitempty"`
+	Fuzz       *jsonFuzz         `json:"fuzz,omitempty"`
 	Findings   []jsonFinding     `json:"findings"`
 }
 
@@ -332,9 +537,11 @@ func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
 	}
 }
 
+// die reports a usage/setup error (exit code 2 — distinct from exit 1,
+// which means the run completed and reported findings).
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cte:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }

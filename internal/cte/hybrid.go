@@ -1,0 +1,413 @@
+package cte
+
+import (
+	"sort"
+	"sync"
+	"time"
+	"unsafe"
+
+	"rvcte/internal/fuzz"
+	"rvcte/internal/iss"
+	"rvcte/internal/qcache"
+	"rvcte/internal/smt"
+)
+
+// HybridOptions tunes a hybrid (Driller-style) run: cheap concrete
+// fuzzing by default, concolic branch-solving when coverage stalls.
+type HybridOptions struct {
+	Seed    int64
+	Workers int // fuzz executors and concolic solve workers (-j)
+
+	// FuzzBatch is the number of concrete executions between stall
+	// checks (default 500). StallExecs is the number of executions
+	// without new coverage that triggers a concolic escalation (default
+	// FuzzBatch).
+	FuzzBatch  int
+	StallExecs uint64
+
+	MaxExecs       uint64        // total concrete-execution budget (0 = unlimited)
+	MaxEscalations int           // concolic escalation budget (0 = unlimited)
+	Timeout        time.Duration // wall-clock budget (0 = unlimited)
+	MaxInstrPerRun uint64        // per-execution instruction budget (0 = snapshot default)
+	MapBits        int           // edge map size (log2; default 16)
+
+	// MaxFlipsPerEscalation bounds the unattempted branch flips solved
+	// per escalation (default 64) so one long trace cannot starve the
+	// fuzzing loop.
+	MaxFlipsPerEscalation int
+
+	// DryEscalations stops the run after this many consecutive
+	// escalations that injected nothing while coverage stayed flat
+	// (default 3): at that point both engines are exhausted.
+	DryEscalations int
+
+	StopOnError          bool
+	MaxConflictsPerQuery int
+	// Cache, when non-nil, is consulted before every flip query and
+	// shared across solve workers (same contract as Options.Cache).
+	Cache *qcache.Cache
+	// Seeds are initial corpus inputs handed to the fuzzer (e.g. a
+	// persisted corpus directory).
+	Seeds [][]byte
+}
+
+// HybridReport aggregates both sides of a hybrid run.
+type HybridReport struct {
+	Workers  int
+	Fuzz     fuzz.Stats
+	Findings []fuzz.Finding // every finding flows through the fuzzer
+
+	Escalations    int // concolic escalations triggered by stalls
+	ReplayedInstrs uint64
+	Solves         int // solved branch flips injected back
+	FlipsAttempted int
+	Queries        int // SAT queries issued (cache misses when Cache is set)
+	SatTCs         int
+	UnsatTCs       int
+	UnknownTCs     int
+	SolverTime     time.Duration
+	WallTime       time.Duration
+
+	// SkipInitInstrs is the shared initialization prefix (instructions)
+	// executed once and frozen into the working snapshot instead of
+	// being re-run on every execution.
+	SkipInitInstrs uint64
+
+	Stopped string // "exec-budget" | "timeout" | "stop-on-error" | "dry" | "escalation-budget"
+	Cache   *qcache.Stats
+
+	// Corpus is the final corpus input data, in admission order (the CLI
+	// persists it for -corpus-dir warm starts).
+	Corpus [][]byte
+}
+
+// hybrid is the driver state for one run.
+type hybrid struct {
+	opt     HybridOptions
+	snap    *iss.Core // working snapshot (possibly advanced past init)
+	builder *smt.Builder
+	fz      *fuzz.Fuzzer
+	solvers []*smt.Solver
+	// attempted dedups flip queries by the full (path prefix, condition)
+	// conjunction — a condition alone is not enough, since it may be
+	// unsat under one prefix and sat under another.
+	attempted map[string]bool
+	rep       *HybridReport
+}
+
+// RunHybrid executes a hybrid fuzzing campaign over the snapshot.
+func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.FuzzBatch <= 0 {
+		opt.FuzzBatch = 500
+	}
+	if opt.StallExecs == 0 {
+		opt.StallExecs = uint64(opt.FuzzBatch)
+	}
+	if opt.MaxFlipsPerEscalation <= 0 {
+		opt.MaxFlipsPerEscalation = 64
+	}
+	if opt.DryEscalations <= 0 {
+		opt.DryEscalations = 3
+	}
+
+	start := time.Now()
+	snapshot.Freeze()
+	working, skipped := advancePastInput(snapshot)
+
+	h := &hybrid{
+		opt:       opt,
+		snap:      working,
+		builder:   snapshot.B,
+		attempted: make(map[string]bool),
+		rep:       &HybridReport{Workers: opt.Workers, SkipInitInstrs: skipped},
+	}
+	h.fz = fuzz.New(working, fuzz.Options{
+		Seed:           opt.Seed,
+		Workers:        opt.Workers,
+		MaxInstrPerRun: opt.MaxInstrPerRun,
+		MapBits:        opt.MapBits,
+		Seeds:          opt.Seeds,
+	})
+	for i := 0; i < opt.Workers; i++ {
+		s := smt.NewSolver(snapshot.B)
+		s.MaxConflictsPerQuery = opt.MaxConflictsPerQuery
+		h.solvers = append(h.solvers, s)
+	}
+
+	dry := 0
+	for {
+		st := h.fz.Stats()
+		if opt.MaxExecs > 0 && st.Execs >= opt.MaxExecs {
+			h.rep.Stopped = "exec-budget"
+			break
+		}
+		if opt.Timeout > 0 && time.Since(start) > opt.Timeout {
+			h.rep.Stopped = "timeout"
+			break
+		}
+		if h.fz.SinceNewCover() >= opt.StallExecs {
+			// Coverage stalled: escalate the most deserving corpus entry.
+			// A fruitless escalation retries the next entry immediately —
+			// fuzz batches are only worth their cost when there are solved
+			// inputs to execute or coverage is still moving.
+			if opt.MaxEscalations > 0 && h.rep.Escalations >= opt.MaxEscalations {
+				h.rep.Stopped = "escalation-budget"
+				break
+			}
+			data, bound, ok := h.fz.EscalationTarget()
+			if !ok {
+				data = []byte{} // empty corpus: escalate the baseline input
+			}
+			h.rep.Escalations++
+			if h.escalate(data, bound) == 0 {
+				dry++
+				if dry >= opt.DryEscalations {
+					h.rep.Stopped = "dry"
+					break
+				}
+				continue
+			}
+			dry = 0
+		}
+		batch := opt.FuzzBatch
+		if opt.MaxExecs > 0 && st.Execs+uint64(batch) > opt.MaxExecs {
+			batch = int(opt.MaxExecs - st.Execs)
+		}
+		h.fz.RunBatch(batch)
+		if opt.StopOnError && len(h.fz.Findings()) > 0 {
+			h.rep.Stopped = "stop-on-error"
+			break
+		}
+	}
+
+	h.rep.Fuzz = h.fz.Stats()
+	h.rep.Findings = h.fz.Findings()
+	for _, e := range h.fz.Corpus() {
+		h.rep.Corpus = append(h.rep.Corpus, e.Data)
+	}
+	for _, s := range h.solvers {
+		h.rep.Queries += s.Stats.Queries
+		h.rep.SolverTime += s.Stats.SolverTime
+	}
+	h.rep.WallTime = time.Since(start)
+	if opt.Cache != nil {
+		st := opt.Cache.Stats()
+		h.rep.Cache = &st
+	}
+	return h.rep
+}
+
+// escalate replays one fuzz input concolically (from its generational
+// bound, so already-flipped sites stay quiet), solves the unattempted
+// branch flips along its path across the worker pool, and injects every
+// model back into the fuzzer. Returns the number of injected inputs.
+func (h *hybrid) escalate(data []byte, bound int) int {
+	c := h.snap.Clone()
+	if data == nil {
+		data = []byte{}
+	}
+	c.FuzzInput = data // replay mode: stream supplies bytes, vars are minted
+	c.Bound = bound
+	startInstr := c.InstrCount
+	c.Run(h.opt.MaxInstrPerRun)
+	h.rep.ReplayedInstrs += c.InstrCount - startInstr
+
+	// Flip-target selection. Two filters pick which trace conditions are
+	// worth solver time this escalation:
+	//
+	//  1. Dedup by the full (path prefix, condition) conjunction — a
+	//     condition alone is not enough, since it may be unsat under one
+	//     prefix and sat under another. Expressions are interned with
+	//     deterministic variable ids, so the key dedups across replays of
+	//     different inputs sharing a path prefix.
+	//
+	//  2. Last-occurrence-per-group: a loop body emits one flip TC per
+	//     iteration at the same branch PC, but only the deepest one
+	//     advances the trip count — the earlier ones re-derive shorter
+	//     (already covered) executions. Likewise a concretization ladder
+	//     emits one TC per rung at the same site, and the last rung is
+	//     the largest value. Per group (branch PC, or site index for
+	//     ladders) only the last not-yet-attempted occurrence is solved;
+	//     re-escalations walk backwards through the remainder.
+	//
+	// The EPC prefix part of the dedup key is shared between trace
+	// conditions, so it is rendered once and sliced.
+	epcKey := make([]byte, 0, 8*len(c.EPC))
+	for _, e := range c.EPC {
+		p := uintptr(unsafe.Pointer(e))
+		for i := 0; i < 8; i++ {
+			epcKey = append(epcKey, byte(p>>(8*i)))
+		}
+	}
+	type cand struct {
+		trace int
+		key   string
+	}
+	chosen := make(map[uint64]cand)
+	for ti, tc := range c.Trace {
+		p := uintptr(unsafe.Pointer(tc.Cond))
+		kb := append(epcKey[:8*tc.EPCLen:8*tc.EPCLen],
+			byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+		key := string(kb)
+		if h.attempted[key] {
+			continue
+		}
+		group := uint64(tc.FlipFrom)
+		if tc.FlipFrom == 0 {
+			group = 1<<32 | uint64(tc.SiteIdx)
+		}
+		chosen[group] = cand{trace: ti, key: key} // later occurrences win
+	}
+	type job struct {
+		conds   []*smt.Expr
+		siteIdx int
+	}
+	var picks []cand
+	for _, cd := range chosen {
+		picks = append(picks, cd)
+	}
+	// Uncovered flip edges first (a branch polarity concrete fuzzing has
+	// never executed is the highest-value query), then path order; both
+	// classes stay within the per-escalation cap.
+	sort.Slice(picks, func(i, j int) bool {
+		ci, cj := c.Trace[picks[i].trace], c.Trace[picks[j].trace]
+		ui := ci.FlipTo != 0 && !h.fz.EdgeCovered(ci.FlipFrom, ci.FlipTo)
+		uj := cj.FlipTo != 0 && !h.fz.EdgeCovered(cj.FlipFrom, cj.FlipTo)
+		if ui != uj {
+			return ui
+		}
+		return picks[i].trace < picks[j].trace
+	})
+	var jobs []job
+	for _, pk := range picks {
+		if len(jobs) >= h.opt.MaxFlipsPerEscalation {
+			break
+		}
+		tc := c.Trace[pk.trace]
+		h.attempted[pk.key] = true
+		conds := make([]*smt.Expr, 0, tc.EPCLen+1)
+		conds = append(conds, c.EPC[:tc.EPCLen]...)
+		conds = append(conds, tc.Cond)
+		jobs = append(jobs, job{conds: conds, siteIdx: tc.SiteIdx})
+	}
+	h.rep.FlipsAttempted += len(jobs)
+	if len(jobs) == 0 {
+		return 0
+	}
+
+	models := make([]smt.Assignment, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := 0
+	workers := h.opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(solver *smt.Solver) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				var ok, unk bool
+				var model smt.Assignment
+				if h.opt.Cache != nil {
+					// The incumbent replay satisfied the whole prefix:
+					// its assignment is the slicing hint (same contract
+					// as the pure-concolic engine).
+					ok, model, unk = h.opt.Cache.Check(solver, jobs[i].conds, c.Input)
+				} else {
+					ok, model, unk = solver.Check(jobs[i].conds...)
+				}
+				mu.Lock()
+				switch {
+				case unk:
+					h.rep.UnknownTCs++
+				case !ok:
+					h.rep.UnsatTCs++
+				default:
+					h.rep.SatTCs++
+					models[i] = model
+				}
+				mu.Unlock()
+			}
+		}(h.solvers[w])
+	}
+	wg.Wait()
+
+	// Inject in path order so the campaign stays deterministic at -j 1.
+	// Each solved input carries the flipped site's generation as its
+	// bound (SAGE semantics: re-escalation explores past it only).
+	injected := 0
+	for i, m := range models {
+		if m == nil {
+			continue
+		}
+		h.fz.Inject(solvedInput(data, c.SymOrder, h.builder, m), jobs[i].siteIdx+1)
+		injected++
+	}
+	h.rep.Solves += injected
+	return injected
+}
+
+// solvedInput maps a solver model back onto the input byte stream: the
+// replay's SymOrder records which variable consumed which stream offset,
+// so model values overwrite those bytes (little-endian) and unconstrained
+// positions keep the incumbent's bytes.
+func solvedInput(base []byte, order []int, b *smt.Builder, model smt.Assignment) []byte {
+	out := append([]byte(nil), base...)
+	pos := 0
+	for _, id := range order {
+		w := (int(b.VarWidth(id)) + 7) / 8
+		for len(out) < pos+w {
+			out = append(out, 0)
+		}
+		if v, ok := model[id]; ok {
+			for i := 0; i < w; i++ {
+				out[pos+i] = byte(v >> (8 * i))
+			}
+		}
+		pos += w
+	}
+	return out
+}
+
+// advancePastInput implements the skip-init optimization: a concrete
+// probe locates the instruction that consumes the first input byte; the
+// shared prefix before it is executed once on a fresh clone, which is
+// frozen and becomes the working snapshot for every subsequent
+// execution and replay. Sound because no symbolic state can exist
+// before the first make_symbolic. Returns the working snapshot and the
+// skipped instruction count (0 = no input consumed or nothing to skip).
+func advancePastInput(snap *iss.Core) (*iss.Core, uint64) {
+	probe := snap.Clone()
+	probe.ConcreteOnly = true
+	probe.FuzzInput = []byte{}
+	var steps uint64
+	const probeBudget = 50_000_000
+	for !probe.Halted() && probe.FuzzPos == 0 && steps < probeBudget {
+		probe.Step()
+		steps++
+	}
+	if probe.FuzzPos == 0 || steps < 2 {
+		return snap, 0 // never consumes input (or nothing worth skipping)
+	}
+	skip := steps - 1 // stop just before the consuming instruction
+	adv := snap.Clone()
+	for i := uint64(0); i < skip; i++ {
+		adv.Step()
+	}
+	adv.Freeze()
+	return adv, skip
+}

@@ -1,0 +1,92 @@
+package fuzz
+
+import "testing"
+
+// TestBucketize: raw hit counts map to afl count classes, zero bytes are
+// skipped, and the signature is order- and content-sensitive.
+func TestBucketize(t *testing.T) {
+	edge := make([]byte, 64)
+	edge[3] = 1   // bucket 1
+	edge[10] = 3  // bucket 4
+	edge[17] = 9  // bucket 16
+	edge[40] = 200 // bucket 128
+	cov, sig := bucketize(edge)
+	want := []edgeBit{{3, 1}, {10, 4}, {17, 16}, {40, 128}}
+	if len(cov) != len(want) {
+		t.Fatalf("cov length %d want %d", len(cov), len(want))
+	}
+	for i, eb := range cov {
+		if eb != want[i] {
+			t.Errorf("cov[%d] = %+v want %+v", i, eb, want[i])
+		}
+	}
+	_, sig2 := bucketize(edge)
+	if sig != sig2 {
+		t.Error("signature not deterministic")
+	}
+	edge[3] = 2 // different bucket, same edges
+	if _, sig3 := bucketize(edge); sig3 == sig {
+		t.Error("bucket change did not change signature")
+	}
+}
+
+// TestVirginMerge: new bits are counted once; re-merging the same
+// coverage yields zero.
+func TestVirginMerge(t *testing.T) {
+	virgin := make([]byte, 64)
+	cov := []edgeBit{{1, 1}, {2, 4}, {3, 128}}
+	if n := virginMerge(virgin, cov); n != 3 {
+		t.Errorf("first merge counted %d bits want 3", n)
+	}
+	if n := virginMerge(virgin, cov); n != 0 {
+		t.Errorf("re-merge counted %d bits want 0", n)
+	}
+	// A deeper bucket on a known edge is still new information.
+	if n := virginMerge(virgin, []edgeBit{{1, 2}}); n != 1 {
+		t.Errorf("new bucket on known edge counted %d want 1", n)
+	}
+}
+
+// TestMinimizeCorpus: the smallest entry covering each edge bit is kept,
+// fully-subsumed larger entries are dropped, and entries still in their
+// deterministic stage survive.
+func TestMinimizeCorpus(t *testing.T) {
+	small := &Entry{ID: 0, Data: []byte{1}, DetPos: -1,
+		Cov: []edgeBit{{1, 1}, {2, 1}}}
+	big := &Entry{ID: 1, Data: []byte{1, 2, 3, 4}, DetPos: -1,
+		Cov: []edgeBit{{1, 1}, {2, 1}}} // subsumed by small
+	unique := &Entry{ID: 2, Data: []byte{1, 2, 3, 4, 5}, DetPos: -1,
+		Cov: []edgeBit{{9, 1}}}
+	pending := &Entry{ID: 3, Data: []byte{7, 7, 7, 7, 7, 7}, DetPos: 5,
+		Cov: []edgeBit{{1, 1}}} // subsumed, but det stage still running
+
+	out := minimizeCorpus([]*Entry{small, big, unique, pending})
+	got := map[int]bool{}
+	for _, e := range out {
+		got[e.ID] = true
+	}
+	if !got[0] || got[1] || !got[2] || !got[3] {
+		t.Errorf("kept %v; want {0,2,3}", got)
+	}
+}
+
+// TestEnergyOrdering: more new coverage, shorter data, and fewer picks
+// all increase energy; injected entries get a boost.
+func TestEnergyOrdering(t *testing.T) {
+	base := Entry{Data: make([]byte, 64), NewBits: 4}
+	richer := base
+	richer.NewBits = 16
+	if richer.energy() <= base.energy() {
+		t.Error("more new bits should mean more energy")
+	}
+	tired := base
+	tired.Picks = 1000
+	if tired.energy() >= base.energy() {
+		t.Error("heavily-picked entries should decay")
+	}
+	injected := base
+	injected.Injected = true
+	if injected.energy() <= base.energy() {
+		t.Error("solver-derived entries should be prioritized")
+	}
+}

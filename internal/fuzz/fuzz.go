@@ -1,0 +1,428 @@
+// Package fuzz implements a coverage-guided mutational fuzzer over a
+// frozen VP snapshot: the concrete-only fast path of the ISS executes
+// mutated byte streams at native-ish speed, a hashed PC-pair edge bitmap
+// classifies behaviours, and a corpus of coverage-distinct inputs drives
+// an afl-style deterministic+havoc mutation schedule. The hybrid driver
+// (internal/cte) escalates coverage-stalled entries to the concolic
+// engine and injects solved inputs back through Inject.
+package fuzz
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rvcte/internal/iss"
+)
+
+// Options configures a Fuzzer.
+type Options struct {
+	Seed    int64 // PRNG seed; runs are reproducible for a fixed seed at Workers=1
+	Workers int   // concurrent executors (default 1)
+	// MaxInstrPerRun bounds one execution (0 = the snapshot's own
+	// Cfg.MaxInstr); runs that exhaust it are not findings.
+	MaxInstrPerRun uint64
+	MapBits        int // log2 of the edge map size (default 16 → 64 KiB)
+	MaxLen         int // mutation length cap (default 4096)
+	// DetBytes bounds the deterministic stages to an input prefix so one
+	// long entry cannot monopolize the schedule (default 64).
+	DetBytes int
+	// Seeds are initial inputs queued behind the built-in empty baseline
+	// (e.g. a corpus directory loaded by the CLI). They run exactly as
+	// given and join the corpus if they add coverage.
+	Seeds [][]byte
+}
+
+// Finding is one deduplicated crash/bug discovered by concrete execution.
+type Finding struct {
+	Err    *iss.SimError
+	Data   []byte // the input stream that triggered it
+	Exec   uint64 // global execution index of discovery
+	Output []byte // guest console output of the failing run
+	Instrs uint64
+}
+
+// Stats is a snapshot of fuzzer progress counters.
+type Stats struct {
+	Execs      uint64
+	TotalInstr uint64
+	CorpusSize int
+	Edges      int // nonzero virgin-map entries
+	Findings   int
+	Injected   int    // solver-derived inputs fed back by the hybrid loop
+	Pruned     uint64 // runs rejected by a concrete assume(false)
+	MaxDemand  int    // largest observed input demand (bytes)
+	// LastNewCover is the Execs value when coverage last grew; the
+	// hybrid driver uses Execs-LastNewCover as its stall signal.
+	LastNewCover uint64
+}
+
+type findingKey struct {
+	kind iss.ErrKind
+	pc   uint32
+}
+
+type queued struct {
+	data     []byte
+	injected bool
+	bound    int
+}
+
+// workerState is the per-worker scratch: a private PRNG (seeded from
+// Options.Seed and the worker index) and a reusable edge map.
+type workerState struct {
+	rng  *rand.Rand
+	edge []byte
+}
+
+// Fuzzer owns the frozen snapshot, the corpus, and the virgin coverage
+// map. All mutable state is guarded by mu; executions run outside the
+// lock on cloned cores.
+type Fuzzer struct {
+	snap *iss.Core
+	opt  Options
+	ws   []*workerState
+
+	mu        sync.Mutex
+	virgin    []byte
+	sigs      map[uint64]bool
+	corpus    []*Entry
+	nextID    int
+	queue     []queued // unfuzzed inputs: seeds and solver injections, FIFO
+	findings  []Finding
+	seenBug   map[findingKey]bool
+	stats     Stats
+	maxDemand int
+}
+
+// New freezes snap and builds a fuzzer around it. The queue starts with
+// one empty input: the first execution discovers the input demand and
+// the baseline coverage.
+func New(snap *iss.Core, opt Options) *Fuzzer {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.MapBits <= 0 {
+		opt.MapBits = 16
+	}
+	if opt.MaxLen <= 0 {
+		opt.MaxLen = 4096
+	}
+	if opt.DetBytes <= 0 {
+		opt.DetBytes = 64
+	}
+	snap.Freeze()
+	f := &Fuzzer{
+		snap:    snap,
+		opt:     opt,
+		virgin:  make([]byte, 1<<opt.MapBits),
+		sigs:    make(map[uint64]bool),
+		seenBug: make(map[findingKey]bool),
+		queue:   []queued{{data: []byte{}}},
+	}
+	for _, s := range opt.Seeds {
+		f.queue = append(f.queue, queued{data: append([]byte(nil), s...)})
+	}
+	for i := 0; i < opt.Workers; i++ {
+		f.ws = append(f.ws, &workerState{
+			rng:  rand.New(rand.NewSource(opt.Seed + int64(i)*0x9e3779b97f4a7c)),
+			edge: make([]byte, 1<<opt.MapBits),
+		})
+	}
+	return f
+}
+
+// RunBatch executes n fuzz iterations across the configured workers and
+// returns when all have finished. At Workers=1 the schedule is fully
+// deterministic for a fixed seed.
+func (f *Fuzzer) RunBatch(n int) {
+	if f.opt.Workers == 1 {
+		for i := 0; i < n; i++ {
+			f.step(f.ws[0])
+		}
+		return
+	}
+	remaining := int64(n)
+	var wg sync.WaitGroup
+	for _, ws := range f.ws {
+		wg.Add(1)
+		go func(ws *workerState) {
+			defer wg.Done()
+			for atomic.AddInt64(&remaining, -1) >= 0 {
+				f.step(ws)
+			}
+		}(ws)
+	}
+	wg.Wait()
+}
+
+// step runs one pick→mutate→execute→merge iteration.
+func (f *Fuzzer) step(ws *workerState) {
+	f.mu.Lock()
+	q := f.pickLocked(ws.rng)
+	f.mu.Unlock()
+	data := q.data
+
+	c := f.snap.Clone()
+	c.ConcreteOnly = true
+	c.FuzzInput = data
+	clear(ws.edge)
+	c.EdgeMap = ws.edge
+	// The snapshot may carry pre-executed initialization (skip-init
+	// optimization); count only this run's instructions.
+	startInstr := c.InstrCount
+	c.Run(f.opt.MaxInstrPerRun)
+
+	f.mu.Lock()
+	f.mergeLocked(q, c, c.InstrCount-startInstr, ws.edge)
+	f.mu.Unlock()
+}
+
+// pickLocked selects the next input to execute: queued seeds/injections
+// first (FIFO, run as-is so their exact coverage is recorded), then an
+// energy-weighted corpus pick run through the deterministic schedule or
+// havoc/splice.
+func (f *Fuzzer) pickLocked(rng *rand.Rand) queued {
+	if len(f.queue) > 0 {
+		q := f.queue[0]
+		f.queue = f.queue[1:]
+		return q
+	}
+	if len(f.corpus) == 0 {
+		// Coverage-dead snapshot (or all entries minimized away): keep
+		// probing with short random inputs.
+		out := make([]byte, 1+rng.Intn(16))
+		for i := range out {
+			out[i] = byte(rng.Intn(256))
+		}
+		return queued{data: out}
+	}
+	e := f.weightedPickLocked(rng)
+	e.Picks++
+	base := e.Data
+	if len(base) < f.maxDemand {
+		// Pad to the observed demand so mutations can reach every
+		// consumed stream position (missing bytes read as zero anyway).
+		base = append(append([]byte(nil), base...), make([]byte, f.maxDemand-len(base))...)
+	}
+	detLen := len(base)
+	if detLen > f.opt.DetBytes {
+		detLen = f.opt.DetBytes
+	}
+	if e.DetPos >= 0 && e.DetPos >= detCount(detLen) {
+		e.DetPos = -1 // deterministic schedule exhausted
+	}
+	if e.DetPos >= 0 {
+		out := detMutate(base, e.DetPos, f.opt.DetBytes)
+		e.DetPos++
+		return queued{data: out}
+	}
+	if len(f.corpus) > 1 && rng.Intn(4) == 0 {
+		other := f.corpus[rng.Intn(len(f.corpus))]
+		return queued{data: splice(rng, base, other.Data, f.opt.MaxLen)}
+	}
+	return queued{data: havoc(rng, base, f.opt.MaxLen)}
+}
+
+// weightedPickLocked draws a corpus entry proportionally to its energy.
+func (f *Fuzzer) weightedPickLocked(rng *rand.Rand) *Entry {
+	total := 0.0
+	for _, e := range f.corpus {
+		total += e.energy()
+	}
+	r := rng.Float64() * total
+	for _, e := range f.corpus {
+		r -= e.energy()
+		if r <= 0 {
+			return e
+		}
+	}
+	return f.corpus[len(f.corpus)-1]
+}
+
+// mergeLocked folds one finished execution into the corpus, coverage,
+// finding, and stats state.
+func (f *Fuzzer) mergeLocked(q queued, c *iss.Core, instrs uint64, edge []byte) {
+	data := q.data
+	f.stats.Execs++
+	f.stats.TotalInstr += instrs
+	if c.FuzzPos > f.maxDemand {
+		f.maxDemand = c.FuzzPos
+	}
+
+	if c.Err != nil {
+		switch c.Err.Kind {
+		case iss.ErrAssumeFail:
+			f.stats.Pruned++
+		case iss.ErrLimit:
+			// Budget exhaustion is exploration noise, not a bug.
+		default:
+			k := findingKey{kind: c.Err.Kind, pc: c.Err.PC}
+			if !f.seenBug[k] {
+				f.seenBug[k] = true
+				f.findings = append(f.findings, Finding{
+					Err:    c.Err,
+					Data:   append([]byte(nil), data...),
+					Exec:   f.stats.Execs,
+					Output: append([]byte(nil), c.Output...),
+					Instrs: instrs,
+				})
+			}
+		}
+	}
+
+	cov, sig := bucketize(edge)
+	newBits := 0
+	if !f.sigs[sig] {
+		f.sigs[sig] = true
+		newBits = virginMerge(f.virgin, cov)
+	}
+	if newBits > 0 {
+		f.stats.LastNewCover = f.stats.Execs
+	}
+	// Admission: fuzz-discovered inputs must pay their way with new
+	// coverage; solver-derived inputs are kept unconditionally — they sit
+	// on a freshly flipped branch, and the hybrid loop must be able to
+	// escalate past them even when their edge set looks familiar
+	// (otherwise every exploration chain dies at the first
+	// coverage-neutral generation, which pure concolic search would have
+	// continued through).
+	if newBits == 0 && !q.injected {
+		return
+	}
+	keep := data
+	if c.FuzzPos < len(keep) {
+		// Unconsumed tail bytes cannot influence behaviour — trim them so
+		// the corpus and its mutation surface stay at the real demand.
+		keep = keep[:c.FuzzPos]
+	}
+	f.corpus = append(f.corpus, &Entry{
+		ID:       f.nextID,
+		Data:     append([]byte(nil), keep...),
+		Sig:      sig,
+		Cov:      cov,
+		NewBits:  newBits,
+		Exec:     f.stats.Execs,
+		Injected: q.injected,
+		Bound:    q.bound,
+	})
+	f.nextID++
+}
+
+// Inject queues a solver-derived input for execution; the hybrid driver
+// calls this with inputs solved from escalated entries. bound is an
+// opaque generational tag returned with the entry by EscalationTarget
+// (0 for plain seeds).
+func (f *Fuzzer) Inject(data []byte, bound int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queue = append(f.queue, queued{data: append([]byte(nil), data...), injected: true, bound: bound})
+	f.stats.Injected++
+}
+
+// EscalationTarget picks the corpus entry most deserving of concolic
+// attention — fewest prior escalations, newest first (a freshly
+// discovered path is exactly where unexplored branches live, so solved
+// inputs chain into deeper escalations Driller-style) — marks it
+// escalated, and returns a copy of its input together with its
+// generational bound. ok is false when the corpus is empty.
+func (f *Fuzzer) EscalationTarget() (data []byte, bound int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best *Entry
+	for _, e := range f.corpus {
+		if best == nil ||
+			e.Escalations < best.Escalations ||
+			(e.Escalations == best.Escalations && e.ID > best.ID) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	best.Escalations++
+	return append([]byte(nil), best.Data...), best.Bound, true
+}
+
+// EdgeCovered reports whether any execution this campaign has taken the
+// control-flow edge from→to (virgin-map granularity, so hash collisions
+// can report false positives). The hybrid driver consults this before
+// paying solver time for a branch flip whose target the fuzzer already
+// reaches.
+func (f *Fuzzer) EdgeCovered(from, to uint32) bool {
+	idx := iss.EdgeIndex(from, to, len(f.virgin))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.virgin[idx] != 0
+}
+
+// SinceNewCover reports executions elapsed since coverage last grew —
+// the hybrid loop's stall signal.
+func (f *Fuzzer) SinceNewCover() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.Execs - f.stats.LastNewCover
+}
+
+// MaxDemand reports the largest observed input demand in bytes.
+func (f *Fuzzer) MaxDemand() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxDemand
+}
+
+// Corpus returns a snapshot of the current corpus entries (shared
+// pointers; callers must treat them as read-only).
+func (f *Fuzzer) Corpus() []*Entry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Entry(nil), f.corpus...)
+}
+
+// Minimize performs an afl-cmin-style reduction of the corpus and
+// returns (before, after) sizes.
+func (f *Fuzzer) Minimize() (before, after int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	before = len(f.corpus)
+	f.corpus = minimizeCorpus(f.corpus)
+	return before, len(f.corpus)
+}
+
+// Findings returns the deduplicated findings discovered so far, ordered
+// by discovery.
+func (f *Fuzzer) Findings() []Finding {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Finding(nil), f.findings...)
+}
+
+// Stats returns a snapshot of the progress counters.
+func (f *Fuzzer) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.CorpusSize = len(f.corpus)
+	s.Findings = len(f.findings)
+	s.MaxDemand = f.maxDemand
+	for _, v := range f.virgin {
+		if v != 0 {
+			s.Edges++
+		}
+	}
+	return s
+}
+
+// SortedFindings returns findings sorted by (kind, pc) for stable
+// reporting independent of discovery order.
+func SortedFindings(fs []Finding) []Finding {
+	out := append([]Finding(nil), fs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Err.Kind != out[j].Err.Kind {
+			return out[i].Err.Kind < out[j].Err.Kind
+		}
+		return out[i].Err.PC < out[j].Err.PC
+	})
+	return out
+}

@@ -1,0 +1,101 @@
+package fuzz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDetMutateSchedule walks the full deterministic schedule for a
+// short input: every position yields a same-length output, the original
+// is never aliased, and at least one byte differs from the base.
+func TestDetMutateSchedule(t *testing.T) {
+	data := []byte{10, 20, 30, 40, 50, 60, 70, 80}
+	orig := append([]byte(nil), data...)
+	n := detCount(len(data))
+	if n <= 0 {
+		t.Fatal("empty deterministic schedule")
+	}
+	seen := map[string]bool{}
+	for pos := 0; pos < n; pos++ {
+		out := detMutate(data, pos, 64)
+		if len(out) != len(data) {
+			t.Fatalf("pos %d: length changed %d -> %d", pos, len(data), len(out))
+		}
+		if bytes.Equal(out, data) {
+			t.Errorf("pos %d: mutation is identity", pos)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("pos %d: input slice mutated in place", pos)
+		}
+		seen[string(out)] = true
+	}
+	// Walking bit flips alone guarantee 8*len distinct outputs.
+	if len(seen) < 8*len(data) {
+		t.Errorf("only %d distinct mutations over %d positions", len(seen), n)
+	}
+}
+
+// TestDetMutateRespectsDetLen: positions are counted against the detLen
+// prefix only; bytes past it stay untouched.
+func TestDetMutateRespectsDetLen(t *testing.T) {
+	data := make([]byte, 32)
+	const detLen = 4
+	for pos := 0; pos < detCount(detLen); pos++ {
+		out := detMutate(data, pos, detLen)
+		for i := detLen + 1; i < len(out); i++ {
+			if out[i] != 0 {
+				t.Fatalf("pos %d touched byte %d beyond detLen", pos, i)
+			}
+		}
+	}
+}
+
+// TestHavocBounds: havoc output never exceeds maxLen and never mutates
+// its input in place.
+func TestHavocBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]byte(nil), data...)
+	for i := 0; i < 5000; i++ {
+		out := havoc(rng, data, 16)
+		if len(out) > 16 {
+			t.Fatalf("iter %d: havoc grew to %d > 16", i, len(out))
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("iter %d: havoc mutated input in place", i)
+		}
+	}
+	// Empty inputs must still produce something to execute.
+	if out := havoc(rng, nil, 16); len(out) == 0 {
+		t.Error("havoc of empty input produced empty output")
+	}
+}
+
+// TestSpliceBounds: splice respects maxLen and handles empty operands.
+func TestSpliceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := bytes.Repeat([]byte{0xaa}, 12)
+	b := bytes.Repeat([]byte{0xbb}, 12)
+	for i := 0; i < 2000; i++ {
+		if out := splice(rng, a, b, 16); len(out) > 16 {
+			t.Fatalf("iter %d: splice grew to %d > 16", i, len(out))
+		}
+	}
+	if out := splice(rng, nil, b, 16); len(out) > 16 {
+		t.Fatal("splice with empty a overflowed")
+	}
+}
+
+// TestMutatorDeterminism: identical seeds produce identical mutation
+// streams — the basis of reproducible fuzzing runs.
+func TestMutatorDeterminism(t *testing.T) {
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	data := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	for i := 0; i < 1000; i++ {
+		if !bytes.Equal(havoc(r1, data, 32), havoc(r2, data, 32)) {
+			t.Fatalf("iter %d: havoc diverged for equal seeds", i)
+		}
+	}
+}

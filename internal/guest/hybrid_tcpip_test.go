@@ -1,0 +1,146 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/fuzz"
+	"rvcte/internal/qcache"
+	"rvcte/internal/smt"
+)
+
+// tcpipHybridOptions is the configuration used for the hybrid find-fix
+// experiment (EXPERIMENTS.md "Hybrid fuzzing ablation"): short stall
+// windows keep the solver in the loop — on this workload the gates are
+// comparison-shaped, so concrete mutation mostly serves to execute
+// solved inputs cheaply and harvest their neighborhoods.
+func tcpipHybridOptions(b *smt.Builder) cte.HybridOptions {
+	return cte.HybridOptions{
+		// Query-cache reuse is part of the hybrid design: flip queries
+		// along sibling paths share long prefixes, which the cache's
+		// model-reuse and slicing exploit.
+		Cache: qcache.New(b, qcache.Options{}),
+		Seed:           1,
+		FuzzBatch:      200,
+		StallExecs:     200,
+		MaxExecs:       150_000,
+		MaxInstrPerRun: 2_000_000,
+		StopOnError:    true,
+		// The corpus grows into the hundreds on this stack; give the
+		// escalation rotation a full sweep before declaring exhaustion.
+		DryEscalations: 500,
+	}
+}
+
+// TestTCPIPHybridFindFixRerun replays the §4.2.3 find-fix-rerun
+// workflow with the hybrid fuzzer instead of pure concolic exploration:
+// all six seeded bugs must be rediscovered, and the total number of SAT
+// queries must be strictly lower than the pure-concolic baseline at the
+// same worker count — the hybrid pays solver time only for
+// coverage-stalled branches.
+func TestTCPIPHybridFindFixRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-stage exploration is slow")
+	}
+
+	// Hybrid protocol.
+	fixed := uint(0)
+	found := map[int]bool{}
+	hybridQueries, hybridExecs := 0, uint64(0)
+	for stage := 0; stage < 6; stage++ {
+		b := smt.NewBuilder()
+		core, elf, err := NewCore(b, TCPIPProgram(fixed, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cte.RunHybrid(core, tcpipHybridOptions(b))
+		hybridQueries += rep.Queries
+		hybridExecs += rep.Fuzz.Execs
+		if len(rep.Findings) == 0 {
+			t.Fatalf("hybrid stage %d (fixed=%06b): no finding (stopped=%s execs=%d escalations=%d solves=%d)",
+				stage, fixed, rep.Stopped, rep.Fuzz.Execs, rep.Escalations, rep.Solves)
+		}
+		f := rep.Findings[0]
+		bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		if bug == 0 {
+			t.Fatalf("hybrid stage %d: unclassifiable finding %v in %s", stage, f.Err, LocateFunc(elf, f.Err.PC))
+		}
+		if found[bug] {
+			t.Fatalf("hybrid stage %d: bug %d found twice", stage, bug)
+		}
+		found[bug] = true
+		fixed |= 1 << (bug - 1)
+		t.Logf("hybrid stage %d: bug %d (%v in %s) after %d execs, %d escalations, %d solves, %d queries, %.2fs solver, skip-init %d instr",
+			stage, bug, f.Err.Kind, LocateFunc(elf, f.Err.PC), rep.Fuzz.Execs,
+			rep.Escalations, rep.Solves, rep.Queries, rep.SolverTime.Seconds(), rep.SkipInitInstrs)
+	}
+	for i := 1; i <= 6; i++ {
+		if !found[i] {
+			t.Errorf("hybrid protocol never discovered bug %d", i)
+		}
+	}
+
+	// Pure-concolic baseline, same budgets as TestTCPIPFindFixRerun.
+	fixed = 0
+	concolicQueries := 0
+	budgets := []int{400, 1200, 2500, 4000, 6000, 9000}
+	for stage := 0; stage < 6; stage++ {
+		b := smt.NewBuilder()
+		core, elf, err := NewCore(b, TCPIPProgram(fixed, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cte.New(core, cte.Options{MaxPaths: budgets[stage], StopOnError: true}).Run()
+		concolicQueries += rep.Queries
+		if len(rep.Findings) == 0 {
+			t.Fatalf("concolic stage %d: no finding", stage)
+		}
+		f := rep.Findings[0]
+		bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		if bug == 0 {
+			t.Fatalf("concolic stage %d: unclassifiable finding", stage)
+		}
+		fixed |= 1 << (bug - 1)
+	}
+
+	if hybridQueries >= concolicQueries {
+		t.Errorf("hybrid must need strictly fewer SAT queries: hybrid=%d concolic=%d",
+			hybridQueries, concolicQueries)
+	}
+	t.Logf("find-fix-rerun totals: hybrid %d queries (%d concrete execs), pure concolic %d queries",
+		hybridQueries, hybridExecs, concolicQueries)
+}
+
+// TestTCPIPPureFuzzBaseline documents the other end of the ablation: a
+// pure coverage-guided fuzzer (no concolic assist) reaches at most the
+// shallow length-field overflow by byte mutation — the format-gated
+// deeper protocol handlers stay out of reach within many times the
+// execution budget the hybrid needs for all six bugs.
+func TestTCPIPPureFuzzBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large execution count")
+	}
+	b := smt.NewBuilder()
+	core, elf, err := NewCore(b, TCPIPProgram(0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fuzz.New(core, fuzz.Options{Seed: 1, MaxInstrPerRun: 2_000_000})
+	f.RunBatch(20_000)
+	st := f.Stats()
+	var bugs []int
+	for _, fd := range f.Findings() {
+		if bug := ClassifyTCPIPFinding(elf, fd.Err.Kind, fd.Err.PC, 0); bug != 0 {
+			bugs = append(bugs, bug)
+		}
+	}
+	// The log line feeds EXPERIMENTS.md.
+	t.Logf("pure fuzz: %d execs, %d corpus, %d edges, %d pruned, seeded bugs found: %v",
+		st.Execs, st.CorpusSize, st.Edges, st.Pruned, bugs)
+	if st.Execs != 20_000 {
+		t.Errorf("execs %d want 20000", st.Execs)
+	}
+	if st.CorpusSize == 0 {
+		t.Error("fuzzer built no corpus at all")
+	}
+}

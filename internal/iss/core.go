@@ -77,6 +77,25 @@ type TraceCond struct {
 	EPCLen  int
 	Cond    *smt.Expr
 	SiteIdx int
+	// FlipFrom/FlipTo identify the control-flow edge that taking the
+	// flipped direction of a conditional branch would execute (branch PC
+	// and the not-followed successor). Both are zero for non-branch trace
+	// conditions (concretization ladders, assume/assert negations,
+	// host-model branches), which have no single flip edge. The hybrid
+	// driver uses this to skip solving flips whose target edge concrete
+	// fuzzing has already covered (Driller's "only solve what fuzzing
+	// cannot reach").
+	FlipFrom uint32
+	FlipTo   uint32
+}
+
+// EdgeIndex returns the EdgeMap slot that executing the control-flow
+// edge from→to would hit. It must mirror the per-instruction update in
+// Step: cur = (pc>>1)*K; idx = cur ^ (prev>>1); prev = cur.
+func EdgeIndex(from, to uint32, mapLen int) uint32 {
+	cur := (to >> 1) * 0x9e3779b1
+	prev := ((from >> 1) * 0x9e3779b1) >> 1
+	return (cur ^ prev) & uint32(mapLen-1)
 }
 
 // HostModel is a peripheral implemented on the host side with full
@@ -229,6 +248,32 @@ type Core struct {
 	// surface.
 	SymbolicTimes bool
 
+	// Fuzz-mode state (hybrid fuzzing, DESIGN.md "Hybrid fuzzing").
+	// When FuzzInput is non-nil, make-symbolic sites consume their
+	// concrete bytes from this flat stream in execution order instead of
+	// the Input assignment. FuzzPos keeps advancing past the end of the
+	// stream (missing bytes read as zero), so after a run it reports the
+	// total number of input bytes the path demanded.
+	FuzzInput []byte
+	FuzzPos   int
+	// ConcreteOnly skips all symbolic shadow state: make-symbolic sites
+	// store plain bytes, so no SMT variables are minted, the EPC stays
+	// empty and no trace conditions are emitted — the concrete fast path
+	// the fuzzer runs on. Without it (concolic replay of a fuzz input)
+	// variables are minted as usual, Input records the stream bytes, and
+	// SymOrder records the minted variable ids in consumption order so a
+	// solver model can be mapped back onto the byte stream.
+	ConcreteOnly bool
+	SymOrder     []int
+
+	// EdgeMap, when non-nil, collects hashed PC-pair edge coverage
+	// (AFL-style; the length must be a power of two). Unlike the
+	// Coverage map it costs one multiply, one xor and a saturating
+	// increment per retired instruction — cheap enough for fuzzing
+	// throughput.
+	EdgeMap []byte
+	prevLoc uint32
+
 	// TraceDepth keeps a ring buffer of the last N executed
 	// instructions for error diagnosis (0 disables).
 	TraceDepth int
@@ -304,6 +349,14 @@ func (c *Core) Clone() *Core {
 	}
 	n.Coverage = nil // coverage is per-run
 	n.traceRing = append([]TraceEntry(nil), c.traceRing...)
+	// Fuzz-mode state is per-run: every clone starts with a fresh stream
+	// and edge map (the caller installs its own before Run).
+	n.FuzzInput = nil
+	n.FuzzPos = 0
+	n.ConcreteOnly = false
+	n.SymOrder = nil
+	n.EdgeMap = nil
+	n.prevLoc = 0
 	return n
 }
 
@@ -410,6 +463,14 @@ func (c *Core) Step() {
 	inst, ok := c.fetch()
 	if !ok {
 		return
+	}
+	if c.EdgeMap != nil {
+		cur := (c.PC >> 1) * 0x9e3779b1
+		idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+		if c.EdgeMap[idx] != 0xff {
+			c.EdgeMap[idx]++
+		}
+		c.prevLoc = cur >> 1
 	}
 	if c.TrackCoverage {
 		if c.Coverage == nil {
@@ -520,8 +581,12 @@ func (c *Core) TriggerIRQ(line uint32, level bool) {
 
 // MakeSymbolicValue mints a fresh symbolic 32-bit value whose concrete
 // part comes from the current input assignment (host-side counterpart
-// of CTE_make_symbolic for register-like values).
+// of CTE_make_symbolic for register-like values). In fuzz modes the
+// concrete part is drawn from the input byte stream instead.
 func (c *Core) MakeSymbolicValue(name string) concolic.Value {
+	if c.ConcreteOnly {
+		return concolic.Concrete(c.nextFuzzWord())
+	}
 	gen := c.symCounters[name]
 	c.symCounters[name] = gen + 1
 	full := name
@@ -529,7 +594,35 @@ func (c *Core) MakeSymbolicValue(name string) concolic.Value {
 		full = fmt.Sprintf("%s#%d", name, gen)
 	}
 	v := c.B.Var(32, full)
-	return concolic.Value{C: uint32(c.Input[int(v.Val)]), Sym: v}
+	id := int(v.Val)
+	if c.FuzzInput != nil {
+		w := c.nextFuzzWord()
+		c.Input[id] = uint64(w)
+		c.SymOrder = append(c.SymOrder, id)
+		return concolic.Value{C: w, Sym: v}
+	}
+	return concolic.Value{C: uint32(c.Input[id]), Sym: v}
+}
+
+// nextFuzzByte consumes one byte from the fuzz input stream; bytes past
+// the end read as zero, but FuzzPos keeps advancing so the total demand
+// of the run stays observable.
+func (c *Core) nextFuzzByte() byte {
+	var v byte
+	if c.FuzzPos < len(c.FuzzInput) {
+		v = c.FuzzInput[c.FuzzPos]
+	}
+	c.FuzzPos++
+	return v
+}
+
+// nextFuzzWord consumes four stream bytes, little-endian.
+func (c *Core) nextFuzzWord() uint32 {
+	var w uint32
+	for i := 0; i < 4; i++ {
+		w |= uint32(c.nextFuzzByte()) << (8 * i)
+	}
+	return w
 }
 
 // AssumeValue applies CTE_assume semantics to a concolic condition

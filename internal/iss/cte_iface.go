@@ -250,6 +250,14 @@ func (c *Core) assertVal(v concolic.Value) {
 // call mints a new generation of variables ("d#0", "d#1", ...) so that a
 // peripheral regenerating sensor data in a loop gets independent symbols.
 func (c *Core) makeSymbolic(ptr, size uint32, name string) {
+	if c.ConcreteOnly {
+		// Concrete fast path (fuzzing): no variables are minted and no
+		// shadow bytes stored — the input stream supplies the bytes.
+		for i := uint32(0); i < size; i++ {
+			c.Mem.StoreByte(ptr+i, c.nextFuzzByte(), nil)
+		}
+		return
+	}
 	gen := c.symCounters[name]
 	c.symCounters[name] = gen + 1
 	full := fmt.Sprintf("%s#%d", name, gen)
@@ -257,12 +265,22 @@ func (c *Core) makeSymbolic(ptr, size uint32, name string) {
 		// The first generation keeps the bare name for readability.
 		full = name
 	}
-	conc := make([]byte, size)
 	for i := uint32(0); i < size; i++ {
 		v := c.B.Var(8, fmt.Sprintf("%s[%d]", full, i))
 		// The variable id is stable across runs (names are deterministic
 		// along a path), so the input assignment applies directly.
-		conc[i] = byte(c.Input[int(v.Val)])
-		c.Mem.StoreByte(ptr+i, conc[i], v)
+		id := int(v.Val)
+		var cb byte
+		if c.FuzzInput != nil {
+			// Concolic replay of a fuzz input: the stream supplies the
+			// byte, the assignment records it, and the consumption order
+			// is kept so a solver model maps back onto stream offsets.
+			cb = c.nextFuzzByte()
+			c.Input[id] = uint64(cb)
+			c.SymOrder = append(c.SymOrder, id)
+		} else {
+			cb = byte(c.Input[id])
+		}
+		c.Mem.StoreByte(ptr+i, cb, v)
 	}
 }

@@ -51,7 +51,11 @@ func (c *Core) execute(in rv32.Inst) {
 			taken, cond = o.CmpGeu(a, b)
 		}
 		if cond != nil {
-			c.branch(taken, cond)
+			flipTo := next
+			if !taken {
+				flipTo = c.PC + uint32(in.Imm)
+			}
+			c.branchFlip(taken, cond, flipTo)
 		}
 		if taken {
 			c.PC = c.PC + uint32(in.Imm)
@@ -285,6 +289,13 @@ func (c *Core) concretizeVal(v concolic.Value, what string) uint32 {
 // unexplored side (subject to the generational bound) and extend the EPC
 // with the taken side.
 func (c *Core) branch(taken bool, cond *smt.Expr) {
+	c.branchFlip(taken, cond, 0)
+}
+
+// branchFlip is branch with the not-followed successor address attached
+// to the emitted trace condition (0 when the flip edge is unknown, e.g.
+// for host-model branches that have no guest PC).
+func (c *Core) branchFlip(taken bool, cond *smt.Expr, flipTo uint32) {
 	site := c.siteCount
 	c.siteCount++
 	var follow, flip *smt.Expr
@@ -294,7 +305,11 @@ func (c *Core) branch(taken bool, cond *smt.Expr) {
 		follow, flip = c.B.Not(cond), cond
 	}
 	if site >= c.Bound && !flip.IsFalse() {
-		c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: flip, SiteIdx: site})
+		tc := TraceCond{EPCLen: len(c.EPC), Cond: flip, SiteIdx: site}
+		if flipTo != 0 {
+			tc.FlipFrom, tc.FlipTo = c.PC, flipTo
+		}
+		c.Trace = append(c.Trace, tc)
 	}
 	if !follow.IsTrue() {
 		c.EPC = append(c.EPC, follow)

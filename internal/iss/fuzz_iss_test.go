@@ -1,0 +1,163 @@
+package iss
+
+import (
+	"bytes"
+	"testing"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/smt"
+)
+
+// fuzzGuest makes an 8-byte buffer symbolic, sums its bytes with a
+// data-dependent branch per byte, and exits with the number of odd
+// bytes — a small input-dependent workload for the fuzz-mode tests.
+const fuzzGuest = `
+_start:
+	la a0, buf
+	li a1, 8
+	la a2, name
+	li a7, 1
+	ecall            # make_symbolic(buf, 8, "x")
+	la a3, buf
+	li a4, 0         # odd-byte count
+	li t0, 0         # index
+loop:
+	lbu t1, 0(a3)
+	andi t2, t1, 1
+	beqz t2, even
+	addi a4, a4, 1
+even:
+	addi a3, a3, 1
+	addi t0, t0, 1
+	li t3, 8
+	bltu t0, t3, loop
+	mv a0, a4
+	li a7, 0
+	ecall
+.data
+buf: .space 8
+name: .asciz "x"
+`
+
+func buildFuzzCore(t *testing.T) (*Core, *smt.Builder) {
+	t.Helper()
+	img, err := asm.Assemble(fuzzGuest, ramBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	b := smt.NewBuilder()
+	c := New(b, Config{RamBase: ramBase, RamSize: ramSize, MaxInstr: 1_000_000})
+	c.LoadImage(img.Origin, img.Bytes, img.Entry())
+	return c, b
+}
+
+// TestConcreteOnlyFastPath: a ConcreteOnly run consumes its bytes from
+// the fuzz stream, mints no SMT variables, and leaves EPC/Trace empty.
+func TestConcreteOnlyFastPath(t *testing.T) {
+	c, b := buildFuzzCore(t)
+	c.ConcreteOnly = true
+	c.FuzzInput = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	c.Run(0)
+	if c.Err != nil || !c.Exited {
+		t.Fatalf("did not exit cleanly: %v", c.Err)
+	}
+	if c.ExitCode != 4 {
+		t.Errorf("odd count %d want 4", c.ExitCode)
+	}
+	if n := b.NumVars(); n != 0 {
+		t.Errorf("concrete fast path minted %d variables", n)
+	}
+	if len(c.EPC) != 0 || len(c.Trace) != 0 {
+		t.Errorf("concrete fast path built shadow state: epc=%d trace=%d", len(c.EPC), len(c.Trace))
+	}
+	if c.FuzzPos != 8 {
+		t.Errorf("demand %d want 8", c.FuzzPos)
+	}
+}
+
+// TestFuzzDemandPastEnd: missing stream bytes read as zero, and FuzzPos
+// still reports the full demand.
+func TestFuzzDemandPastEnd(t *testing.T) {
+	c, _ := buildFuzzCore(t)
+	c.ConcreteOnly = true
+	c.FuzzInput = []byte{1, 1} // 6 bytes short
+	c.Run(0)
+	if c.ExitCode != 2 {
+		t.Errorf("odd count %d want 2 (missing bytes are zero)", c.ExitCode)
+	}
+	if c.FuzzPos != 8 {
+		t.Errorf("demand %d want 8", c.FuzzPos)
+	}
+}
+
+// TestReplayRoundTrip: a concolic replay of a fuzz input records the
+// stream in Input/SymOrder, and re-running from that assignment (the
+// classic concolic mode) reproduces the same execution.
+func TestReplayRoundTrip(t *testing.T) {
+	c, b := buildFuzzCore(t)
+	c.Freeze()
+	in := []byte{9, 0, 255, 3, 3, 0, 0, 1}
+
+	replay := c.Clone()
+	replay.FuzzInput = in
+	replay.Run(0)
+	if replay.Err != nil {
+		t.Fatal(replay.Err)
+	}
+	if got := len(replay.SymOrder); got != 8 {
+		t.Fatalf("SymOrder length %d want 8", got)
+	}
+	for i, id := range replay.SymOrder {
+		if b.VarWidth(id) != 8 {
+			t.Errorf("var %d width %d want 8", id, b.VarWidth(id))
+		}
+		if replay.Input[id] != uint64(in[i]) {
+			t.Errorf("Input[%d] = %d want %d", id, replay.Input[id], in[i])
+		}
+	}
+
+	again := c.Clone()
+	again.Input = replay.Input
+	again.Run(0)
+	if again.ExitCode != replay.ExitCode {
+		t.Errorf("assignment replay diverged: %d vs %d", again.ExitCode, replay.ExitCode)
+	}
+	if len(again.Trace) != len(replay.Trace) {
+		t.Errorf("trace lengths diverged: %d vs %d", len(again.Trace), len(replay.Trace))
+	}
+}
+
+// TestEdgeMap: the hashed PC-pair bitmap is deterministic for one input
+// and distinguishes inputs that drive different branch outcomes.
+func TestEdgeMap(t *testing.T) {
+	c, _ := buildFuzzCore(t)
+	c.Freeze()
+	exec := func(in []byte) []byte {
+		m := make([]byte, 1<<12)
+		cl := c.Clone()
+		cl.ConcreteOnly = true
+		cl.FuzzInput = in
+		cl.EdgeMap = m
+		cl.Run(0)
+		if cl.Err != nil {
+			t.Fatal(cl.Err)
+		}
+		return m
+	}
+	allEven := exec([]byte{2, 4, 6, 8, 10, 12, 14, 16})
+	if !bytes.Equal(allEven, exec([]byte{2, 4, 6, 8, 10, 12, 14, 16})) {
+		t.Error("edge map must be deterministic per input")
+	}
+	nonZero := 0
+	for _, v := range allEven {
+		if v != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("edge map recorded nothing")
+	}
+	if bytes.Equal(allEven, exec([]byte{1, 4, 6, 8, 10, 12, 14, 16})) {
+		t.Error("different branch outcomes must yield different edge maps")
+	}
+}
