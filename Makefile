@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke bench examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench examples clean
 
 all: verify
 
@@ -27,10 +27,20 @@ fuzz-smoke: build
 	$(GO) build -o /tmp/cte-smoke ./cmd/cte
 	/tmp/cte-smoke -prog tcpip -fuzz -fuzz-time 120s -seed 1 -j 2; test $$? -eq 1
 
+# Observability smoke: explore storm-s with the event tracer and live
+# progress on, then validate that every trace line decodes, timestamps
+# are monotone and the trace ends with run_end. storm-s reports its
+# seeded assertion finding (exit 1); only exit 2 (setup error) fails.
+trace-smoke: build
+	$(GO) build -o /tmp/cte-smoke ./cmd/cte
+	$(GO) build -o /tmp/tracecheck-smoke ./cmd/tracecheck
+	/tmp/cte-smoke -prog storm-s -stop-on-error=false -progress 500ms -trace /tmp/cte-smoke.jsonl >/dev/null; test $$? -le 1
+	/tmp/tracecheck-smoke /tmp/cte-smoke.jsonl
+
 # The repo's verification recipe (see README.md and
 # .claude/skills/verify/SKILL.md): build, vet, full tests, race pass,
-# then the end-to-end fuzzing smoke.
-verify: build vet test race fuzz-smoke
+# then the end-to-end fuzzing and tracing smokes.
+verify: build vet test race fuzz-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -9,31 +9,41 @@
 //	cte -prog tcpip                      # FreeRTOS-style TCP/IP stack
 //	cte -prog tcpip -fix 1,2             # ... with bugs 1 and 2 patched
 //	cte -prog counter-s -strategy dfs
-//	cte -cover -trace 8 -prog sensor     # coverage + finding trace
+//	cte -cover -err-trace 8 -prog sensor # coverage + finding trace
 //	cte -fuzz -prog tcpip -fuzz-time 60s # hybrid fuzzing instead of pure CTE
+//	cte -prog tcpip -progress 2s -trace run.jsonl   # live progress + event trace
+//	cte -prog tcpip -listen :8080        # live /metrics JSON + pprof
 //	cte prog.elf                         # explore an arbitrary ELF
+//
+// A run can be interrupted with SIGINT/SIGTERM: the engines wind down
+// promptly and the (partial) report is still printed, with stopped =
+// "canceled".
 //
 // Exit codes: 0 = explored clean, 1 = findings reported, 2 = usage or
 // setup error.
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rvcte/internal/cte"
 	"rvcte/internal/guest"
 	"rvcte/internal/iss"
+	"rvcte/internal/obs"
 	"rvcte/internal/qcache"
 	"rvcte/internal/relf"
 	"rvcte/internal/smt"
@@ -50,7 +60,10 @@ func main() {
 	pktMax := flag.Int("pkt-max", 64, "tcpip only: bound on the symbolic packet size")
 	verbose := flag.Bool("v", false, "print each explored path")
 	cover := flag.Bool("cover", false, "print per-function coverage after exploration")
-	trace := flag.Int("trace", 0, "print the last N instructions of each finding")
+	errTrace := flag.Int("err-trace", 0, "print the last N instructions of each finding")
+	traceFile := flag.String("trace", "", "write a structured JSONL event trace (path/query/cache/fuzz events) to this file")
+	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
+	listenAddr := flag.String("listen", "", "serve live /metrics JSON and /debug/pprof on this address while the run lasts")
 	workers := flag.Int("j", runtime.NumCPU(), "parallel exploration workers (1 = sequential, deterministic path order)")
 	maxConflicts := flag.Int("max-conflicts", 0, "per-query solver conflict budget; exhausted queries count as unknown (0 = unlimited)")
 	useCache := flag.Bool("cache", true, "enable the SMT query cache (model reuse, unsat subsumption, independence slicing)")
@@ -111,58 +124,62 @@ func main() {
 		}
 	}
 
-	if *fuzzMode {
-		opt := cte.HybridOptions{
-			Seed:                 *seed,
-			Workers:              *workers,
-			Timeout:              *fuzzTime,
-			MaxInstrPerRun:       *maxInstr,
-			StopOnError:          *stopOnError,
-			MaxConflictsPerQuery: *maxConflicts,
-			Cache:                qc,
+	// Observability: the metric registry is always on (its counters are
+	// the -json obs section); the tracer, progress reporter and HTTP
+	// endpoint are opt-in.
+	ob := obs.New()
+	if *traceFile != "" {
+		tr, err := obs.OpenTrace(*traceFile)
+		die(err)
+		ob.Tracer = tr
+	}
+	var prog *obs.Progress
+	if *progressEvery > 0 {
+		budget := *timeout
+		if *fuzzMode {
+			budget = *fuzzTime
 		}
+		prog = obs.StartProgress(ob, obs.ProgressOptions{Interval: *progressEvery, Budget: budget})
+	}
+	var shutdown func() error
+	if *listenAddr != "" {
+		bound, sd, err := obs.Serve(*listenAddr, ob)
+		die(err)
+		shutdown = sd
+		fmt.Fprintf(os.Stderr, "cte: serving /metrics and /debug/pprof on http://%s\n", bound)
+	}
+
+	cfg := cte.Config{
+		Common: cte.Common{
+			Workers: *workers,
+			Budget: cte.Budget{
+				Timeout:              *timeout,
+				MaxPaths:             *maxPaths,
+				MaxInstrPerRun:       *maxInstr,
+				MaxConflictsPerQuery: *maxConflicts,
+			},
+			Cache:       qc,
+			Strategy:    strat,
+			Obs:         ob,
+			Seed:        *seed,
+			StopOnError: *stopOnError,
+		},
+		TrackCoverage: *cover,
+		TraceDepth:    *errTrace,
+	}
+	if *fuzzMode {
+		cfg.Mode = cte.ModeHybrid
+		cfg.Budget.Timeout = *fuzzTime
 		if *corpusDir != "" {
 			seeds, err := loadCorpus(*corpusDir)
 			die(err)
-			opt.Seeds = seeds
+			cfg.Fuzz.Seeds = seeds
 		}
-		rep := cte.RunHybrid(core, opt)
-		if cacheFile != "" {
-			if err := qc.Save(cacheFile); err != nil {
-				fmt.Fprintf(os.Stderr, "cte: warning: could not persist cache: %v\n", err)
-			}
-		}
-		if *corpusDir != "" {
-			if err := saveCorpus(*corpusDir, rep.Corpus); err != nil {
-				fmt.Fprintf(os.Stderr, "cte: warning: could not persist corpus: %v\n", err)
-			}
-		}
-		if *jsonOut {
-			emitFuzzJSON(elf, *progName, rep)
-		} else {
-			printFuzzReport(elf, rep)
-		}
-		if len(rep.Findings) > 0 {
-			os.Exit(1)
-		}
-		return
 	}
 
-	eng := cte.New(core, cte.Options{
-		MaxPaths:             *maxPaths,
-		MaxInstrPerRun:       *maxInstr,
-		Strategy:             strat,
-		StopOnError:          *stopOnError,
-		Timeout:              *timeout,
-		Seed:                 *seed,
-		TrackCoverage:        *cover,
-		TraceDepth:           *trace,
-		Workers:              *workers,
-		MaxConflictsPerQuery: *maxConflicts,
-		Cache:                qc,
-	})
-	if *verbose && !*jsonOut {
-		eng.OnPath = func(path int, c *iss.Core) {
+	sess := cte.NewSession(core, cfg)
+	if *verbose && !*jsonOut && !*fuzzMode {
+		sess.OnPath = func(path int, c *iss.Core) {
 			status := "ok"
 			if c.Err != nil {
 				status = c.Err.Error()
@@ -173,22 +190,54 @@ func main() {
 		}
 	}
 
-	start := time.Now()
-	rep := eng.Run()
+	// SIGINT/SIGTERM cancel the run; the engines finish the path or batch
+	// in flight and return the partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	rep := sess.Run(ctx)
+	stop()
+
+	// Tear observability down before reporting: the progress line must
+	// not interleave with the summary, and the trace must be flushed
+	// (os.Exit below skips defers).
+	if prog != nil {
+		prog.Stop()
+	}
+	if ob.Tracer != nil {
+		if err := ob.Tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cte: warning: trace not fully written: %v\n", err)
+		}
+	}
+	if shutdown != nil {
+		_ = shutdown()
+	}
+
 	if cacheFile != "" {
 		if err := qc.Save(cacheFile); err != nil {
 			fmt.Fprintf(os.Stderr, "cte: warning: could not persist cache: %v\n", err)
 		}
 	}
+	if *fuzzMode && *corpusDir != "" && rep.Fuzz != nil {
+		if err := saveCorpus(*corpusDir, rep.Fuzz.Corpus); err != nil {
+			fmt.Fprintf(os.Stderr, "cte: warning: could not persist corpus: %v\n", err)
+		}
+	}
+
 	if *jsonOut {
 		emitJSON(b, elf, *progName, rep)
-		if len(rep.Findings) > 0 {
-			os.Exit(1)
-		}
-		return
+	} else if rep.Mode == cte.ModeHybrid {
+		printFuzzReport(elf, rep)
+	} else {
+		printReport(b, elf, rep, *cover)
 	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printReport is the human summary of a concolic exploration run.
+func printReport(b *smt.Builder, elf *relf.File, rep *cte.Report, cover bool) {
 	fmt.Printf("explored %d paths in %.2fs (%d queries, %.2fs solver, %d instructions total)\n",
-		rep.Paths, time.Since(start).Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
+		rep.Paths, rep.WallTime.Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
 	fmt.Printf("trace conditions: %d sat, %d unsat, %d unknown (budget-exhausted)\n",
 		rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs)
 	if cs := rep.Cache; cs != nil {
@@ -204,8 +253,10 @@ func main() {
 	}
 	if rep.Exhausted {
 		fmt.Println("state space exhausted")
+	} else if rep.Stopped != "" {
+		fmt.Printf("stopped: %s\n", rep.Stopped)
 	}
-	if *cover && elf != nil {
+	if cover && elf != nil {
 		printCoverage(elf, rep.Covered)
 	}
 	if len(rep.Findings) == 0 {
@@ -229,7 +280,6 @@ func main() {
 			}
 		}
 	}
-	os.Exit(1)
 }
 
 // printCoverage aggregates covered PCs per function symbol.
@@ -334,7 +384,7 @@ func saveCorpus(dir string, corpus [][]byte) error {
 }
 
 // printFuzzReport is the human summary of a hybrid fuzzing run.
-func printFuzzReport(elf *relf.File, rep *cte.HybridReport) {
+func printFuzzReport(elf *relf.File, rep *cte.Report) {
 	st := rep.Fuzz
 	rate := 0.0
 	if rep.WallTime > 0 {
@@ -343,14 +393,14 @@ func printFuzzReport(elf *relf.File, rep *cte.HybridReport) {
 	fmt.Printf("hybrid fuzzing: %d execs in %.2fs (%.0f exec/s), corpus %d, %d edges, %d pruned\n",
 		st.Execs, rep.WallTime.Seconds(), rate, st.CorpusSize, st.Edges, st.Pruned)
 	fmt.Printf("concolic assist: %d stalls escalated, %d flips solved (%d sat, %d unsat, %d unknown), %d solved inputs fed back\n",
-		rep.Escalations, rep.FlipsAttempted, rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs, rep.Solves)
+		st.Escalations, st.FlipsAttempted, rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs, st.Solves)
 	fmt.Printf("solver: %d queries, %.2fs\n", rep.Queries, rep.SolverTime.Seconds())
 	if cs := rep.Cache; cs != nil {
 		fmt.Printf("query cache: %d exact, %d eval-reuse, %d subsumed of %d lookups; %d SAT calls (%d sliced), %d entries (%d loaded)\n",
 			cs.Hits, cs.EvalHits, cs.SubsumeHits, cs.Queries, cs.SolverCalls, cs.SliceSolves, cs.Entries, cs.Loaded)
 	}
-	if rep.SkipInitInstrs > 0 {
-		fmt.Printf("skip-init: %d instructions executed once and snapshotted\n", rep.SkipInitInstrs)
+	if st.SkipInitInstrs > 0 {
+		fmt.Printf("skip-init: %d instructions executed once and snapshotted\n", st.SkipInitInstrs)
 	}
 	fmt.Printf("stopped: %s\n", rep.Stopped)
 	if len(rep.Findings) == 0 {
@@ -379,59 +429,6 @@ type jsonFuzz struct {
 	FlipsAttempted int     `json:"flips_attempted"`
 	Solves         int     `json:"solves"`
 	SkipInitInstrs uint64  `json:"skip_init_instrs"`
-	Stopped        string  `json:"stopped"`
-}
-
-func emitFuzzJSON(elf *relf.File, prog string, rep *cte.HybridReport) {
-	st := rep.Fuzz
-	rate := 0.0
-	if rep.WallTime > 0 {
-		rate = float64(st.Execs) / rep.WallTime.Seconds()
-	}
-	jr := jsonReport{
-		Program:    prog,
-		Workers:    rep.Workers,
-		Queries:    rep.Queries,
-		SolverTime: rep.SolverTime.Seconds(),
-		WallTime:   rep.WallTime.Seconds(),
-		TotalInstr: st.TotalInstr,
-		SatTCs:     rep.SatTCs,
-		UnsatTCs:   rep.UnsatTCs,
-		UnknownTCs: rep.UnknownTCs,
-		Cache:      rep.Cache,
-		Findings:   []jsonFinding{},
-		Fuzz: &jsonFuzz{
-			Execs:          st.Execs,
-			ExecsPerSec:    rate,
-			TotalInstr:     st.TotalInstr,
-			CorpusSize:     st.CorpusSize,
-			Edges:          st.Edges,
-			Pruned:         st.Pruned,
-			Injected:       st.Injected,
-			Escalations:    rep.Escalations,
-			FlipsAttempted: rep.FlipsAttempted,
-			Solves:         rep.Solves,
-			SkipInitInstrs: rep.SkipInitInstrs,
-			Stopped:        rep.Stopped,
-		},
-	}
-	for _, f := range rep.Findings {
-		jf := jsonFinding{
-			Error:  f.Err.Error(),
-			PC:     f.Err.PC,
-			Data:   hex.EncodeToString(f.Data),
-			Instrs: f.Instrs,
-		}
-		if elf != nil {
-			jf.Function = guest.LocateFunc(elf, f.Err.PC)
-		}
-		jr.Findings = append(jr.Findings, jf)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&jr); err != nil {
-		die(err)
-	}
 }
 
 // cacheID derives the persisted cache's file stem from the guest
@@ -460,21 +457,26 @@ func cacheID(prog, fixList string, pktMax int, args []string) string {
 
 // jsonFinding is the machine-readable form of one finding. Concolic
 // findings report the solved variable assignment (Input); fuzz findings
-// report the raw input stream (Data, hex).
+// report the raw input stream (Data, hex) and the execution index.
 type jsonFinding struct {
 	Error    string            `json:"error"`
 	PC       uint32            `json:"pc"`
 	Function string            `json:"function,omitempty"`
 	Path     int               `json:"path,omitempty"`
+	Exec     uint64            `json:"exec,omitempty"`
 	Input    map[string]uint64 `json:"input,omitempty"`
 	Data     string            `json:"data,omitempty"`
 	Instrs   uint64            `json:"instrs"`
 }
 
 // jsonReport is the machine-readable form of cte.Report emitted by
-// -json, for scripting and diffing EXPERIMENTS.md runs.
+// -json, for scripting and diffing EXPERIMENTS.md runs. The schema is
+// documented in README.md ("JSON report schema"); fields are only ever
+// added, never renamed.
 type jsonReport struct {
 	Program    string            `json:"program,omitempty"`
+	Mode       string            `json:"mode"`
+	Stopped    string            `json:"stopped,omitempty"`
 	Workers    int               `json:"workers"`
 	Paths      int               `json:"paths"`
 	Queries    int               `json:"queries"`
@@ -490,12 +492,15 @@ type jsonReport struct {
 	Cache      *qcache.Stats     `json:"cache,omitempty"`
 	PerWorker  []cte.WorkerStats `json:"per_worker,omitempty"`
 	Fuzz       *jsonFuzz         `json:"fuzz,omitempty"`
+	Obs        *obs.Snapshot     `json:"obs,omitempty"`
 	Findings   []jsonFinding     `json:"findings"`
 }
 
 func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
 	jr := jsonReport{
 		Program:    prog,
+		Mode:       rep.Mode.String(),
+		Stopped:    rep.Stopped,
 		Workers:    rep.Workers,
 		Paths:      rep.Paths,
 		Queries:    rep.Queries,
@@ -510,22 +515,49 @@ func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
 		CoveredPCs: len(rep.Covered),
 		Cache:      rep.Cache,
 		PerWorker:  rep.PerWorker,
+		Obs:        rep.Obs,
 		Findings:   []jsonFinding{},
+	}
+	if st := rep.Fuzz; st != nil {
+		rate := 0.0
+		if rep.WallTime > 0 {
+			rate = float64(st.Execs) / rep.WallTime.Seconds()
+		}
+		jr.TotalInstr = st.TotalInstr
+		jr.Fuzz = &jsonFuzz{
+			Execs:          st.Execs,
+			ExecsPerSec:    rate,
+			TotalInstr:     st.TotalInstr,
+			CorpusSize:     st.CorpusSize,
+			Edges:          st.Edges,
+			Pruned:         st.Pruned,
+			Injected:       st.Injected,
+			Escalations:    st.Escalations,
+			FlipsAttempted: st.FlipsAttempted,
+			Solves:         st.Solves,
+			SkipInitInstrs: st.SkipInitInstrs,
+		}
 	}
 	for _, f := range rep.Findings {
 		jf := jsonFinding{
 			Error:  f.Err.Error(),
 			PC:     f.Err.PC,
 			Path:   f.Path,
-			Input:  map[string]uint64{},
+			Exec:   f.Exec,
 			Instrs: f.Instrs,
 		}
 		if elf != nil {
 			jf.Function = guest.LocateFunc(elf, f.Err.PC)
 		}
-		for id, v := range f.Input {
-			if id < b.NumVars() {
-				jf.Input[b.VarName(id)] = v
+		if len(f.Data) > 0 {
+			jf.Data = hex.EncodeToString(f.Data)
+		}
+		if len(f.Input) > 0 {
+			jf.Input = map[string]uint64{}
+			for id, v := range f.Input {
+				if id < b.NumVars() {
+					jf.Input[b.VarName(id)] = v
+				}
 			}
 		}
 		jr.Findings = append(jr.Findings, jf)

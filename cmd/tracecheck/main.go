@@ -1,0 +1,72 @@
+// Command tracecheck validates a JSONL event trace written by cte
+// -trace: every line must decode into obs.Event with no unknown fields,
+// timestamps must be monotone, and the trace must end with a run_end
+// event. It prints a per-kind event census on success.
+//
+// Usage:
+//
+//	cte -prog storm-s -trace run.jsonl
+//	tracecheck run.jsonl
+//
+// Exit codes: 0 = trace valid, 1 = validation failure, 2 = usage error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"rvcte/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: invalid trace:", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: empty trace")
+		os.Exit(1)
+	}
+	census := map[string]int{}
+	last := -1.0
+	for i, ev := range events {
+		if ev.Ev == "" {
+			fmt.Fprintf(os.Stderr, "tracecheck: line %d: missing event kind\n", i+1)
+			os.Exit(1)
+		}
+		if ev.T < last {
+			fmt.Fprintf(os.Stderr, "tracecheck: line %d: timestamp %f before %f\n", i+1, ev.T, last)
+			os.Exit(1)
+		}
+		last = ev.T
+		census[ev.Ev]++
+	}
+	if events[len(events)-1].Ev != obs.EvRunEnd {
+		fmt.Fprintf(os.Stderr, "tracecheck: trace does not end with %s (got %s)\n",
+			obs.EvRunEnd, events[len(events)-1].Ev)
+		os.Exit(1)
+	}
+
+	kinds := make([]string, 0, len(census))
+	for k := range census {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("trace OK: %d events over %.3fs\n", len(events), last)
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %6d\n", k, census[k])
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,8 +45,10 @@ func explore(cacheFile string, load bool) (*cte.Report, *qcache.Cache, error) {
 			}
 		}
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 2000, StopOnError: false, Cache: qc})
-	rep := eng.Run()
+	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+		Budget: cte.Budget{MaxPaths: 2000},
+		Cache:  qc,
+	}}).Run(context.Background())
 	if cacheFile != "" && !load {
 		if err := qc.Save(cacheFile); err != nil {
 			return nil, nil, err

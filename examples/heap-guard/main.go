@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -105,7 +106,10 @@ int main(void) {
 	// Enable the optional address-concretization TCs (§2.2) so the
 	// symbolic index is steered toward out-of-bounds values.
 	core.AddressTCs = true
-	rep := cte.New(core, cte.Options{MaxPaths: 50, StopOnError: true}).Run()
+	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+		Budget:      cte.Budget{MaxPaths: 50},
+		StopOnError: true,
+	}}).Run(context.Background())
 	if len(rep.Findings) == 0 {
 		fmt.Println("no overflow found (unexpected)")
 		return

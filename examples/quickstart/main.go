@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,15 +41,18 @@ func main() {
 	fmt.Printf("trace conditions emitted: %d\n", len(first.Trace))
 
 	fmt.Println("\n== concolic exploration ==")
-	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
-	eng.OnPath = func(path int, c *iss.Core) {
+	sess := cte.NewSession(core, cte.Config{Common: cte.Common{
+		Budget:      cte.Budget{MaxPaths: 64},
+		StopOnError: true,
+	}})
+	sess.OnPath = func(path int, c *iss.Core) {
 		status := "completed"
 		if c.Err != nil {
 			status = c.Err.Kind.String()
 		}
 		fmt.Printf("  path %d: input %s -> %s\n", path, cte.DescribeInput(b, c.Input), status)
 	}
-	rep := eng.Run()
+	rep := sess.Run(context.Background())
 
 	if len(rep.Findings) == 0 {
 		log.Fatal("expected to find the sensor bug")
@@ -69,7 +73,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep2 := cte.New(fixedCore, cte.Options{MaxPaths: 200}).Run()
+	rep2 := cte.NewSession(fixedCore, cte.Config{Common: cte.Common{
+		Budget: cte.Budget{MaxPaths: 200},
+	}}).Run(context.Background())
 	fmt.Printf("exploration: %d paths, findings: %d, exhausted: %v\n",
 		rep2.Paths, len(rep2.Findings), rep2.Exhausted)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,10 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		rep := cte.New(core, cte.Options{MaxPaths: 10000, StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+			Budget:      cte.Budget{MaxPaths: 10000},
+			StopOnError: true,
+		}}).Run(context.Background())
 		elapsed := time.Since(start)
 		if len(rep.Findings) == 0 {
 			log.Fatalf("stage %d: no error found in %d paths", stage, rep.Paths)
@@ -63,6 +67,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := cte.New(core, cte.Options{MaxPaths: 1000}).Run()
+	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+		Budget: cte.Budget{MaxPaths: 1000},
+	}}).Run(context.Background())
 	fmt.Printf("clean sweep: %d paths, %d findings\n", rep.Paths, len(rep.Findings))
 }

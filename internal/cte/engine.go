@@ -18,6 +18,7 @@
 package cte
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"rvcte/internal/iss"
+	"rvcte/internal/obs"
 	"rvcte/internal/qcache"
 	"rvcte/internal/smt"
 )
@@ -68,11 +70,15 @@ type Input struct {
 	Score      float64 // coverage score inherited from the parent path
 }
 
-// Finding is an error uncovered during exploration.
+// Finding is an error uncovered during exploration. Concolic findings
+// carry the solved variable assignment (Input); hybrid findings carry
+// the raw input byte stream (Data) and the execution index (Exec).
 type Finding struct {
 	Err    *iss.SimError
 	Input  smt.Assignment
-	Path   int // index of the path that hit the error
+	Data   []byte // hybrid mode: the input stream that triggered it
+	Path   int    // index of the path that hit the error (concolic)
+	Exec   uint64 // global execution index of discovery (hybrid)
 	Output []byte
 	Instrs uint64
 	Trace  []iss.TraceEntry // last instructions, when TraceDepth was set
@@ -83,6 +89,10 @@ func (f Finding) String() string {
 }
 
 // Options tunes one exploration run.
+//
+// Deprecated: new code should use the unified Config/NewSession API;
+// Options remains as the concolic engine's internal configuration and
+// as a compatibility entry point.
 type Options struct {
 	MaxPaths       int           // stop after this many executed paths (0 = unlimited)
 	MaxInstrPerRun uint64        // per-path instruction budget (0 = snapshot default)
@@ -110,6 +120,9 @@ type Options struct {
 	// solver call. One cache is shared by every worker of a parallel run
 	// (it is internally synchronized); its counters land in Report.Cache.
 	Cache *qcache.Cache
+	// Obs, when non-nil, wires the run into the observability layer
+	// (metrics registry, tracer); see Config.Common.Obs.
+	Obs *obs.Obs
 }
 
 // AutoWorkers selects one exploration worker per CPU.
@@ -133,9 +146,13 @@ type WorkerStats struct {
 	SolverTime time.Duration
 }
 
-// Report aggregates the statistics the paper's tables use.
+// Report aggregates the statistics the paper's tables use. It is the
+// unified result of both engines: concolic runs fill the path-level
+// counters, hybrid runs additionally carry the Fuzz section; an
+// observability snapshot rides along when the run was wired.
 type Report struct {
-	Paths      int           // #paths column
+	Mode       Mode          // which engine produced this report
+	Paths      int           // #paths column (concolic)
 	Queries    int           // #queries column
 	SolverTime time.Duration // stime column (summed across workers)
 	WallTime   time.Duration // time column
@@ -146,6 +163,10 @@ type Report struct {
 	Findings   []Finding
 	Pruned     int
 	Exhausted  bool // queue drained (full exploration)
+	// Stopped says why the run ended: "exhausted" | "path-budget" |
+	// "exec-budget" | "timeout" | "stop-on-error" | "canceled" | "dry" |
+	// "escalation-budget".
+	Stopped string
 	// Covered holds every PC executed on any path (when
 	// Options.TrackCoverage or the Coverage strategy is active).
 	Covered map[uint32]struct{}
@@ -157,6 +178,12 @@ type Report struct {
 	// (nil otherwise). Queries then counts only the SAT queries that
 	// missed the cache.
 	Cache *qcache.Stats
+	// Fuzz is the hybrid-mode section (nil for pure concolic runs).
+	Fuzz *FuzzStats
+	// Obs is the final metric snapshot when the run carried an Obs
+	// bundle (nil otherwise). Its totals agree with the legacy counters
+	// above — the engine-level tests assert it.
+	Obs *obs.Snapshot
 }
 
 func (r *Report) String() string {
@@ -182,32 +209,68 @@ type Engine struct {
 	// callback never races with itself, but invocation order is
 	// scheduling-dependent.
 	OnPath func(path int, core *iss.Core)
+
+	// Observability handles (Options.Obs); nil-safe when unwired.
+	obsPaths, obsSat, obsUnsat, obsUnknown *obs.Counter
+	obsPruned, obsFindings                 *obs.Counter
+	issInstr, issExecs                     *obs.Counter
+	frontierG, coverG                      *obs.Gauge
+	pathHist                               *obs.Histogram
+	tracer                                 *obs.Tracer
 }
 
 // New creates an engine around a prepared VP snapshot. The snapshot is
 // never mutated; every path runs on a clone (paper §3.1.1).
+//
+// Deprecated: use NewSession — New remains as a compatibility wrapper
+// around the concolic half of the Session API.
 func New(snapshot *iss.Core, opt Options) *Engine {
 	solver := smt.NewSolver(snapshot.B)
 	solver.MaxConflictsPerQuery = opt.MaxConflictsPerQuery
-	return &Engine{
+	e := &Engine{
 		Builder:  snapshot.B,
 		Solver:   solver,
 		Snapshot: snapshot,
 		Opt:      opt,
 	}
+	if m := opt.Obs.Registry(); m != nil {
+		e.obsPaths = m.Counter("cte.paths")
+		e.obsSat = m.Counter("cte.sat_tcs")
+		e.obsUnsat = m.Counter("cte.unsat_tcs")
+		e.obsUnknown = m.Counter("cte.unknown_tcs")
+		e.obsPruned = m.Counter("cte.pruned")
+		e.obsFindings = m.Counter("cte.findings")
+		e.issInstr = m.Counter("iss.instr")
+		e.issExecs = m.Counter("iss.execs")
+		e.frontierG = m.Gauge("cte.frontier")
+		e.coverG = m.Gauge("cte.cover_pcs")
+		e.pathHist = m.Histogram("cte.path_us", obs.LatencyBoundsUS)
+		e.tracer = opt.Obs.Trace()
+		solver.SetObs(opt.Obs)
+		if opt.Cache != nil {
+			opt.Cache.SetObs(opt.Obs)
+		}
+	}
+	return e
 }
 
 // Run explores until the queue is exhausted or a budget is hit.
-func (e *Engine) Run() *Report {
+func (e *Engine) Run() *Report { return e.RunContext(context.Background()) }
+
+// RunContext is Run honoring cancellation: the sequential loop checks
+// ctx between paths and the parallel pool checks it at claim time, so
+// the run winds down within one path execution of ctx ending and still
+// returns a complete Report of the work done.
+func (e *Engine) RunContext(ctx context.Context) *Report {
 	// Freeze the snapshot's copy-on-write pages once, up front: Clone
 	// then never mutates shared state, making concurrent clones safe
 	// (and the sequential path identical).
 	e.Snapshot.Freeze()
 	var rep *Report
 	if w := e.Opt.effectiveWorkers(); w > 1 {
-		rep = e.runParallel(w)
+		rep = e.runParallel(ctx, w)
 	} else {
-		rep = e.runSequential()
+		rep = e.runSequential(ctx)
 	}
 	if e.Opt.Cache != nil {
 		st := e.Opt.Cache.Stats()
@@ -231,23 +294,42 @@ type pathResult struct {
 // executePath clones the snapshot, runs one input and solves its trace
 // conditions with the given solver. Only the (frozen) snapshot and the
 // internally-locked builder are shared; the caller merges the result
-// under its own synchronization.
-func (e *Engine) executePath(in Input, solver *smt.Solver) pathResult {
+// under its own synchronization. pathID is the claim-order index used
+// for trace events (it matches Report path indices only at Workers<=1).
+func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResult {
 	core := e.Snapshot.Clone()
 	core.Input = in.Assignment
 	core.Bound = in.Bound
+	core.ObsInstr = e.issInstr
+	core.ObsExecs = e.issExecs
 	if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
 		core.TrackCoverage = true
 	}
 	if e.Opt.TraceDepth > 0 {
 		core.TraceDepth = e.Opt.TraceDepth
 	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Ev: obs.EvPathStart, Path: pathID})
+	}
+	pathStart := time.Now()
 	// Count only instructions executed during this run (the snapshot may
 	// already carry pre-executed initialization, per the clone-after-init
 	// optimization).
 	startInstr := core.InstrCount
 	core.Run(e.Opt.MaxInstrPerRun)
 	res := pathResult{core: core, instrs: core.InstrCount - startInstr}
+	dur := time.Since(pathStart)
+	e.pathHist.ObserveDuration(dur)
+	if e.tracer != nil {
+		status := "ok"
+		if core.Err != nil {
+			status = core.Err.Kind.String()
+		} else if core.Exited {
+			status = "exit"
+		}
+		e.tracer.Emit(obs.Event{Ev: obs.EvPathEnd, Path: pathID,
+			DurUS: dur.Microseconds(), N: int64(res.instrs), Result: status})
+	}
 
 	if e.Opt.StopOnError {
 		if f, prune := findingOf(core, 0); f != nil && !prune {
@@ -315,7 +397,7 @@ func childKey(b *smt.Builder, in Input) string {
 }
 
 // runSequential is the deterministic single-worker engine.
-func (e *Engine) runSequential() *Report {
+func (e *Engine) runSequential(ctx context.Context) *Report {
 	start := time.Now()
 	rep := &Report{Workers: 1}
 	rng := rand.New(rand.NewSource(e.Opt.Seed + 1))
@@ -326,16 +408,23 @@ func (e *Engine) runSequential() *Report {
 	seen := map[string]bool{} // dedup of (bound, assignment) pairs
 
 	for front.len() > 0 {
+		if ctx.Err() != nil {
+			rep.Stopped = "canceled"
+			break
+		}
 		if e.Opt.MaxPaths > 0 && rep.Paths >= e.Opt.MaxPaths {
+			rep.Stopped = "path-budget"
 			break
 		}
 		if e.Opt.Timeout > 0 && time.Since(start) > e.Opt.Timeout {
+			rep.Stopped = "timeout"
 			break
 		}
 		in := front.pop()
-		res := e.executePath(in, e.Solver)
+		res := e.executePath(in, e.Solver, rep.Paths)
 		core := res.core
 		rep.Paths++
+		e.obsPaths.Inc()
 		rep.TotalInstr += res.instrs
 		if e.OnPath != nil {
 			e.OnPath(rep.Paths-1, core)
@@ -351,13 +440,17 @@ func (e *Engine) runSequential() *Report {
 					score++
 				}
 			}
+			e.coverG.Set(int64(len(globalCover)))
 		}
 
 		if f, prune := findingOf(core, rep.Paths-1); prune {
 			rep.Pruned++
+			e.obsPruned.Inc()
 		} else if f != nil {
 			rep.Findings = append(rep.Findings, *f)
+			e.recordFinding(f)
 			if e.Opt.StopOnError {
+				rep.Stopped = "stop-on-error"
 				rep.Covered = globalCover
 				rep.WallTime = time.Since(start)
 				e.fillSolverStats(rep)
@@ -368,6 +461,9 @@ func (e *Engine) runSequential() *Report {
 		rep.SatTCs += res.sat
 		rep.UnsatTCs += res.unsat
 		rep.UnknownTCs += res.unknown
+		e.obsSat.Add(int64(res.sat))
+		e.obsUnsat.Add(int64(res.unsat))
+		e.obsUnknown.Add(int64(res.unknown))
 		for _, ch := range res.children {
 			key := childKey(e.Builder, ch)
 			if seen[key] {
@@ -377,12 +473,25 @@ func (e *Engine) runSequential() *Report {
 			ch.Score = score
 			front.push(ch)
 		}
+		e.frontierG.Set(int64(front.len()))
 	}
 	rep.Exhausted = front.len() == 0
+	if rep.Stopped == "" && rep.Exhausted {
+		rep.Stopped = "exhausted"
+	}
 	rep.Covered = globalCover
 	rep.WallTime = time.Since(start)
 	e.fillSolverStats(rep)
 	return rep
+}
+
+// recordFinding mirrors one finding into the observability layer.
+func (e *Engine) recordFinding(f *Finding) {
+	e.obsFindings.Inc()
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{Ev: obs.EvFinding, Path: f.Path,
+			PC: f.Err.PC, Err: f.Err.Error()})
+	}
 }
 
 func (e *Engine) fillSolverStats(rep *Report) {

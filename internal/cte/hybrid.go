@@ -1,6 +1,8 @@
 package cte
 
 import (
+	"context"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -8,12 +10,16 @@ import (
 
 	"rvcte/internal/fuzz"
 	"rvcte/internal/iss"
+	"rvcte/internal/obs"
 	"rvcte/internal/qcache"
 	"rvcte/internal/smt"
 )
 
 // HybridOptions tunes a hybrid (Driller-style) run: cheap concrete
 // fuzzing by default, concolic branch-solving when coverage stalls.
+//
+// Deprecated: use Config with Mode == ModeHybrid; HybridOptions remains
+// as a compatibility shim for RunHybrid.
 type HybridOptions struct {
 	Seed    int64
 	Workers int // fuzz executors and concolic solve workers (-j)
@@ -51,7 +57,38 @@ type HybridOptions struct {
 	Seeds [][]byte
 }
 
+// config lowers the deprecated option struct to the unified Config.
+func (o HybridOptions) config() Config {
+	return Config{
+		Common: Common{
+			Workers: o.Workers,
+			Budget: Budget{
+				Timeout:              o.Timeout,
+				MaxInstrPerRun:       o.MaxInstrPerRun,
+				MaxConflictsPerQuery: o.MaxConflictsPerQuery,
+				MaxExecs:             o.MaxExecs,
+				MaxEscalations:       o.MaxEscalations,
+			},
+			Cache:       o.Cache,
+			Seed:        o.Seed,
+			StopOnError: o.StopOnError,
+		},
+		Mode: ModeHybrid,
+		Fuzz: FuzzConfig{
+			Batch:                 o.FuzzBatch,
+			StallExecs:            o.StallExecs,
+			MapBits:               o.MapBits,
+			MaxFlipsPerEscalation: o.MaxFlipsPerEscalation,
+			DryEscalations:        o.DryEscalations,
+			Seeds:                 o.Seeds,
+		},
+	}
+}
+
 // HybridReport aggregates both sides of a hybrid run.
+//
+// Deprecated: Session.Run returns the unified Report (Fuzz section set);
+// HybridReport remains as RunHybrid's compatibility result type.
 type HybridReport struct {
 	Workers  int
 	Fuzz     fuzz.Stats
@@ -81,9 +118,45 @@ type HybridReport struct {
 	Corpus [][]byte
 }
 
+// RunHybrid executes a hybrid fuzzing campaign over the snapshot.
+//
+// Deprecated: use NewSession with Mode == ModeHybrid; RunHybrid wraps it
+// and reshapes the unified Report into the legacy HybridReport.
+func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
+	if opt.Workers <= 0 {
+		opt.Workers = 1 // legacy semantics: no AutoWorkers
+	}
+	rep := runHybrid(context.Background(), snapshot, opt.config())
+	h := &HybridReport{
+		Workers:        rep.Workers,
+		Fuzz:           rep.Fuzz.Stats,
+		Escalations:    rep.Fuzz.Escalations,
+		ReplayedInstrs: rep.Fuzz.ReplayedInstrs,
+		Solves:         rep.Fuzz.Solves,
+		FlipsAttempted: rep.Fuzz.FlipsAttempted,
+		Queries:        rep.Queries,
+		SatTCs:         rep.SatTCs,
+		UnsatTCs:       rep.UnsatTCs,
+		UnknownTCs:     rep.UnknownTCs,
+		SolverTime:     rep.SolverTime,
+		WallTime:       rep.WallTime,
+		SkipInitInstrs: rep.Fuzz.SkipInitInstrs,
+		Stopped:        rep.Stopped,
+		Cache:          rep.Cache,
+		Corpus:         rep.Fuzz.Corpus,
+	}
+	for _, f := range rep.Findings {
+		h.Findings = append(h.Findings, fuzz.Finding{
+			Err: f.Err, Data: f.Data, Exec: f.Exec,
+			Output: f.Output, Instrs: f.Instrs,
+		})
+	}
+	return h
+}
+
 // hybrid is the driver state for one run.
 type hybrid struct {
-	opt     HybridOptions
+	cfg     Config
 	snap    *iss.Core // working snapshot (possibly advanced past init)
 	builder *smt.Builder
 	fz      *fuzz.Fuzzer
@@ -92,25 +165,35 @@ type hybrid struct {
 	// conjunction — a condition alone is not enough, since it may be
 	// unsat under one prefix and sat under another.
 	attempted map[string]bool
-	rep       *HybridReport
+	rep       *Report
+	fs        *FuzzStats
+
+	// Observability handles (Config.Obs); nil-safe when unwired.
+	obsEsc, obsFlips, obsSolves, obsReplayed *obs.Counter
+	issInstr                                 *obs.Counter
+	tracer                                   *obs.Tracer
 }
 
-// RunHybrid executes a hybrid fuzzing campaign over the snapshot.
-func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
-	if opt.Workers <= 0 {
-		opt.Workers = 1
+// runHybrid executes a hybrid fuzzing campaign over the snapshot and
+// reports in the unified Report shape (Fuzz section filled).
+func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
+	if cfg.Workers < 0 {
+		cfg.Workers = runtime.NumCPU()
 	}
-	if opt.FuzzBatch <= 0 {
-		opt.FuzzBatch = 500
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
 	}
-	if opt.StallExecs == 0 {
-		opt.StallExecs = uint64(opt.FuzzBatch)
+	if cfg.Fuzz.Batch <= 0 {
+		cfg.Fuzz.Batch = 500
 	}
-	if opt.MaxFlipsPerEscalation <= 0 {
-		opt.MaxFlipsPerEscalation = 64
+	if cfg.Fuzz.StallExecs == 0 {
+		cfg.Fuzz.StallExecs = uint64(cfg.Fuzz.Batch)
 	}
-	if opt.DryEscalations <= 0 {
-		opt.DryEscalations = 3
+	if cfg.Fuzz.MaxFlipsPerEscalation <= 0 {
+		cfg.Fuzz.MaxFlipsPerEscalation = 64
+	}
+	if cfg.Fuzz.DryEscalations <= 0 {
+		cfg.Fuzz.DryEscalations = 3
 	}
 
 	start := time.Now()
@@ -118,42 +201,61 @@ func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
 	working, skipped := advancePastInput(snapshot)
 
 	h := &hybrid{
-		opt:       opt,
+		cfg:       cfg,
 		snap:      working,
 		builder:   snapshot.B,
 		attempted: make(map[string]bool),
-		rep:       &HybridReport{Workers: opt.Workers, SkipInitInstrs: skipped},
+		rep:       &Report{Mode: ModeHybrid, Workers: cfg.Workers},
+		fs:        &FuzzStats{SkipInitInstrs: skipped},
+	}
+	h.rep.Fuzz = h.fs
+	if m := cfg.Obs.Registry(); m != nil {
+		h.obsEsc = m.Counter("hybrid.escalations")
+		h.obsFlips = m.Counter("hybrid.flips_attempted")
+		h.obsSolves = m.Counter("hybrid.solves")
+		h.obsReplayed = m.Counter("hybrid.replayed_instr")
+		h.issInstr = m.Counter("iss.instr")
+		h.tracer = cfg.Obs.Trace()
+		if cfg.Cache != nil {
+			cfg.Cache.SetObs(cfg.Obs)
+		}
 	}
 	h.fz = fuzz.New(working, fuzz.Options{
-		Seed:           opt.Seed,
-		Workers:        opt.Workers,
-		MaxInstrPerRun: opt.MaxInstrPerRun,
-		MapBits:        opt.MapBits,
-		Seeds:          opt.Seeds,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		MaxInstrPerRun: cfg.Budget.MaxInstrPerRun,
+		MapBits:        cfg.Fuzz.MapBits,
+		Seeds:          cfg.Fuzz.Seeds,
+		Obs:            cfg.Obs,
 	})
-	for i := 0; i < opt.Workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		s := smt.NewSolver(snapshot.B)
-		s.MaxConflictsPerQuery = opt.MaxConflictsPerQuery
+		s.MaxConflictsPerQuery = cfg.Budget.MaxConflictsPerQuery
+		s.SetObs(cfg.Obs)
 		h.solvers = append(h.solvers, s)
 	}
 
 	dry := 0
 	for {
+		if ctx.Err() != nil {
+			h.rep.Stopped = "canceled"
+			break
+		}
 		st := h.fz.Stats()
-		if opt.MaxExecs > 0 && st.Execs >= opt.MaxExecs {
+		if cfg.Budget.MaxExecs > 0 && st.Execs >= cfg.Budget.MaxExecs {
 			h.rep.Stopped = "exec-budget"
 			break
 		}
-		if opt.Timeout > 0 && time.Since(start) > opt.Timeout {
+		if cfg.Budget.Timeout > 0 && time.Since(start) > cfg.Budget.Timeout {
 			h.rep.Stopped = "timeout"
 			break
 		}
-		if h.fz.SinceNewCover() >= opt.StallExecs {
+		if h.fz.SinceNewCover() >= cfg.Fuzz.StallExecs {
 			// Coverage stalled: escalate the most deserving corpus entry.
 			// A fruitless escalation retries the next entry immediately —
 			// fuzz batches are only worth their cost when there are solved
 			// inputs to execute or coverage is still moving.
-			if opt.MaxEscalations > 0 && h.rep.Escalations >= opt.MaxEscalations {
+			if cfg.Budget.MaxEscalations > 0 && h.fs.Escalations >= cfg.Budget.MaxEscalations {
 				h.rep.Stopped = "escalation-budget"
 				break
 			}
@@ -161,10 +263,11 @@ func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
 			if !ok {
 				data = []byte{} // empty corpus: escalate the baseline input
 			}
-			h.rep.Escalations++
-			if h.escalate(data, bound) == 0 {
+			h.fs.Escalations++
+			h.obsEsc.Inc()
+			if h.escalate(ctx, data, bound) == 0 {
 				dry++
-				if dry >= opt.DryEscalations {
+				if dry >= cfg.Fuzz.DryEscalations {
 					h.rep.Stopped = "dry"
 					break
 				}
@@ -172,29 +275,45 @@ func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
 			}
 			dry = 0
 		}
-		batch := opt.FuzzBatch
-		if opt.MaxExecs > 0 && st.Execs+uint64(batch) > opt.MaxExecs {
-			batch = int(opt.MaxExecs - st.Execs)
+		batch := cfg.Fuzz.Batch
+		if cfg.Budget.MaxExecs > 0 && st.Execs+uint64(batch) > cfg.Budget.MaxExecs {
+			batch = int(cfg.Budget.MaxExecs - st.Execs)
 		}
-		h.fz.RunBatch(batch)
-		if opt.StopOnError && len(h.fz.Findings()) > 0 {
+		batchStart := time.Now()
+		h.fz.RunBatchContext(ctx, batch)
+		if h.tracer != nil {
+			after := h.fz.Stats()
+			h.tracer.Emit(obs.Event{Ev: obs.EvFuzzBatch,
+				DurUS: time.Since(batchStart).Microseconds(),
+				N:     int64(after.Execs - st.Execs), N2: int64(after.Edges)})
+		}
+		if cfg.StopOnError && len(h.fz.Findings()) > 0 {
 			h.rep.Stopped = "stop-on-error"
 			break
 		}
 	}
 
-	h.rep.Fuzz = h.fz.Stats()
-	h.rep.Findings = h.fz.Findings()
+	h.fs.Stats = h.fz.Stats()
+	for _, f := range h.fz.Findings() {
+		h.rep.Findings = append(h.rep.Findings, Finding{
+			Err: f.Err, Data: f.Data, Exec: f.Exec,
+			Output: f.Output, Instrs: f.Instrs,
+		})
+		if h.tracer != nil {
+			h.tracer.Emit(obs.Event{Ev: obs.EvFinding,
+				PC: f.Err.PC, Err: f.Err.Error(), N: int64(f.Exec)})
+		}
+	}
 	for _, e := range h.fz.Corpus() {
-		h.rep.Corpus = append(h.rep.Corpus, e.Data)
+		h.fs.Corpus = append(h.fs.Corpus, e.Data)
 	}
 	for _, s := range h.solvers {
 		h.rep.Queries += s.Stats.Queries
 		h.rep.SolverTime += s.Stats.SolverTime
 	}
 	h.rep.WallTime = time.Since(start)
-	if opt.Cache != nil {
-		st := opt.Cache.Stats()
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
 		h.rep.Cache = &st
 	}
 	return h.rep
@@ -204,16 +323,21 @@ func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
 // bound, so already-flipped sites stay quiet), solves the unattempted
 // branch flips along its path across the worker pool, and injects every
 // model back into the fuzzer. Returns the number of injected inputs.
-func (h *hybrid) escalate(data []byte, bound int) int {
+func (h *hybrid) escalate(ctx context.Context, data []byte, bound int) int {
+	escStart := time.Now()
 	c := h.snap.Clone()
 	if data == nil {
 		data = []byte{}
 	}
 	c.FuzzInput = data // replay mode: stream supplies bytes, vars are minted
 	c.Bound = bound
+	// Replays charge iss.instr (total simulated work) but not iss.execs,
+	// which counts fuzz executions only.
+	c.ObsInstr = h.issInstr
 	startInstr := c.InstrCount
-	c.Run(h.opt.MaxInstrPerRun)
-	h.rep.ReplayedInstrs += c.InstrCount - startInstr
+	c.Run(h.cfg.Budget.MaxInstrPerRun)
+	h.fs.ReplayedInstrs += c.InstrCount - startInstr
+	h.obsReplayed.Add(int64(c.InstrCount - startInstr))
 
 	// Flip-target selection. Two filters pick which trace conditions are
 	// worth solver time this escalation:
@@ -265,6 +389,7 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 	type job struct {
 		conds   []*smt.Expr
 		siteIdx int
+		flipTo  uint32
 	}
 	var picks []cand
 	for _, cd := range chosen {
@@ -284,7 +409,7 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 	})
 	var jobs []job
 	for _, pk := range picks {
-		if len(jobs) >= h.opt.MaxFlipsPerEscalation {
+		if len(jobs) >= h.cfg.Fuzz.MaxFlipsPerEscalation {
 			break
 		}
 		tc := c.Trace[pk.trace]
@@ -292,9 +417,10 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 		conds := make([]*smt.Expr, 0, tc.EPCLen+1)
 		conds = append(conds, c.EPC[:tc.EPCLen]...)
 		conds = append(conds, tc.Cond)
-		jobs = append(jobs, job{conds: conds, siteIdx: tc.SiteIdx})
+		jobs = append(jobs, job{conds: conds, siteIdx: tc.SiteIdx, flipTo: tc.FlipTo})
 	}
-	h.rep.FlipsAttempted += len(jobs)
+	h.fs.FlipsAttempted += len(jobs)
+	h.obsFlips.Add(int64(len(jobs)))
 	if len(jobs) == 0 {
 		return 0
 	}
@@ -303,7 +429,7 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	next := 0
-	workers := h.opt.Workers
+	workers := h.cfg.Workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -312,6 +438,9 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 		go func(solver *smt.Solver) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return // unclaimed flips stay unsolved; the driver stops next
+				}
 				mu.Lock()
 				if next >= len(jobs) {
 					mu.Unlock()
@@ -322,11 +451,11 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 				mu.Unlock()
 				var ok, unk bool
 				var model smt.Assignment
-				if h.opt.Cache != nil {
+				if h.cfg.Cache != nil {
 					// The incumbent replay satisfied the whole prefix:
 					// its assignment is the slicing hint (same contract
 					// as the pure-concolic engine).
-					ok, model, unk = h.opt.Cache.Check(solver, jobs[i].conds, c.Input)
+					ok, model, unk = h.cfg.Cache.Check(solver, jobs[i].conds, c.Input)
 				} else {
 					ok, model, unk = solver.Check(jobs[i].conds...)
 				}
@@ -356,8 +485,17 @@ func (h *hybrid) escalate(data []byte, bound int) int {
 		}
 		h.fz.Inject(solvedInput(data, c.SymOrder, h.builder, m), jobs[i].siteIdx+1)
 		injected++
+		if h.tracer != nil {
+			h.tracer.Emit(obs.Event{Ev: obs.EvFlipSolved, PC: jobs[i].flipTo})
+		}
 	}
-	h.rep.Solves += injected
+	h.fs.Solves += injected
+	h.obsSolves.Add(int64(injected))
+	if h.tracer != nil {
+		h.tracer.Emit(obs.Event{Ev: obs.EvEscalation,
+			DurUS: time.Since(escStart).Microseconds(),
+			N:     int64(len(jobs)), N2: int64(injected)})
+	}
 	return injected
 }
 

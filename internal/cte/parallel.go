@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 // workers when children are enqueued or the run stops.
 type parallelRun struct {
 	e    *Engine
+	ctx  context.Context
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -29,15 +31,28 @@ type parallelRun struct {
 	abandon  bool // stopped with work left (timeout / StopOnError finding)
 }
 
+// halt marks the run stopped with the given reason (the first reason
+// wins). Called with x.mu held.
+func (x *parallelRun) halt(reason string, abandon bool) {
+	x.stop = true
+	if abandon {
+		x.abandon = true
+	}
+	if x.rep.Stopped == "" {
+		x.rep.Stopped = reason
+	}
+}
+
 // runParallel explores with a pool of workers. Each worker clones the
 // frozen snapshot, executes one path on its own core and solves the
 // trace conditions on its own solver; results are merged under the run
 // lock. Path order depends on scheduling; the explored path set, dedup
 // and findings do not (paths are independent by construction, §3.1.1).
-func (e *Engine) runParallel(workers int) *Report {
+func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 	start := time.Now()
 	x := &parallelRun{
 		e:     e,
+		ctx:   ctx,
 		front: newFrontier(e.Opt.Strategy, rand.New(rand.NewSource(e.Opt.Seed+1))),
 		seen:  map[string]bool{},
 		cover: make(map[uint32]struct{}),
@@ -53,11 +68,25 @@ func (e *Engine) runParallel(workers int) *Report {
 		// wakes workers blocked waiting for new queue entries.
 		timer = time.AfterFunc(e.Opt.Timeout, func() {
 			x.mu.Lock()
-			x.stop = true
-			x.abandon = true
+			x.halt("timeout", true)
 			x.mu.Unlock()
 			x.cond.Broadcast()
 		})
+	}
+	// Cancellation watcher: wakes blocked workers when ctx ends. The
+	// run-done channel stops the watcher on normal completion.
+	runDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				x.mu.Lock()
+				x.halt("canceled", true)
+				x.mu.Unlock()
+				x.cond.Broadcast()
+			case <-runDone:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -69,12 +98,20 @@ func (e *Engine) runParallel(workers int) *Report {
 		}(w)
 	}
 	wg.Wait()
+	close(runDone)
 	if timer != nil {
 		timer.Stop()
 	}
 
 	rep := x.rep
 	rep.Exhausted = !x.abandon && x.front.len() == 0
+	if rep.Stopped == "" {
+		if rep.Exhausted {
+			rep.Stopped = "exhausted"
+		} else if x.e.Opt.MaxPaths > 0 && x.started >= x.e.Opt.MaxPaths {
+			rep.Stopped = "path-budget"
+		}
+	}
 	rep.Covered = x.cover
 	rep.WallTime = time.Since(start)
 	for _, ws := range rep.PerWorker {
@@ -90,6 +127,7 @@ func (e *Engine) runParallel(workers int) *Report {
 func (x *parallelRun) worker(id int) {
 	solver := smt.NewSolver(x.e.Builder)
 	solver.MaxConflictsPerQuery = x.e.Opt.MaxConflictsPerQuery
+	solver.SetObs(x.e.Opt.Obs)
 	paths := 0
 	for {
 		x.mu.Lock()
@@ -102,23 +140,32 @@ func (x *parallelRun) worker(id int) {
 			x.finish(id, solver, paths)
 			return
 		}
+		// Claim-time ctx check: the watcher goroutine wakes blocked
+		// workers, but a busy pool can drain a small queue before the
+		// watcher is ever scheduled — polling here makes cancellation
+		// take effect within one path execution regardless.
+		if x.ctx.Err() != nil {
+			x.halt("canceled", true)
+			x.finish(id, solver, paths)
+			return
+		}
 		if x.e.Opt.MaxPaths > 0 && x.started >= x.e.Opt.MaxPaths {
-			x.stop = true
+			x.halt("path-budget", false)
 			x.finish(id, solver, paths)
 			return
 		}
 		if !x.deadline.IsZero() && !time.Now().Before(x.deadline) {
-			x.stop = true
-			x.abandon = true
+			x.halt("timeout", true)
 			x.finish(id, solver, paths)
 			return
 		}
 		in := x.front.pop()
+		pathID := x.started
 		x.started++
 		x.inflight++
 		x.mu.Unlock()
 
-		res := x.e.executePath(in, solver)
+		res := x.e.executePath(in, solver, pathID)
 		paths++
 
 		x.mu.Lock()
@@ -149,6 +196,7 @@ func (x *parallelRun) merge(res pathResult) {
 	core := res.core
 	path := rep.Paths
 	rep.Paths++
+	e.obsPaths.Inc()
 	rep.TotalInstr += res.instrs
 	if e.OnPath != nil {
 		// Serialized under the run lock; order is scheduling-dependent.
@@ -163,24 +211,29 @@ func (x *parallelRun) merge(res pathResult) {
 				score++
 			}
 		}
+		e.coverG.Set(int64(len(x.cover)))
 	}
 
 	if f, prune := findingOf(core, path); prune {
 		rep.Pruned++
+		e.obsPruned.Inc()
 	} else if f != nil {
 		rep.Findings = append(rep.Findings, *f)
+		e.recordFinding(f)
 		if e.Opt.StopOnError {
 			// In-flight siblings still merge their results, so the
 			// report may carry more than one finding; no new paths are
 			// claimed after this point.
-			x.stop = true
-			x.abandon = true
+			x.halt("stop-on-error", true)
 		}
 	}
 
 	rep.SatTCs += res.sat
 	rep.UnsatTCs += res.unsat
 	rep.UnknownTCs += res.unknown
+	e.obsSat.Add(int64(res.sat))
+	e.obsUnsat.Add(int64(res.unsat))
+	e.obsUnknown.Add(int64(res.unknown))
 	if x.stop {
 		return
 	}
@@ -193,4 +246,5 @@ func (x *parallelRun) merge(res pathResult) {
 		ch.Score = score
 		x.front.push(ch)
 	}
+	e.frontierG.Set(int64(x.front.len()))
 }

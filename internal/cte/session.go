@@ -1,0 +1,183 @@
+package cte
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rvcte/internal/fuzz"
+	"rvcte/internal/iss"
+	"rvcte/internal/obs"
+	"rvcte/internal/qcache"
+)
+
+// Mode selects which exploration engine a Session runs.
+type Mode int
+
+const (
+	// ModeConcolic is the paper's pure concolic engine: every path runs
+	// fully symbolically and every trace condition is solved.
+	ModeConcolic Mode = iota
+	// ModeHybrid is the Driller-style campaign: cheap concrete fuzzing
+	// with concolic branch-solving when coverage stalls.
+	ModeHybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeConcolic:
+		return "concolic"
+	case ModeHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Budget bounds a run along every axis; zero values mean unlimited
+// (except MaxInstrPerRun, where zero selects the snapshot's default).
+type Budget struct {
+	Timeout        time.Duration // wall-clock budget
+	MaxPaths       int           // concolic: executed-path budget
+	MaxInstrPerRun uint64        // per-execution instruction budget
+	// MaxConflictsPerQuery bounds each individual solver query; a query
+	// exceeding it counts as an unknown TC instead of blocking the run.
+	MaxConflictsPerQuery int
+	MaxExecs             uint64 // hybrid: concrete-execution budget
+	MaxEscalations       int    // hybrid: concolic escalation budget
+}
+
+// Common is the configuration core shared by both engines.
+type Common struct {
+	// Workers sizes the worker pool: exploration workers in concolic
+	// mode, fuzz executors plus flip-solve workers in hybrid mode. 0 or
+	// 1 is sequential and deterministic; AutoWorkers picks NumCPU.
+	Workers int
+	Budget  Budget
+	// Cache, when non-nil, is the SMT query cache consulted before any
+	// solver call, shared by every worker (internally synchronized).
+	Cache *qcache.Cache
+	// Strategy orders the concolic frontier (BFS/DFS/Random/Coverage).
+	// Hybrid mode ignores it (the corpus energy schedule decides).
+	Strategy Strategy
+	// Obs, when non-nil, wires the whole run — engines, solvers, cache,
+	// fuzzer, ISS — into one observability bundle; the final Report
+	// carries its snapshot.
+	Obs         *obs.Obs
+	Seed        int64 // PRNG seed; runs are reproducible for a fixed seed at Workers <= 1
+	StopOnError bool  // stop at the first finding (paper §4.2.3 workflow)
+}
+
+// FuzzConfig tunes hybrid mode; zero values select the documented
+// defaults. Concolic mode ignores it.
+type FuzzConfig struct {
+	// Batch is the number of concrete executions between stall checks
+	// (default 500). StallExecs is the number of executions without new
+	// coverage that triggers a concolic escalation (default Batch).
+	Batch      int
+	StallExecs uint64
+	MapBits    int // edge map size (log2; default 16)
+	// MaxFlipsPerEscalation bounds the branch flips solved per
+	// escalation (default 64). DryEscalations stops the run after this
+	// many consecutive fruitless escalations (default 3).
+	MaxFlipsPerEscalation int
+	DryEscalations        int
+	// Seeds are initial corpus inputs (e.g. a persisted corpus dir).
+	Seeds [][]byte
+}
+
+// Config is the unified configuration of a Session: the Common core
+// plus per-mode extensions. It replaces the Options/HybridOptions split.
+type Config struct {
+	Common
+	Mode Mode
+
+	// Concolic-mode extensions.
+	TrackCoverage bool // aggregate executed PCs into Report.Covered
+	TraceDepth    int  // diagnostic instruction ring for findings
+
+	// Hybrid-mode extensions.
+	Fuzz FuzzConfig
+}
+
+// engineOptions lowers a Config to the legacy Options the concolic
+// engine runs on.
+func (c Config) engineOptions() Options {
+	return Options{
+		MaxPaths:             c.Budget.MaxPaths,
+		MaxInstrPerRun:       c.Budget.MaxInstrPerRun,
+		Timeout:              c.Budget.Timeout,
+		Strategy:             c.Strategy,
+		StopOnError:          c.StopOnError,
+		Seed:                 c.Seed,
+		TrackCoverage:        c.TrackCoverage,
+		TraceDepth:           c.TraceDepth,
+		Workers:              c.Workers,
+		MaxConflictsPerQuery: c.Budget.MaxConflictsPerQuery,
+		Cache:                c.Cache,
+		Obs:                  c.Obs,
+	}
+}
+
+// FuzzStats is the hybrid-mode section of a Report: the concrete
+// fuzzer's counters plus the concolic-assist driver's.
+type FuzzStats struct {
+	fuzz.Stats
+
+	Escalations    int    // concolic escalations triggered by stalls
+	ReplayedInstrs uint64 // instructions spent on concolic replays
+	FlipsAttempted int    // flip queries issued
+	Solves         int    // solved branch flips injected back
+	// SkipInitInstrs is the shared initialization prefix executed once
+	// and frozen into the working snapshot instead of being re-run on
+	// every execution.
+	SkipInitInstrs uint64
+	// Corpus is the final corpus input data, in admission order (the
+	// CLI persists it for corpus-dir warm starts).
+	Corpus [][]byte `json:"-"`
+}
+
+// Session is the single entry point for both exploration engines: build
+// one with NewSession and call Run. The snapshot is never mutated;
+// every execution runs on a clone (paper §3.1.1).
+type Session struct {
+	snap *iss.Core
+	cfg  Config
+
+	// OnPath, when set before Run, observes every executed core in
+	// concolic mode (same contract as Engine.OnPath: serialized, but
+	// scheduling-ordered with Workers > 1). Hybrid mode ignores it.
+	OnPath func(path int, core *iss.Core)
+}
+
+// NewSession prepares a run of cfg's Mode over the snapshot.
+func NewSession(snapshot *iss.Core, cfg Config) *Session {
+	if cfg.Cache != nil {
+		cfg.Cache.SetObs(cfg.Obs)
+	}
+	return &Session{snap: snapshot, cfg: cfg}
+}
+
+// Run executes the session until a budget is hit, the state space is
+// exhausted, or ctx is canceled (Report.Stopped says which). Workers
+// and fuzz batches observe cancellation within one execution, so an
+// interrupt tears the run down promptly with a complete Report of the
+// work done so far.
+func (s *Session) Run(ctx context.Context) *Report {
+	start := time.Now()
+	var rep *Report
+	switch s.cfg.Mode {
+	case ModeHybrid:
+		rep = runHybrid(ctx, s.snap, s.cfg)
+	default:
+		eng := New(s.snap, s.cfg.engineOptions())
+		eng.OnPath = s.OnPath
+		rep = eng.RunContext(ctx)
+	}
+	rep.Mode = s.cfg.Mode
+	rep.Obs = s.cfg.Obs.Snapshot()
+	if tr := s.cfg.Obs.Trace(); tr != nil {
+		tr.Emit(obs.Event{Ev: obs.EvRunEnd,
+			DurUS: time.Since(start).Microseconds(), Class: rep.Stopped})
+	}
+	return rep
+}

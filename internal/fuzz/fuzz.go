@@ -8,12 +8,14 @@
 package fuzz
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"rvcte/internal/iss"
+	"rvcte/internal/obs"
 )
 
 // Options configures a Fuzzer.
@@ -32,6 +34,10 @@ type Options struct {
 	// (e.g. a corpus directory loaded by the CLI). They run exactly as
 	// given and join the corpus if they add coverage.
 	Seeds [][]byte
+	// Obs, when non-nil, wires the fuzzer into the shared observability
+	// layer: "fuzz.*" counters/gauges mirror Stats live, and every clone
+	// feeds the global "iss.instr"/"iss.execs" counters.
+	Obs *obs.Obs
 }
 
 // Finding is one deduplicated crash/bug discovered by concrete execution.
@@ -94,6 +100,14 @@ type Fuzzer struct {
 	seenBug   map[findingKey]bool
 	stats     Stats
 	maxDemand int
+
+	// Observability mirrors (Options.Obs); nil-safe when unwired. The
+	// mutex-guarded stats stay the source of truth, these feed the live
+	// registry.
+	obsExecs, obsPruned, obsFindings, obsInjected *obs.Counter
+	issInstr, issExecs                            *obs.Counter
+	obsCorpus, obsEdges                           *obs.Gauge
+	edgeEntries                                   int // nonzero virgin entries (mirrors Stats.Edges)
 }
 
 // New freezes snap and builds a fuzzer around it. The queue starts with
@@ -130,15 +144,34 @@ func New(snap *iss.Core, opt Options) *Fuzzer {
 			edge: make([]byte, 1<<opt.MapBits),
 		})
 	}
+	if m := opt.Obs.Registry(); m != nil {
+		f.obsExecs = m.Counter("fuzz.execs")
+		f.obsPruned = m.Counter("fuzz.pruned")
+		f.obsFindings = m.Counter("fuzz.findings")
+		f.obsInjected = m.Counter("fuzz.injected")
+		f.issInstr = m.Counter("iss.instr")
+		f.issExecs = m.Counter("iss.execs")
+		f.obsCorpus = m.Gauge("fuzz.corpus")
+		f.obsEdges = m.Gauge("fuzz.edges")
+	}
 	return f
 }
 
 // RunBatch executes n fuzz iterations across the configured workers and
 // returns when all have finished. At Workers=1 the schedule is fully
 // deterministic for a fixed seed.
-func (f *Fuzzer) RunBatch(n int) {
+func (f *Fuzzer) RunBatch(n int) { f.RunBatchContext(context.Background(), n) }
+
+// RunBatchContext is RunBatch honoring cancellation: workers check the
+// context between executions, so the batch returns at most one
+// execution per worker after ctx is done. The schedule at Workers=1 is
+// unchanged for an uncancelled context.
+func (f *Fuzzer) RunBatchContext(ctx context.Context, n int) {
 	if f.opt.Workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			f.step(f.ws[0])
 		}
 		return
@@ -149,7 +182,7 @@ func (f *Fuzzer) RunBatch(n int) {
 		wg.Add(1)
 		go func(ws *workerState) {
 			defer wg.Done()
-			for atomic.AddInt64(&remaining, -1) >= 0 {
+			for atomic.AddInt64(&remaining, -1) >= 0 && ctx.Err() == nil {
 				f.step(ws)
 			}
 		}(ws)
@@ -167,6 +200,8 @@ func (f *Fuzzer) step(ws *workerState) {
 	c := f.snap.Clone()
 	c.ConcreteOnly = true
 	c.FuzzInput = data
+	c.ObsInstr = f.issInstr
+	c.ObsExecs = f.issExecs
 	clear(ws.edge)
 	c.EdgeMap = ws.edge
 	// The snapshot may carry pre-executed initialization (skip-init
@@ -247,6 +282,7 @@ func (f *Fuzzer) mergeLocked(q queued, c *iss.Core, instrs uint64, edge []byte) 
 	data := q.data
 	f.stats.Execs++
 	f.stats.TotalInstr += instrs
+	f.obsExecs.Inc()
 	if c.FuzzPos > f.maxDemand {
 		f.maxDemand = c.FuzzPos
 	}
@@ -255,12 +291,14 @@ func (f *Fuzzer) mergeLocked(q queued, c *iss.Core, instrs uint64, edge []byte) 
 		switch c.Err.Kind {
 		case iss.ErrAssumeFail:
 			f.stats.Pruned++
+			f.obsPruned.Inc()
 		case iss.ErrLimit:
 			// Budget exhaustion is exploration noise, not a bug.
 		default:
 			k := findingKey{kind: c.Err.Kind, pc: c.Err.PC}
 			if !f.seenBug[k] {
 				f.seenBug[k] = true
+				f.obsFindings.Inc()
 				f.findings = append(f.findings, Finding{
 					Err:    c.Err,
 					Data:   append([]byte(nil), data...),
@@ -276,7 +314,15 @@ func (f *Fuzzer) mergeLocked(q queued, c *iss.Core, instrs uint64, edge []byte) 
 	newBits := 0
 	if !f.sigs[sig] {
 		f.sigs[sig] = true
+		// Count map entries about to transition 0 → nonzero so the
+		// edge-count gauge stays incremental (Stats() still rescans).
+		for _, eb := range cov {
+			if f.virgin[eb.Idx] == 0 && eb.Bits != 0 {
+				f.edgeEntries++
+			}
+		}
 		newBits = virginMerge(f.virgin, cov)
+		f.obsEdges.Set(int64(f.edgeEntries))
 	}
 	if newBits > 0 {
 		f.stats.LastNewCover = f.stats.Execs
@@ -308,6 +354,7 @@ func (f *Fuzzer) mergeLocked(q queued, c *iss.Core, instrs uint64, edge []byte) 
 		Bound:    q.bound,
 	})
 	f.nextID++
+	f.obsCorpus.Set(int64(len(f.corpus)))
 }
 
 // Inject queues a solver-derived input for execution; the hybrid driver
@@ -319,6 +366,7 @@ func (f *Fuzzer) Inject(data []byte, bound int) {
 	defer f.mu.Unlock()
 	f.queue = append(f.queue, queued{data: append([]byte(nil), data...), injected: true, bound: bound})
 	f.stats.Injected++
+	f.obsInjected.Inc()
 }
 
 // EscalationTarget picks the corpus entry most deserving of concolic

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"rvcte/internal/concolic"
+	"rvcte/internal/obs"
 	"rvcte/internal/rv32"
 	"rvcte/internal/smt"
 )
@@ -288,6 +289,16 @@ type Core struct {
 
 	Output []byte // console output from the guest
 
+	// ObsInstr/ObsExecs, when non-nil, are observability sinks
+	// (internal/obs): every Run call adds the instructions it retired to
+	// ObsInstr and one completed execution to ObsExecs when it returns.
+	// Counting happens once per run, not per instruction, so the
+	// simulation loop stays unobserved. Clones inherit the pointers, so
+	// one counter pair aggregates across every core of a campaign (the
+	// counters are atomic).
+	ObsInstr *obs.Counter
+	ObsExecs *obs.Counter
+
 	// CyclesPer assigns each executed instruction a fixed cycle cost
 	// (paper §3.2: "a simple timing model that assigns each RISC-V
 	// instruction a fixed number of cycles").
@@ -435,6 +446,13 @@ func (c *Core) findPeripheral(addr uint32) *Peripheral {
 func (c *Core) Run(maxInstr uint64) {
 	if maxInstr == 0 {
 		maxInstr = c.Cfg.MaxInstr
+	}
+	if c.ObsInstr != nil || c.ObsExecs != nil {
+		start := c.InstrCount
+		defer func() {
+			c.ObsInstr.Add(int64(c.InstrCount - start))
+			c.ObsExecs.Inc()
+		}()
 	}
 	for !c.Halted() {
 		if maxInstr > 0 && c.InstrCount >= maxInstr {

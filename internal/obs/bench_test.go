@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsCounterHot guards the two hot-path costs the engines pay
+// per event: a live atomic increment (obs on) and a nil-receiver no-op
+// (obs off). The nil case must stay at ~1ns — it is executed once per
+// retired path/query/exec even when observability is disabled.
+func BenchmarkObsCounterHot(b *testing.B) {
+	b.Run("live", func(b *testing.B) {
+		c := NewRegistry().Counter("bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var c *Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("nil-histogram", func(b *testing.B) {
+		var h *Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ObserveDuration(time.Microsecond)
+		}
+	})
+	b.Run("live-histogram", func(b *testing.B) {
+		h := NewRegistry().Histogram("bench", LatencyBoundsUS)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+}
+
+// BenchmarkTracerEmit measures one traced event (buffered JSON encode
+// under a mutex) against the disabled nil path.
+func BenchmarkTracerEmit(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var t *Tracer
+		for i := 0; i < b.N; i++ {
+			t.Emit(Event{Ev: EvSatQuery, DurUS: 12, Result: "sat"})
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		t := NewTracer(discard{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t.Emit(Event{Ev: EvSatQuery, DurUS: 12, Result: "sat"})
+		}
+	})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

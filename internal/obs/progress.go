@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ProgressOptions configures the periodic progress reporter.
+type ProgressOptions struct {
+	Interval time.Duration // tick period (default 2s)
+	W        io.Writer     // destination (default os.Stderr)
+	Budget   time.Duration // wall-clock budget for the ETA column (0 = none)
+}
+
+// Progress is a background reporter printing one status line per tick,
+// built from the well-known metric names of the engines (DESIGN.md
+// "Observability"): paths/s, execs/s, SAT queries/s, cache hit rate,
+// instructions, coverage edges, and time remaining against the budget.
+type Progress struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartProgress launches the reporter goroutine. Stop shuts it down and
+// waits for it to exit (the shutdown-leak test hangs off this
+// guarantee). A nil Obs yields a reporter that prints nothing.
+func StartProgress(o *Obs, opt ProgressOptions) *Progress {
+	if opt.Interval <= 0 {
+		opt.Interval = 2 * time.Second
+	}
+	if opt.W == nil {
+		opt.W = os.Stderr
+	}
+	p := &Progress{stop: make(chan struct{}), done: make(chan struct{})}
+	go p.loop(o, opt)
+	return p
+}
+
+// Stop terminates the reporter and blocks until its goroutine has
+// exited. Safe to call more than once is NOT guaranteed; callers stop
+// exactly once (typically via defer).
+func (p *Progress) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Progress) loop(o *Obs, opt ProgressOptions) {
+	defer close(p.done)
+	if o == nil {
+		<-p.stop
+		return
+	}
+	start := time.Now()
+	tick := time.NewTicker(opt.Interval)
+	defer tick.Stop()
+	prev := o.Snapshot()
+	prevT := start
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-tick.C:
+			cur := o.Snapshot()
+			fmt.Fprintln(opt.W, progressLine(cur, prev, now.Sub(prevT), time.Since(start), opt.Budget))
+			prev, prevT = cur, now
+		}
+	}
+}
+
+// progressLine renders one status line from two consecutive snapshots.
+// Split out (and exported to tests) so formatting is testable without
+// timing.
+func progressLine(cur, prev *Snapshot, dt, elapsed, budget time.Duration) string {
+	c := func(name string) int64 { return cur.Counters[name] }
+	rate := func(name string) float64 {
+		if dt <= 0 {
+			return 0
+		}
+		d := cur.Counters[name] - prev.Counters[name]
+		return float64(d) / dt.Seconds()
+	}
+	s := fmt.Sprintf("obs %s:", fmtDur(elapsed))
+	if v := c("cte.paths"); v > 0 || rate("cte.paths") > 0 {
+		s += fmt.Sprintf(" paths=%s (%s/s)", fmtCount(v), fmtRate(rate("cte.paths")))
+	}
+	if v := c("fuzz.execs"); v > 0 {
+		s += fmt.Sprintf(" execs=%s (%s/s)", fmtCount(v), fmtRate(rate("fuzz.execs")))
+	}
+	s += fmt.Sprintf(" satq=%s (%s/s)", fmtCount(c("smt.queries")), fmtRate(rate("smt.queries")))
+	if q := c("qcache.queries"); q > 0 {
+		hits := c("qcache.hits") + c("qcache.eval_hits") + c("qcache.subsume_hits")
+		s += fmt.Sprintf(" cachehit=%d%%", hits*100/q)
+	}
+	s += fmt.Sprintf(" instr=%s", fmtCount(c("iss.instr")))
+	if cur.Gauges != nil {
+		if v := cur.Gauges["fuzz.edges"]; v > 0 {
+			s += fmt.Sprintf(" edges=%s", fmtCount(v))
+		}
+		if v := cur.Gauges["cte.cover_pcs"]; v > 0 {
+			s += fmt.Sprintf(" cover=%s", fmtCount(v))
+		}
+		if v := cur.Gauges["fuzz.corpus"]; v > 0 {
+			s += fmt.Sprintf(" corpus=%d", v)
+		}
+	}
+	if f := c("cte.findings") + c("fuzz.findings"); f > 0 {
+		s += fmt.Sprintf(" findings=%d", f)
+	}
+	if budget > 0 {
+		if rem := budget - elapsed; rem > 0 {
+			s += fmt.Sprintf(" eta=%s", fmtDur(rem))
+		} else {
+			s += " eta=0s"
+		}
+	}
+	return s
+}
+
+// fmtCount renders a counter with a k/M/G suffix past 4 digits.
+func fmtCount(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtDur(d time.Duration) string {
+	if d >= time.Minute {
+		return d.Round(time.Second).String()
+	}
+	return d.Round(100 * time.Millisecond).String()
+}

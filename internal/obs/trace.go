@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Every event carries the kind
+// (Ev) and a timestamp relative to tracer start (T, seconds); the
+// remaining fields are kind-specific and omitted when zero, so the
+// JSONL stream stays compact. The event taxonomy (which kinds set which
+// fields) is documented in DESIGN.md "Observability".
+type Event struct {
+	T      float64 `json:"t"`                // seconds since tracer start
+	Ev     string  `json:"ev"`               // event kind ("path_end", "sat_query", ...)
+	Path   int     `json:"path,omitempty"`   // path/exec index
+	DurUS  int64   `json:"dur_us,omitempty"` // duration, microseconds
+	N      int64   `json:"n,omitempty"`      // kind-specific magnitude (instrs, execs, flips, ...)
+	N2     int64   `json:"n2,omitempty"`     // kind-specific secondary magnitude
+	Result string  `json:"result,omitempty"` // "sat" | "unsat" | "unknown" | exit status ...
+	Class  string  `json:"class,omitempty"`  // cache-hit class, stop reason, ...
+	PC     uint32  `json:"pc,omitempty"`     // guest PC (findings)
+	Err    string  `json:"err,omitempty"`    // finding / error text
+}
+
+// Event kinds emitted by the engines. Consumers should tolerate unknown
+// kinds: the taxonomy grows with the system.
+const (
+	EvPathStart  = "path_start"  // Path
+	EvPathEnd    = "path_end"    // Path, DurUS, N=instrs, Result=status
+	EvSatQuery   = "sat_query"   // DurUS, N=#conds, Result
+	EvCacheHit   = "cache_hit"   // Class: "exact" | "eval" | "subsume"
+	EvFuzzBatch  = "fuzz_batch"  // DurUS, N=execs so far, N2=corpus size
+	EvEscalation = "escalation"  // Path=escalation index, N=flips attempted, N2=injected
+	EvFlipSolved = "flip_solved" // N=flip site index
+	EvFinding    = "finding"     // Path, PC, Err
+	EvRunEnd     = "run_end"     // DurUS, Class=stop reason
+)
+
+// Tracer writes events as one JSON object per line. Emit is safe for
+// concurrent use (one mutex around the buffered writer) and a no-op on
+// a nil receiver, so the tracing-disabled fast path is a single nil
+// test at the call site.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer // underlying file, when opened by OpenTrace
+	enc    *json.Encoder
+	start  time.Time
+	events int64
+}
+
+// NewTracer wraps w in a tracer. The caller owns w; Close flushes but
+// does not close it.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// OpenTrace creates (truncates) the JSONL trace file at path.
+func OpenTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTracer(f)
+	t.c = f
+	return t, nil
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit appends one event to the stream. The event's T field is stamped
+// by the tracer; callers never set it.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev.T = time.Since(t.start).Seconds()
+	_ = t.enc.Encode(&ev) // write errors surface at Close
+	t.events++
+	t.mu.Unlock()
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Close flushes the stream (and closes the underlying file when the
+// tracer was created by OpenTrace). Safe on nil.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+		t.c = nil
+	}
+	return err
+}
+
+// ReadTrace decodes a full JSONL event stream, failing on the first
+// malformed line. Unknown fields are rejected so schema drift between
+// producer and consumer is caught immediately (cmd/tracecheck and the
+// round-trip tests are built on this).
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var evs []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return evs, nil
+		} else if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rvcte/internal/obs"
 	"rvcte/internal/smt"
 )
 
@@ -105,6 +106,45 @@ type Cache struct {
 	shards [numShards]shard
 
 	stats Stats // accessed atomically
+
+	// Observability mirrors (SetObs): the Stats atomics stay the source
+	// of truth for Report.Cache; these handles additionally feed the
+	// shared metrics registry ("qcache.*") and the tracer. All nil-safe,
+	// so an unwired cache pays one nil test per event.
+	obsQueries, obsHits, obsEvalHits, obsSubsumeHits *obs.Counter
+	obsSolverCalls, obsSliceSolves, obsUnknowns, obsStores *obs.Counter
+	obsEntries *obs.Gauge
+	tracer     *obs.Tracer
+}
+
+// SetObs wires the cache into an observability bundle: hit/miss/store
+// counters under "qcache.*", an entry-count gauge, and per-hit trace
+// events classed "exact" | "subsume" | "eval". Safe with a nil o; call
+// before sharing the cache across workers.
+func (c *Cache) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m := o.Registry()
+	c.obsQueries = m.Counter("qcache.queries")
+	c.obsHits = m.Counter("qcache.hits")
+	c.obsEvalHits = m.Counter("qcache.eval_hits")
+	c.obsSubsumeHits = m.Counter("qcache.subsume_hits")
+	c.obsSolverCalls = m.Counter("qcache.solver_calls")
+	c.obsSliceSolves = m.Counter("qcache.slice_solves")
+	c.obsUnknowns = m.Counter("qcache.unknowns")
+	c.obsStores = m.Counter("qcache.stores")
+	c.obsEntries = m.Gauge("qcache.entries")
+	c.tracer = o.Trace()
+}
+
+// hit records one cache-answered query of the given class.
+func (c *Cache) hit(counter *int64, obsCounter *obs.Counter, class string) {
+	atomic.AddInt64(counter, 1)
+	obsCounter.Inc()
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Ev: obs.EvCacheHit, Class: class})
+	}
 }
 
 // New creates an empty cache for expressions of b.
@@ -181,6 +221,7 @@ func (c *Cache) Check(solver *smt.Solver, conds []*smt.Expr, hint smt.Assignment
 		return true, smt.Assignment{}, false
 	}
 	atomic.AddInt64(&c.stats.Queries, 1)
+	c.obsQueries.Inc()
 	sat, model, unknown, fromCache := c.resolve(solver, live, hint)
 	if c.OnAnswer != nil && !unknown {
 		c.OnAnswer(live, sat, model, fromCache)
@@ -203,9 +244,11 @@ func (c *Cache) resolve(solver *smt.Solver, live []*smt.Expr, hint smt.Assignmen
 
 	// Full solve.
 	atomic.AddInt64(&c.stats.SolverCalls, 1)
+	c.obsSolverCalls.Inc()
 	sat, model, unknown = solver.Check(live...)
 	if unknown {
 		atomic.AddInt64(&c.stats.Unknowns, 1)
+		c.obsUnknowns.Inc()
 		return false, nil, true, false
 	}
 	if sat {
@@ -271,9 +314,12 @@ func (c *Cache) checkSliced(solver *smt.Solver, live []*smt.Expr, hint smt.Assig
 	} else {
 		atomic.AddInt64(&c.stats.SolverCalls, 1)
 		atomic.AddInt64(&c.stats.SliceSolves, 1)
+		c.obsSolverCalls.Inc()
+		c.obsSliceSolves.Inc()
 		st, m, unk := solver.Check(sub...)
 		if unk {
 			atomic.AddInt64(&c.stats.Unknowns, 1)
+			c.obsUnknowns.Inc()
 			return false, nil, true, true
 		}
 		if !st {
@@ -306,11 +352,11 @@ func (c *Cache) checkSliced(solver *smt.Solver, live []*smt.Expr, hint smt.Assig
 func (c *Cache) lookupSet(key uint64, elems []uint64, conds []*smt.Expr) (sat bool, model smt.Assignment, ok bool) {
 	if ent := c.getExact(key); ent != nil {
 		if !ent.sat {
-			atomic.AddInt64(&c.stats.Hits, 1)
+			c.hit(&c.stats.Hits, c.obsHits, "exact")
 			return false, nil, true
 		}
 		if m := c.hydrate(ent.model); ValidateModel(conds, m) {
-			atomic.AddInt64(&c.stats.Hits, 1)
+			c.hit(&c.stats.Hits, c.obsHits, "exact")
 			return true, m, true
 		}
 		// Key collision or stale persisted model: fall through and let
@@ -318,13 +364,13 @@ func (c *Cache) lookupSet(key uint64, elems []uint64, conds []*smt.Expr) (sat bo
 		// this query will keep re-solving — correct, merely unlucky).
 	}
 	if c.unsatSubset(elems) {
-		atomic.AddInt64(&c.stats.SubsumeHits, 1)
+		c.hit(&c.stats.SubsumeHits, c.obsSubsumeHits, "subsume")
 		c.store(&entry{key: key, elems: elems, sat: false})
 		return false, nil, true
 	}
 	for _, ent := range c.satCandidates(elems) {
 		if m := c.hydrate(ent.model); ValidateModel(conds, m) {
-			atomic.AddInt64(&c.stats.EvalHits, 1)
+			c.hit(&c.stats.EvalHits, c.obsEvalHits, "eval")
 			c.store(&entry{key: key, elems: elems, sat: true, model: c.project(conds, m)})
 			return true, m, true
 		}
@@ -412,7 +458,10 @@ func (c *Cache) insert(ent *entry, counter *int64) {
 	s.exact[ent.key] = ent
 	s.mu.Unlock()
 	atomic.AddInt64(counter, 1)
-	atomic.AddInt64(&c.stats.Entries, 1)
+	if counter == &c.stats.Stores {
+		c.obsStores.Inc()
+	}
+	c.obsEntries.Set(atomic.AddInt64(&c.stats.Entries, 1))
 	c.index(ent)
 }
 

@@ -2,6 +2,8 @@ package smt
 
 import (
 	"time"
+
+	"rvcte/internal/obs"
 )
 
 // Stats accumulates query statistics, mirroring the "stime" and "#queries"
@@ -27,6 +29,33 @@ type Solver struct {
 	// MaxConflictsPerQuery bounds each query; 0 means unlimited. When a
 	// query exceeds the budget Check returns unknown=true.
 	MaxConflictsPerQuery int
+
+	// Observability handles (SetObs). All are nil-safe: an unwired
+	// solver pays one nil test per query.
+	obsQueries *obs.Counter
+	obsSat     *obs.Counter
+	obsUnsat   *obs.Counter
+	obsUnknown *obs.Counter
+	obsTimeNS  *obs.Counter
+	obsLatency *obs.Histogram
+	tracer     *obs.Tracer
+}
+
+// SetObs wires the solver into an observability bundle: per-query
+// counters under "smt.*", a query-latency histogram (microseconds), and
+// per-query trace events when o carries a tracer. Safe with a nil o.
+func (s *Solver) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m := o.Registry()
+	s.obsQueries = m.Counter("smt.queries")
+	s.obsSat = m.Counter("smt.sat")
+	s.obsUnsat = m.Counter("smt.unsat")
+	s.obsUnknown = m.Counter("smt.unknown")
+	s.obsTimeNS = m.Counter("smt.solver_ns")
+	s.obsLatency = m.Histogram("smt.query_us", obs.LatencyBoundsUS)
+	s.tracer = o.Trace()
 }
 
 // NewSolver creates a solver bound to the builder b.
@@ -42,11 +71,30 @@ func NewSolver(b *Builder) *Solver {
 func (s *Solver) Check(conds ...*Expr) (sat bool, model Assignment, unknown bool) {
 	start := time.Now()
 	defer func() {
+		dur := time.Since(start)
 		s.Stats.Queries++
-		s.Stats.SolverTime += time.Since(start)
+		s.Stats.SolverTime += dur
 		s.Stats.Conflicts = s.sat.Conflict
 		s.Stats.SatVars = s.sat.NumVars()
 		s.Stats.SatProps = s.sat.Props
+		s.obsQueries.Inc()
+		s.obsTimeNS.Add(int64(dur))
+		s.obsLatency.ObserveDuration(dur)
+		result := "unsat"
+		switch {
+		case sat:
+			result = "sat"
+			s.obsSat.Inc()
+		case unknown:
+			result = "unknown"
+			s.obsUnknown.Inc()
+		default:
+			s.obsUnsat.Inc()
+		}
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{Ev: obs.EvSatQuery, DurUS: dur.Microseconds(),
+				N: int64(len(conds)), Result: result})
+		}
 	}()
 
 	assumptions := make([]Lit, 0, len(conds))
