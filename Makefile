@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench bench-iss examples clean
 
 all: verify
 
@@ -16,10 +16,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent layers (worker-pool exploration, the fuzzer, the
-# shared query cache, the solver it drives, and the COW memory it
-# clones) must stay race-clean.
+# shared query cache, the solver it drives, the COW memory it clones,
+# and the shared decoded-block layer those clones publish into) must
+# stay race-clean.
 race:
-	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/...
+	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/...
 
 # A bounded hybrid-fuzzing run against the tcpip stack: must report at
 # least one finding (exit code 1) well inside the time budget.
@@ -44,6 +45,11 @@ verify: build vet test race fuzz-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Block-cache ablation microbenchmarks (EXPERIMENTS.md "Block cache
+# ablation"): each benchmark runs the bb / bb-nofuse / nocache variants.
+bench-iss:
+	$(GO) test -run NONE -bench 'BenchmarkConcreteExec|BenchmarkConcolicExec' -benchmem ./internal/iss
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -73,6 +73,8 @@ func main() {
 	fuzzMode := flag.Bool("fuzz", false, "hybrid fuzzing: coverage-guided concrete fuzzing with concolic escalation on stall, instead of pure concolic exploration")
 	fuzzTime := flag.Duration("fuzz-time", 30*time.Second, "fuzzing wall-clock budget (0 = until dry or first finding)")
 	corpusDir := flag.String("corpus-dir", "", "fuzz only: load initial inputs from this directory and persist the final corpus back to it")
+	bbCache := flag.Bool("bbcache", true, "enable the predecoded basic-block cache (direct-threaded dispatch; disable to use the legacy fetch/decode/execute loop)")
+	fuse := flag.Bool("fuse", true, "enable superinstruction fusion inside cached blocks (lui+addi, auipc+addi, compare+branch)")
 	flag.Parse()
 
 	b := smt.NewBuilder()
@@ -98,6 +100,11 @@ func main() {
 		os.Exit(2)
 	}
 	die(err)
+
+	// Block-cache ablation switches: clones inherit these via struct
+	// copy, so setting them on the snapshot covers every path/fuzz exec.
+	core.NoBlockCache = !*bbCache
+	core.NoFusion = !*fuse
 
 	strat, ok := map[string]cte.Strategy{
 		"bfs": cte.BFS, "dfs": cte.DFS, "random": cte.Random, "coverage": cte.Coverage,

@@ -34,6 +34,13 @@ type Memory struct {
 	pages  map[uint32]*page
 	ops    Ops
 	frozen bool // pages are already marked shared; Clone must not mutate them
+
+	// OnWrite, when non-nil, is invoked once per mutating call with the
+	// written range before the caller observes the new bytes. The ISS uses
+	// it to invalidate predecoded basic blocks covering the range
+	// (self-modifying code, image reloads). Clone deliberately does not
+	// carry the hook over: each owner installs its own.
+	OnWrite func(addr uint32, n int)
 }
 
 // NewMemory creates an empty memory whose symbolic bytes are built with b.
@@ -91,6 +98,15 @@ func (m *Memory) pageFor(addr uint32, write bool) *page {
 // StoreByte writes a concolic byte. A nil symbolic part clears any prior
 // symbolic byte at the address.
 func (m *Memory) StoreByte(addr uint32, c byte, sym *smt.Expr) {
+	if m.OnWrite != nil {
+		m.OnWrite(addr, 1)
+	}
+	m.storeByte(addr, c, sym)
+}
+
+// storeByte is StoreByte without the OnWrite notification; multi-byte
+// entry points call it per byte after notifying once for the full range.
+func (m *Memory) storeByte(addr uint32, c byte, sym *smt.Expr) {
 	if sym != nil && sym.Width != 8 {
 		panic(fmt.Sprintf("concolic: StoreByte symbolic width %d", sym.Width))
 	}
@@ -121,6 +137,9 @@ func (m *Memory) LoadByteRaw(addr uint32) (byte, *smt.Expr) {
 // Store writes an n-byte little-endian concolic value (n in {1,2,4}). The
 // symbolic part of v, when present, is split into byte expressions.
 func (m *Memory) Store(addr uint32, n int, v Value) {
+	if m.OnWrite != nil {
+		m.OnWrite(addr, n)
+	}
 	for i := 0; i < n; i++ {
 		var symByte *smt.Expr
 		if v.Sym != nil {
@@ -129,7 +148,7 @@ func (m *Memory) Store(addr uint32, n int, v Value) {
 				symByte = nil
 			}
 		}
-		m.StoreByte(addr+uint32(i), byte(v.C>>(8*i)), symByte)
+		m.storeByte(addr+uint32(i), byte(v.C>>(8*i)), symByte)
 	}
 }
 
@@ -181,8 +200,11 @@ func (m *Memory) Load(addr uint32, n int) Value {
 
 // WriteBytes copies concrete bytes into memory (used by the loader).
 func (m *Memory) WriteBytes(addr uint32, data []byte) {
+	if m.OnWrite != nil && len(data) > 0 {
+		m.OnWrite(addr, len(data))
+	}
 	for i, by := range data {
-		m.StoreByte(addr+uint32(i), by, nil)
+		m.storeByte(addr+uint32(i), by, nil)
 	}
 }
 
@@ -213,11 +235,14 @@ func (m *Memory) ReadCString(addr uint32) string {
 // bytes named name[0..n). The concrete parts are set from conc (which
 // must have length n). Returns the created byte expressions.
 func (m *Memory) MakeSymbolic(addr uint32, conc []byte, name string) []*smt.Expr {
+	if m.OnWrite != nil && len(conc) > 0 {
+		m.OnWrite(addr, len(conc))
+	}
 	out := make([]*smt.Expr, len(conc))
 	for i := range conc {
 		v := m.ops.B.Var(8, fmt.Sprintf("%s[%d]", name, i))
 		out[i] = v
-		m.StoreByte(addr+uint32(i), conc[i], v)
+		m.storeByte(addr+uint32(i), conc[i], v)
 	}
 	return out
 }

@@ -214,6 +214,7 @@ type Engine struct {
 	obsPaths, obsSat, obsUnsat, obsUnknown *obs.Counter
 	obsPruned, obsFindings                 *obs.Counter
 	issInstr, issExecs                     *obs.Counter
+	bbHits, bbMisses, bbInval              *obs.Counter
 	frontierG, coverG                      *obs.Gauge
 	pathHist                               *obs.Histogram
 	tracer                                 *obs.Tracer
@@ -242,6 +243,9 @@ func New(snapshot *iss.Core, opt Options) *Engine {
 		e.obsFindings = m.Counter("cte.findings")
 		e.issInstr = m.Counter("iss.instr")
 		e.issExecs = m.Counter("iss.execs")
+		e.bbHits = m.Counter("iss.bb.hits")
+		e.bbMisses = m.Counter("iss.bb.misses")
+		e.bbInval = m.Counter("iss.bb.inval")
 		e.frontierG = m.Gauge("cte.frontier")
 		e.coverG = m.Gauge("cte.cover_pcs")
 		e.pathHist = m.Histogram("cte.path_us", obs.LatencyBoundsUS)
@@ -302,6 +306,9 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 	core.Bound = in.Bound
 	core.ObsInstr = e.issInstr
 	core.ObsExecs = e.issExecs
+	core.ObsBBHits = e.bbHits
+	core.ObsBBMisses = e.bbMisses
+	core.ObsBBInval = e.bbInval
 	if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
 		core.TrackCoverage = true
 	}

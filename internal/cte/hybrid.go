@@ -171,6 +171,7 @@ type hybrid struct {
 	// Observability handles (Config.Obs); nil-safe when unwired.
 	obsEsc, obsFlips, obsSolves, obsReplayed *obs.Counter
 	issInstr                                 *obs.Counter
+	bbHits, bbMisses, bbInval                *obs.Counter
 	tracer                                   *obs.Tracer
 }
 
@@ -215,6 +216,9 @@ func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
 		h.obsSolves = m.Counter("hybrid.solves")
 		h.obsReplayed = m.Counter("hybrid.replayed_instr")
 		h.issInstr = m.Counter("iss.instr")
+		h.bbHits = m.Counter("iss.bb.hits")
+		h.bbMisses = m.Counter("iss.bb.misses")
+		h.bbInval = m.Counter("iss.bb.inval")
 		h.tracer = cfg.Obs.Trace()
 		if cfg.Cache != nil {
 			cfg.Cache.SetObs(cfg.Obs)
@@ -334,6 +338,9 @@ func (h *hybrid) escalate(ctx context.Context, data []byte, bound int) int {
 	// Replays charge iss.instr (total simulated work) but not iss.execs,
 	// which counts fuzz executions only.
 	c.ObsInstr = h.issInstr
+	c.ObsBBHits = h.bbHits
+	c.ObsBBMisses = h.bbMisses
+	c.ObsBBInval = h.bbInval
 	startInstr := c.InstrCount
 	c.Run(h.cfg.Budget.MaxInstrPerRun)
 	h.fs.ReplayedInstrs += c.InstrCount - startInstr

@@ -5,6 +5,13 @@
 // an afl-style deterministic+havoc mutation schedule. The hybrid driver
 // (internal/cte) escalates coverage-stalled entries to the concolic
 // engine and injects solved inputs back through Inject.
+//
+// Each execution clones the frozen snapshot (copy-on-write memory) and
+// runs on the ISS's predecoded basic-block cache: all clones share one
+// decoded-block layer, so per-execution cost is mutation + dispatch,
+// not re-decoding the guest. iss.bb.* counters expose the cache
+// behaviour; fuzz.execs over wall time is the throughput headline
+// (EXPERIMENTS.md "Block cache ablation").
 package fuzz
 
 import (
@@ -106,6 +113,7 @@ type Fuzzer struct {
 	// registry.
 	obsExecs, obsPruned, obsFindings, obsInjected *obs.Counter
 	issInstr, issExecs                            *obs.Counter
+	bbHits, bbMisses, bbInval                     *obs.Counter
 	obsCorpus, obsEdges                           *obs.Gauge
 	edgeEntries                                   int // nonzero virgin entries (mirrors Stats.Edges)
 }
@@ -151,6 +159,9 @@ func New(snap *iss.Core, opt Options) *Fuzzer {
 		f.obsInjected = m.Counter("fuzz.injected")
 		f.issInstr = m.Counter("iss.instr")
 		f.issExecs = m.Counter("iss.execs")
+		f.bbHits = m.Counter("iss.bb.hits")
+		f.bbMisses = m.Counter("iss.bb.misses")
+		f.bbInval = m.Counter("iss.bb.inval")
 		f.obsCorpus = m.Gauge("fuzz.corpus")
 		f.obsEdges = m.Gauge("fuzz.edges")
 	}
@@ -202,6 +213,9 @@ func (f *Fuzzer) step(ws *workerState) {
 	c.FuzzInput = data
 	c.ObsInstr = f.issInstr
 	c.ObsExecs = f.issExecs
+	c.ObsBBHits = f.bbHits
+	c.ObsBBMisses = f.bbMisses
+	c.ObsBBInval = f.bbInval
 	clear(ws.edge)
 	c.EdgeMap = ws.edge
 	// The snapshot may carry pre-executed initialization (skip-init

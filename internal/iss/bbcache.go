@@ -1,0 +1,427 @@
+package iss
+
+import (
+	"sync"
+
+	"rvcte/internal/rv32"
+)
+
+// This file implements the predecoded basic-block cache (DESIGN.md
+// "ISS"): on the first execution of a block the ISS decodes straight-line
+// instructions once into a slice of pre-resolved operation records
+// (decoded) that dispatch through per-opcode handler functions
+// (dispatch.go), instead of re-fetching, re-decoding and re-switching on
+// every step of every path. Blocks terminate at control transfers and
+// system instructions, are indexed by physical PC, and are invalidated
+// when guest memory they cover is written (self-modifying code,
+// LoadImage) via the concolic.Memory OnWrite hook.
+//
+// Clone safety follows the memory snapshot protocol. Core.Freeze
+// promotes the core's decoded blocks into a shared frozenBlocks layer:
+// an immutable base map plus a concurrently growable overlay that
+// clones populate lazily, so the first path to execute a block decodes
+// it for every later path of the campaign. Publishing is sound because
+// of the copy-on-write invariant: a page the clone has not written is
+// bit-identical to the frozen image, so a block decoded from clean
+// pages is the block every sibling clone would decode. Each core
+// tracks the 64-byte memory lines it has written since cloning (a
+// dirty bitset over RAM) and refuses to use or publish shared blocks
+// overlapping them — a clone that rewrites code (rare) falls back to
+// its precise private layer.
+
+const (
+	// maxBlockOps caps block length so pathological straight-line code
+	// cannot produce unbounded decode work on a miss.
+	maxBlockOps = 64
+
+	// bbPageBits sets the granularity of write tracking (64-byte lines).
+	// Finer than the 4KB memory pages so that data sitting on the same
+	// page as code (common in small linked images) does not shadow the
+	// page's shared blocks on every data write.
+	bbPageBits = 6
+)
+
+// bblock is one immutable decoded basic block covering code bytes
+// [start, end).
+type bblock struct {
+	start, end uint32
+	ops        []decoded
+	dead       bool // invalidated; still present in stale page lists
+}
+
+// frozenBlocks is the translation cache shared by every clone of a
+// frozen snapshot: an immutable base built at Freeze time plus an
+// overlay that clones extend concurrently with blocks decoded from
+// clean (unwritten) pages.
+type frozenBlocks struct {
+	blocks  map[uint32]*bblock // immutable after Freeze
+	overlay sync.Map           // uint32 start PC → *bblock
+}
+
+// bbCache is the per-core cache state: a private mutable layer for
+// blocks that may not be shared (decoded from pages this core wrote),
+// plus a pointer to the shared layer of the snapshot the core was
+// cloned from (nil for a root core).
+type bbCache struct {
+	blocks map[uint32]*bblock   // private layer, keyed by block start PC
+	pages  map[uint32][]*bblock // page index over private blocks
+	lo, hi uint32               // extent of private code ([lo,hi); lo>hi when empty)
+
+	shared *frozenBlocks
+	// dirty is a bitset with one bit per 64-byte RAM line this core has
+	// written since it was cloned (or frozen); nil until the first
+	// tracked write. Shared blocks touching a dirty line are ignored
+	// and re-decoded privately; only blocks decoded entirely from clean
+	// lines are published to the shared overlay. Tracked only while
+	// shared != nil — a root core's private layer is kept consistent by
+	// precise invalidation instead.
+	dirty            []uint64
+	ramBase, ramSize uint32
+
+	hits, misses, invals uint64
+}
+
+func newBBCache(ramBase, ramSize uint32) *bbCache {
+	return &bbCache{
+		blocks:  make(map[uint32]*bblock),
+		pages:   make(map[uint32][]*bblock),
+		lo:      ^uint32(0),
+		ramBase: ramBase,
+		ramSize: ramSize,
+	}
+}
+
+// cleanRange reports whether no line of [start, end) has been written
+// by this core since it was cloned. Callers guarantee the range lies in
+// RAM (blocks are only decoded from RAM).
+func (bc *bbCache) cleanRange(start, end uint32) bool {
+	if bc.dirty == nil {
+		return true
+	}
+	last := (end - 1 - bc.ramBase) >> bbPageBits
+	for l := (start - bc.ramBase) >> bbPageBits; l <= last; l++ {
+		if bc.dirty[l>>6]&(1<<(l&63)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// markDirty sets the dirty bits for the written range [lo, hi),
+// clamped to RAM (blocks cannot cover anything outside RAM, so writes
+// elsewhere are irrelevant to the cache).
+func (bc *bbCache) markDirty(lo, hi uint32) {
+	ramEnd := uint64(bc.ramBase) + uint64(bc.ramSize)
+	if uint64(hi) <= uint64(bc.ramBase) || uint64(lo) >= ramEnd {
+		return
+	}
+	if lo < bc.ramBase {
+		lo = bc.ramBase
+	}
+	if uint64(hi) > ramEnd {
+		hi = uint32(ramEnd)
+	}
+	if bc.dirty == nil {
+		lines := (bc.ramSize >> bbPageBits) + 1
+		bc.dirty = make([]uint64, (lines+63)/64)
+	}
+	last := (hi - 1 - bc.ramBase) >> bbPageBits
+	for l := (lo - bc.ramBase) >> bbPageBits; l <= last; l++ {
+		bc.dirty[l>>6] |= 1 << (l & 63)
+	}
+}
+
+// lookup returns the decoded block starting at pc, decoding it on a
+// miss and publishing the result to the shared overlay when possible. A
+// nil return means the first instruction at pc cannot be fetched or
+// decoded; the caller falls back to Step for exact legacy error
+// reporting.
+func (bc *bbCache) lookup(c *Core, pc uint32) *bblock {
+	if len(bc.blocks) > 0 { // fuzz/path clones usually have no private blocks
+		if b := bc.blocks[pc]; b != nil {
+			bc.hits++
+			return b
+		}
+	}
+	publishable := false
+	if fb := bc.shared; fb != nil {
+		b := fb.blocks[pc]
+		if b == nil {
+			if v, ok := fb.overlay.Load(pc); ok {
+				b = v.(*bblock)
+			}
+		}
+		if b != nil && bc.cleanRange(b.start, b.end) {
+			bc.hits++
+			return b
+		}
+		// Either unknown to the shared layer, or stale for this core
+		// (its range overlaps pages we wrote): decode below.
+		publishable = b == nil
+	}
+	bc.misses++
+	nb := c.decodeBlock(pc)
+	if nb == nil {
+		return nil
+	}
+	if publishable && bc.cleanRange(nb.start, nb.end) {
+		// Decoded entirely from clean pages: identical to what any
+		// sibling clone would decode from the frozen image, so publish
+		// it for the whole campaign. First publisher wins.
+		if v, loaded := bc.shared.overlay.LoadOrStore(pc, nb); loaded {
+			nb = v.(*bblock)
+		}
+		return nb
+	}
+	bc.insert(nb)
+	return nb
+}
+
+func (bc *bbCache) insert(b *bblock) {
+	bc.blocks[b.start] = b
+	if b.start < bc.lo {
+		bc.lo = b.start
+	}
+	if b.end > bc.hi {
+		bc.hi = b.end
+	}
+	last := (b.end - 1) >> bbPageBits
+	for pg := b.start >> bbPageBits; ; pg++ {
+		bc.pages[pg] = append(bc.pages[pg], b)
+		if pg >= last {
+			break
+		}
+	}
+}
+
+// invalidate discards private blocks overlapping [lo, hi). Reports
+// whether any block was removed.
+func (bc *bbCache) invalidate(lo, hi uint32) bool {
+	removed := false
+	last := (hi - 1) >> bbPageBits
+	for pg := lo >> bbPageBits; ; pg++ {
+		if list := bc.pages[pg]; len(list) > 0 {
+			kept := list[:0]
+			for _, b := range list {
+				if b.dead {
+					continue // already removed via another page's list
+				}
+				if b.start < hi && b.end > lo {
+					b.dead = true
+					delete(bc.blocks, b.start)
+					removed = true
+					continue
+				}
+				kept = append(kept, b)
+			}
+			bc.pages[pg] = kept
+		}
+		if pg >= last {
+			break
+		}
+	}
+	return removed
+}
+
+// freeze promotes this core's view of the program into the shared layer
+// served to clones: the previous shared blocks that are still valid for
+// this core's memory (not overlapping pages it wrote), plus everything
+// in its private layer. Afterwards the core's memory is the new
+// baseline, so the dirty set resets.
+func (bc *bbCache) freeze() {
+	if bc.shared != nil && len(bc.blocks) == 0 && bc.dirty == nil {
+		// Nothing private and nothing stale: the current shared layer
+		// already matches this core's memory and keeps growing through
+		// its overlay. (When shared is nil we fall through even with an
+		// empty private layer, so that clones always have an overlay to
+		// publish into.)
+		return
+	}
+	fb := &frozenBlocks{blocks: make(map[uint32]*bblock)}
+	if old := bc.shared; old != nil {
+		for pc, b := range old.blocks {
+			if bc.cleanRange(b.start, b.end) {
+				fb.blocks[pc] = b
+			}
+		}
+		old.overlay.Range(func(k, v any) bool {
+			b := v.(*bblock)
+			if bc.cleanRange(b.start, b.end) {
+				fb.blocks[k.(uint32)] = b
+			}
+			return true
+		})
+	}
+	for pc, b := range bc.blocks {
+		fb.blocks[pc] = b
+	}
+	bc.shared = fb
+	bc.blocks = make(map[uint32]*bblock)
+	bc.pages = make(map[uint32][]*bblock)
+	bc.lo, bc.hi = ^uint32(0), 0
+	bc.dirty = nil
+}
+
+// cloneFor returns the cache for a clone of the owning core: the shared
+// layer is carried over (base immutable, overlay concurrency-safe), the
+// private layer is rebuilt lazily, and the dirty bitset is inherited
+// (the clone's memory contains the parent's writes).
+func (bc *bbCache) cloneFor() *bbCache {
+	if bc == nil {
+		return newBBCache(0, 0)
+	}
+	n := newBBCache(bc.ramBase, bc.ramSize)
+	n.shared = bc.shared
+	if bc.dirty != nil {
+		n.dirty = append([]uint64(nil), bc.dirty...)
+	}
+	return n
+}
+
+// noteMemWrite is the concolic.Memory OnWrite hook: it invalidates
+// private decoded blocks covering the written range and marks the
+// written lines dirty so stale shared blocks are never consulted. The
+// common case — data writes outside any privately decoded code — costs
+// two extent compares plus one bit-set per written line.
+func (c *Core) noteMemWrite(addr uint32, n int) {
+	bc := c.bb
+	if bc == nil || n <= 0 {
+		return
+	}
+	end := addr + uint32(n)
+	if end < addr {
+		end = ^uint32(0) // clamp a wrapping range
+	}
+	if addr < bc.hi && end > bc.lo {
+		if bc.invalidate(addr, end) {
+			bc.invals++
+			c.bbAbort = true
+		}
+	}
+	if bc.shared != nil {
+		bc.markDirty(addr, end)
+	}
+}
+
+// BBStats returns the block-cache hit, miss and invalidation counts
+// accumulated by this core.
+func (c *Core) BBStats() (hits, misses, invals uint64) {
+	if c.bb == nil {
+		return 0, 0, 0
+	}
+	return c.bb.hits, c.bb.misses, c.bb.invals
+}
+
+// blockEnds reports whether op terminates a basic block: control
+// transfers (the successor is dynamic or conditional), system
+// instructions that redirect or depend on machine state, and fences
+// (conservative FENCE.I barrier for self-modifying code).
+func blockEnds(op rv32.Op) bool {
+	switch op {
+	case rv32.OpJAL, rv32.OpJALR,
+		rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU,
+		rv32.OpECALL, rv32.OpEBREAK, rv32.OpMRET, rv32.OpWFI, rv32.OpFENCE,
+		rv32.OpCSRRW, rv32.OpCSRRS, rv32.OpCSRRC, rv32.OpCSRRWI, rv32.OpCSRRSI, rv32.OpCSRRCI:
+		return true
+	}
+	return false
+}
+
+// decodeBlock decodes the basic block starting at pc from the concrete
+// bytes of guest memory. Decoding mirrors fetch's validity checks and
+// stops before the first unfetchable or illegal instruction, so
+// erroring PCs always take the legacy Step path and fail identically.
+// Returns nil when no instruction could be decoded at all.
+func (c *Core) decodeBlock(start uint32) *bblock {
+	pc := start
+	b := &bblock{start: start}
+	for len(b.ops) < maxBlockOps {
+		if pc&1 != 0 || !c.inRAM(pc, 2) {
+			break
+		}
+		b0, _ := c.Mem.LoadByteRaw(pc)
+		b1, _ := c.Mem.LoadByteRaw(pc + 1)
+		word := uint32(b0) | uint32(b1)<<8
+		if word&3 == 3 {
+			if !c.inRAM(pc, 4) {
+				break
+			}
+			b2, _ := c.Mem.LoadByteRaw(pc + 2)
+			b3, _ := c.Mem.LoadByteRaw(pc + 3)
+			word |= uint32(b2)<<16 | uint32(b3)<<24
+		}
+		inst := rv32.Decode(word)
+		if inst.Op == rv32.OpIllegal {
+			break
+		}
+		b.ops = append(b.ops, makeDecoded(pc, inst))
+		pc += uint32(inst.Size)
+		if blockEnds(inst.Op) {
+			break
+		}
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	b.end = pc
+	if !c.NoFusion {
+		fuseBlock(b)
+	}
+	return b
+}
+
+// fuseBlock runs the superinstruction pass: adjacent hot pairs
+// (lui+addi, auipc+addi, compare+branch) collapse into one record whose
+// handler retires both instructions, preserving exact per-instruction
+// bookkeeping (see pairBoundary) and unfusing itself at runtime whenever
+// pairing could be observed (pending events, budget edge, symbolic
+// compare operands).
+func fuseBlock(b *bblock) {
+	out := make([]decoded, 0, len(b.ops))
+	for i := 0; i < len(b.ops); i++ {
+		d := b.ops[i]
+		if i+1 < len(b.ops) {
+			if f, ok := tryFuse(&d, &b.ops[i+1]); ok {
+				out = append(out, f)
+				i++
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	b.ops = out
+}
+
+func tryFuse(a, b *decoded) (decoded, bool) {
+	switch a.op {
+	case rv32.OpLUI, rv32.OpAUIPC:
+		// lui/auipc rd, hi ; addi rd2, rd, lo  →  one constant load.
+		if b.op != rv32.OpADDI || b.rs1 != a.rd || a.rd == 0 {
+			return decoded{}, false
+		}
+		f := *a
+		f.fn = stepFusedLI
+		f.k1 = uint32(a.imm)
+		if a.op == rv32.OpAUIPC {
+			f.k1 = a.pc + uint32(a.imm)
+		}
+		f.k = f.k1 + uint32(b.imm)
+		f.op2, f.rd2 = b.op, b.rd
+		f.imm2, f.pc2, f.npc2, f.inst2 = b.imm, b.pc, b.npc, b.inst
+		return f, true
+
+	case rv32.OpSLT, rv32.OpSLTU, rv32.OpSLTI, rv32.OpSLTIU:
+		// slt* rd, ... ; beqz/bnez rd  →  one compare-and-branch. Only
+		// the concrete case is fused at runtime (symbolic compares must
+		// keep the legacy EPC/TC structure, see stepFusedCmpBr).
+		if (b.op != rv32.OpBEQ && b.op != rv32.OpBNE) || b.rs2 != 0 || b.rs1 != a.rd || a.rd == 0 {
+			return decoded{}, false
+		}
+		f := *a
+		f.fn = stepFusedCmpBr
+		f.op2 = b.op
+		f.imm2, f.pc2, f.npc2, f.inst2 = b.imm, b.pc, b.npc, b.inst
+		return f, true
+	}
+	return decoded{}, false
+}

@@ -1,0 +1,237 @@
+package iss
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rvcte/internal/asm"
+	"rvcte/internal/smt"
+)
+
+// smcGuest patches one of its own instructions and loops back over it:
+// the first pass executes `addi a0, zero, 1`, then the word is
+// overwritten with `addi a0, zero, 42` (0x02A00513) and re-executed. A
+// block cache that misses the store keeps serving the stale decode and
+// exits 1 instead of 42.
+const smcGuest = `
+_start:
+	li s0, 0
+	la s1, patch
+	la s2, newinst
+	lw s2, 0(s2)
+loop:
+patch:
+	addi a0, zero, 1
+	bnez s0, done
+	sw s2, 0(s1)
+	li s0, 1
+	j loop
+done:
+` + exitSeq + `
+.data
+newinst: .word 0x02A00513
+`
+
+func TestSMCInvalidatesCachedBlock(t *testing.T) {
+	c := run(t, smcGuest)
+	if !c.Exited || c.Err != nil {
+		t.Fatalf("did not exit cleanly: %v", c.Err)
+	}
+	if c.ExitCode != 42 {
+		t.Fatalf("exit code %d want 42 (stale cached block executed)", c.ExitCode)
+	}
+	if _, _, invals := c.BBStats(); invals == 0 {
+		t.Error("self-modifying store must invalidate a cached block")
+	}
+}
+
+func TestSMCWithoutCacheMatches(t *testing.T) {
+	c := buildCore(t, smcGuest)
+	c.NoBlockCache = true
+	c.Run(0)
+	if c.ExitCode != 42 {
+		t.Fatalf("legacy path exit code %d want 42", c.ExitCode)
+	}
+}
+
+// cloneGuest sums a small arithmetic series; every clone must compute
+// the same result regardless of which clone decoded the shared blocks.
+const cloneGuest = `
+_start:
+	li a0, 0
+	li a1, 1
+loop:
+	add a0, a0, a1
+	addi a1, a1, 1
+	li a2, 100
+	bleu a1, a2, loop
+` + exitSeq
+
+// TestCloneSharedBlocksConcurrent exercises the clone-safety contract
+// under the race detector: many goroutines clone one frozen snapshot
+// and run concurrently, racing to publish decoded blocks into the
+// shared overlay.
+func TestCloneSharedBlocksConcurrent(t *testing.T) {
+	snap := buildCore(t, cloneGuest)
+	snap.Freeze()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				c := snap.Clone()
+				c.Run(0)
+				if c.Err != nil || c.ExitCode != 5050 {
+					errs <- fmt.Errorf("clone exit=%d err=%v", c.ExitCode, c.Err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneSMCConcurrent runs the self-modifying guest from many
+// concurrent clones of one frozen snapshot. Each clone patches its own
+// copy-on-write page; the shared decoded blocks must be shadowed by the
+// clone's dirty-page tracking, never mutated, and every clone must see
+// its own patched instruction.
+func TestCloneSMCConcurrent(t *testing.T) {
+	snap := buildCore(t, smcGuest)
+	snap.Freeze()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				c := snap.Clone()
+				c.Run(0)
+				if c.Err != nil || c.ExitCode != 42 {
+					errs <- fmt.Errorf("smc clone exit=%d err=%v", c.ExitCode, c.Err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// equivGuest mixes fusible pairs (lui+addi via li, auipc+addi via la,
+// slt+bnez), symbolic data, loads/stores and branches so the
+// equivalence check covers the fused, unfused and legacy execution
+// paths on the same trace.
+const equivGuest = `
+_start:
+	la a0, buf
+	li a1, 8
+	la a2, name
+	li a7, 1
+	ecall              # make_symbolic(buf, 8, "x")
+	la a3, buf
+	li t0, 0
+	li a4, 0
+loop:
+	lbu t1, 0(a3)
+	li t2, 100
+	slt t3, t1, t2
+	bnez t3, small
+	addi a4, a4, 7
+small:
+	add a4, a4, t1
+	sw a4, 0(a3)       # overwrite data (exercises OnWrite on data pages)
+	addi a3, a3, 4
+	addi t0, t0, 1
+	li t2, 2
+	bltu t0, t2, loop
+	lui a5, 0x12345
+	addi a5, a5, 0x678
+	add a0, a4, a5
+` + exitSeq + `
+.data
+buf: .space 8
+name: .asciz "x"
+`
+
+// TestCacheEquivalence runs the same concolic execution with the cache
+// on, the cache on without fusion, and the legacy step loop, and
+// requires bit-identical architectural results: registers, counters,
+// exit state, console output, trace conditions and edge coverage.
+func TestCacheEquivalence(t *testing.T) {
+	img, err := asm.Assemble(equivGuest, ramBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	input := []byte{3, 200, 7, 250, 1, 2, 3, 4}
+
+	exec := func(noCache, noFusion bool) *Core {
+		c := New(smt.NewBuilder(), Config{RamBase: ramBase, RamSize: ramSize, MaxInstr: 1_000_000})
+		c.LoadImage(img.Origin, img.Bytes, img.Entry())
+		c.NoBlockCache = noCache
+		c.NoFusion = noFusion
+		c.FuzzInput = input
+		c.EdgeMap = make([]byte, 1<<16)
+		c.Run(0)
+		return c
+	}
+
+	ref := exec(true, false) // legacy fetch/decode/execute loop
+	for _, v := range []struct {
+		name     string
+		noFusion bool
+	}{{"cache+fusion", false}, {"cache-nofuse", true}} {
+		got := exec(false, v.noFusion)
+		if got.Exited != ref.Exited || got.ExitCode != ref.ExitCode {
+			t.Fatalf("%s: exit (%v,%d) want (%v,%d)", v.name, got.Exited, got.ExitCode, ref.Exited, ref.ExitCode)
+		}
+		if got.InstrCount != ref.InstrCount || got.Cycles != ref.Cycles {
+			t.Errorf("%s: instr/cycles %d/%d want %d/%d", v.name, got.InstrCount, got.Cycles, ref.InstrCount, ref.Cycles)
+		}
+		for r := 0; r < 32; r++ {
+			if got.Regs[r].C != ref.Regs[r].C {
+				t.Errorf("%s: x%d = %#x want %#x", v.name, r, got.Regs[r].C, ref.Regs[r].C)
+			}
+		}
+		if !bytes.Equal(got.Output, ref.Output) {
+			t.Errorf("%s: output %q want %q", v.name, got.Output, ref.Output)
+		}
+		if len(got.Trace) != len(ref.Trace) {
+			t.Fatalf("%s: %d trace conditions want %d", v.name, len(got.Trace), len(ref.Trace))
+		}
+		for i := range ref.Trace {
+			g, r := got.Trace[i], ref.Trace[i]
+			if g.EPCLen != r.EPCLen || g.SiteIdx != r.SiteIdx || g.FlipFrom != r.FlipFrom || g.FlipTo != r.FlipTo {
+				t.Errorf("%s: trace[%d] = %+v want %+v", v.name, i, g, r)
+			}
+		}
+		if !bytes.Equal(got.EdgeMap, ref.EdgeMap) {
+			t.Errorf("%s: edge coverage bitmap differs from legacy loop", v.name)
+		}
+	}
+}
+
+// TestBBStatsCounters checks that a loop produces cache hits (the loop
+// body block is decoded once, then reused).
+func TestBBStatsCounters(t *testing.T) {
+	c := run(t, cloneGuest)
+	hits, misses, _ := c.BBStats()
+	if misses == 0 {
+		t.Error("expected at least one decode miss")
+	}
+	if hits < 90 {
+		t.Errorf("loop of 100 iterations produced only %d block hits", hits)
+	}
+}

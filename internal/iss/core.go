@@ -7,6 +7,27 @@
 // notifications with a cycle-accurate timing model, context switching
 // between the software under test and peripheral functions, interrupt
 // lines, and protected memory zones for heap overflow detection.
+//
+// # Execution engines
+//
+// The ISS has two architecturally equivalent execution engines. Step
+// (core.go, exec.go) is the legacy reference: fetch, decode and a
+// switch over every opcode, once per instruction. Run normally executes
+// through the predecoded basic-block cache instead (bbcache.go,
+// dispatch.go): straight-line blocks are decoded once into pre-resolved
+// operation records dispatched through per-opcode handler functions,
+// with adjacent hot pairs fused into superinstructions. Blocks are
+// invalidated when the memory they cover is written, and Core.Freeze
+// publishes them into a shared layer that concurrent clones extend
+// lazily — so a fuzzing or multi-path campaign decodes each block once,
+// not once per execution. Core.NoBlockCache and Core.NoFusion select
+// the ablation points; results (registers, counters, EPC, trace
+// conditions, edge coverage) are bit-identical across all three modes.
+//
+// Both the concolic re-execution mode (FuzzInput replay) and the
+// fuzzer's ConcreteOnly fast path — which skips all symbolic shadow
+// work — run on the same cached blocks. See DESIGN.md "ISS" for the
+// discovery, termination and invalidation rules.
 package iss
 
 import (
@@ -298,6 +319,29 @@ type Core struct {
 	// counters are atomic).
 	ObsInstr *obs.Counter
 	ObsExecs *obs.Counter
+	// ObsBBHits/ObsBBMisses/ObsBBInval aggregate the block-cache hit,
+	// miss and invalidation counts ("iss.bb.*"), flushed once per Run
+	// like ObsInstr.
+	ObsBBHits   *obs.Counter
+	ObsBBMisses *obs.Counter
+	ObsBBInval  *obs.Counter
+
+	// NoBlockCache disables the predecoded basic-block cache: Run then
+	// drives the legacy fetch/decode/execute Step loop. Used by the
+	// ablation benchmarks as the honest pre-cache baseline.
+	NoBlockCache bool
+	// NoFusion keeps the block cache but disables the superinstruction
+	// pass that fuses hot adjacent pairs (lui+addi, auipc+addi,
+	// compare+branch).
+	NoFusion bool
+
+	// bb is the per-core translation cache (bbcache.go). bbAbort asks the
+	// block runner to stop after the current record (peripheral context
+	// switch, block invalidation, runtime unfusing); runLimit mirrors
+	// Run's effective budget for the fused-pair feasibility check.
+	bb       *bbCache
+	bbAbort  bool
+	runLimit uint64
 
 	// CyclesPer assigns each executed instruction a fixed cycle cost
 	// (paper §3.2: "a simple timing model that assigns each RISC-V
@@ -319,15 +363,25 @@ func New(b *smt.Builder, cfg Config) *Core {
 		Input:       smt.Assignment{},
 	}
 	c.Regs[2] = concolic.Concrete(cfg.StackTop)
+	c.bb = newBBCache(cfg.RamBase, cfg.RamSize)
+	c.Mem.OnWrite = c.noteMemWrite
 	return c
 }
 
 // Freeze prepares the core to serve as a shared exploration snapshot:
 // its memory pages are marked copy-on-write once, so subsequent Clone
 // calls never mutate snapshot state and may run concurrently from
-// multiple worker goroutines. The frozen core itself must no longer be
-// stepped or mutated while clones are outstanding.
-func (c *Core) Freeze() { c.Mem.Freeze() }
+// multiple worker goroutines. Decoded basic blocks are promoted into an
+// immutable shared layer at the same time, so clones start with the
+// snapshot's translations instead of re-decoding. The frozen core
+// itself must no longer be stepped or mutated while clones are
+// outstanding.
+func (c *Core) Freeze() {
+	c.Mem.Freeze()
+	if c.bb != nil {
+		c.bb.freeze()
+	}
+}
 
 // Clone deep-copies the VP state so a new input can be executed from the
 // same starting point (paper §3.1.1: "The VP is cloned each time before
@@ -368,6 +422,12 @@ func (c *Core) Clone() *Core {
 	n.SymOrder = nil
 	n.EdgeMap = nil
 	n.prevLoc = 0
+	// The clone shares the immutable frozen block layer (if any) and
+	// rebuilds its private layer lazily; it invalidates against its own
+	// memory writes through its own hook.
+	n.bb = c.bb.cloneFor()
+	n.bbAbort = false
+	n.Mem.OnWrite = n.noteMemWrite
 	return n
 }
 
@@ -442,24 +502,56 @@ func (c *Core) findPeripheral(addr uint32) *Peripheral {
 }
 
 // Run executes until the core halts or maxInstr instructions have
-// retired (0 = use Cfg.MaxInstr; both 0 = unbounded).
+// retired (0 = use Cfg.MaxInstr; both 0 = unbounded). Execution flows
+// through the predecoded basic-block cache (bbcache.go) unless an
+// ExecHook is installed or NoBlockCache is set, in which case the
+// legacy per-instruction Step loop runs instead.
 func (c *Core) Run(maxInstr uint64) {
 	if maxInstr == 0 {
 		maxInstr = c.Cfg.MaxInstr
 	}
-	if c.ObsInstr != nil || c.ObsExecs != nil {
+	if c.ObsInstr != nil || c.ObsExecs != nil || c.ObsBBHits != nil ||
+		c.ObsBBMisses != nil || c.ObsBBInval != nil {
 		start := c.InstrCount
+		var h0, m0, i0 uint64
+		if c.bb != nil {
+			h0, m0, i0 = c.bb.hits, c.bb.misses, c.bb.invals
+		}
 		defer func() {
 			c.ObsInstr.Add(int64(c.InstrCount - start))
 			c.ObsExecs.Inc()
+			if c.bb != nil {
+				c.ObsBBHits.Add(int64(c.bb.hits - h0))
+				c.ObsBBMisses.Add(int64(c.bb.misses - m0))
+				c.ObsBBInval.Add(int64(c.bb.invals - i0))
+			}
 		}()
 	}
-	for !c.Halted() {
-		if maxInstr > 0 && c.InstrCount >= maxInstr {
-			c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
-			return
+	if c.ExecHook != nil || c.NoBlockCache || c.bb == nil {
+		for !c.Halted() {
+			if maxInstr > 0 && c.InstrCount >= maxInstr {
+				c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
+				return
+			}
+			c.Step()
 		}
-		c.Step()
+		return
+	}
+	c.runLimit = maxInstr
+	for !c.Halted() {
+		b := c.bb.lookup(c, c.PC)
+		if b == nil {
+			// The instruction at PC cannot be fetched or decoded (or an
+			// event pending here will redirect the PC): take one legacy
+			// Step so error reporting and event delivery stay identical.
+			if maxInstr > 0 && c.InstrCount >= maxInstr {
+				c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
+				return
+			}
+			c.Step()
+			continue
+		}
+		c.runBlock(b, maxInstr)
 	}
 }
 

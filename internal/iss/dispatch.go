@@ -1,0 +1,633 @@
+package iss
+
+import (
+	"fmt"
+
+	"rvcte/internal/concolic"
+	"rvcte/internal/rv32"
+	"rvcte/internal/smt"
+)
+
+// This file is the direct-threaded execution engine over predecoded
+// blocks (bbcache.go): each decoded record carries a handler function
+// pointer resolved once at decode time, so the hot loop is
+// prologue → indirect call → epilogue with no fetch, no rv32.Decode and
+// no opcode switch. Every handler mirrors the corresponding arm of the
+// legacy execute switch exactly — the legacy Step path stays the
+// semantic reference (and the NoBlockCache ablation baseline).
+
+// decoded is one pre-resolved operation record of a basic block. It is
+// immutable after decode (blocks are shared across clones).
+type decoded struct {
+	fn     stepFn
+	op     rv32.Op
+	rd     uint8
+	rs1    uint8
+	rs2    uint8
+	msize  uint8 // memory access size in bytes (loads/stores)
+	signed bool  // sign-extend the loaded value
+	imm    int32
+	pc     uint32
+	npc    uint32 // pc + instruction size
+	inst   rv32.Inst
+
+	// Superinstruction (fused pair) fields; only set when fn is a fused
+	// handler. op2/imm2/pc2/npc2/inst2 describe the second instruction,
+	// k1/k are the precomputed results of the constant-load pair.
+	op2   rv32.Op
+	rd2   uint8
+	imm2  int32
+	pc2   uint32
+	npc2  uint32
+	k1, k uint32
+	inst2 rv32.Inst
+}
+
+// stepFn executes one decoded record. It returns the opcode to charge
+// in the runner's cycle epilogue: the record's own op, or — for a fused
+// record that retired both instructions — the second op (the first was
+// already charged by pairBoundary).
+type stepFn func(c *Core, d *decoded) rv32.Op
+
+var stepTab [rv32.NumOps]stepFn
+
+func init() {
+	stepTab[rv32.OpLUI] = stepLUI
+	stepTab[rv32.OpAUIPC] = stepAUIPC
+	stepTab[rv32.OpJAL] = stepJAL
+	stepTab[rv32.OpJALR] = stepJALR
+	for _, op := range []rv32.Op{rv32.OpBEQ, rv32.OpBNE, rv32.OpBLT, rv32.OpBGE, rv32.OpBLTU, rv32.OpBGEU} {
+		stepTab[op] = stepBranch
+	}
+	for _, op := range []rv32.Op{rv32.OpLB, rv32.OpLH, rv32.OpLW, rv32.OpLBU, rv32.OpLHU} {
+		stepTab[op] = stepLoad
+	}
+	for _, op := range []rv32.Op{rv32.OpSB, rv32.OpSH, rv32.OpSW} {
+		stepTab[op] = stepStore
+	}
+	stepTab[rv32.OpADDI] = stepADDI
+	stepTab[rv32.OpSLTI] = stepSLTI
+	stepTab[rv32.OpSLTIU] = stepSLTIU
+	stepTab[rv32.OpXORI] = stepXORI
+	stepTab[rv32.OpORI] = stepORI
+	stepTab[rv32.OpANDI] = stepANDI
+	stepTab[rv32.OpSLLI] = stepSLLI
+	stepTab[rv32.OpSRLI] = stepSRLI
+	stepTab[rv32.OpSRAI] = stepSRAI
+	stepTab[rv32.OpADD] = stepADD
+	stepTab[rv32.OpSUB] = stepSUB
+	stepTab[rv32.OpSLL] = stepSLL
+	stepTab[rv32.OpSLT] = stepSLT
+	stepTab[rv32.OpSLTU] = stepSLTU
+	stepTab[rv32.OpXOR] = stepXOR
+	stepTab[rv32.OpSRL] = stepSRL
+	stepTab[rv32.OpSRA] = stepSRA
+	stepTab[rv32.OpOR] = stepOR
+	stepTab[rv32.OpAND] = stepAND
+	stepTab[rv32.OpMUL] = stepMUL
+	stepTab[rv32.OpMULH] = stepMULH
+	stepTab[rv32.OpMULHSU] = stepMULHSU
+	stepTab[rv32.OpMULHU] = stepMULHU
+	stepTab[rv32.OpDIV] = stepDIV
+	stepTab[rv32.OpDIVU] = stepDIVU
+	stepTab[rv32.OpREM] = stepREM
+	stepTab[rv32.OpREMU] = stepREMU
+	stepTab[rv32.OpFENCE] = stepFENCE
+	stepTab[rv32.OpECALL] = stepECALL
+	stepTab[rv32.OpEBREAK] = stepEBREAK
+	stepTab[rv32.OpMRET] = stepMRET
+	stepTab[rv32.OpWFI] = stepWFI
+	for _, op := range []rv32.Op{rv32.OpCSRRW, rv32.OpCSRRS, rv32.OpCSRRC} {
+		stepTab[op] = stepCSR
+	}
+	for _, op := range []rv32.Op{rv32.OpCSRRWI, rv32.OpCSRRSI, rv32.OpCSRRCI} {
+		stepTab[op] = stepCSRI
+	}
+}
+
+// makeDecoded builds the operation record for inst at pc, resolving the
+// handler and pre-computing the load/store metadata the legacy switch
+// looks up per execution.
+func makeDecoded(pc uint32, inst rv32.Inst) decoded {
+	d := decoded{
+		fn: stepTab[inst.Op], op: inst.Op,
+		rd: inst.Rd, rs1: inst.Rs1, rs2: inst.Rs2,
+		imm: inst.Imm, pc: pc, npc: pc + uint32(inst.Size), inst: inst,
+	}
+	switch inst.Op {
+	case rv32.OpLB:
+		d.msize, d.signed = 1, true
+	case rv32.OpLBU, rv32.OpSB:
+		d.msize = 1
+	case rv32.OpLH:
+		d.msize, d.signed = 2, true
+	case rv32.OpLHU, rv32.OpSH:
+		d.msize = 2
+	case rv32.OpLW, rv32.OpSW:
+		d.msize = 4
+	}
+	if d.fn == nil {
+		d.fn = stepUnknown
+	}
+	return d
+}
+
+// runBlock executes the records of b in order, reproducing the exact
+// per-instruction structure of Run+Step: budget check, event delivery
+// at peripheral depth 0, edge/coverage/ring bookkeeping, execution,
+// retire accounting. It returns on halt, on a control transfer out of
+// the block (last record), on a context switch, and on bbAbort
+// (peripheral entry or block invalidation).
+func (c *Core) runBlock(b *bblock, maxInstr uint64) {
+	for i := range b.ops {
+		d := &b.ops[i]
+		c.PC = d.pc
+		if maxInstr > 0 && c.InstrCount >= maxInstr {
+			c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
+			return
+		}
+		if len(c.ctxStack) == 0 {
+			if c.dispatchNotifications() {
+				return // context-switched into a peripheral function
+			} else if c.takeInterrupt() {
+				return
+			}
+		}
+		if c.EdgeMap != nil {
+			cur := (c.PC >> 1) * 0x9e3779b1
+			idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+			if c.EdgeMap[idx] != 0xff {
+				c.EdgeMap[idx]++
+			}
+			c.prevLoc = cur >> 1
+		}
+		if c.TrackCoverage {
+			if c.Coverage == nil {
+				c.Coverage = make(map[uint32]struct{})
+			}
+			c.Coverage[c.PC] = struct{}{}
+		}
+		if c.TraceDepth > 0 {
+			if len(c.traceRing) < c.TraceDepth {
+				c.traceRing = append(c.traceRing, TraceEntry{PC: c.PC, Inst: d.inst})
+			} else {
+				c.traceRing[c.traceNext] = TraceEntry{PC: c.PC, Inst: d.inst}
+			}
+			c.traceNext = (c.traceNext + 1) % c.TraceDepth
+		}
+		c.bbAbort = false
+		op := d.fn(c, d)
+		c.InstrCount++
+		if c.CyclesPer != nil {
+			c.Cycles += c.CyclesPer(op)
+		} else {
+			c.Cycles++
+		}
+		if c.Halted() || c.bbAbort {
+			return
+		}
+	}
+}
+
+// canPair reports whether a fused record may retire its second
+// instruction without an observable difference from two separate steps:
+// the core must not be halted, the budget must allow two retirements,
+// and no notification or interrupt may be deliverable at the pair's
+// internal boundary.
+func (c *Core) canPair() bool {
+	if c.Halted() {
+		return false
+	}
+	if c.runLimit > 0 && c.InstrCount+1 >= c.runLimit {
+		return false
+	}
+	if len(c.ctxStack) == 0 {
+		if len(c.notifications) != 0 {
+			return false
+		}
+		const mieBit = 1 << 3
+		if c.MStatus&mieBit != 0 && c.MIP&c.MIE != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pairBoundary performs the full per-instruction bookkeeping at the
+// internal boundary of a fused pair: retire the first instruction and
+// run the prologue (edge map, coverage, trace ring) for the second, so
+// fused execution is bit-identical to two separate steps.
+func (c *Core) pairBoundary(d *decoded) {
+	c.InstrCount++
+	if c.CyclesPer != nil {
+		c.Cycles += c.CyclesPer(d.op)
+	} else {
+		c.Cycles++
+	}
+	c.PC = d.pc2
+	if c.EdgeMap != nil {
+		cur := (d.pc2 >> 1) * 0x9e3779b1
+		idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+		if c.EdgeMap[idx] != 0xff {
+			c.EdgeMap[idx]++
+		}
+		c.prevLoc = cur >> 1
+	}
+	if c.TrackCoverage {
+		if c.Coverage == nil {
+			c.Coverage = make(map[uint32]struct{})
+		}
+		c.Coverage[d.pc2] = struct{}{}
+	}
+	if c.TraceDepth > 0 {
+		if len(c.traceRing) < c.TraceDepth {
+			c.traceRing = append(c.traceRing, TraceEntry{PC: d.pc2, Inst: d.inst2})
+		} else {
+			c.traceRing[c.traceNext] = TraceEntry{PC: d.pc2, Inst: d.inst2}
+		}
+		c.traceNext = (c.traceNext + 1) % c.TraceDepth
+	}
+}
+
+func stepUnknown(c *Core, d *decoded) rv32.Op {
+	c.fail(ErrIllegalInstr, c.PC, d.op.String())
+	return d.op
+}
+
+func stepLUI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, concolic.Concrete(uint32(d.imm)))
+	if !c.Halted() {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepAUIPC(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, concolic.Concrete(d.pc+uint32(d.imm)))
+	if !c.Halted() {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepJAL(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, concolic.Concrete(d.npc))
+	c.PC = d.pc + uint32(d.imm)
+	return d.op
+}
+
+func stepJALR(c *Core, d *decoded) rv32.Op {
+	target := c.reg(d.rs1)
+	taddr := c.concretize(target, "jump target")
+	c.setReg(d.rd, concolic.Concrete(d.npc))
+	c.PC = (taddr + uint32(d.imm)) &^ 1
+	return d.op
+}
+
+func stepBranch(c *Core, d *decoded) rv32.Op {
+	o := c.Ops
+	a, b := c.reg(d.rs1), c.reg(d.rs2)
+	var taken bool
+	var cond *smt.Expr
+	switch d.op {
+	case rv32.OpBEQ:
+		taken, cond = o.CmpEq(a, b)
+	case rv32.OpBNE:
+		taken, cond = o.CmpNe(a, b)
+	case rv32.OpBLT:
+		taken, cond = o.CmpLt(a, b)
+	case rv32.OpBGE:
+		taken, cond = o.CmpGe(a, b)
+	case rv32.OpBLTU:
+		taken, cond = o.CmpLtu(a, b)
+	default:
+		taken, cond = o.CmpGeu(a, b)
+	}
+	if cond != nil {
+		flipTo := d.npc
+		if !taken {
+			flipTo = d.pc + uint32(d.imm)
+		}
+		c.branchFlip(taken, cond, flipTo)
+	}
+	if taken {
+		c.PC = d.pc + uint32(d.imm)
+	} else {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepLoad(c *Core, d *decoded) rv32.Op {
+	addr := c.effAddr(d.rs1, d.imm)
+	if c.Halted() {
+		return d.op
+	}
+	if !c.memLoad(addr, int(d.msize), d.rd, d.signed, d.npc) {
+		return d.op // context switched; bbAbort set by enterPeripheral
+	}
+	if !c.Halted() {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepStore(c *Core, d *decoded) rv32.Op {
+	addr := c.effAddr(d.rs1, d.imm)
+	if c.Halted() {
+		return d.op
+	}
+	if !c.memStore(addr, int(d.msize), c.reg(d.rs2), d.npc) {
+		return d.op
+	}
+	if !c.Halted() {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+// aluTail advances the PC after a non-branching record, matching the
+// fallthrough epilogue of the legacy execute switch.
+func aluTail(c *Core, d *decoded) rv32.Op {
+	if !c.Halted() {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepADDI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Add(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepSLTI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Slt(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepSLTIU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sltu(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepXORI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Xor(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepORI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Or(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepANDI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.And(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepSLLI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sll(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepSRLI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Srl(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepSRAI(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sra(c.reg(d.rs1), concolic.Concrete(uint32(d.imm))))
+	return aluTail(c, d)
+}
+
+func stepADD(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Add(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSUB(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sub(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSLL(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sll(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSLT(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Slt(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSLTU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sltu(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepXOR(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Xor(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSRL(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Srl(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepSRA(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Sra(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepOR(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Or(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepAND(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.And(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepMUL(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Mul(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepMULH(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.MulH(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepMULHSU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.MulHSU(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepMULHU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.MulHU(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepDIV(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Div(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepDIVU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.DivU(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepREM(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.Rem(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepREMU(c *Core, d *decoded) rv32.Op {
+	c.setReg(d.rd, c.Ops.RemU(c.reg(d.rs1), c.reg(d.rs2)))
+	return aluTail(c, d)
+}
+
+func stepFENCE(c *Core, d *decoded) rv32.Op {
+	// No-op on a single-hart VP (block-terminal for FENCE.I conservatism).
+	return aluTail(c, d)
+}
+
+func stepECALL(c *Core, d *decoded) rv32.Op {
+	c.ecall()
+	if c.Halted() {
+		return d.op
+	}
+	// CTE_return redirects the PC; only advance when the ecall left it in
+	// place.
+	if c.PC == d.pc {
+		c.PC = d.npc
+	}
+	return d.op
+}
+
+func stepEBREAK(c *Core, d *decoded) rv32.Op {
+	c.fail(ErrAssertFail, c.PC, "ebreak")
+	return d.op
+}
+
+func stepMRET(c *Core, d *decoded) rv32.Op {
+	const mieBit, mpieBit = uint32(1 << 3), uint32(1 << 7)
+	c.MStatus = c.MStatus&^mieBit | (c.MStatus&mpieBit)>>4
+	c.MStatus |= mpieBit
+	c.PC = c.MEPC
+	return d.op
+}
+
+func stepWFI(c *Core, d *decoded) rv32.Op {
+	c.waitForInterrupt()
+	return aluTail(c, d)
+}
+
+func stepCSR(c *Core, d *decoded) rv32.Op {
+	old := c.readCSR(uint16(d.imm))
+	v := c.reg(d.rs1)
+	nv := c.concretizeVal(v, "csr write")
+	switch d.op {
+	case rv32.OpCSRRW:
+		c.writeCSR(uint16(d.imm), nv)
+	case rv32.OpCSRRS:
+		if d.rs1 != 0 {
+			c.writeCSR(uint16(d.imm), old|nv)
+		}
+	case rv32.OpCSRRC:
+		if d.rs1 != 0 {
+			c.writeCSR(uint16(d.imm), old&^nv)
+		}
+	}
+	c.setReg(d.rd, concolic.Concrete(old))
+	return aluTail(c, d)
+}
+
+func stepCSRI(c *Core, d *decoded) rv32.Op {
+	old := c.readCSR(uint16(d.imm))
+	z := uint32(d.rs2)
+	switch d.op {
+	case rv32.OpCSRRWI:
+		c.writeCSR(uint16(d.imm), z)
+	case rv32.OpCSRRSI:
+		if z != 0 {
+			c.writeCSR(uint16(d.imm), old|z)
+		}
+	case rv32.OpCSRRCI:
+		if z != 0 {
+			c.writeCSR(uint16(d.imm), old&^z)
+		}
+	}
+	c.setReg(d.rd, concolic.Concrete(old))
+	return aluTail(c, d)
+}
+
+// stepFusedLI retires a fused lui/auipc+addi pair: both destination
+// registers are written from precomputed constants. When pairing would
+// be observable (canPair), the record unfuses itself: only the first
+// instruction executes and the block aborts, so the dispatcher re-enters
+// at the second instruction through a fresh block.
+func stepFusedLI(c *Core, d *decoded) rv32.Op {
+	if !c.canPair() {
+		c.setReg(d.rd, concolic.Concrete(d.k1))
+		if !c.Halted() {
+			c.PC = d.pc2
+		}
+		c.bbAbort = true
+		return d.op
+	}
+	c.setReg(d.rd, concolic.Concrete(d.k1))
+	c.pairBoundary(d)
+	c.setReg(d.rd2, concolic.Concrete(d.k))
+	c.PC = d.npc2
+	return d.op2
+}
+
+// stepFusedCmpBr retires a fused slt*+beqz/bnez pair on the concrete
+// fast path. Symbolic compare operands unfuse (the compare must mint its
+// shadow expression and the branch must run the full EPC/TC protocol at
+// its own PC), as does any pending event or budget edge.
+func stepFusedCmpBr(c *Core, d *decoded) rv32.Op {
+	a := c.reg(d.rs1)
+	var bv concolic.Value
+	if d.op == rv32.OpSLTI || d.op == rv32.OpSLTIU {
+		bv = concolic.Concrete(uint32(d.imm))
+	} else {
+		bv = c.reg(d.rs2)
+	}
+	if a.Sym != nil || bv.Sym != nil || !c.canPair() {
+		var v concolic.Value
+		if d.op == rv32.OpSLT || d.op == rv32.OpSLTI {
+			v = c.Ops.Slt(a, bv)
+		} else {
+			v = c.Ops.Sltu(a, bv)
+		}
+		c.setReg(d.rd, v)
+		if !c.Halted() {
+			c.PC = d.pc2
+		}
+		c.bbAbort = true
+		return d.op
+	}
+	var lt bool
+	if d.op == rv32.OpSLT || d.op == rv32.OpSLTI {
+		lt = int32(a.C) < int32(bv.C)
+	} else {
+		lt = a.C < bv.C
+	}
+	var res uint32
+	if lt {
+		res = 1
+	}
+	c.setReg(d.rd, concolic.Concrete(res))
+	c.pairBoundary(d)
+	if (res != 0) == (d.op2 == rv32.OpBNE) {
+		c.PC = d.pc2 + uint32(d.imm2)
+	} else {
+		c.PC = d.npc2
+	}
+	return d.op2
+}

@@ -67,7 +67,7 @@ func (c *Core) execute(in rv32.Inst) {
 	case rv32.OpLB, rv32.OpLH, rv32.OpLW, rv32.OpLBU, rv32.OpLHU:
 		size := map[rv32.Op]int{rv32.OpLB: 1, rv32.OpLBU: 1, rv32.OpLH: 2, rv32.OpLHU: 2, rv32.OpLW: 4}[in.Op]
 		signed := in.Op == rv32.OpLB || in.Op == rv32.OpLH
-		addr := c.effAddr(in)
+		addr := c.effAddr(in.Rs1, in.Imm)
 		if c.Halted() {
 			return
 		}
@@ -76,7 +76,7 @@ func (c *Core) execute(in rv32.Inst) {
 		}
 	case rv32.OpSB, rv32.OpSH, rv32.OpSW:
 		size := map[rv32.Op]int{rv32.OpSB: 1, rv32.OpSH: 2, rv32.OpSW: 4}[in.Op]
-		addr := c.effAddr(in)
+		addr := c.effAddr(in.Rs1, in.Imm)
 		if c.Halted() {
 			return
 		}
@@ -244,11 +244,11 @@ func (c *Core) HookStore(addr uint32, size int, v concolic.Value, next uint32) b
 // conditions is emitted before concretization so exploration can steer
 // symbolic addresses into protected zones (the optional concretization
 // TCs of §2.2, applied to addresses).
-func (c *Core) effAddr(in rv32.Inst) uint32 {
-	base := c.reg(in.Rs1)
-	addr := base.C + uint32(in.Imm)
+func (c *Core) effAddr(rs1 uint8, imm int32) uint32 {
+	base := c.reg(rs1)
+	addr := base.C + uint32(imm)
 	if base.Sym != nil {
-		full := c.Ops.Add(base, concolic.Concrete(uint32(in.Imm)))
+		full := c.Ops.Add(base, concolic.Concrete(uint32(imm)))
 		if full.Sym != nil && c.AddressTCs {
 			site := c.siteCount
 			c.siteCount++
@@ -442,6 +442,8 @@ func (c *Core) enterPeripheral(fn uint32, args [4]concolic.Value, pend pendingOp
 		c.Regs[2] = concolic.Concrete(c.Cfg.PeriphStackTop)
 	}
 	c.PC = fn
+	// The block runner must stop and re-dispatch at the peripheral entry.
+	c.bbAbort = true
 }
 
 // cteReturn pops the context stack and completes any pending memory

@@ -66,27 +66,46 @@ var benchInput = func() []byte {
 	return in
 }()
 
+// benchVariants are the block-cache ablation axes (EXPERIMENTS.md
+// "Block cache ablation"): the default predecoded-dispatch path, the
+// cache without superinstruction fusion, and the legacy
+// fetch/decode/execute loop.
+var benchVariants = []struct {
+	name              string
+	noCache, noFusion bool
+}{
+	{"bb", false, false},
+	{"bb-nofuse", false, true},
+	{"nocache", true, false},
+}
+
 // BenchmarkConcreteExec measures one fuzz-style execution: clone the
 // frozen snapshot, run ConcreteOnly with the edge bitmap enabled. This
 // is the hot loop of the hybrid fuzzer.
 func BenchmarkConcreteExec(b *testing.B) {
-	snap := buildBenchSnapshot(b)
-	edge := make([]byte, 1<<16)
-	var instrs uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		clear(edge)
-		c := snap.Clone()
-		c.ConcreteOnly = true
-		c.FuzzInput = benchInput
-		c.EdgeMap = edge
-		c.Run(0)
-		if c.Err != nil {
-			b.Fatal(c.Err)
-		}
-		instrs += c.InstrCount
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			snap := buildBenchSnapshot(b)
+			edge := make([]byte, 1<<16)
+			var instrs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clear(edge)
+				c := snap.Clone()
+				c.NoBlockCache = v.noCache
+				c.NoFusion = v.noFusion
+				c.ConcreteOnly = true
+				c.FuzzInput = benchInput
+				c.EdgeMap = edge
+				c.Run(0)
+				if c.Err != nil {
+					b.Fatal(c.Err)
+				}
+				instrs += c.InstrCount
+			}
+			b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+		})
 	}
-	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
 }
 
 // BenchmarkConcolicExec measures the same execution with the full
@@ -95,17 +114,23 @@ func BenchmarkConcreteExec(b *testing.B) {
 // BenchmarkConcreteExec is the per-execution concolic tax the hybrid
 // loop avoids on the fuzzing fast path.
 func BenchmarkConcolicExec(b *testing.B) {
-	snap := buildBenchSnapshot(b)
-	var instrs uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c := snap.Clone()
-		c.FuzzInput = benchInput
-		c.Run(0)
-		if c.Err != nil {
-			b.Fatal(c.Err)
-		}
-		instrs += c.InstrCount
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			snap := buildBenchSnapshot(b)
+			var instrs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := snap.Clone()
+				c.NoBlockCache = v.noCache
+				c.NoFusion = v.noFusion
+				c.FuzzInput = benchInput
+				c.Run(0)
+				if c.Err != nil {
+					b.Fatal(c.Err)
+				}
+				instrs += c.InstrCount
+			}
+			b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+		})
 	}
-	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
 }

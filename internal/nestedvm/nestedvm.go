@@ -7,7 +7,12 @@
 // structural overheads (an additional interpretation layer, generic
 // state representation, no translation caching) that make the
 // VP-inside-S2E configuration one to two orders of magnitude slower than
-// the specialized engine (paper §3.1.2, §4.1).
+// the specialized engine (paper §3.1.2, §4.1). The contrast is
+// deliberate: the native engine caches decoded basic blocks across
+// executions (see internal/iss bbcache.go), while this baseline
+// re-translates every instruction on every step by design — installing
+// an ExecHook also routes iss.Core.Run through the legacy per-step
+// loop, so the baseline never silently benefits from the block cache.
 //
 // The CTE semantics (path condition tracking, peripherals, protected
 // zones) are inherited unchanged from internal/iss through its ExecHook

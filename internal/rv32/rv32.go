@@ -80,6 +80,10 @@ const (
 	opMax
 )
 
+// NumOps is the number of distinct decoded operations, for sizing
+// per-opcode dispatch tables.
+const NumOps = int(opMax)
+
 var opNames = [...]string{
 	OpIllegal: "illegal",
 	OpLUI:     "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
