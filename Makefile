@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench bench-iss examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench bench-iss bench-fork examples clean
 
 all: verify
 
@@ -50,6 +50,12 @@ bench:
 # ablation"): each benchmark runs the bb / bb-nofuse / nocache variants.
 bench-iss:
 	$(GO) test -run NONE -bench 'BenchmarkConcreteExec|BenchmarkConcolicExec' -benchmem ./internal/iss
+
+# Fork-vs-restart ablation on the deep guests (EXPERIMENTS.md "State
+# forking"): same explorations with checkpoints resumed, with the
+# capture threshold, and with full prefix re-execution.
+bench-fork:
+	$(GO) test -run NONE -bench BenchmarkForkVsRestart -benchtime 20x .
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -73,6 +73,8 @@ func main() {
 	fuzzMode := flag.Bool("fuzz", false, "hybrid fuzzing: coverage-guided concrete fuzzing with concolic escalation on stall, instead of pure concolic exploration")
 	fuzzTime := flag.Duration("fuzz-time", 30*time.Second, "fuzzing wall-clock budget (0 = until dry or first finding)")
 	corpusDir := flag.String("corpus-dir", "", "fuzz only: load initial inputs from this directory and persist the final corpus back to it")
+	forkMode := flag.Bool("fork", true, "resume divergence checkpoints instead of re-executing path prefixes from the snapshot (disable for the restart-only ablation baseline)")
+	forkMinPrefix := flag.Uint64("fork-min-prefix", 2000, "skip checkpoint capture on path prefixes shorter than this many instructions (restarting a short prefix is cheaper than checkpointing it; 0 = checkpoint every divergence)")
 	bbCache := flag.Bool("bbcache", true, "enable the predecoded basic-block cache (direct-threaded dispatch; disable to use the legacy fetch/decode/execute loop)")
 	fuse := flag.Bool("fuse", true, "enable superinstruction fusion inside cached blocks (lui+addi, auipc+addi, compare+branch)")
 	flag.Parse()
@@ -173,6 +175,8 @@ func main() {
 		},
 		TrackCoverage: *cover,
 		TraceDepth:    *errTrace,
+		Fork:          *forkMode,
+		ForkMinPrefix: *forkMinPrefix,
 	}
 	if *fuzzMode {
 		cfg.Mode = cte.ModeHybrid
@@ -247,6 +251,10 @@ func printReport(b *smt.Builder, elf *relf.File, rep *cte.Report, cover bool) {
 		rep.Paths, rep.WallTime.Seconds(), rep.Queries, rep.SolverTime.Seconds(), rep.TotalInstr)
 	fmt.Printf("trace conditions: %d sat, %d unsat, %d unknown (budget-exhausted)\n",
 		rep.SatTCs, rep.UnsatTCs, rep.UnknownTCs)
+	if rep.Forked > 0 || rep.ForkRestarts > 0 {
+		fmt.Printf("state forking: %d paths resumed from checkpoints, %d fell back to snapshot restarts\n",
+			rep.Forked, rep.ForkRestarts)
+	}
 	if cs := rep.Cache; cs != nil {
 		fmt.Printf("query cache: %d exact, %d eval-reuse, %d subsumed of %d lookups; %d SAT calls (%d sliced), %d entries (%d loaded)\n",
 			cs.Hits, cs.EvalHits, cs.SubsumeHits, cs.Queries, cs.SolverCalls, cs.SliceSolves, cs.Entries, cs.Loaded)

@@ -1,0 +1,140 @@
+package rvcte
+
+import (
+	"fmt"
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// exploreOrdered runs a bounded deterministic exploration (Workers=1)
+// of a guest program and returns the ordered per-path records plus the
+// report. With fork on, each path resumes its divergence checkpoint;
+// records still carry the full-path instruction count (InstrCount is
+// absolute across a fork), so any prefix-replay divergence is visible.
+func exploreOrdered(tb testing.TB, p guest.Program, fork bool, maxPaths int) ([]string, *cte.Report) {
+	tb.Helper()
+	b := smt.NewBuilder()
+	core, _, err := guest.NewCore(b, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng := cte.New(core, cte.Options{MaxPaths: maxPaths, Workers: 1, Fork: fork})
+	var recs []string
+	eng.OnPath = func(_ int, c *iss.Core) {
+		recs = append(recs, fmt.Sprintf("in=%s exit=%d err=%v out=%q instr=%d",
+			cte.DescribeInput(b, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
+	}
+	return recs, eng.Run()
+}
+
+// TestForkEquivalenceDeepGuests is the acceptance gate for state
+// forking on the paper's real workloads: on storm-s and on the tcpip
+// stack the forked exploration must produce the bit-identical ordered
+// path sequence, the same findings and the same solver statistics as
+// the restart-only baseline — while re-executing strictly fewer
+// instructions.
+func TestForkEquivalenceDeepGuests(t *testing.T) {
+	storm, ok := guest.BenchProgram("storm-s")
+	if !ok {
+		t.Fatal("storm-s missing")
+	}
+	guests := []struct {
+		name     string
+		p        guest.Program
+		maxPaths int
+	}{
+		{"storm-s", withDefaults(storm), 60},
+		{"tcpip", withDefaults(guest.TCPIPProgram(0, 64)), 60},
+		{"tcpip-allfixed", withDefaults(guest.TCPIPProgram(0x3f, 64)), 40},
+	}
+	for _, g := range guests {
+		t.Run(g.name, func(t *testing.T) {
+			forkRecs, forkRep := exploreOrdered(t, g.p, true, g.maxPaths)
+			restRecs, restRep := exploreOrdered(t, g.p, false, g.maxPaths)
+
+			if len(forkRecs) != len(restRecs) {
+				t.Fatalf("path counts: fork %d restart %d", len(forkRecs), len(restRecs))
+			}
+			for i := range forkRecs {
+				if forkRecs[i] != restRecs[i] {
+					t.Fatalf("path %d diverges:\n fork:    %s\n restart: %s",
+						i, forkRecs[i], restRecs[i])
+				}
+			}
+			if forkRep.Queries != restRep.Queries ||
+				forkRep.SatTCs != restRep.SatTCs ||
+				forkRep.UnsatTCs != restRep.UnsatTCs {
+				t.Errorf("solver stats diverge: fork %d/%d/%d restart %d/%d/%d",
+					forkRep.Queries, forkRep.SatTCs, forkRep.UnsatTCs,
+					restRep.Queries, restRep.SatTCs, restRep.UnsatTCs)
+			}
+			if len(forkRep.Findings) != len(restRep.Findings) {
+				t.Fatalf("findings: fork %d restart %d",
+					len(forkRep.Findings), len(restRep.Findings))
+			}
+			for i := range forkRep.Findings {
+				ff, rf := forkRep.Findings[i], restRep.Findings[i]
+				if ff.Err.Kind != rf.Err.Kind || ff.Err.PC != rf.Err.PC {
+					t.Errorf("finding %d diverges: fork %v restart %v", i, ff.Err, rf.Err)
+				}
+			}
+			if forkRep.Forked == 0 {
+				t.Error("fork mode never resumed a checkpoint")
+			}
+			if forkRep.TotalInstr >= restRep.TotalInstr {
+				t.Errorf("no re-execution saved: fork %d restart %d instrs",
+					forkRep.TotalInstr, restRep.TotalInstr)
+			}
+			t.Logf("%s: %d paths, instr fork=%d restart=%d (%.1fx), forked=%d fallback=%d",
+				g.name, forkRep.Paths, forkRep.TotalInstr, restRep.TotalInstr,
+				float64(restRep.TotalInstr)/float64(forkRep.TotalInstr),
+				forkRep.Forked, forkRep.ForkRestarts)
+		})
+	}
+}
+
+// BenchmarkForkVsRestart measures the wall-clock effect of state forking
+// on the deep guests (make bench-fork): identical explorations, one
+// resuming checkpoints, one re-executing every path prefix.
+func BenchmarkForkVsRestart(b *testing.B) {
+	storm, _ := guest.BenchProgram("storm-s")
+	guests := []struct {
+		name     string
+		p        guest.Program
+		maxPaths int
+	}{
+		{"storm-s", withDefaults(storm), 60},
+		{"tcpip", withDefaults(guest.TCPIPProgram(0, 64)), 60},
+	}
+	modes := []struct {
+		name string
+		opt  func(*cte.Options)
+	}{
+		{"fork", func(o *cte.Options) { o.Fork = true }},
+		{"fork-min2k", func(o *cte.Options) { o.Fork = true; o.ForkMinPrefix = 2000 }},
+		{"restart", func(o *cte.Options) {}},
+	}
+	for _, g := range guests {
+		for _, m := range modes {
+			b.Run(g.name+"/"+m.name, func(b *testing.B) {
+				var instr uint64
+				for i := 0; i < b.N; i++ {
+					bld := smt.NewBuilder()
+					core, _, err := guest.NewCore(bld, g.p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opt := cte.Options{MaxPaths: g.maxPaths, Workers: 1}
+					m.opt(&opt)
+					rep := cte.New(core, opt).Run()
+					instr += rep.TotalInstr
+				}
+				b.ReportMetric(float64(instr)/float64(b.N), "instr/explore")
+			})
+		}
+	}
+}

@@ -306,8 +306,8 @@ func TestReadHelpers(t *testing.T) {
 	b := smt.NewBuilder()
 	m := NewMemory(b)
 	m.WriteBytes(0x100, []byte("hello\x00world"))
-	if s := m.ReadCString(0x100); s != "hello" {
-		t.Errorf("cstring: %q", s)
+	if s, ok := m.ReadCString(0x100); !ok || s != "hello" {
+		t.Errorf("cstring: %q ok=%v", s, ok)
 	}
 	if got := string(m.ReadBytes(0x106, 5)); got != "world" {
 		t.Errorf("readbytes: %q", got)

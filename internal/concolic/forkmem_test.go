@@ -1,0 +1,181 @@
+package concolic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rvcte/internal/smt"
+)
+
+// TestNarrowLoadConstCollapse is the regression test for the narrow-load
+// bug: a Load of width < 4 used to return the concatenated byte
+// expression even when it folded to a constant, so downstream consumers
+// treated a fully-determined value as symbolic (spurious trace
+// conditions, dead solver queries). Constant expressions must collapse
+// to concrete values at every width.
+func TestNarrowLoadConstCollapse(t *testing.T) {
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	// Shadow bytes that are symbolic expressions yet constant-valued —
+	// e.g. the residue of a concretized store.
+	for i, c := range []byte{0x11, 0x22, 0x33, 0x44} {
+		m.StoreByte(0x5000+uint32(i), c, b.Const(8, uint64(c)))
+	}
+	for _, n := range []int{1, 2, 4} {
+		v := m.Load(0x5000, n)
+		if !v.IsConcrete() {
+			t.Errorf("width %d: constant-valued load stayed symbolic: %v", n, v.Sym)
+		}
+		want := uint32(0x44332211) & (0xffffffff >> (32 - 8*n))
+		if v.C != want {
+			t.Errorf("width %d: got %#x want %#x", n, v.C, want)
+		}
+	}
+	// A genuinely symbolic byte must still surface its expression.
+	m.StoreByte(0x5001, 0x22, b.Var(8, "nb"))
+	if v := m.Load(0x5000, 2); v.IsConcrete() {
+		t.Error("symbolic half-word collapsed to concrete")
+	}
+}
+
+func TestMakeSymbolicValidation(t *testing.T) {
+	expectPanic := func(f func()) (msg string) {
+		defer func() {
+			if p := recover(); p != nil {
+				msg, _ = p.(string)
+				if msg == "" {
+					msg = "panic"
+				}
+			}
+		}()
+		f()
+		return ""
+	}
+
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	if msg := expectPanic(func() { m.MakeSymbolic(0x100, []byte{1}, "") }); !strings.Contains(msg, "empty name") {
+		t.Errorf("empty name: got panic %q", msg)
+	}
+	if msg := expectPanic(func() { m.MakeSymbolic(0xfffffffe, make([]byte, 4), "w") }); msg == "" {
+		t.Error("address-space wrap must panic")
+	}
+	// In-range calls still work, including one ending exactly at 2^32.
+	m.MakeSymbolic(0xfffffffc, make([]byte, 4), "top")
+	if v := m.Load(0xfffffffc, 4); v.IsConcrete() {
+		t.Error("top-of-memory MakeSymbolic did not take")
+	}
+}
+
+func TestReadCStringTruncation(t *testing.T) {
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	// No NUL within CStringMax: the truncated prefix comes back ok=false.
+	for i := 0; i < CStringMax; i++ {
+		m.StoreByte(0x8000+uint32(i), 'a', nil)
+	}
+	if s, ok := m.ReadCString(0x8000); ok || len(s) != CStringMax {
+		t.Errorf("unterminated: ok=%v len=%d", ok, len(s))
+	}
+	// NUL at the last in-bound byte: still a valid string.
+	m.StoreByte(0x8000+uint32(CStringMax-1), 0, nil)
+	if s, ok := m.ReadCString(0x8000); !ok || len(s) != CStringMax-1 {
+		t.Errorf("boundary terminator: ok=%v len=%d", ok, len(s))
+	}
+}
+
+// TestLiveCloneChainDifferential interleaves writes, loads and forks
+// across a growing chain of LIVE (unfrozen) clones — the access pattern
+// of fork-based exploration, where a checkpoint is cloned from a running
+// core and both sides keep executing. Each fork must observe exactly its
+// own write history; a COW aliasing bug (e.g. a miss in the shared-flag
+// handoff) shows up as one fork seeing another's bytes. Runs under
+// -race via make race (the concolic package is on the race list).
+func TestLiveCloneChainDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := smt.NewBuilder()
+
+	type fork struct {
+		m      *Memory
+		shadow map[uint32]byte
+	}
+	root := &fork{m: NewMemory(b), shadow: map[uint32]byte{}}
+	forks := []*fork{root}
+	const span = 4 * pageSize
+
+	for step := 0; step < 6000; step++ {
+		f := forks[rng.Intn(len(forks))]
+		switch op := rng.Intn(12); {
+		case op == 0 && len(forks) < 24: // fork a live memory mid-stream
+			sh := make(map[uint32]byte, len(f.shadow))
+			for k, v := range f.shadow {
+				sh[k] = v
+			}
+			forks = append(forks, &fork{m: f.m.Clone(), shadow: sh})
+		case op <= 4: // byte load, checked against this fork's own history
+			addr := uint32(rng.Intn(span))
+			if got, _ := f.m.LoadByteRaw(addr); got != f.shadow[addr] {
+				t.Fatalf("step %d: fork read %#x=%d, its own history says %d",
+					step, addr, got, f.shadow[addr])
+			}
+		case op <= 8: // byte store
+			addr := uint32(rng.Intn(span))
+			v := byte(rng.Intn(256))
+			f.m.StoreByte(addr, v, nil)
+			f.shadow[addr] = v
+		default: // word store (exercises multi-byte + page-crossing paths)
+			addr := uint32(rng.Intn(span - 4))
+			v := rng.Uint32()
+			f.m.Store(addr, 4, Concrete(v))
+			for i := 0; i < 4; i++ {
+				f.shadow[addr+uint32(i)] = byte(v >> (8 * i))
+			}
+		}
+	}
+
+	// Full sweep: every fork sees exactly its own final state.
+	for i, f := range forks {
+		for addr := uint32(0); addr < span; addr += 13 {
+			if got, _ := f.m.LoadByteRaw(addr); got != f.shadow[addr] {
+				t.Fatalf("final sweep fork %d: %#x=%d want %d", i, addr, got, f.shadow[addr])
+			}
+		}
+	}
+}
+
+// TestReconcretize checks the fork-time model substitution: symbolic
+// shadow bytes are re-evaluated under the child's assignment (zero
+// default for unassigned variables), concrete-only pages are untouched,
+// and the write-back is itself copy-on-write against sibling clones.
+func TestReconcretize(t *testing.T) {
+	b := smt.NewBuilder()
+	m := NewMemory(b)
+	m.MakeSymbolic(0x1000, []byte{0xaa, 0xbb, 0xcc}, "in")
+	m.Store(0x2000, 4, Concrete(0x12345678))
+	sibling := m.Clone()
+
+	var touched []uint32
+	m.OnWrite = func(addr uint32, n int) { touched = append(touched, addr) }
+	m.Reconcretize(smt.NewEvaluator(smt.Assignment{0: 0x5a, 2: 0x7f}))
+
+	if got := m.Load(0x1000, 1); got.C != 0x5a || got.Sym == nil {
+		t.Errorf("assigned byte: %+v", got)
+	}
+	if got := m.Load(0x1001, 1); got.C != 0 {
+		t.Errorf("unassigned byte must default to zero, got %#x", got.C)
+	}
+	if got := m.Load(0x1002, 1); got.C != 0x7f {
+		t.Errorf("third byte: %#x", got.C)
+	}
+	if got := m.Load(0x2000, 4); !got.IsConcrete() || got.C != 0x12345678 {
+		t.Errorf("concrete page disturbed: %+v", got)
+	}
+	if len(touched) != 3 {
+		t.Errorf("OnWrite fired %d times, want 3 (only changed bytes)", len(touched))
+	}
+	// The sibling clone still sees the parent-path concrete values.
+	if got := sibling.Load(0x1000, 1); got.C != 0xaa {
+		t.Errorf("reconcretize leaked into sibling: %#x", got.C)
+	}
+}

@@ -65,10 +65,18 @@ func (m *Memory) Freeze() {
 // frozen memory may be cloned from multiple goroutines concurrently; an
 // unfrozen one retains the original single-threaded contract (cloning
 // marks its pages shared in place).
+//
+// Live (unfrozen) cloning is what state forking builds on: the clone may
+// later be handed to another goroutine (a forked path resumed by a
+// different worker) as long as the handoff itself synchronizes. The
+// invariant that makes this safe is that a page's shared flag only ever
+// transitions false→true, and only the page's exclusive owner performs
+// the write — an already-shared page is never written again (not even to
+// re-set the flag), so concurrent cloners of downstream forks only read.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{pages: make(map[uint32]*page, len(m.pages)), ops: m.ops}
 	for k, p := range m.pages {
-		if !m.frozen {
+		if !m.frozen && !p.shared {
 			p.shared = true
 		}
 		c.pages[k] = p
@@ -187,13 +195,18 @@ func (m *Memory) Load(addr uint32, n int) Value {
 			e = b.Concat(e, be)
 		}
 	}
+	// The builder constant-folds the concat (and re-fuses contiguous
+	// extracts of a constant), so the result may be concrete even though
+	// individual bytes carried expressions — collapse it at every width,
+	// or constant-folded narrow loads stay symbolic and inflate the EPC
+	// and trace conditions downstream.
+	if e.IsConst() {
+		return Value{C: uint32(e.Val)}
+	}
 	if n < 4 {
 		// Loads narrower than a word return the raw width; the ISS
 		// applies sign/zero extension via Ops.
 		return Value{C: c, Sym: b.ZExt(e, 32)}
-	}
-	if e.IsConst() {
-		return Value{C: uint32(e.Val)}
 	}
 	return Value{C: c, Sym: e}
 }
@@ -218,23 +231,42 @@ func (m *Memory) ReadBytes(addr uint32, n int) []byte {
 	return out
 }
 
-// ReadCString reads a NUL-terminated guest string (bounded at 4096 bytes).
-func (m *Memory) ReadCString(addr uint32) string {
+// CStringMax bounds ReadCString: a string without a NUL terminator
+// within this many bytes is reported as truncated instead of silently
+// cut short.
+const CStringMax = 4096
+
+// ReadCString reads a NUL-terminated guest string. The scan is bounded
+// at CStringMax bytes; when no terminator is found within the bound,
+// the truncated prefix is returned with ok == false (callers should
+// treat that as a malformed string — typically a wild pointer — rather
+// than a valid name).
+func (m *Memory) ReadCString(addr uint32) (s string, ok bool) {
 	var out []byte
-	for i := 0; i < 4096; i++ {
+	for i := 0; i < CStringMax; i++ {
 		b, _ := m.LoadByteRaw(addr + uint32(i))
 		if b == 0 {
-			break
+			return string(out), true
 		}
 		out = append(out, b)
 	}
-	return string(out)
+	return string(out), false
 }
 
-// MakeSymbolic overwrites n bytes starting at addr with fresh symbolic
-// bytes named name[0..n). The concrete parts are set from conc (which
-// must have length n). Returns the created byte expressions.
+// MakeSymbolic overwrites len(conc) bytes starting at addr with fresh
+// symbolic bytes named name[0..len(conc)), whose concrete parts are set
+// from conc. The range must not wrap the 32-bit address space and the
+// name must be non-empty (variable names are the replay identity of the
+// bytes); violations panic with a diagnostic rather than silently
+// minting unusable variables. Returns the created byte expressions.
 func (m *Memory) MakeSymbolic(addr uint32, conc []byte, name string) []*smt.Expr {
+	if name == "" {
+		panic("concolic: MakeSymbolic with empty name")
+	}
+	if uint64(addr)+uint64(len(conc)) > 1<<32 {
+		panic(fmt.Sprintf("concolic: MakeSymbolic range [%#x, %#x+%d) wraps the address space",
+			addr, addr, len(conc)))
+	}
 	if m.OnWrite != nil && len(conc) > 0 {
 		m.OnWrite(addr, len(conc))
 	}
@@ -245,4 +277,40 @@ func (m *Memory) MakeSymbolic(addr uint32, conc []byte, name string) []*smt.Expr
 		m.storeByte(addr+uint32(i), conc[i], v)
 	}
 	return out
+}
+
+// Reconcretize rewrites the concrete part of every symbolic byte to its
+// value under ev, leaving the symbolic expressions untouched. This is
+// the memory half of substituting a new solver model into a forked VP:
+// the symbolic shadow (which encodes how each byte derives from the
+// inputs) stays valid across models, but the concrete mirror was
+// computed under the old input and must be re-evaluated. Copy-on-write
+// is preserved — a shared page is copied only when one of its bytes
+// actually changes — and OnWrite fires per changed byte so block-cache
+// invalidation sees the mutation.
+func (m *Memory) Reconcretize(ev *smt.Evaluator) {
+	for idx := range m.pages {
+		p := m.pages[idx]
+		if p.sym == nil {
+			continue
+		}
+		base := idx << pageBits
+		for off := 0; off < pageSize; off++ {
+			s := p.sym[off]
+			if s == nil {
+				continue
+			}
+			nb := byte(ev.Eval(s))
+			if nb == p.data[off] {
+				continue
+			}
+			if m.OnWrite != nil {
+				m.OnWrite(base|uint32(off), 1)
+			}
+			// COW on first actual change; later changes of the same page
+			// hit the now-private copy.
+			p = m.pageFor(base|uint32(off), true)
+			p.data[off] = nb
+		}
+	}
 }

@@ -68,6 +68,12 @@ type Input struct {
 	Bound      int
 	Gen        int     // generation (parent's Gen+1)
 	Score      float64 // coverage score inherited from the parent path
+	// Fork, when non-nil, is a resumable VP checkpointed at this input's
+	// divergence point with Assignment already substituted (iss fork.go):
+	// executing the input resumes the checkpoint instead of re-running
+	// the path prefix from the snapshot. nil means restart-from-snapshot
+	// (the root input, fork mode off, or capture was unsafe at the site).
+	Fork *iss.Core
 }
 
 // Finding is an error uncovered during exploration. Concolic findings
@@ -116,6 +122,18 @@ type Options struct {
 	// exceeding the budget counts as an unknown TC (Report.UnknownTCs)
 	// instead of blocking exploration. 0 = unlimited.
 	MaxConflictsPerQuery int
+	// Fork enables state forking (DESIGN.md "State forking"): solved
+	// trace conditions resume a checkpoint taken at the divergence
+	// instruction instead of re-executing the path prefix from the
+	// snapshot. Path sets and findings are bit-identical either way
+	// (fork-unsafe sites fall back to restarts automatically); off is
+	// the restart-only ablation baseline.
+	Fork bool
+	// ForkMinPrefix suppresses checkpoint capture on path prefixes
+	// shorter than this many instructions: below it a restart re-executes
+	// less than a capture costs, so those children restart instead (the
+	// results are identical either way). Zero captures at every site.
+	ForkMinPrefix uint64
 	// Cache, when non-nil, is the SMT query cache consulted before any
 	// solver call. One cache is shared by every worker of a parallel run
 	// (it is internally synchronized); its counters land in Report.Cache.
@@ -160,7 +178,13 @@ type Report struct {
 	SatTCs     int
 	UnsatTCs   int // proven unsatisfiable
 	UnknownTCs int // solver budget exhausted — not proven either way
-	Findings   []Finding
+	// Forked counts paths that resumed a divergence checkpoint instead
+	// of restarting from the snapshot; ForkRestarts counts children that
+	// wanted a fork but fell back to a restart (capture skipped at an
+	// unsafe site). Both stay zero with Options.Fork off.
+	Forked       int
+	ForkRestarts int
+	Findings     []Finding
 	Pruned     int
 	Exhausted  bool // queue drained (full exploration)
 	// Stopped says why the run ended: "exhausted" | "path-budget" |
@@ -213,10 +237,11 @@ type Engine struct {
 	// Observability handles (Options.Obs); nil-safe when unwired.
 	obsPaths, obsSat, obsUnsat, obsUnknown *obs.Counter
 	obsPruned, obsFindings                 *obs.Counter
+	obsForks, obsForkRestarts              *obs.Counter
 	issInstr, issExecs                     *obs.Counter
 	bbHits, bbMisses, bbInval              *obs.Counter
 	frontierG, coverG                      *obs.Gauge
-	pathHist                               *obs.Histogram
+	pathHist, forkSuffixHist               *obs.Histogram
 	tracer                                 *obs.Tracer
 }
 
@@ -241,6 +266,9 @@ func New(snapshot *iss.Core, opt Options) *Engine {
 		e.obsUnknown = m.Counter("cte.unknown_tcs")
 		e.obsPruned = m.Counter("cte.pruned")
 		e.obsFindings = m.Counter("cte.findings")
+		e.obsForks = m.Counter("cte.forks")
+		e.obsForkRestarts = m.Counter("cte.fork_restarts")
+		e.forkSuffixHist = m.Histogram("cte.fork_suffix_instr", obs.LatencyBoundsUS)
 		e.issInstr = m.Counter("iss.instr")
 		e.issExecs = m.Counter("iss.execs")
 		e.bbHits = m.Counter("iss.bb.hits")
@@ -287,12 +315,14 @@ func (e *Engine) RunContext(ctx context.Context) *Report {
 // shared exploration state. It is produced without touching shared
 // mutable state, so workers can build it outside the run lock.
 type pathResult struct {
-	core     *iss.Core
-	instrs   uint64
-	children []Input // sat models, not yet deduped; Score filled by the merger
-	sat      int
-	unsat    int
-	unknown  int
+	core         *iss.Core
+	instrs       uint64
+	children     []Input // sat models, not yet deduped; Score filled by the merger
+	sat          int
+	unsat        int
+	unknown      int
+	forked       bool // this path resumed a checkpoint (suffix-only execution)
+	forkRestarts int  // children that fell back to restart (no safe checkpoint)
 }
 
 // executePath clones the snapshot, runs one input and solves its trace
@@ -301,9 +331,15 @@ type pathResult struct {
 // under its own synchronization. pathID is the claim-order index used
 // for trace events (it matches Report path indices only at Workers<=1).
 func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResult {
-	core := e.Snapshot.Clone()
-	core.Input = in.Assignment
-	core.Bound = in.Bound
+	core := in.Fork
+	forked := core != nil
+	if !forked {
+		core = e.Snapshot.Clone()
+		core.Input = in.Assignment
+		core.Bound = in.Bound
+	}
+	core.CaptureForks = e.Opt.Fork
+	core.ForkMinPrefix = e.Opt.ForkMinPrefix
 	core.ObsInstr = e.issInstr
 	core.ObsExecs = e.issExecs
 	core.ObsBBHits = e.bbHits
@@ -322,11 +358,16 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 	// Count only instructions executed during this run (the snapshot may
 	// already carry pre-executed initialization, per the clone-after-init
 	// optimization).
+	// For a forked path InstrCount already covers the inherited prefix, so
+	// this counts only the re-executed suffix — the saving fork mode buys.
 	startInstr := core.InstrCount
 	core.Run(e.Opt.MaxInstrPerRun)
-	res := pathResult{core: core, instrs: core.InstrCount - startInstr}
+	res := pathResult{core: core, instrs: core.InstrCount - startInstr, forked: forked}
 	dur := time.Since(pathStart)
 	e.pathHist.ObserveDuration(dur)
+	if forked {
+		e.forkSuffixHist.Observe(int64(res.instrs))
+	}
 	if e.tracer != nil {
 		status := "ok"
 		if core.Err != nil {
@@ -364,11 +405,22 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 			res.unsat++
 		default:
 			res.sat++
-			res.children = append(res.children, Input{
+			ch := Input{
 				Assignment: model,
 				Bound:      tc.SiteIdx + 1,
 				Gen:        in.Gen + 1,
-			})
+			}
+			if e.Opt.Fork {
+				// Resume from the divergence checkpoint; a nil fork means
+				// capture was skipped at an unsafe site and the child
+				// restarts from the snapshot instead.
+				if fc := core.Fork(tc.SiteIdx, model, tc.SiteIdx+1); fc != nil {
+					ch.Fork = fc
+				} else {
+					res.forkRestarts++
+				}
+			}
+			res.children = append(res.children, ch)
 		}
 	}
 	return res
@@ -427,12 +479,21 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 			rep.Stopped = "timeout"
 			break
 		}
-		in := front.pop()
+		in, ok := front.pop()
+		if !ok {
+			break
+		}
 		res := e.executePath(in, e.Solver, rep.Paths)
 		core := res.core
 		rep.Paths++
 		e.obsPaths.Inc()
 		rep.TotalInstr += res.instrs
+		if res.forked {
+			rep.Forked++
+			e.obsForks.Inc()
+		}
+		rep.ForkRestarts += res.forkRestarts
+		e.obsForkRestarts.Add(int64(res.forkRestarts))
 		if e.OnPath != nil {
 			e.OnPath(rep.Paths-1, core)
 		}

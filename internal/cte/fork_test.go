@@ -1,0 +1,195 @@
+package cte
+
+import (
+	"fmt"
+	"testing"
+
+	"rvcte/internal/iss"
+	"rvcte/internal/rv32"
+)
+
+// describePaths runs the engine at Workers=1 and renders every executed
+// path — input assignment, exit, error, console output, absolute
+// instruction count — in execution order. Fork mode resumes checkpoints
+// mid-path, so any reconcretization or rewind bug shows up here as a
+// diverging record.
+func describePaths(t *testing.T, src string, opt Options) ([]string, *Report) {
+	t.Helper()
+	eng := New(snapshot(t, src), opt)
+	var recs []string
+	eng.OnPath = func(_ int, c *iss.Core) {
+		recs = append(recs, fmt.Sprintf("in=%s exit=%d err=%v out=%q instr=%d",
+			DescribeInput(eng.Builder, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
+	}
+	rep := eng.Run()
+	return recs, rep
+}
+
+// TestForkRestartParity is the bit-identical guarantee of Options.Fork:
+// for every guest, the ordered path sequence produced with forking must
+// equal the restart-only baseline exactly, on every observable (inputs,
+// exits, errors, output, per-path instruction totals) and on the
+// aggregate solver statistics.
+func TestForkRestartParity(t *testing.T) {
+	guests := []struct {
+		name string
+		src  string
+	}{
+		{"two-path", twoPathSrc},
+		{"counter", counterSrc},
+		{"bitstorm", bitstormSrc},
+		{"assert-bug", assertBugSrc},
+		{"illegal-access", memBugSrc},
+	}
+	for _, g := range guests {
+		for _, strat := range []Strategy{BFS, DFS} {
+			t.Run(fmt.Sprintf("%s/%s", g.name, strat), func(t *testing.T) {
+				base := Options{MaxPaths: 400, Strategy: strat}
+				fOpt, rOpt := base, base
+				fOpt.Fork = true
+				forkRecs, forkRep := describePaths(t, g.src, fOpt)
+				restRecs, restRep := describePaths(t, g.src, rOpt)
+
+				if len(forkRecs) != len(restRecs) {
+					t.Fatalf("path counts: fork %d restart %d", len(forkRecs), len(restRecs))
+				}
+				for i := range forkRecs {
+					if forkRecs[i] != restRecs[i] {
+						t.Errorf("path %d diverges:\n fork:    %s\n restart: %s",
+							i, forkRecs[i], restRecs[i])
+					}
+				}
+				if forkRep.Queries != restRep.Queries ||
+					forkRep.SatTCs != restRep.SatTCs ||
+					forkRep.UnsatTCs != restRep.UnsatTCs {
+					t.Errorf("solver stats diverge: fork q=%d sat=%d unsat=%d, restart q=%d sat=%d unsat=%d",
+						forkRep.Queries, forkRep.SatTCs, forkRep.UnsatTCs,
+						restRep.Queries, restRep.SatTCs, restRep.UnsatTCs)
+				}
+				if len(forkRep.Findings) != len(restRep.Findings) {
+					t.Errorf("findings: fork %d restart %d",
+						len(forkRep.Findings), len(restRep.Findings))
+				}
+				// Forking must actually engage (every path beyond the seed
+				// resumes a checkpoint on these hook-free guests) and the
+				// restart baseline must never report fork activity.
+				if forkRep.Paths > 1 && forkRep.Forked == 0 {
+					t.Error("fork mode never resumed a checkpoint")
+				}
+				if forkRep.Forked+forkRep.ForkRestarts != forkRep.Paths-1 {
+					t.Errorf("fork accounting: forked %d + restarts %d != paths-1 %d",
+						forkRep.Forked, forkRep.ForkRestarts, forkRep.Paths-1)
+				}
+				if restRep.Forked != 0 || restRep.ForkRestarts != 0 {
+					t.Errorf("restart baseline reports fork activity: %d/%d",
+						restRep.Forked, restRep.ForkRestarts)
+				}
+				// The point of forking: strictly less re-execution.
+				if forkRep.Paths > 1 && forkRep.TotalInstr >= restRep.TotalInstr {
+					t.Errorf("fork mode executed %d instrs, restart %d — no prefix saved",
+						forkRep.TotalInstr, restRep.TotalInstr)
+				}
+			})
+		}
+	}
+}
+
+// TestForkMinPrefixParity: with a capture threshold above every path
+// length, fork mode degenerates into pure restarts — same results, all
+// children accounted as fallbacks. A threshold of one instruction
+// behaves like unconditional capture on these guests.
+func TestForkMinPrefixParity(t *testing.T) {
+	run := func(fork bool, minPrefix uint64) ([]string, *Report) {
+		return describePaths(t, counterSrc, Options{MaxPaths: 100, Fork: fork, ForkMinPrefix: minPrefix})
+	}
+	restRecs, _ := run(false, 0)
+
+	highRecs, highRep := run(true, 1<<40)
+	if highRep.Forked != 0 || highRep.ForkRestarts != highRep.Paths-1 {
+		t.Errorf("threshold above path length: forked=%d restarts=%d paths=%d",
+			highRep.Forked, highRep.ForkRestarts, highRep.Paths)
+	}
+	lowRecs, lowRep := run(true, 1)
+	if lowRep.Forked != lowRep.Paths-1 {
+		t.Errorf("threshold of 1: forked=%d paths=%d", lowRep.Forked, lowRep.Paths)
+	}
+	for name, recs := range map[string][]string{"high": highRecs, "low": lowRecs} {
+		if len(recs) != len(restRecs) {
+			t.Fatalf("%s threshold: %d paths want %d", name, len(recs), len(restRecs))
+		}
+		for i := range recs {
+			if recs[i] != restRecs[i] {
+				t.Errorf("%s threshold path %d diverges:\n %s\n %s", name, i, recs[i], restRecs[i])
+			}
+		}
+	}
+}
+
+// TestForkFallbackOnExecHook: an installed ExecHook makes checkpoints
+// unsound (external per-instruction state can't be cloned), so capture
+// is skipped and every child falls back to a snapshot restart — with
+// unchanged results.
+func TestForkFallbackOnExecHook(t *testing.T) {
+	run := func(fork bool) ([]string, *Report) {
+		snap := snapshot(t, counterSrc)
+		snap.ExecHook = func(c *iss.Core, inst rv32.Inst) bool { return false }
+		eng := New(snap, Options{MaxPaths: 100, Fork: fork})
+		var recs []string
+		eng.OnPath = func(_ int, c *iss.Core) {
+			recs = append(recs, fmt.Sprintf("in=%s exit=%d", DescribeInput(eng.Builder, c.Input), c.ExitCode))
+		}
+		return recs, eng.Run()
+	}
+	forkRecs, forkRep := run(true)
+	restRecs, _ := run(false)
+
+	if forkRep.Forked != 0 {
+		t.Errorf("checkpoints resumed under an ExecHook: %d", forkRep.Forked)
+	}
+	if forkRep.ForkRestarts == 0 {
+		t.Error("fallback restarts not reported")
+	}
+	if len(forkRecs) != len(restRecs) {
+		t.Fatalf("path counts: %d vs %d", len(forkRecs), len(restRecs))
+	}
+	for i := range forkRecs {
+		if forkRecs[i] != restRecs[i] {
+			t.Errorf("path %d diverges under fallback:\n %s\n %s", i, forkRecs[i], restRecs[i])
+		}
+	}
+}
+
+// TestForkParallelSameFindings: with several workers the path order —
+// and therefore which solver model reaches each path first — is
+// scheduling-dependent, so paths are keyed semantically: bitstorm's
+// behavior depends only on bit 0 of each input byte (unassigned
+// variables read as zero, matching both engines' semantics). The
+// explored behavior set must match the restart baseline exactly.
+func TestForkParallelSameFindings(t *testing.T) {
+	run := func(fork bool) map[string]bool {
+		eng := New(snapshot(t, bitstormSrc), Options{MaxPaths: 400, Workers: 4, Fork: fork})
+		set := map[string]bool{}
+		eng.OnPath = func(_ int, c *iss.Core) {
+			var bits [8]uint64
+			for id := range bits {
+				bits[id] = c.Input[id] & 1
+			}
+			set[fmt.Sprintf("%v|%d|%q", bits, c.ExitCode, c.Output)] = true
+		}
+		rep := eng.Run()
+		if !rep.Exhausted {
+			t.Fatalf("fork=%v: not exhausted", fork)
+		}
+		return set
+	}
+	forkSet := run(true)
+	restSet := run(false)
+	if len(forkSet) != 256 || len(restSet) != 256 {
+		t.Fatalf("behavior set sizes: fork %d restart %d want 256", len(forkSet), len(restSet))
+	}
+	for k := range forkSet {
+		if !restSet[k] {
+			t.Errorf("fork-only behavior %s", k)
+		}
+	}
+}

@@ -46,22 +46,31 @@ func (f *frontier) push(in Input) {
 	f.list = append(f.list, in)
 }
 
-func (f *frontier) pop() Input {
+// pop yields the next input per the strategy; ok is false on an empty
+// frontier. The guarded contract replaces the previous panics that an
+// empty frontier produced for Random (rand.Intn(0)) and Coverage (heap
+// pop on an empty heap) — callers race-prone enough to pop without a
+// len() check (the parallel engine's claim loop) get a clean signal
+// instead of a strategy-dependent crash.
+func (f *frontier) pop() (Input, bool) {
+	if f.len() == 0 {
+		return Input{}, false
+	}
 	switch f.strategy {
 	case Coverage:
-		return heap.Pop(&f.pq).(covItem).in
+		return heap.Pop(&f.pq).(covItem).in, true
 	case DFS:
 		in := f.list[len(f.list)-1]
 		f.list[len(f.list)-1] = Input{}
 		f.list = f.list[:len(f.list)-1]
-		return in
+		return in, true
 	case Random:
 		i := f.rng.Intn(len(f.list))
 		in := f.list[i]
 		f.list[i] = f.list[len(f.list)-1]
 		f.list[len(f.list)-1] = Input{}
 		f.list = f.list[:len(f.list)-1]
-		return in
+		return in, true
 	default: // BFS
 		in := f.list[f.head]
 		f.list[f.head] = Input{} // release the model for GC
@@ -72,7 +81,7 @@ func (f *frontier) pop() Input {
 			f.list = append(f.list[:0:0], f.list[f.head:]...)
 			f.head = 0
 		}
-		return in
+		return in, true
 	}
 }
 

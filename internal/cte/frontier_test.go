@@ -37,7 +37,10 @@ func TestFrontierCoverageMatchesScan(t *testing.T) {
 		if f.len() == 0 {
 			break
 		}
-		got := f.pop()
+		got, ok := f.pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
 		want := oldPick(&ref)
 		if got.Score != want.Score || got.Gen != want.Gen || got.Bound != want.Bound {
 			t.Fatalf("pop %d: got {score %v gen %d bound %d} want {score %v gen %d bound %d}",
@@ -59,12 +62,65 @@ func TestFrontierBFSOrderAndCompaction(t *testing.T) {
 		f.push(Input{Bound: i})
 	}
 	for i := 0; i < n; i++ {
-		if got := f.pop(); got.Bound != i {
-			t.Fatalf("pop %d: got bound %d", i, got.Bound)
+		if got, ok := f.pop(); !ok || got.Bound != i {
+			t.Fatalf("pop %d: got bound %d ok=%v", i, got.Bound, ok)
 		}
 	}
 	if f.len() != 0 {
 		t.Fatalf("leftover %d", f.len())
+	}
+}
+
+// TestFrontierEmptyPop is the regression test for the empty-frontier
+// panic: pop on an empty frontier used to crash for Random
+// (rand.Intn(0)) and Coverage (heap underflow). Every strategy must
+// report emptiness through the (Input, bool) contract instead — drained
+// frontiers are routine in both the sequential loop and parallel worker
+// claim races.
+func TestFrontierEmptyPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		s    Strategy
+	}{
+		{"bfs", BFS}, {"dfs", DFS}, {"random", Random}, {"coverage", Coverage},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFrontier(tc.s, rng)
+			if _, ok := f.pop(); ok {
+				t.Fatal("pop on never-used frontier reported an input")
+			}
+			// Fill, drain completely, then pop again: the drained state
+			// must behave like the fresh one. 100 > 64 crosses the BFS
+			// dead-prefix compaction boundary (head > 64), the spot where
+			// a stale head index would fault or return a zero Input.
+			const n = 100
+			for i := 0; i < n; i++ {
+				f.push(Input{Bound: i})
+			}
+			seen := make(map[int]bool)
+			for i := 0; i < n; i++ {
+				in, ok := f.pop()
+				if !ok {
+					t.Fatalf("pop %d: empty with %d inputs outstanding", i, n-i)
+				}
+				if seen[in.Bound] {
+					t.Fatalf("pop %d: bound %d returned twice", i, in.Bound)
+				}
+				seen[in.Bound] = true
+			}
+			if _, ok := f.pop(); ok {
+				t.Fatal("pop on drained frontier reported an input")
+			}
+			if f.len() != 0 {
+				t.Fatalf("drained frontier len %d", f.len())
+			}
+			// And it must still be usable after draining.
+			f.push(Input{Bound: 7})
+			if in, ok := f.pop(); !ok || in.Bound != 7 {
+				t.Fatalf("post-drain push/pop: got %+v ok=%v", in, ok)
+			}
+		})
 	}
 }
 
@@ -74,8 +130,8 @@ func TestFrontierDFSOrder(t *testing.T) {
 		f.push(Input{Bound: i})
 	}
 	for i := 4; i >= 0; i-- {
-		if got := f.pop(); got.Bound != i {
-			t.Fatalf("dfs pop: got bound %d want %d", got.Bound, i)
+		if got, ok := f.pop(); !ok || got.Bound != i {
+			t.Fatalf("dfs pop: got bound %d want %d ok=%v", got.Bound, i, ok)
 		}
 	}
 }

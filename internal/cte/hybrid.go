@@ -330,6 +330,10 @@ func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
 func (h *hybrid) escalate(ctx context.Context, data []byte, bound int) int {
 	escStart := time.Now()
 	c := h.snap.Clone()
+	// Fork capture stays off for escalation replays: the hybrid driver
+	// consumes only the replay's trace conditions (the flip models feed
+	// the fuzzer as byte streams), never a resumable checkpoint.
+	c.CaptureForks = false
 	if data == nil {
 		data = []byte{}
 	}

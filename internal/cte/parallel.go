@@ -103,6 +103,9 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 		timer.Stop()
 	}
 
+	// Timer/cancellation callbacks may still be mid-halt() after Stop()
+	// returns, so the finalization reads stay under the run lock.
+	x.mu.Lock()
 	rep := x.rep
 	rep.Exhausted = !x.abandon && x.front.len() == 0
 	if rep.Stopped == "" {
@@ -112,6 +115,7 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 			rep.Stopped = "path-budget"
 		}
 	}
+	x.mu.Unlock()
 	rep.Covered = x.cover
 	rep.WallTime = time.Since(start)
 	for _, ws := range rep.PerWorker {
@@ -159,7 +163,13 @@ func (x *parallelRun) worker(id int) {
 			x.finish(id, solver, paths)
 			return
 		}
-		in := x.front.pop()
+		in, ok := x.front.pop()
+		if !ok {
+			// Raced with another claimer between the wait and here; the
+			// guarded pop turns that into a clean retry instead of a panic.
+			x.mu.Unlock()
+			continue
+		}
 		pathID := x.started
 		x.started++
 		x.inflight++
@@ -198,6 +208,12 @@ func (x *parallelRun) merge(res pathResult) {
 	rep.Paths++
 	e.obsPaths.Inc()
 	rep.TotalInstr += res.instrs
+	if res.forked {
+		rep.Forked++
+		e.obsForks.Inc()
+	}
+	rep.ForkRestarts += res.forkRestarts
+	e.obsForkRestarts.Add(int64(res.forkRestarts))
 	if e.OnPath != nil {
 		// Serialized under the run lock; order is scheduling-dependent.
 		e.OnPath(path, core)

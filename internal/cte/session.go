@@ -94,6 +94,12 @@ type Config struct {
 	// Concolic-mode extensions.
 	TrackCoverage bool // aggregate executed PCs into Report.Covered
 	TraceDepth    int  // diagnostic instruction ring for findings
+	// Fork resumes divergence checkpoints instead of re-executing path
+	// prefixes from the snapshot (Options.Fork; cmd/cte -fork).
+	Fork bool
+	// ForkMinPrefix skips capture below this prefix length in
+	// instructions (Options.ForkMinPrefix; cmd/cte -fork-min-prefix).
+	ForkMinPrefix uint64
 
 	// Hybrid-mode extensions.
 	Fuzz FuzzConfig
@@ -111,6 +117,8 @@ func (c Config) engineOptions() Options {
 		Seed:                 c.Seed,
 		TrackCoverage:        c.TrackCoverage,
 		TraceDepth:           c.TraceDepth,
+		Fork:                 c.Fork,
+		ForkMinPrefix:        c.ForkMinPrefix,
 		Workers:              c.Workers,
 		MaxConflictsPerQuery: c.Budget.MaxConflictsPerQuery,
 		Cache:                c.Cache,

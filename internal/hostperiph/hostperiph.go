@@ -12,6 +12,7 @@ package hostperiph
 import (
 	"rvcte/internal/concolic"
 	"rvcte/internal/iss"
+	"rvcte/internal/smt"
 )
 
 // PLIC is the host-model platform-level interrupt controller. Register
@@ -207,6 +208,18 @@ func (s *Sensor) Transport(c *iss.Core, addr uint32, size int, v concolic.Value,
 func (s *Sensor) CloneModel() iss.HostModel {
 	cp := *s
 	return &cp
+}
+
+// Reconcretize implements iss.ModelReconcretizer: the sensor's register
+// file holds concolic values whose concrete halves were computed under
+// the parent path's input, so a forked path re-evaluates them under its
+// own model. (The PLIC holds only concrete state and needs none.)
+func (s *Sensor) Reconcretize(ev *smt.Evaluator) {
+	for _, v := range []*concolic.Value{&s.Scaler, &s.Filter, &s.Data} {
+		if v.Sym != nil {
+			v.C = uint32(ev.Eval(v.Sym))
+		}
+	}
 }
 
 // Attach maps a host sensor + PLIC at the standard addresses.

@@ -284,6 +284,11 @@ func (bc *bbCache) cloneFor() *bbCache {
 // common case — data writes outside any privately decoded code — costs
 // two extent compares plus one bit-set per written line.
 func (c *Core) noteMemWrite(addr uint32, n int) {
+	if n > 0 {
+		// Any memory mutation ends the window in which consecutive fork
+		// checkpoints may share one memory snapshot (captureFork).
+		c.capMemo = nil
+	}
 	bc := c.bb
 	if bc == nil || n <= 0 {
 		return

@@ -335,6 +335,47 @@ type Core struct {
 	// compare+branch).
 	NoFusion bool
 
+	// CaptureForks enables checkpointing at trace-condition emission sites
+	// (fork.go): whenever a TC is emitted, a copy-on-write clone of the VP
+	// as of the start of the current instruction is stashed in forkPoints,
+	// keyed by site index. The engine later resumes one of these clones
+	// with a new solver model substituted (Fork), skipping re-execution of
+	// the path prefix. Off by default — capture costs one Clone per TC
+	// site.
+	CaptureForks bool
+	// ForkMinPrefix skips checkpoint capture while InstrCount is below
+	// the bound: on short prefixes a snapshot restart re-executes less
+	// work than a capture costs, so those children fall back to restarts
+	// (which are bit-identical by construction). Zero captures always.
+	ForkMinPrefix uint64
+	forkPoints    map[int]*Core
+	// capMemo is the memory snapshot of the most recent checkpoint,
+	// reusable by the next capture as long as no memory write happened in
+	// between (noteMemWrite clears it). Checkpoint cores never execute —
+	// Fork always clones them first — so sharing one Memory between
+	// consecutive checkpoints is read-only and saves the dominant cost of
+	// capture (the page-table copy) on branch-dense code.
+	capMemo *concolic.Memory
+	// hostDepth > 0 while a host peripheral model is running (Transport or
+	// Notify): TCs emitted there happen mid-mutation of model state, so
+	// fork capture is skipped and those children fall back to a snapshot
+	// restart. stepUnsafe marks the rest of an instruction after a
+	// boundary host-model notification already fired (resuming a capture
+	// from before it would deliver the notification twice).
+	hostDepth  int
+	stepUnsafe bool
+	// Pre-instruction rewind state for mid-instruction TC emission
+	// (recordPreState), valid only while CaptureForks is set.
+	preEPCLen  int
+	preSite    int
+	preRingLen int
+	preRingNext int
+	// outSym shadows Output with the symbolic expression of each byte that
+	// was printed from a symbolic value (nil for concrete bytes); indexes
+	// align with Output. Maintained only under CaptureForks so forked
+	// paths can re-evaluate prefix output under their new model.
+	outSym []*smt.Expr
+
 	// bb is the per-core translation cache (bbcache.go). bbAbort asks the
 	// block runner to stop after the current record (peripheral context
 	// switch, block invalidation, runtime unfusing); runLimit mirrors
@@ -389,9 +430,19 @@ func (c *Core) Freeze() {
 // immutable and the builder is internally locked). After Freeze, Clone
 // only reads the receiver and is safe to call concurrently.
 func (c *Core) Clone() *Core {
+	n := c.cloneNoMem()
+	n.Mem = c.Mem.Clone()
+	n.Mem.OnWrite = n.noteMemWrite
+	return n
+}
+
+// cloneNoMem is Clone without the memory snapshot: n.Mem still aliases
+// c.Mem and must be replaced by the caller (Clone installs a fresh COW
+// clone; captureFork may substitute a memo shared with the previous
+// checkpoint).
+func (c *Core) cloneNoMem() *Core {
 	n := &Core{}
 	*n = *c
-	n.Mem = c.Mem.Clone()
 	n.EPC = append([]*smt.Expr(nil), c.EPC...)
 	n.Trace = append([]TraceCond(nil), c.Trace...)
 	n.notifications = append([]notification(nil), c.notifications...)
@@ -414,6 +465,12 @@ func (c *Core) Clone() *Core {
 	}
 	n.Coverage = nil // coverage is per-run
 	n.traceRing = append([]TraceEntry(nil), c.traceRing...)
+	// Fork-capture state: checkpoints belong to the original (the engine
+	// harvests them per path); a clone starts a clean capture epoch.
+	n.forkPoints = nil
+	n.capMemo = nil
+	n.stepUnsafe = false
+	n.outSym = append([]*smt.Expr(nil), c.outSym...)
 	// Fuzz-mode state is per-run: every clone starts with a fresh stream
 	// and edge map (the caller installs its own before Run).
 	n.FuzzInput = nil
@@ -427,7 +484,6 @@ func (c *Core) Clone() *Core {
 	// memory writes through its own hook.
 	n.bb = c.bb.cloneFor()
 	n.bbAbort = false
-	n.Mem.OnWrite = n.noteMemWrite
 	return n
 }
 
@@ -560,6 +616,9 @@ func (c *Core) Step() {
 	if c.Halted() {
 		return
 	}
+	if c.CaptureForks {
+		c.stepUnsafe = false
+	}
 	// Deliver notifications and interrupts only at peripheral depth 0,
 	// so peripheral functions execute atomically (they model hardware).
 	if len(c.ctxStack) == 0 {
@@ -569,6 +628,9 @@ func (c *Core) Step() {
 		} else if c.takeInterrupt() {
 			return
 		}
+	}
+	if c.CaptureForks {
+		c.recordPreState()
 	}
 	inst, ok := c.fetch()
 	if !ok {
@@ -645,7 +707,16 @@ func (c *Core) dispatchNotifications() bool {
 			if n.HostIdx > 0 {
 				// Host-model callbacks run atomically on the host side,
 				// dispatched through the (possibly cloned) peripheral.
+				// Fork capture is off for the rest of this step: the
+				// callback may leave further due notifications pending that
+				// a resumed fork's boundary check would deliver before the
+				// re-executed instruction instead of after it (stepUnsafe),
+				// and TCs emitted inside the callback happen mid-mutation
+				// of model state (hostDepth).
+				c.stepUnsafe = true
+				c.hostDepth++
 				c.Peripherals[n.HostIdx-1].Host.Notify(c, n.HostEvent)
+				c.hostDepth--
 				return false
 			}
 			c.enterPeripheral(n.Fn, [4]concolic.Value{}, pendingOp{})

@@ -41,7 +41,16 @@ func (c *Core) ecall() {
 		ptr := c.concretize(a0, "make_symbolic ptr")
 		size := c.concretize(a1, "make_symbolic size")
 		namePtr := c.concretize(a2, "make_symbolic name")
-		name := c.Mem.ReadCString(namePtr)
+		name, ok := c.Mem.ReadCString(namePtr)
+		if !ok {
+			// No NUL terminator within the scan bound: almost certainly a
+			// wild name pointer. Fail loudly instead of minting variables
+			// under a 4 KiB garbage name (which would also silently change
+			// identity if the garbage differed between runs).
+			c.fail(ErrIllegalLoad, namePtr,
+				fmt.Sprintf("make_symbolic name not NUL-terminated within %d bytes", concolic.CStringMax))
+			return
+		}
 		if name == "" {
 			name = fmt.Sprintf("anon@%#x", ptr)
 		}
@@ -77,7 +86,7 @@ func (c *Core) ecall() {
 					if cond.IsFalse() {
 						continue
 					}
-					c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
+					c.emitTC(TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
 				}
 			}
 		}
@@ -132,7 +141,7 @@ func (c *Core) ecall() {
 					if cond.IsFalse() {
 						break
 					}
-					c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
+					c.emitTC(TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
 				}
 			}
 		}
@@ -169,6 +178,15 @@ func (c *Core) ecall() {
 		}
 
 	case SysPutChar:
+		if c.CaptureForks && a0.Sym != nil && !c.ConcreteOnly {
+			// Shadow symbolic output bytes so a forked path can re-evaluate
+			// the prefix's output under its new model (the concrete byte
+			// printed here depends on the input assignment).
+			for len(c.outSym) < len(c.Output) {
+				c.outSym = append(c.outSym, nil)
+			}
+			c.outSym = append(c.outSym, a0.Sym)
+		}
 		c.Output = append(c.Output, byte(a0.C))
 
 	case SysCancelNotify:
@@ -212,7 +230,7 @@ func (c *Core) assumeVal(v concolic.Value) {
 		}
 	} else {
 		if site >= c.Bound && !x.IsFalse() {
-			c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: x, SiteIdx: site})
+			c.emitTC(TraceCond{EPCLen: len(c.EPC), Cond: x, SiteIdx: site})
 		}
 		c.fail(ErrAssumeFail, c.PC, "")
 	}
@@ -235,7 +253,7 @@ func (c *Core) assertVal(v concolic.Value) {
 	if conc {
 		nx := c.B.Not(x)
 		if site >= c.Bound && !nx.IsFalse() {
-			c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: nx, SiteIdx: site})
+			c.emitTC(TraceCond{EPCLen: len(c.EPC), Cond: nx, SiteIdx: site})
 		}
 		if !x.IsTrue() {
 			c.EPC = append(c.EPC, x)

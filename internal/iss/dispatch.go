@@ -146,12 +146,18 @@ func (c *Core) runBlock(b *bblock, maxInstr uint64) {
 			c.fail(ErrLimit, c.PC, fmt.Sprintf("after %d instructions", c.InstrCount))
 			return
 		}
+		if c.CaptureForks {
+			c.stepUnsafe = false
+		}
 		if len(c.ctxStack) == 0 {
 			if c.dispatchNotifications() {
 				return // context-switched into a peripheral function
 			} else if c.takeInterrupt() {
 				return
 			}
+		}
+		if c.CaptureForks {
+			c.recordPreState()
 		}
 		if c.EdgeMap != nil {
 			cur := (c.PC >> 1) * 0x9e3779b1

@@ -262,7 +262,7 @@ func (c *Core) effAddr(rs1 uint8, imm int32) uint32 {
 					if cond.IsFalse() {
 						break
 					}
-					c.Trace = append(c.Trace, TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
+					c.emitTC(TraceCond{EPCLen: len(c.EPC), Cond: cond, SiteIdx: site})
 				}
 			}
 		}
@@ -309,7 +309,7 @@ func (c *Core) branchFlip(taken bool, cond *smt.Expr, flipTo uint32) {
 		if flipTo != 0 {
 			tc.FlipFrom, tc.FlipTo = c.PC, flipTo
 		}
-		c.Trace = append(c.Trace, tc)
+		c.emitTC(tc)
 	}
 	if !follow.IsTrue() {
 		c.EPC = append(c.EPC, follow)
@@ -332,7 +332,12 @@ func (c *Core) memLoad(addr uint32, size int, rd uint8, signed bool, next uint32
 		return true
 	}
 	if p.Host != nil {
+		// Host models may emit TCs mid-mutation (the model has already
+		// updated its own state when Branch fires), so fork capture is
+		// suppressed for the duration (hostDepth).
+		c.hostDepth++
 		v := p.Host.Transport(c, addr-p.Base, size, concolic.Concrete(0), true)
+		c.hostDepth--
 		c.setReg(rd, c.extendLoaded(v, size, signed))
 		return true
 	}
@@ -364,7 +369,9 @@ func (c *Core) memStore(addr uint32, size int, v concolic.Value, next uint32) bo
 		return true
 	}
 	if p.Host != nil {
+		c.hostDepth++
 		p.Host.Transport(c, addr-p.Base, size, v, false)
+		c.hostDepth--
 		return true
 	}
 	// Copy the store value into the transaction buffer, then switch.

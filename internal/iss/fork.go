@@ -1,0 +1,191 @@
+package iss
+
+import (
+	"rvcte/internal/smt"
+)
+
+// State forking (DESIGN.md "State forking"): instead of re-executing a
+// whole path prefix from the frozen exploration snapshot for every new
+// solver model, the engine checkpoints the live VP at each divergence
+// point — the instruction that emitted a trace condition — and resumes
+// a copy-on-write clone of that checkpoint with the new model
+// substituted into the symbolic shadow state. The suffix after the
+// divergence is the only part that executes again.
+//
+// A checkpoint must look exactly like the state a restart run would be
+// in when it reaches the divergence instruction under the new model:
+//
+//   - TCs fire mid-instruction (after operand reads, before any
+//     architectural write), so the capture clones the live core and
+//     rewinds the per-instruction append-only state (EPC entries, site
+//     counter, trace-ring entry) to the values recorded at the start of
+//     the instruction; the whole instruction re-executes on resume.
+//   - The concrete halves of all concolic state (registers, saved
+//     contexts, memory bytes, host-model values, console output) were
+//     computed under the parent's input assignment; ApplyModel
+//     re-evaluates every symbolic shadow under the child's model (with
+//     the same unassigned-variables-are-zero completion the restart
+//     path uses), which makes the resumed state bit-identical to the
+//     restart run at the same point.
+//
+// Capture is skipped (and the engine falls back to a snapshot restart
+// for that child) in the situations where a mid-instruction clone is
+// not a faithful restart state: inside host peripheral models
+// (hostDepth — the model has already mutated its own state when the TC
+// fires), after a boundary host notification in the same step
+// (stepUnsafe — further due notifications would be delivered before
+// instead of after the re-executed instruction), and under an ExecHook
+// (the hook's external state cannot be cloned).
+
+// ModelReconcretizer is implemented by HostModels that carry concolic
+// values: Reconcretize must re-evaluate the concrete half of each such
+// value under ev, mirroring what Core.ApplyModel does for registers and
+// memory. Host models that hold only concrete state need not implement
+// it.
+type ModelReconcretizer interface {
+	Reconcretize(ev *smt.Evaluator)
+}
+
+// emitTC appends a trace condition and, under CaptureForks, stashes a
+// divergence checkpoint for its site. All TC emission funnels through
+// here.
+func (c *Core) emitTC(tc TraceCond) {
+	c.Trace = append(c.Trace, tc)
+	if c.CaptureForks {
+		c.captureFork(tc.SiteIdx)
+	}
+}
+
+// recordPreState snapshots the per-instruction rewind state. Called at
+// the top of every instruction (after boundary event delivery) while
+// CaptureForks is set.
+func (c *Core) recordPreState() {
+	c.preEPCLen = len(c.EPC)
+	c.preSite = c.siteCount
+	c.preRingLen = len(c.traceRing)
+	c.preRingNext = c.traceNext
+}
+
+// captureFork stashes a checkpoint of the VP rewound to the start of
+// the current instruction, keyed by TC site. Ladders emit several TCs
+// at one site; the first capture wins (they share the divergence
+// instruction).
+func (c *Core) captureFork(site int) {
+	if c.hostDepth > 0 || c.stepUnsafe || c.ExecHook != nil {
+		return
+	}
+	if c.InstrCount < c.ForkMinPrefix {
+		return
+	}
+	if c.forkPoints == nil {
+		c.forkPoints = make(map[int]*Core)
+	} else if _, ok := c.forkPoints[site]; ok {
+		return
+	}
+	var n *Core
+	if memo := c.capMemo; memo != nil {
+		// No memory write since the previous checkpoint: share its memory
+		// snapshot instead of paying another page-table clone. Checkpoint
+		// cores are never executed directly (Fork clones them first), so
+		// the shared Memory is only ever read or re-cloned. This memo is
+		// only valid here — Fork's own clones execute and must never
+		// share.
+		n = c.cloneNoMem()
+		n.Mem = memo
+		c.copyPrefixCoverage(n)
+	} else {
+		n = c.cloneForFork()
+		c.capMemo = n.Mem
+	}
+	n.EPC = n.EPC[:c.preEPCLen]
+	n.siteCount = c.preSite
+	n.traceRing = n.traceRing[:c.preRingLen]
+	n.traceNext = c.preRingNext
+	// The checkpoint starts a fresh TC epoch: the engine collects the
+	// suffix's trace conditions from the resumed core and re-bases them
+	// on the inherited EPC prefix.
+	n.Trace = nil
+	c.forkPoints[site] = n
+}
+
+// cloneForFork is Clone plus the prefix coverage: Clone resets Coverage
+// (it is per-run), but a resumed fork must report prefix+suffix
+// coverage exactly like a restart run would.
+func (c *Core) cloneForFork() *Core {
+	n := c.Clone()
+	c.copyPrefixCoverage(n)
+	return n
+}
+
+func (c *Core) copyPrefixCoverage(n *Core) {
+	if c.Coverage == nil {
+		return
+	}
+	cov := make(map[uint32]struct{}, len(c.Coverage))
+	for pc := range c.Coverage {
+		cov[pc] = struct{}{}
+	}
+	n.Coverage = cov
+}
+
+// Fork materializes a resumable core from the checkpoint at site: a
+// fresh clone (several children may fork off one site — one per SAT
+// trace condition), with the generational bound and the new input
+// assignment installed and every concrete shadow re-evaluated under the
+// model. Returns nil when no checkpoint was captured for the site (the
+// caller falls back to a snapshot restart).
+func (c *Core) Fork(site int, model smt.Assignment, bound int) *Core {
+	cp := c.forkPoints[site]
+	if cp == nil {
+		return nil
+	}
+	n := cp.cloneForFork()
+	n.Bound = bound
+	n.Input = model
+	n.ApplyModel(model)
+	return n
+}
+
+// ApplyModel re-evaluates the concrete half of every symbolic shadow in
+// the VP under model: registers, saved context registers, memory bytes,
+// host peripheral models (via ModelReconcretizer) and console output
+// bytes printed from symbolic values. Unassigned variables evaluate to
+// zero, matching the Input-map read of a restart run.
+func (c *Core) ApplyModel(model smt.Assignment) {
+	ev := smt.NewEvaluator(model)
+	for i := range c.Regs {
+		if s := c.Regs[i].Sym; s != nil {
+			c.Regs[i].C = uint32(ev.Eval(s))
+		}
+	}
+	for i := range c.ctxStack {
+		regs := &c.ctxStack[i].regs
+		for j := range regs {
+			if s := regs[j].Sym; s != nil {
+				regs[j].C = uint32(ev.Eval(s))
+			}
+		}
+	}
+	c.Mem.Reconcretize(ev)
+	for i := range c.Peripherals {
+		if h := c.Peripherals[i].Host; h != nil {
+			if r, ok := h.(ModelReconcretizer); ok {
+				r.Reconcretize(ev)
+			}
+		}
+	}
+	for i, s := range c.outSym {
+		if s != nil && i < len(c.Output) {
+			c.Output[i] = byte(ev.Eval(s))
+		}
+	}
+}
+
+// TakeForkPoints detaches and returns the checkpoints captured during
+// the last run (site index → rewound core). The engine harvests them
+// once per executed path.
+func (c *Core) TakeForkPoints() map[int]*Core {
+	fp := c.forkPoints
+	c.forkPoints = nil
+	return fp
+}

@@ -14,6 +14,30 @@ func Eval(e *Expr, a Assignment) uint64 {
 	return evalRec(e, a, cache)
 }
 
+// Evaluator evaluates many expressions under one fixed assignment,
+// sharing the sub-expression cache across calls. Shadow-state
+// reconcretization (re-evaluating every symbolic byte of a forked VP
+// under a new solver model) evaluates thousands of expressions that
+// share structure, where the per-call cache of Eval would redo the
+// shared work each time. The zero-default semantics are identical to
+// Eval: unassigned variables evaluate to zero.
+type Evaluator struct {
+	a     Assignment
+	cache map[*Expr]uint64
+}
+
+// NewEvaluator creates an evaluator over a. The assignment must not be
+// mutated while the evaluator is in use (cached values would go stale).
+func NewEvaluator(a Assignment) *Evaluator {
+	return &Evaluator{a: a, cache: map[*Expr]uint64{}}
+}
+
+// Eval computes the concrete value of e under the evaluator's
+// assignment, masked to e.Width.
+func (ev *Evaluator) Eval(e *Expr) uint64 {
+	return evalRec(e, ev.a, ev.cache)
+}
+
 func evalRec(e *Expr, a Assignment, cache map[*Expr]uint64) uint64 {
 	if v, ok := cache[e]; ok {
 		return v

@@ -1,0 +1,76 @@
+package vp
+
+import (
+	"fmt"
+
+	"rvcte/internal/sysc"
+)
+
+// Machine bundles the concrete CPU with its standard peripheral set so
+// the whole VP — including pending peripheral events in the sysc kernel
+// — can be checkpointed and resumed. The concolic ISS forks live cores
+// at divergence points (internal/iss); Machine.Clone is the concrete-VP
+// counterpart, used to snapshot the native-peripheral baseline without
+// re-running the prefix.
+type Machine struct {
+	CPU    *CPU
+	Sensor *Sensor
+	PLIC   *PLIC
+	CLINT  *CLINT
+}
+
+// NewMachine creates a CPU with the standard peripherals attached.
+func NewMachine(cfg Config) *Machine {
+	cpu := New(cfg)
+	sensor, plic, clint := AttachStandardPeripherals(cpu)
+	return &Machine{CPU: cpu, Sensor: sensor, PLIC: plic, CLINT: clint}
+}
+
+// Clone deep-copies the machine: CPU architectural state, RAM, output,
+// the three peripheral models (with back-pointers re-bound to the new
+// CPU), and the kernel's pending event queue, restored by event name so
+// the clone fires the same notifications at the same times as the
+// original would. It fails if an anonymous (un-named) event is pending,
+// since a closure cannot be re-bound to the cloned models.
+func (m *Machine) Clone() (*Machine, error) {
+	st, err := m.CPU.Kernel.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("vp: clone: %w", err)
+	}
+
+	cpu := &CPU{}
+	*cpu = *m.CPU
+	cpu.Mem = append([]byte(nil), m.CPU.Mem...)
+	cpu.Output = append([]byte(nil), m.CPU.Output...)
+	cpu.Kernel = &sysc.Kernel{}
+	cpu.Bus = &sysc.Bus{}
+
+	plic := &PLIC{}
+	*plic = *m.PLIC
+	plic.cpu = cpu
+	clint := &CLINT{}
+	*clint = *m.CLINT
+	clint.cpu = cpu
+	sensor := &Sensor{}
+	*sensor = *m.Sensor
+	sensor.cpu = cpu
+	sensor.plic = plic
+
+	cpu.Bus.Map("sensor", SensorBase, PeriphSize, sensor)
+	cpu.Bus.Map("plic", PLICBase, PeriphSize, plic)
+	cpu.Bus.Map("clint", CLINTBase, PeriphSize, clint)
+
+	err = cpu.Kernel.Restore(st, func(name string) sysc.Process {
+		switch name {
+		case sensorUpdateEvent:
+			return sensor.update
+		case clintCheckEvent:
+			return clint.check
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vp: clone: %w", err)
+	}
+	return &Machine{CPU: cpu, Sensor: sensor, PLIC: plic, CLINT: clint}, nil
+}

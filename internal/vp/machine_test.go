@@ -1,0 +1,153 @@
+package vp
+
+import (
+	"strings"
+	"testing"
+
+	"rvcte/internal/guest"
+	"rvcte/internal/sysc"
+)
+
+func TestSyscSnapshotRestore(t *testing.T) {
+	k := &sysc.Kernel{}
+	var order []string
+	k.ScheduleNamed("a", 10, func() { order = append(order, "a") })
+	k.ScheduleNamed("b", 5, func() { order = append(order, "b") })
+	k.ScheduleNamed("c", 5, func() { order = append(order, "c") }) // FIFO tie with b
+
+	st, err := k.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(st.Events) != 3 {
+		t.Fatalf("snapshot events: %d", len(st.Events))
+	}
+
+	// Restore into a fresh kernel with re-bound processes.
+	var order2 []string
+	k2 := &sysc.Kernel{}
+	err = k2.Restore(st, func(name string) sysc.Process {
+		n := name
+		return func() { order2 = append(order2, n) }
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	k.Run()
+	k2.Run()
+	if strings.Join(order, "") != "bca" || strings.Join(order2, "") != "bca" {
+		t.Fatalf("orders diverge: original %v restored %v", order, order2)
+	}
+	if k2.Now() != k.Now() {
+		t.Errorf("restored time %d want %d", k2.Now(), k.Now())
+	}
+
+	// An anonymous closure has no identity to re-bind: Snapshot must fail.
+	k3 := &sysc.Kernel{}
+	k3.Schedule(1, func() {})
+	if _, err := k3.Snapshot(); err == nil {
+		t.Error("snapshot with anonymous event must fail")
+	}
+
+	// Restore must fail on an unresolvable name.
+	k4 := &sysc.Kernel{}
+	err = k4.Restore(st, func(string) sysc.Process { return nil })
+	if err == nil {
+		t.Error("restore with unresolvable name must fail")
+	}
+}
+
+// multiIRQGuest counts five sensor interrupts, printing the data register
+// after each, so the run has pending kernel events throughout.
+var multiIRQGuest = guest.Program{
+	Name: "vp-clone",
+	Sources: []guest.Source{guest.C("app.c", `
+unsigned int *SCALER = (unsigned int *)0x10000000;
+unsigned int *FILTER = (unsigned int *)0x10000004;
+unsigned int *DATA = (unsigned int *)0x10000008;
+volatile unsigned int count = 0;
+void handler(void) { count++; }
+int main(void) {
+    __install_trap_entry();
+    __set_mie_mask(1 << 11);
+    __enable_mie();
+    register_interrupt_handler(2, handler);
+    *FILTER = 3;
+    *SCALER = 10;
+    unsigned int seen = 0;
+    while (seen < 5) {
+        while (count == seen) __wfi();
+        seen = count;
+        print_u32(*DATA);
+    }
+    return (int)seen;
+}`)},
+}
+
+func TestMachineCloneMidRun(t *testing.T) {
+	elf, err := guest.Build(multiIRQGuest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{RamBase: ramBase, RamSize: ramSize, MaxInstr: 100_000_000,
+		StackTop: ramBase + ramSize - 16384}
+	m := NewMachine(cfg)
+	if err := m.CPU.LoadELF(elf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run until the first interrupt has been serviced: the sensor is armed
+	// and its next update event is pending in the kernel.
+	for !m.CPU.Halted() && len(m.CPU.Output) == 0 {
+		m.CPU.Step()
+	}
+	if m.CPU.Halted() {
+		t.Fatalf("halted before first interrupt: err=%v exited=%v", m.CPU.Err, m.CPU.Exited)
+	}
+	if !m.CPU.Kernel.Pending() {
+		t.Fatal("no pending event at clone point")
+	}
+
+	clone, err := m.Clone()
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+
+	// Run the clone to completion first; the original must be unaffected.
+	instrAt, outAt := m.CPU.InstrCount, len(m.CPU.Output)
+	clone.CPU.Run(0)
+	if clone.CPU.Err != nil {
+		t.Fatalf("clone run: %v", clone.CPU.Err)
+	}
+	if m.CPU.InstrCount != instrAt || len(m.CPU.Output) != outAt || m.CPU.Halted() {
+		t.Fatal("running the clone perturbed the original")
+	}
+
+	m.CPU.Run(0)
+	if m.CPU.Err != nil {
+		t.Fatalf("original run: %v", m.CPU.Err)
+	}
+
+	// Both continuations must be bit-identical: same interrupt schedule,
+	// same sensor data sequence, same cost accounting.
+	if string(clone.CPU.Output) != string(m.CPU.Output) {
+		t.Errorf("output diverged: clone %q original %q", clone.CPU.Output, m.CPU.Output)
+	}
+	if clone.CPU.ExitCode != m.CPU.ExitCode || clone.CPU.ExitCode != 5 {
+		t.Errorf("exit codes: clone %d original %d", clone.CPU.ExitCode, m.CPU.ExitCode)
+	}
+	if clone.CPU.InstrCount != m.CPU.InstrCount {
+		t.Errorf("instr counts: clone %d original %d", clone.CPU.InstrCount, m.CPU.InstrCount)
+	}
+	if clone.CPU.Cycles != m.CPU.Cycles {
+		t.Errorf("cycles: clone %d original %d", clone.CPU.Cycles, m.CPU.Cycles)
+	}
+}
+
+func TestMachineCloneAnonymousEventFails(t *testing.T) {
+	m := NewMachine(Config{RamBase: ramBase, RamSize: 4096})
+	m.CPU.Kernel.Schedule(5, func() {})
+	if _, err := m.Clone(); err == nil {
+		t.Error("clone with anonymous pending event must fail")
+	}
+}
