@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke trace-smoke bench bench-iss bench-fork examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke campaign-smoke bench bench-iss bench-fork examples clean
 
 all: verify
 
@@ -17,10 +17,10 @@ test:
 
 # The concurrent layers (worker-pool exploration, the fuzzer, the
 # shared query cache, the solver it drives, the COW memory it clones,
-# and the shared decoded-block layer those clones publish into) must
-# stay race-clean.
+# the shared decoded-block layer those clones publish into, and the
+# campaign coordinator serving many workers) must stay race-clean.
 race:
-	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/...
+	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/... ./internal/campaign/...
 
 # A bounded hybrid-fuzzing run against the tcpip stack: must report at
 # least one finding (exit code 1) well inside the time budget.
@@ -38,10 +38,30 @@ trace-smoke: build
 	/tmp/cte-smoke -prog storm-s -stop-on-error=false -progress 500ms -trace /tmp/cte-smoke.jsonl >/dev/null; test $$? -le 1
 	/tmp/tracecheck-smoke /tmp/cte-smoke.jsonl
 
+# Fleet smoke: a coordinator with a spool, two worker processes and a
+# find-fix-rerun client over the HTTP control plane must rediscover all
+# six Table-2 tcpip bugs (submit exits 1 = findings reported), then
+# every process must wind down cleanly on SIGTERM (exit 0).
+campaign-smoke: build
+	$(GO) build -o /tmp/cte-smoke ./cmd/cte
+	rm -rf /tmp/cte-smoke-spool
+	sh -ec ' \
+	  /tmp/cte-smoke -serve 127.0.0.1:8473 -spool /tmp/cte-smoke-spool & srv=$$!; \
+	  trap "kill -TERM $$srv 2>/dev/null || true" EXIT; \
+	  sleep 1; \
+	  /tmp/cte-smoke -connect 127.0.0.1:8473 -worker-id smoke-w1 & w1=$$!; \
+	  /tmp/cte-smoke -connect 127.0.0.1:8473 -worker-id smoke-w2 & w2=$$!; \
+	  trap "kill -TERM $$w1 $$w2 $$srv 2>/dev/null || true" EXIT; \
+	  rc=0; /tmp/cte-smoke -submit 127.0.0.1:8473 -prog tcpip -pkt-max 48 -findfix || rc=$$?; \
+	  test $$rc -eq 1; \
+	  kill -TERM $$w1 $$w2; wait $$w1; wait $$w2; \
+	  kill -TERM $$srv; wait $$srv; \
+	  trap - EXIT'
+
 # The repo's verification recipe (see README.md and
 # .claude/skills/verify/SKILL.md): build, vet, full tests, race pass,
-# then the end-to-end fuzzing and tracing smokes.
-verify: build vet test race fuzz-smoke trace-smoke
+# then the end-to-end fuzzing, tracing and campaign smokes.
+verify: build vet test race fuzz-smoke trace-smoke campaign-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

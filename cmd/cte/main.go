@@ -29,18 +29,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"rvcte/internal/cte"
+	"rvcte/internal/fuzz"
 	"rvcte/internal/guest"
 	"rvcte/internal/iss"
 	"rvcte/internal/obs"
@@ -77,7 +76,33 @@ func main() {
 	forkMinPrefix := flag.Uint64("fork-min-prefix", 2000, "skip checkpoint capture on path prefixes shorter than this many instructions (restarting a short prefix is cheaper than checkpointing it; 0 = checkpoint every divergence)")
 	bbCache := flag.Bool("bbcache", true, "enable the predecoded basic-block cache (direct-threaded dispatch; disable to use the legacy fetch/decode/execute loop)")
 	fuse := flag.Bool("fuse", true, "enable superinstruction fusion inside cached blocks (lui+addi, auipc+addi, compare+branch)")
+	serveAddr := flag.String("serve", "", "campaign coordinator: serve the HTTP control plane on this address instead of exploring locally")
+	spoolDir := flag.String("spool", "", "with -serve: persist campaign state under this directory and resume it on restart")
+	connectAddr := flag.String("connect", "", "campaign worker: execute leases from the coordinator at this address")
+	workerID := flag.String("worker-id", "", "with -connect: stable worker identity (default hostname-pid)")
+	submitAddr := flag.String("submit", "", "campaign client: submit -prog as a campaign to the coordinator at this address and stream its findings")
+	findFix := flag.Bool("findfix", false, "with -submit -prog tcpip: iterate stop-on-error campaigns, patching each classified bug, until the stack explores clean")
+	shards := flag.Int("shards", 0, "with -submit: frontier shard count (0 = coordinator default)")
+	batch := flag.Int("batch", 0, "with -submit: frontier inputs per lease (0 = coordinator default)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "with -submit: lease lifetime before re-assignment (0 = coordinator default)")
 	flag.Parse()
+
+	copts := campaignOpts{
+		serve: *serveAddr, spool: *spoolDir,
+		connect: *connectAddr, workerID: *workerID,
+		submit: *submitAddr, findFix: *findFix,
+		prog: *progName, fixList: *fixList, pktMax: *pktMax, fuzz: *fuzzMode,
+		shards: *shards, batch: *batch, leaseTTL: *leaseTTL,
+		maxPaths: *maxPaths, maxInstr: *maxInstr, maxConflicts: *maxConflicts,
+		stopOnError: *stopOnError, seed: *seed,
+	}
+	if err := validateCampaignFlags(copts, flag.NArg()); err != nil {
+		fmt.Fprintln(os.Stderr, "cte:", err)
+		os.Exit(2)
+	}
+	if copts.serve != "" || copts.connect != "" || copts.submit != "" {
+		os.Exit(campaignMain(copts))
+	}
 
 	b := smt.NewBuilder()
 	var core *iss.Core
@@ -182,7 +207,7 @@ func main() {
 		cfg.Mode = cte.ModeHybrid
 		cfg.Budget.Timeout = *fuzzTime
 		if *corpusDir != "" {
-			seeds, err := loadCorpus(*corpusDir)
+			seeds, err := fuzz.LoadDir(*corpusDir)
 			die(err)
 			cfg.Fuzz.Seeds = seeds
 		}
@@ -228,7 +253,7 @@ func main() {
 		}
 	}
 	if *fuzzMode && *corpusDir != "" && rep.Fuzz != nil {
-		if err := saveCorpus(*corpusDir, rep.Fuzz.Corpus); err != nil {
+		if err := fuzz.SaveDir(*corpusDir, rep.Fuzz.Corpus); err != nil {
 			fmt.Fprintf(os.Stderr, "cte: warning: could not persist corpus: %v\n", err)
 		}
 	}
@@ -318,84 +343,11 @@ func printCoverage(elf *relf.File, covered map[uint32]struct{}) {
 }
 
 func buildProg(b *smt.Builder, name, fixList string, pktMax int) (*iss.Core, *relf.File, error) {
-	switch name {
-	case "sensor":
-		core, elf, err := guest.NewCore(b, guest.SensorProgram(false))
-		return core, elf, err
-	case "sensor-fixed":
-		core, elf, err := guest.NewCore(b, guest.SensorProgram(true))
-		return core, elf, err
-	case "tcpip":
-		var fixed uint
-		if fixList != "" {
-			for _, s := range strings.Split(fixList, ",") {
-				n, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil || n < 1 || n > 6 {
-					return nil, nil, fmt.Errorf("bad -fix entry %q", s)
-				}
-				fixed |= 1 << (n - 1)
-			}
-		}
-		core, elf, err := guest.NewCore(b, guest.TCPIPProgram(fixed, pktMax))
-		return core, elf, err
-	case "freertos-sensor":
-		core, elf, err := guest.NewCore(b, guest.FreeRTOSSensorProgram(true, 2))
-		return core, elf, err
-	default:
-		if p, ok := guest.BenchProgram(name); ok {
-			core, elf, err := guest.NewCore(b, p)
-			return core, elf, err
-		}
-		return nil, nil, fmt.Errorf("unknown program %q", name)
-	}
-}
-
-// loadCorpus reads every regular file in dir (sorted by name, so runs
-// are reproducible) as one seed input.
-func loadCorpus(dir string) ([][]byte, error) {
-	ents, err := os.ReadDir(dir)
+	p, err := guest.ProgramFor(name, fixList, pktMax)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil // first run: the directory is created on save
-		}
-		return nil, err
+		return nil, nil, err
 	}
-	var names []string
-	for _, e := range ents {
-		if e.Type().IsRegular() {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	var seeds [][]byte
-	for _, n := range names {
-		data, err := os.ReadFile(filepath.Join(dir, n))
-		if err != nil {
-			return nil, err
-		}
-		seeds = append(seeds, data)
-	}
-	return seeds, nil
-}
-
-// saveCorpus persists the final corpus, one file per input, named by
-// content hash so re-saving an unchanged corpus is idempotent.
-func saveCorpus(dir string, corpus [][]byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, data := range corpus {
-		h := fnv.New64a()
-		h.Write(data)
-		path := filepath.Join(dir, fmt.Sprintf("%016x.bin", h.Sum64()))
-		if _, err := os.Stat(path); err == nil {
-			continue
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
+	return guest.NewCore(b, p)
 }
 
 // printFuzzReport is the human summary of a hybrid fuzzing run.

@@ -73,9 +73,9 @@ func TestExitCodes(t *testing.T) {
 			stderr: "bad -fix entry",
 		},
 		{
-			name:   "missing ELF file exits 2",
-			args:   []string{"/no/such/file.elf"},
-			want:   2,
+			name: "missing ELF file exits 2",
+			args: []string{"/no/such/file.elf"},
+			want: 2,
 		},
 		{
 			name:   "fuzz finding exits 1",

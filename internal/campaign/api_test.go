@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPStatusCodes pins the control plane's error contract: invalid
+// specs are 422, malformed bodies 400, unknown campaigns 404 — and the
+// obs diagnostics (/metrics) keep being served from the same mux.
+func TestHTTPStatusCodes(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	ts := httptest.NewServer(NewServer(co, nil))
+	defer ts.Close()
+
+	req := func(method, path, body string) int {
+		t.Helper()
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		} else {
+			rd = strings.NewReader("")
+		}
+		r, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"unknown prog", "POST", "/campaigns", `{"prog":"no-such-program"}`, 422},
+		{"unknown mode", "POST", "/campaigns", `{"prog":"storm-s","mode":"psychic"}`, 422},
+		{"malformed body", "POST", "/campaigns", `{"prog":`, 400},
+		{"status of unknown", "GET", "/campaigns/c999", "", 404},
+		{"cancel of unknown", "DELETE", "/campaigns/c999", "", 404},
+		{"findings of unknown", "GET", "/campaigns/c999/findings", "", 404},
+		{"lease on unknown", "POST", "/campaigns/c999/lease", `{"worker":"w"}`, 404},
+		{"result on unknown", "POST", "/campaigns/c999/results", `{"lease":"x"}`, 404},
+		{"heartbeat on unknown", "POST", "/campaigns/c999/heartbeat", `{"lease":"x"}`, 404},
+		{"metrics still served", "GET", "/metrics", "", 200},
+	}
+	for _, tc := range cases {
+		if got := req(tc.method, tc.path, tc.body); got != tc.want {
+			t.Errorf("%s: %s %s = %d, want %d", tc.name, tc.method, tc.path, got, tc.want)
+		}
+	}
+
+	// A valid create is 201 and assigns an id.
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json",
+		strings.NewReader(`{"prog":"storm-s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestFindingsStreamOverHTTP runs a stop-on-error sensor campaign with
+// one HTTP worker and consumes the NDJSON finding stream end-to-end:
+// the stream must deliver the finding (classified with its containing
+// guest function and the worker that hit it) and then close, because
+// the campaign left the running state.
+func TestFindingsStreamOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker exploration is slow")
+	}
+	co, err := NewCoordinator("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(co, nil))
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := cl.Create(ctx, Spec{Prog: "sensor", Shards: 2, Batch: 8, LeaseTTLMS: 60_000, StopOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, stopWorker := context.WithCancel(ctx)
+	defer stopWorker()
+	go RunWorker(wctx, WorkerOptions{Server: ts.URL, ID: "streamer", Poll: 20 * time.Millisecond})
+
+	var got []WireFinding
+	final, err := cl.StreamFindings(ctx, st.Spec.ID, func(f WireFinding) {
+		got = append(got, f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("stream closed with campaign %q", final.State)
+	}
+	if len(got) == 0 {
+		t.Fatal("stream delivered no findings")
+	}
+	f := got[0]
+	if f.Kind == "" || f.PC == 0 {
+		t.Fatalf("finding missing classification: %+v", f)
+	}
+	if f.Func == "" {
+		t.Fatalf("finding not located to a guest function: %+v", f)
+	}
+	if f.Worker != "streamer" {
+		t.Fatalf("finding worker = %q, want streamer", f.Worker)
+	}
+}
+
+// TestCancelOverHTTP: DELETE turns away the worker — a subsequent lease
+// request comes back Done and the status reads canceled.
+func TestCancelOverHTTP(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	ts := httptest.NewServer(NewServer(co, nil))
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ctx := context.Background()
+
+	st, err := cl.Create(ctx, Spec{Prog: "storm-s", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.Spec.ID
+	if st, err = cl.Cancel(ctx, id); err != nil || st.State != StateCanceled {
+		t.Fatalf("cancel: %+v err=%v", st, err)
+	}
+	l, err := cl.Lease(ctx, id, LeaseRequest{Worker: "w"})
+	if err != nil || !l.Done || l.State != StateCanceled {
+		t.Fatalf("lease after cancel: %+v err=%v", l, err)
+	}
+	if st, err = cl.Get(ctx, id); err != nil || st.State != StateCanceled {
+		t.Fatalf("status after cancel: %+v err=%v", st, err)
+	}
+}

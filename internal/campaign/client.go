@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the coordinator's HTTP API (NewServer's routes). The
+// zero HTTP client is fine for the request/reply calls; the findings
+// stream holds its connection open for the campaign's lifetime.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a coordinator at addr ("host:port" or a full
+// http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("campaign: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Create submits a new campaign.
+func (c *Client) Create(ctx context.Context, spec Spec) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/campaigns", spec, &st)
+	return st, err
+}
+
+// List fetches every campaign.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var st []Status
+	err := c.do(ctx, http.MethodGet, "/campaigns", nil, &st)
+	return st, err
+}
+
+// Get fetches one campaign's status.
+func (c *Client) Get(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel requests a graceful cancel.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodDelete, "/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Lease claims work.
+func (c *Client) Lease(ctx context.Context, id string, req LeaseRequest) (Lease, error) {
+	var l Lease
+	err := c.do(ctx, http.MethodPost, "/campaigns/"+id+"/lease", req, &l)
+	return l, err
+}
+
+// Result returns a lease's outcome.
+func (c *Client) Result(ctx context.Context, id string, res Result) (ResultReply, error) {
+	var rr ResultReply
+	err := c.do(ctx, http.MethodPost, "/campaigns/"+id+"/results", res, &rr)
+	return rr, err
+}
+
+// Heartbeat extends a lease.
+func (c *Client) Heartbeat(ctx context.Context, id, leaseID string) (HeartbeatReply, error) {
+	var h HeartbeatReply
+	err := c.do(ctx, http.MethodPost, "/campaigns/"+id+"/heartbeat",
+		map[string]string{"lease": leaseID}, &h)
+	return h, err
+}
+
+// StreamFindings consumes the NDJSON finding stream, invoking fn per
+// finding, until the campaign leaves the running state (normal return)
+// or ctx is canceled. It returns the campaign's final status.
+func (c *Client) StreamFindings(ctx context.Context, id string, fn func(WireFinding)) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/campaigns/"+id+"/findings", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("campaign: findings stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var f WireFinding
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return Status{}, fmt.Errorf("campaign: findings stream: %v", err)
+		}
+		if fn != nil {
+			fn(f)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return Status{}, err
+	}
+	return c.Get(context.WithoutCancel(ctx), id)
+}
+
+// WaitDone polls until the campaign leaves the running state.
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

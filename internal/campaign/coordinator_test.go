@@ -1,0 +1,229 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/obs"
+)
+
+// fakeClock drives the coordinator's lease expiry deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newTestCoordinator(t *testing.T) (*Coordinator, *fakeClock) {
+	t.Helper()
+	co, err := NewCoordinator("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	co.now = fc.now
+	return co, fc
+}
+
+func wireInput(val uint64) cte.WireInput {
+	return cte.WireInput{Vars: []cte.WireVar{{Name: "x", Width: 32, Val: val}}, Bound: 1}
+}
+
+// TestLeaseExpiryRedelivery: a worker that stops heartbeating loses its
+// lease — the inputs are re-leased to another worker — and its late
+// result is accepted but fully deduplicated (zero duplicate records in
+// the campaign's record set).
+func TestLeaseExpiryRedelivery(t *testing.T) {
+	co, fc := newTestCoordinator(t)
+	st, err := co.Create(Spec{Prog: "counter-s", Shards: 1, Batch: 4, LeaseTTLMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.Spec.ID
+
+	l1, err := co.Lease(id, LeaseRequest{Worker: "a"})
+	if err != nil || l1.ID == "" || len(l1.Inputs) != 1 {
+		t.Fatalf("first lease: %+v err=%v", l1, err)
+	}
+	rootKey := l1.Inputs[0].Key()
+
+	// Within TTL nothing is re-assignable: a second worker gets no work.
+	l2, _ := co.Lease(id, LeaseRequest{Worker: "b"})
+	if l2.ID != "" || l2.Done {
+		t.Fatalf("lease while another holds the frontier: %+v", l2)
+	}
+
+	// Past the TTL the batch is reclaimed and re-leased.
+	fc.advance(2 * time.Second)
+	l3, _ := co.Lease(id, LeaseRequest{Worker: "b"})
+	if l3.ID == "" || len(l3.Inputs) != 1 || l3.Inputs[0].Key() != rootKey {
+		t.Fatalf("expired batch not re-leased: %+v", l3)
+	}
+	if got, _ := co.Status(id); got.Stats.Expired != 1 {
+		t.Fatalf("expired count = %d want 1", got.Stats.Expired)
+	}
+	// The original worker's heartbeat now says: abandon it.
+	hb, _ := co.Heartbeat(id, l1.ID)
+	if !hb.Cancel {
+		t.Fatal("heartbeat on an expired lease must cancel")
+	}
+
+	// Worker b returns the result: one record, one child.
+	child := wireInput(7)
+	if _, err := co.Result(id, Result{Lease: l3.ID, Worker: "b",
+		Records:  []PathRecord{{Key: rootKey, Exit: 0}},
+		Frontier: []cte.WireInput{child},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Worker a comes back late with the same record: dropped, not doubled.
+	rr, err := co.Result(id, Result{Lease: l1.ID, Worker: "a",
+		Records:  []PathRecord{{Key: rootKey, Exit: 0}},
+		Frontier: []cte.WireInput{child},
+	})
+	if err != nil || !rr.Accepted || rr.Duplicates != 1 {
+		t.Fatalf("late result: %+v err=%v", rr, err)
+	}
+	got, _ := co.Status(id)
+	if got.Stats.Paths != 1 || got.Stats.Duplicates != 1 {
+		t.Fatalf("stats after late result: %+v", got.Stats)
+	}
+	if got.Pending != 1 {
+		t.Fatalf("child enqueued %d times, want exactly 1", got.Pending)
+	}
+	recs, _ := co.Records(id)
+	if len(recs) != 1 || recs[0].Key != rootKey {
+		t.Fatalf("record set: %+v", recs)
+	}
+}
+
+// TestWorkStealing: a worker whose preferred shard is empty serves the
+// fullest shard instead, so one shard's backlog drains fleet-wide.
+func TestWorkStealing(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	st, err := co.Create(Spec{Prog: "counter-s", Shards: 2, Batch: 2, LeaseTTLMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.Spec.ID
+
+	// Execute the root and feed children that all land in one shard.
+	l, _ := co.Lease(id, LeaseRequest{Worker: "a"})
+	var kids []cte.WireInput
+	target := -1
+	for v := uint64(0); len(kids) < 4; v++ {
+		in := wireInput(v)
+		s := shardOf(in.Key(), 2)
+		if target == -1 {
+			target = s
+		}
+		if s == target {
+			kids = append(kids, in)
+		}
+	}
+	if _, err := co.Result(id, Result{Lease: l.ID, Worker: "a",
+		Records:  []PathRecord{{Key: l.Inputs[0].Key()}},
+		Frontier: kids,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a worker name whose preferred shard is the EMPTY one.
+	other := ""
+	for i := 0; ; i++ {
+		w := fmt.Sprintf("w%d", i)
+		if shardOf(w, 2) != target {
+			other = w
+			break
+		}
+	}
+	ls, _ := co.Lease(id, LeaseRequest{Worker: other})
+	if ls.ID == "" || ls.Shard != target {
+		t.Fatalf("steal lease: %+v (want shard %d)", ls, target)
+	}
+	if got, _ := co.Status(id); got.Stats.Stolen == 0 {
+		t.Fatal("steal not accounted")
+	}
+}
+
+// TestCancelPropagates: DELETE semantics — running leases are told to
+// stop, new lease requests are turned away, results are ignored.
+func TestCancelPropagates(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	st, err := co.Create(Spec{Prog: "counter-s", Shards: 1, Batch: 1, LeaseTTLMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.Spec.ID
+	l, _ := co.Lease(id, LeaseRequest{Worker: "a"})
+	if l.ID == "" {
+		t.Fatal("no lease")
+	}
+	if got, _ := co.Cancel(id); got.State != StateCanceled {
+		t.Fatalf("cancel state: %+v", got)
+	}
+	if hb, _ := co.Heartbeat(id, l.ID); !hb.Cancel {
+		t.Fatal("heartbeat must cancel after campaign cancel")
+	}
+	if l2, _ := co.Lease(id, LeaseRequest{Worker: "b"}); !l2.Done {
+		t.Fatalf("lease after cancel: %+v", l2)
+	}
+	if rr, _ := co.Result(id, Result{Lease: l.ID, Records: []PathRecord{{Key: "k"}}}); rr.Accepted {
+		t.Fatal("result accepted after cancel")
+	}
+}
+
+// TestStopOnErrorRequeuesRemainder: a lease that ends early (first
+// finding) returns its unexecuted inputs to the shard and the campaign
+// finishes with the finding.
+func TestStopOnErrorRequeues(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	st, err := co.Create(Spec{Prog: "counter-s", Shards: 1, Batch: 4, LeaseTTLMS: 60_000, StopOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.Spec.ID
+	l, _ := co.Lease(id, LeaseRequest{Worker: "a"})
+	// Seed three siblings, lease them, then return only one executed.
+	co.Result(id, Result{Lease: l.ID,
+		Records:  []PathRecord{{Key: l.Inputs[0].Key()}},
+		Frontier: []cte.WireInput{wireInput(1), wireInput(2), wireInput(3)},
+	})
+	l2, _ := co.Lease(id, LeaseRequest{Worker: "a"})
+	if len(l2.Inputs) != 3 {
+		t.Fatalf("expected 3 leased inputs, got %d", len(l2.Inputs))
+	}
+	rr, err := co.Result(id, Result{Lease: l2.ID,
+		Records:  []PathRecord{{Key: l2.Inputs[0].Key(), Err: "boom"}},
+		Findings: []WireFinding{{Kind: "load-oob", PC: 0x80000010, Msg: "boom"}},
+	})
+	if err != nil || !rr.Accepted {
+		t.Fatalf("result: %+v err=%v", rr, err)
+	}
+	got, _ := co.Status(id)
+	if got.State != StateDone {
+		t.Fatalf("stop-on-error campaign still %q", got.State)
+	}
+	if got.Stats.Requeued != 2 || got.Pending != 2 {
+		t.Fatalf("unexecuted inputs not requeued: %+v pending=%d", got.Stats, got.Pending)
+	}
+	if got.Findings != 1 {
+		t.Fatalf("findings = %d", got.Findings)
+	}
+}
+
+// TestScopedCampaignMetrics: each campaign's counters land in its own
+// namespace of the coordinator's registry.
+func TestScopedCampaignMetrics(t *testing.T) {
+	co, _ := newTestCoordinator(t)
+	ob := obs.New()
+	co.obs = ob
+	st, _ := co.Create(Spec{Prog: "counter-s", Shards: 1, Batch: 1, LeaseTTLMS: 60_000})
+	id := st.Spec.ID
+	l, _ := co.Lease(id, LeaseRequest{Worker: "a"})
+	co.Result(id, Result{Lease: l.ID, Records: []PathRecord{{Key: l.Inputs[0].Key()}}})
+	snap := ob.Snapshot()
+	if snap.Counters["campaign."+id+".paths"] != 1 {
+		t.Fatalf("scoped paths counter missing: %v", snap.Counters)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets timing-sensitive tests widen their budgets under the
+// race detector's order-of-magnitude slowdown.
+const raceEnabled = true

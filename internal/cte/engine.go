@@ -141,6 +141,19 @@ type Options struct {
 	// Obs, when non-nil, wires the run into the observability layer
 	// (metrics registry, tracer); see Config.Common.Obs.
 	Obs *obs.Obs
+	// Roots seeds the frontier with explicit pending inputs instead of
+	// the default empty-assignment root. A campaign worker executes a
+	// leased frontier batch by combining Roots with MaxPaths ==
+	// len(Roots) and the BFS strategy: exactly the leased inputs run,
+	// and their children stay queued for ExportFrontier. Root keys are
+	// pre-seeded into the dedup set so a child identical to a sibling
+	// root is not re-enqueued.
+	Roots []Input
+	// ExportFrontier drains the unexplored frontier into
+	// Report.Frontier when the run stops, so a coordinator can
+	// redistribute the pending inputs across shards. Fork checkpoints
+	// are dropped in the export (they are process-local).
+	ExportFrontier bool
 }
 
 // AutoWorkers selects one exploration worker per CPU.
@@ -185,8 +198,12 @@ type Report struct {
 	Forked       int
 	ForkRestarts int
 	Findings     []Finding
-	Pruned     int
-	Exhausted  bool // queue drained (full exploration)
+	Pruned       int
+	Exhausted    bool // queue drained (full exploration)
+	// Frontier holds the pending inputs left unexplored when the run
+	// stopped (Options.ExportFrontier only): the hand-off unit of the
+	// campaign coordinator's sharded frontier.
+	Frontier []Input
 	// Stopped says why the run ended: "exhausted" | "path-budget" |
 	// "exec-budget" | "timeout" | "stop-on-error" | "canceled" | "dry" |
 	// "escalation-budget".
@@ -462,9 +479,9 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 	rng := rand.New(rand.NewSource(e.Opt.Seed + 1))
 
 	front := newFrontier(e.Opt.Strategy, rng)
-	front.push(Input{Assignment: smt.Assignment{}})
 	globalCover := make(map[uint32]struct{})
 	seen := map[string]bool{} // dedup of (bound, assignment) pairs
+	e.seedFrontier(front, seen)
 
 	for front.len() > 0 {
 		if ctx.Err() != nil {
@@ -511,19 +528,14 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 			e.coverG.Set(int64(len(globalCover)))
 		}
 
+		stopOnErr := false
 		if f, prune := findingOf(core, rep.Paths-1); prune {
 			rep.Pruned++
 			e.obsPruned.Inc()
 		} else if f != nil {
 			rep.Findings = append(rep.Findings, *f)
 			e.recordFinding(f)
-			if e.Opt.StopOnError {
-				rep.Stopped = "stop-on-error"
-				rep.Covered = globalCover
-				rep.WallTime = time.Since(start)
-				e.fillSolverStats(rep)
-				return rep
-			}
+			stopOnErr = e.Opt.StopOnError
 		}
 
 		rep.SatTCs += res.sat
@@ -542,15 +554,54 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 			front.push(ch)
 		}
 		e.frontierG.Set(int64(front.len()))
+		if stopOnErr {
+			rep.Stopped = "stop-on-error"
+			break
+		}
 	}
-	rep.Exhausted = front.len() == 0
+	rep.Exhausted = rep.Stopped == "" && front.len() == 0
 	if rep.Stopped == "" && rep.Exhausted {
 		rep.Stopped = "exhausted"
 	}
 	rep.Covered = globalCover
 	rep.WallTime = time.Since(start)
 	e.fillSolverStats(rep)
+	e.exportFrontier(front, rep)
 	return rep
+}
+
+// seedFrontier fills a fresh frontier from Options.Roots (dedup-seeded
+// so a later child identical to a root is dropped), or with the default
+// empty-assignment root when no explicit roots were configured.
+func (e *Engine) seedFrontier(front *frontier, seen map[string]bool) {
+	if len(e.Opt.Roots) == 0 {
+		front.push(Input{Assignment: smt.Assignment{}})
+		return
+	}
+	for _, r := range e.Opt.Roots {
+		if seen != nil {
+			seen[childKey(e.Builder, r)] = true
+		}
+		front.push(r)
+	}
+}
+
+// exportFrontier drains the unexplored queue into rep.Frontier when
+// Options.ExportFrontier is set. Fork checkpoints are process-local and
+// dropped; an importing engine restarts those inputs from its snapshot.
+func (e *Engine) exportFrontier(front *frontier, rep *Report) {
+	if !e.Opt.ExportFrontier {
+		return
+	}
+	rep.Frontier = make([]Input, 0, front.len())
+	for {
+		in, ok := front.pop()
+		if !ok {
+			break
+		}
+		in.Fork = nil
+		rep.Frontier = append(rep.Frontier, in)
+	}
 }
 
 // recordFinding mirrors one finding into the observability layer.

@@ -59,7 +59,7 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 		rep:   &Report{Workers: workers, PerWorker: make([]WorkerStats, workers)},
 	}
 	x.cond = sync.NewCond(&x.mu)
-	x.front.push(Input{Assignment: smt.Assignment{}})
+	e.seedFrontier(x.front, x.seen)
 
 	var timer *time.Timer
 	if e.Opt.Timeout > 0 {
@@ -115,6 +115,7 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 			rep.Stopped = "path-budget"
 		}
 	}
+	e.exportFrontier(x.front, rep)
 	x.mu.Unlock()
 	rep.Covered = x.cover
 	rep.WallTime = time.Since(start)

@@ -100,6 +100,12 @@ type Config struct {
 	// ForkMinPrefix skips capture below this prefix length in
 	// instructions (Options.ForkMinPrefix; cmd/cte -fork-min-prefix).
 	ForkMinPrefix uint64
+	// Roots seeds the frontier with explicit pending inputs and
+	// ExportFrontier drains the unexplored queue into Report.Frontier —
+	// the campaign coordinator's shard hand-off (Options.Roots /
+	// Options.ExportFrontier).
+	Roots          []Input
+	ExportFrontier bool
 
 	// Hybrid-mode extensions.
 	Fuzz FuzzConfig
@@ -123,6 +129,8 @@ func (c Config) engineOptions() Options {
 		MaxConflictsPerQuery: c.Budget.MaxConflictsPerQuery,
 		Cache:                c.Cache,
 		Obs:                  c.Obs,
+		Roots:                c.Roots,
+		ExportFrontier:       c.ExportFrontier,
 	}
 }
 

@@ -1,0 +1,90 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Corpus persistence and cross-process merging. Inputs are identified
+// by content hash, so a corpus directory shared between runs — or a
+// coordinator merging corpus deltas from many campaign workers — stays
+// duplicate-free without any coordination beyond the hash.
+
+// InputID returns the content-hash identity of one corpus input (the
+// persisted file stem and the coordinator's dedup key).
+func InputID(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// MergeInputs appends every input from add that dst does not already
+// contain (by content hash) and reports how many were new.
+func MergeInputs(dst [][]byte, add [][]byte) ([][]byte, int) {
+	seen := make(map[string]bool, len(dst))
+	for _, d := range dst {
+		seen[InputID(d)] = true
+	}
+	n := 0
+	for _, d := range add {
+		id := InputID(d)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		dst = append(dst, d)
+		n++
+	}
+	return dst, n
+}
+
+// LoadDir reads every regular file in dir (sorted by name, so runs are
+// reproducible) as one seed input. A missing directory is an empty
+// corpus: the first run creates it on save.
+func LoadDir(dir string) ([][]byte, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var seeds [][]byte
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, data)
+	}
+	return seeds, nil
+}
+
+// SaveDir persists a corpus, one file per input named by content hash,
+// so re-saving an unchanged or overlapping corpus is idempotent and
+// concurrent savers converge on the same file set.
+func SaveDir(dir string, corpus [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, data := range corpus {
+		path := filepath.Join(dir, InputID(data)+".bin")
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package fuzz
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestMergeInputsDedup(t *testing.T) {
+	a, b, c := []byte("aa"), []byte("bb"), []byte("cc")
+	dst := [][]byte{a, b}
+	out, n := MergeInputs(dst, [][]byte{b, c, c, a})
+	if n != 1 || len(out) != 3 {
+		t.Fatalf("merged %d into %d entries, want 1 new of 3 total", n, len(out))
+	}
+	if !bytes.Equal(out[2], c) {
+		t.Errorf("admission order broken: %q", out[2])
+	}
+	if _, n := MergeInputs(out, [][]byte{a, b, c}); n != 0 {
+		t.Errorf("re-merge must be a no-op, admitted %d", n)
+	}
+}
+
+func TestCorpusDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	// Missing directory reads as empty (first-run warm start).
+	if seeds, err := LoadDir(dir); err != nil || len(seeds) != 0 {
+		t.Fatalf("missing dir: seeds=%v err=%v", seeds, err)
+	}
+	corpus := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	if err := SaveDir(dir, corpus); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-save, including overlap with new material.
+	if err := SaveDir(dir, append(corpus, []byte("four"))); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 4 {
+		t.Fatalf("loaded %d inputs want 4", len(loaded))
+	}
+	merged, n := MergeInputs(nil, loaded)
+	if n != 4 || len(merged) != 4 {
+		t.Errorf("saved corpus carries duplicates: %d unique of %d", n, len(loaded))
+	}
+}

@@ -1,0 +1,55 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ProgramFor resolves a program name — the -prog vocabulary of cmd/cte,
+// shared verbatim by campaign workers so a coordinator's program spec
+// means the same binary on every machine — to a buildable Program.
+//
+// fixList is a comma-separated list of Table-2 bug numbers (1–6) to
+// compile out, meaningful only for "tcpip"; pktMax caps the symbolic
+// packet length (0 = program default). Unknown names and malformed fix
+// entries are errors.
+func ProgramFor(name, fixList string, pktMax int) (Program, error) {
+	switch name {
+	case "sensor":
+		return SensorProgram(false), nil
+	case "sensor-fixed":
+		return SensorProgram(true), nil
+	case "tcpip":
+		fixed, err := ParseFixList(fixList)
+		if err != nil {
+			return Program{}, err
+		}
+		return TCPIPProgram(fixed, pktMax), nil
+	case "freertos-sensor":
+		return FreeRTOSSensorProgram(true, 2), nil
+	default:
+		if p, ok := BenchProgram(name); ok {
+			return p, nil
+		}
+		return Program{}, fmt.Errorf("unknown program %q", name)
+	}
+}
+
+// ParseFixList parses a comma-separated list of tcpip bug numbers
+// ("2,5") into the fixed-bug bitmask TCPIPProgram takes. The empty
+// string is an empty mask.
+func ParseFixList(fixList string) (uint, error) {
+	var fixed uint
+	if fixList == "" {
+		return 0, nil
+	}
+	for _, s := range strings.Split(fixList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 || n > 6 {
+			return 0, fmt.Errorf("bad -fix entry %q", s)
+		}
+		fixed |= 1 << (n - 1)
+	}
+	return fixed, nil
+}

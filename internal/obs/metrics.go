@@ -22,6 +22,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,7 +156,19 @@ func (h *Histogram) Sum() int64 {
 // the returned handles are lock-free. A nil *Registry resolves every
 // name to a nil handle, so disabled observability needs no special
 // casing at call sites.
+//
+// A Registry is a view — a name prefix over shared storage. Scoped
+// derives a sub-view, which the campaign server uses to give every
+// campaign its own metric namespace ("campaign.<id>.") inside one
+// process-wide registry: the scoped snapshot shows a campaign its own
+// metrics under local names, while the root /metrics endpoint sees the
+// fully qualified union.
 type Registry struct {
+	prefix string
+	s      *regState
+}
+
+type regState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -164,11 +177,27 @@ type Registry struct {
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{s: &regState{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+	}}
+}
+
+// Scoped returns a view of the same registry under prefix (a trailing
+// dot is added if missing, matching the dot-separated namespace).
+// Handles resolved through the view live in the shared storage with
+// fully qualified names; the view's Snapshot sees only its own subtree,
+// with the prefix stripped. Scoping composes: r.Scoped("a").Scoped("b")
+// is the "a.b." subtree.
+func (r *Registry) Scoped(prefix string) *Registry {
+	if r == nil {
+		return nil
 	}
+	if prefix != "" && !strings.HasSuffix(prefix, ".") {
+		prefix += "."
+	}
+	return &Registry{prefix: r.prefix + prefix, s: r.s}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -176,12 +205,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c := r.s.counters[name]
 	if c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		r.s.counters[name] = c
 	}
 	return c
 }
@@ -191,12 +221,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g := r.s.gauges[name]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.s.gauges[name] = g
 	}
 	return g
 }
@@ -207,12 +238,13 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	h := r.s.hists[name]
 	if h == nil {
 		h = newHistogram(bounds)
-		r.hists[name] = h
+		r.s.hists[name] = h
 	}
 	return h
 }
@@ -234,41 +266,52 @@ type Snapshot struct {
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot copies the current value of every registered metric. Values
-// are loaded individually (no global lock), so a snapshot taken during
-// a run is consistent per-metric, not across metrics — fine for
+// Snapshot copies the current value of every registered metric in this
+// view's subtree, under view-local names (the scope prefix stripped).
+// Values are loaded individually (no global lock), so a snapshot taken
+// during a run is consistent per-metric, not across metrics — fine for
 // progress display and end-of-run totals (the engines have quiesced by
 // then).
 func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := &Snapshot{Counters: make(map[string]int64, len(r.counters))}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
-	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]int64, len(r.gauges))
-		for name, g := range r.gauges {
-			s.Gauges[name] = g.Value()
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	s := &Snapshot{Counters: map[string]int64{}}
+	for name, c := range r.s.counters {
+		if local, ok := strings.CutPrefix(name, r.prefix); ok {
+			s.Counters[local] = c.Value()
 		}
 	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
-		for name, h := range r.hists {
-			hs := HistSnapshot{
-				Count:  h.count.Load(),
-				Sum:    h.sum.Load(),
-				Bounds: append([]int64(nil), h.bounds...),
-			}
-			hs.Buckets = make([]int64, len(h.buckets))
-			for i := range h.buckets {
-				hs.Buckets[i] = h.buckets[i].Load()
-			}
-			s.Histograms[name] = hs
+	for name, g := range r.s.gauges {
+		local, ok := strings.CutPrefix(name, r.prefix)
+		if !ok {
+			continue
 		}
+		if s.Gauges == nil {
+			s.Gauges = map[string]int64{}
+		}
+		s.Gauges[local] = g.Value()
+	}
+	for name, h := range r.s.hists {
+		local, ok := strings.CutPrefix(name, r.prefix)
+		if !ok {
+			continue
+		}
+		hs := HistSnapshot{
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+		}
+		hs.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistSnapshot{}
+		}
+		s.Histograms[local] = hs
 	}
 	return s
 }
@@ -293,6 +336,16 @@ func (o *Obs) Registry() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// Scoped returns an Obs whose registry is the prefix-scoped view of
+// this one's (shared storage, see Registry.Scoped) and which shares the
+// tracer. The campaign server hands each campaign o.Scoped("campaign."+id).
+func (o *Obs) Scoped(prefix string) *Obs {
+	if o == nil {
+		return nil
+	}
+	return &Obs{Metrics: o.Metrics.Scoped(prefix), Tracer: o.Tracer}
 }
 
 // Trace returns the tracer (nil on a nil Obs or when tracing is off).

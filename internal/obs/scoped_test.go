@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestScopedRegistrySharesState(t *testing.T) {
+	root := NewRegistry()
+	a := root.Scoped("campaign.a") // trailing dot added
+	b := root.Scoped("campaign.b.")
+
+	a.Counter("paths").Add(3)
+	b.Counter("paths").Add(5)
+	root.Counter("uptime").Inc()
+
+	// The scoped handle and the fully qualified root handle are the same
+	// counter.
+	if got := root.Counter("campaign.a.paths").Value(); got != 3 {
+		t.Errorf("root view of scoped counter = %d, want 3", got)
+	}
+	a.Gauge("workers").Set(2)
+	a.Histogram("lease_us", LatencyBoundsUS).Observe(10)
+
+	// Root snapshot holds the union under qualified names.
+	rs := root.Snapshot()
+	if rs.Counters["campaign.a.paths"] != 3 || rs.Counters["campaign.b.paths"] != 5 || rs.Counters["uptime"] != 1 {
+		t.Errorf("root snapshot counters = %v", rs.Counters)
+	}
+	if rs.Gauges["campaign.a.workers"] != 2 {
+		t.Errorf("root snapshot gauges = %v", rs.Gauges)
+	}
+
+	// A scoped snapshot sees only its subtree, prefix stripped.
+	as := a.Snapshot()
+	if len(as.Counters) != 1 || as.Counters["paths"] != 3 {
+		t.Errorf("scoped snapshot counters = %v", as.Counters)
+	}
+	if h, ok := as.Histograms["lease_us"]; !ok || h.Count != 1 {
+		t.Errorf("scoped snapshot histograms = %v", as.Histograms)
+	}
+	if _, leaked := as.Gauges["campaign.b.paths"]; leaked {
+		t.Error("sibling scope leaked into snapshot")
+	}
+}
+
+func TestScopedRegistryComposes(t *testing.T) {
+	root := NewRegistry()
+	inner := root.Scoped("a").Scoped("b")
+	inner.Counter("x").Inc()
+	if got := root.Snapshot().Counters["a.b.x"]; got != 1 {
+		t.Errorf("nested scope name = %v", root.Snapshot().Counters)
+	}
+	if got := inner.Snapshot().Counters["x"]; got != 1 {
+		t.Errorf("nested scoped snapshot = %v", inner.Snapshot().Counters)
+	}
+}
+
+func TestScopedNilSafety(t *testing.T) {
+	var r *Registry
+	if r.Scoped("x") != nil {
+		t.Error("nil registry must scope to nil")
+	}
+	r.Scoped("x").Counter("c").Inc() // must not panic
+
+	var o *Obs
+	if o.Scoped("x") != nil {
+		t.Error("nil Obs must scope to nil")
+	}
+}
+
+func TestObsScopedSharesTracer(t *testing.T) {
+	o := New()
+	s := o.Scoped("campaign.z")
+	s.Registry().Counter("c").Add(7)
+	if got := o.Snapshot().Counters["campaign.z.c"]; got != 7 {
+		t.Errorf("Obs scope not shared: %v", o.Snapshot().Counters)
+	}
+	if s.Trace() != o.Trace() {
+		t.Error("scoped Obs must share the tracer")
+	}
+}

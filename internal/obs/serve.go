@@ -8,21 +8,14 @@ import (
 	"time"
 )
 
-// Serve exposes the live metric snapshot and pprof on addr (e.g.
-// "localhost:6060"):
+// Handler returns the diagnostics endpoints as an http.Handler:
 //
 //	GET /metrics       — the Snapshot as indented JSON
 //	GET /debug/pprof/  — the standard runtime profiles
 //
-// It returns the bound address (useful with a ":0" addr in tests) and a
-// shutdown function. The server runs until the shutdown function is
-// called; serving errors after a successful bind are dropped (the
-// endpoint is best-effort diagnostics, never load-bearing for a run).
-func Serve(addr string, o *Obs) (bound string, shutdown func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// Serve mounts it standalone; servers that grow more routes (the
+// campaign control plane) mount it on their own mux alongside theirs.
+func Handler(o *Obs) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -35,7 +28,20 @@ func Serve(addr string, o *Obs) (bound string, shutdown func() error, err error)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// Serve exposes Handler on addr (e.g. "localhost:6060"). It returns the
+// bound address (useful with a ":0" addr in tests) and a shutdown
+// function. The server runs until the shutdown function is called;
+// serving errors after a successful bind are dropped (the endpoint is
+// best-effort diagnostics, never load-bearing for a run).
+func Serve(addr string, o *Obs) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(o), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

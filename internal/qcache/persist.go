@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"sync/atomic"
 )
 
 // Cross-run persistence. The cache serializes to JSONL — one entry per
@@ -22,55 +24,104 @@ import (
 // key: a matching key means a structurally identical constraint set
 // (modulo 64-bit hash collision, the standard exposure of any hashed
 // cache).
+//
+// The same wire form crosses process boundaries live: campaign workers
+// export their new entries to the coordinator and import the merged set
+// of their peers (ExportEntries / ImportEntries), so one worker's solve
+// is every worker's warm start.
 
-// persistEntry is the on-disk form of one cache entry.
-type persistEntry struct {
+// WireEntry is the on-disk and on-the-wire form of one cache entry.
+type WireEntry struct {
 	Key   uint64            `json:"k"`
 	Elems []uint64          `json:"e"`
 	Sat   bool              `json:"s"`
 	Model map[string]uint64 `json:"m,omitempty"`
 }
 
-// Save writes every cache entry to path (atomically, via a temp file in
-// the same directory).
-func (c *Cache) Save(path string) error {
-	var ents []*entry
+// Valid reports whether the entry is structurally well-formed (a sat
+// entry must carry a model; every entry names its constraint elements).
+func (w WireEntry) Valid() bool {
+	return len(w.Elems) > 0 && (!w.Sat || w.Model != nil)
+}
+
+// ExportEntries snapshots every cache entry in wire form, sorted by key
+// (deterministic for a given entry set). Entries are immutable once
+// inserted, so the returned slice can be serialized without copying.
+func (c *Cache) ExportEntries() []WireEntry {
+	var out []WireEntry
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for _, ent := range s.exact {
-			ents = append(ents, ent)
+			out = append(out, WireEntry{Key: ent.key, Elems: ent.elems, Sat: ent.sat, Model: ent.model})
 		}
 		s.mu.Unlock()
 	}
-	// Deterministic file contents for a given entry set.
-	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
 
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+// ImportEntries merges wire entries into the cache (first writer of a
+// key wins; malformed entries are skipped) and reports how many were
+// new. Imported entries count as Loaded, like a disk warm start.
+func (c *Cache) ImportEntries(ents []WireEntry) int {
+	n := 0
+	for _, w := range ents {
+		if !w.Valid() {
+			continue
+		}
+		before := atomic.LoadInt64(&c.stats.Loaded)
+		c.insert(&entry{key: w.Key, elems: w.Elems, sat: w.Sat, model: w.Model}, &c.stats.Loaded)
+		if atomic.LoadInt64(&c.stats.Loaded) != before {
+			n++
+		}
+	}
+	return n
+}
+
+// Save writes every cache entry to path. The write is crash-safe and
+// safe against concurrent savers: entries stream into a uniquely named
+// temp file in the target directory, which is fsynced and then
+// atomically renamed over path — a process killed mid-save (or two
+// workers saving the same shared cache file at once) can never leave a
+// torn or interleaved file for a peer to load.
+func (c *Cache) Save(path string) error {
+	ents := c.ExportEntries()
+
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	w := bufio.NewWriter(f)
 	enc := json.NewEncoder(w)
-	for _, ent := range ents {
-		pe := persistEntry{Key: ent.key, Elems: ent.elems, Sat: ent.sat, Model: ent.model}
+	for _, pe := range ents {
 		if err := enc.Encode(&pe); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
+			return fail(err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
+	}
+	// The rename must not be reordered before the data reaches disk, or
+	// a crash between them publishes a complete-looking empty file.
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load merges entries from path into the cache. Malformed lines abort
@@ -90,11 +141,11 @@ func (c *Cache) Load(path string) error {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var pe persistEntry
+		var pe WireEntry
 		if err := json.Unmarshal(sc.Bytes(), &pe); err != nil {
 			return fmt.Errorf("qcache: %s:%d: %v", path, line, err)
 		}
-		if len(pe.Elems) == 0 || (pe.Sat && pe.Model == nil) {
+		if !pe.Valid() {
 			return fmt.Errorf("qcache: %s:%d: malformed entry", path, line)
 		}
 		c.insert(&entry{key: pe.Key, elems: pe.Elems, sat: pe.Sat, model: pe.Model}, &c.stats.Loaded)
