@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke trace-smoke campaign-smoke bench bench-iss bench-fork examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke campaign-smoke bmc-smoke bench bench-iss bench-fork examples clean
 
 all: verify
 
@@ -20,7 +20,7 @@ test:
 # the shared decoded-block layer those clones publish into, and the
 # campaign coordinator serving many workers) must stay race-clean.
 race:
-	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/... ./internal/campaign/...
+	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/... ./internal/campaign/... ./internal/bmc/...
 
 # A bounded hybrid-fuzzing run against the tcpip stack: must report at
 # least one finding (exit code 1) well inside the time budget.
@@ -58,10 +58,22 @@ campaign-smoke: build
 	  kill -TERM $$srv; wait $$srv; \
 	  trap - EXIT'
 
+# BMC cross-check smoke: the exhaustiveness oracle and the differential
+# path-condition check on storm-s (the engines must report the same bug
+# set and agree on sampled path conditions), the seeded-disagreement
+# negative tests (the oracle must fail when the engines disagree), then
+# an end-to-end -bmc run at a small depth: truncated clean absence proof
+# (exit 0) and the full-depth confirmed finding (exit 1).
+bmc-smoke: build
+	$(GO) test -run 'TestBMCConcolicAgreement|TestCompareTamperedConcolicSet|TestCompareDepthMismatch' ./internal/cte ./internal/bmc
+	$(GO) build -o /tmp/cte-smoke ./cmd/cte
+	/tmp/cte-smoke -prog storm-s -bmc -k 100 >/dev/null
+	rc=0; /tmp/cte-smoke -prog storm-s -bmc >/dev/null || rc=$$?; test $$rc -eq 1
+
 # The repo's verification recipe (see README.md and
 # .claude/skills/verify/SKILL.md): build, vet, full tests, race pass,
-# then the end-to-end fuzzing, tracing and campaign smokes.
-verify: build vet test race fuzz-smoke trace-smoke campaign-smoke
+# then the end-to-end fuzzing, tracing, campaign and BMC smokes.
+verify: build vet test race fuzz-smoke trace-smoke campaign-smoke bmc-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -26,6 +26,8 @@ type campaignOpts struct {
 	prog, fixList string
 	pktMax        int
 	fuzz          bool
+	bmc           bool
+	bmcK          int
 	shards, batch int
 	leaseTTL      time.Duration
 	maxPaths      int
@@ -60,6 +62,15 @@ func validateCampaignFlags(o campaignOpts, nargs int) error {
 	}
 	if o.fuzz && (o.serve != "" || o.connect != "") {
 		return errors.New("-fuzz selects a run mode: it cannot be combined with -serve or -connect")
+	}
+	if o.bmc && o.fuzz {
+		return errors.New("-bmc and -fuzz are mutually exclusive run modes")
+	}
+	if o.bmc && (o.serve != "" || o.connect != "" || o.submit != "") {
+		return errors.New("-bmc selects a run mode: it cannot be combined with -serve, -connect or -submit")
+	}
+	if o.bmcK != 0 && !o.bmc {
+		return errors.New("-k requires -bmc")
 	}
 	if (o.serve != "" || o.connect != "") && (o.prog != "" || nargs > 0) {
 		return errors.New("-serve and -connect take no program: workers receive the campaign spec from the coordinator")

@@ -81,6 +81,31 @@ func TestCampaignFlagValidation(t *testing.T) {
 			args:   []string{"-submit", "localhost:1", "-prog", "sensor", "-findfix"},
 			stderr: "-findfix is the concolic find-fix-rerun workflow",
 		},
+		{
+			name:   "bmc with fuzz conflicts",
+			args:   []string{"-prog", "storm-s", "-bmc", "-fuzz"},
+			stderr: "-bmc and -fuzz are mutually exclusive",
+		},
+		{
+			name:   "bmc with serve conflicts",
+			args:   []string{"-serve", ":0", "-bmc"},
+			stderr: "cannot be combined with -serve, -connect or -submit",
+		},
+		{
+			name:   "bmc with connect conflicts",
+			args:   []string{"-connect", "localhost:1", "-bmc"},
+			stderr: "cannot be combined with -serve, -connect or -submit",
+		},
+		{
+			name:   "bmc with submit conflicts",
+			args:   []string{"-submit", "localhost:1", "-prog", "storm-s", "-bmc"},
+			stderr: "cannot be combined with -serve, -connect or -submit",
+		},
+		{
+			name:   "k requires bmc",
+			args:   []string{"-prog", "storm-s", "-k", "100"},
+			stderr: "-k requires -bmc",
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -70,6 +70,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full report as a single JSON object on stdout (suppresses the human summary)")
 	seed := flag.Int64("seed", 0, "PRNG seed for the random strategy and the fuzzer (runs are reproducible for a fixed seed at -j 1)")
 	fuzzMode := flag.Bool("fuzz", false, "hybrid fuzzing: coverage-guided concrete fuzzing with concolic escalation on stall, instead of pure concolic exploration")
+	bmcMode := flag.Bool("bmc", false, "bounded model checking: symbolically execute all paths at once up to the -k depth bound, merging at join points, and solve one reachability query per bug site, instead of pure concolic exploration")
+	bmcK := flag.Int("k", 0, "with -bmc: unroll depth bound in instructions (0 = -max-instr, then the program default)")
 	fuzzTime := flag.Duration("fuzz-time", 30*time.Second, "fuzzing wall-clock budget (0 = until dry or first finding)")
 	corpusDir := flag.String("corpus-dir", "", "fuzz only: load initial inputs from this directory and persist the final corpus back to it")
 	forkMode := flag.Bool("fork", true, "resume divergence checkpoints instead of re-executing path prefixes from the snapshot (disable for the restart-only ablation baseline)")
@@ -92,6 +94,7 @@ func main() {
 		connect: *connectAddr, workerID: *workerID,
 		submit: *submitAddr, findFix: *findFix,
 		prog: *progName, fixList: *fixList, pktMax: *pktMax, fuzz: *fuzzMode,
+		bmc: *bmcMode, bmcK: *bmcK,
 		shards: *shards, batch: *batch, leaseTTL: *leaseTTL,
 		maxPaths: *maxPaths, maxInstr: *maxInstr, maxConflicts: *maxConflicts,
 		stopOnError: *stopOnError, seed: *seed,
@@ -212,6 +215,10 @@ func main() {
 			cfg.Fuzz.Seeds = seeds
 		}
 	}
+	if *bmcMode {
+		cfg.Mode = cte.ModeBMC
+		cfg.BMC.K = *bmcK
+	}
 
 	sess := cte.NewSession(core, cfg)
 	if *verbose && !*jsonOut && !*fuzzMode {
@@ -262,6 +269,8 @@ func main() {
 		emitJSON(b, elf, *progName, rep)
 	} else if rep.Mode == cte.ModeHybrid {
 		printFuzzReport(elf, rep)
+	} else if rep.Mode == cte.ModeBMC {
+		printBMCReport(b, elf, rep)
 	} else {
 		printReport(b, elf, rep, *cover)
 	}
@@ -383,6 +392,79 @@ func printFuzzReport(elf *relf.File, rep *cte.Report) {
 	}
 }
 
+// printBMCReport is the human summary of a bounded-model-checking run.
+func printBMCReport(b *smt.Builder, elf *relf.File, rep *cte.Report) {
+	br := rep.BMC
+	if br == nil {
+		fmt.Printf("bmc: did not run (%s)\n", rep.Stopped)
+		return
+	}
+	fmt.Printf("bmc: unrolled to depth %d in %.2fs: %d symbolic steps, peak %d states (%d splits, %d merges)\n",
+		br.K, rep.WallTime.Seconds(), br.Steps, br.PeakStates, br.Splits, br.Merges)
+	fmt.Printf("accounting: %d exits, %d truncated at the bound, %d guarded violations at %d sites\n",
+		br.Exits, br.Truncated, br.Violations, br.Sites)
+	fmt.Printf("solver: %d queries, %.2fs, %d sites unknown (budget-exhausted)\n",
+		br.Queries, br.SolverTime.Seconds(), br.Unknown)
+	if cs := rep.Cache; cs != nil {
+		fmt.Printf("query cache: %d exact, %d eval-reuse, %d subsumed of %d lookups; %d SAT calls (%d sliced), %d entries (%d loaded)\n",
+			cs.Hits, cs.EvalHits, cs.SubsumeHits, cs.Queries, cs.SolverCalls, cs.SliceSolves, cs.Entries, cs.Loaded)
+	}
+	if len(br.Unsupported) > 0 {
+		reasons := make([]string, 0, len(br.Unsupported))
+		for why, n := range br.Unsupported {
+			reasons = append(reasons, fmt.Sprintf("%s x%d", why, n))
+		}
+		sort.Strings(reasons)
+		fmt.Printf("incomplete: states dropped as unsupported (%s) — absence is NOT proven\n",
+			strings.Join(reasons, ", "))
+	} else if br.Exhausted {
+		fmt.Println("state space exhausted below the bound: the bug set is exact, not just up to depth")
+	} else if br.Truncated > 0 {
+		fmt.Printf("absence proven up to depth %d (deeper behaviour truncated)\n", br.K)
+	}
+	if rep.Stopped != "" && rep.Stopped != "exhausted" && rep.Stopped != "depth" {
+		fmt.Printf("stopped: %s\n", rep.Stopped)
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Println("no errors found")
+		return
+	}
+	for i, f := range rep.Findings {
+		fmt.Printf("FINDING: %v\n", f.Err)
+		if elf != nil {
+			fmt.Printf("  in function: %s\n", guest.LocateFunc(elf, f.Err.PC))
+		}
+		fmt.Printf("  input: %s\n", cte.DescribeInput(b, f.Input))
+		bf := br.Findings[i]
+		status := "model not replayed (-bmc runs confirm by default)"
+		if bf.Confirmed {
+			status = fmt.Sprintf("confirmed by concrete replay at depth %d", bf.Depth)
+		} else if br.Replayed {
+			status = "NOT reproduced by concrete replay — possible encoding bug"
+		}
+		fmt.Printf("  %s\n", status)
+	}
+}
+
+// jsonBMC is the machine-readable form of the BMC side of a run.
+type jsonBMC struct {
+	K           int            `json:"k"`
+	Steps       uint64         `json:"steps"`
+	PeakStates  int            `json:"peak_states"`
+	Splits      int            `json:"splits"`
+	Merges      int            `json:"merges"`
+	SkewMerges  int            `json:"skew_merges"`
+	Exits       int            `json:"exits"`
+	Truncated   int            `json:"truncated"`
+	Violations  int            `json:"violations"`
+	Sites       int            `json:"sites"`
+	Unknown     int            `json:"unknown"`
+	Complete    bool           `json:"complete"`
+	Exhausted   bool           `json:"exhausted"`
+	Confirmed   int            `json:"confirmed"`
+	Unsupported map[string]int `json:"unsupported,omitempty"`
+}
+
 // jsonFuzz is the machine-readable form of the hybrid side of a run.
 type jsonFuzz struct {
 	Execs          uint64  `json:"execs"`
@@ -459,6 +541,7 @@ type jsonReport struct {
 	Cache      *qcache.Stats     `json:"cache,omitempty"`
 	PerWorker  []cte.WorkerStats `json:"per_worker,omitempty"`
 	Fuzz       *jsonFuzz         `json:"fuzz,omitempty"`
+	BMC        *jsonBMC          `json:"bmc,omitempty"`
 	Obs        *obs.Snapshot     `json:"obs,omitempty"`
 	Findings   []jsonFinding     `json:"findings"`
 }
@@ -503,6 +586,22 @@ func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
 			FlipsAttempted: st.FlipsAttempted,
 			Solves:         st.Solves,
 			SkipInitInstrs: st.SkipInitInstrs,
+		}
+	}
+	if br := rep.BMC; br != nil {
+		confirmed := 0
+		for _, f := range br.Findings {
+			if f.Confirmed {
+				confirmed++
+			}
+		}
+		jr.BMC = &jsonBMC{
+			K: br.K, Steps: br.Steps, PeakStates: br.PeakStates,
+			Splits: br.Splits, Merges: br.Merges, SkewMerges: br.SkewMerges,
+			Exits: br.Exits, Truncated: br.Truncated,
+			Violations: br.Violations, Sites: br.Sites, Unknown: br.Unknown,
+			Complete: br.Complete, Exhausted: br.Exhausted,
+			Confirmed: confirmed, Unsupported: br.Unsupported,
 		}
 	}
 	for _, f := range rep.Findings {

@@ -89,6 +89,24 @@ func TestExitCodes(t *testing.T) {
 			want:   1,
 			stdout: `"findings"`,
 		},
+		{
+			name:   "bmc finding exits 1",
+			args:   []string{"-prog", "storm-s", "-bmc"},
+			want:   1,
+			stdout: "FINDING",
+		},
+		{
+			name:   "bmc clean exits 0",
+			args:   []string{"-prog", "counter-s", "-bmc"},
+			want:   0,
+			stdout: "no errors found",
+		},
+		{
+			name:   "bmc json carries the bmc section",
+			args:   []string{"-prog", "storm-s", "-bmc", "-json"},
+			want:   1,
+			stdout: `"bmc"`,
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"rvcte/internal/bmc"
 	"rvcte/internal/iss"
 	"rvcte/internal/obs"
 	"rvcte/internal/qcache"
@@ -221,6 +222,8 @@ type Report struct {
 	Cache *qcache.Stats
 	// Fuzz is the hybrid-mode section (nil for pure concolic runs).
 	Fuzz *FuzzStats
+	// BMC is the bounded-model-checking section (nil for other modes).
+	BMC *bmc.Report
 	// Obs is the final metric snapshot when the run carried an Obs
 	// bundle (nil otherwise). Its totals agree with the legacy counters
 	// above — the engine-level tests assert it.

@@ -21,6 +21,10 @@ const (
 	// ModeHybrid is the Driller-style campaign: cheap concrete fuzzing
 	// with concolic branch-solving when coverage stalls.
 	ModeHybrid
+	// ModeBMC is the bounded-model-checking backend: all paths are
+	// symbolically executed at once up to a depth bound and each bug
+	// site becomes one reachability query (internal/bmc).
+	ModeBMC
 )
 
 func (m Mode) String() string {
@@ -29,6 +33,8 @@ func (m Mode) String() string {
 		return "concolic"
 	case ModeHybrid:
 		return "hybrid"
+	case ModeBMC:
+		return "bmc"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -109,6 +115,9 @@ type Config struct {
 
 	// Hybrid-mode extensions.
 	Fuzz FuzzConfig
+
+	// BMC-mode extensions.
+	BMC BMCConfig
 }
 
 // engineOptions lowers a Config to the legacy Options the concolic
@@ -184,6 +193,8 @@ func (s *Session) Run(ctx context.Context) *Report {
 	switch s.cfg.Mode {
 	case ModeHybrid:
 		rep = runHybrid(ctx, s.snap, s.cfg)
+	case ModeBMC:
+		rep = runBMC(ctx, s.snap, s.cfg)
 	default:
 		eng := New(s.snap, s.cfg.engineOptions())
 		eng.OnPath = s.OnPath

@@ -1,0 +1,100 @@
+package iss
+
+import (
+	"testing"
+
+	"rvcte/internal/rv32"
+)
+
+// TestDecodedAt: the symbolic-step decode hook must return the same
+// instruction with and without the block cache, and classify bad PCs
+// the way fetch() would fail them.
+func TestDecodedAt(t *testing.T) {
+	c := buildCore(t, `
+	_start:
+		li a0, 6
+		addi a0, a0, 1
+	`+exitSeq)
+
+	inst, ok := c.DecodedAt(ramBase)
+	if !ok || inst.Op == rv32.OpIllegal {
+		t.Fatalf("DecodedAt(entry) = %v/%v, want a decodable instruction", inst.Op, ok)
+	}
+	// Same answer through the legacy path.
+	c.NoBlockCache = true
+	inst2, ok2 := c.DecodedAt(ramBase)
+	if !ok2 || inst2 != inst {
+		t.Fatalf("legacy DecodedAt = %+v/%v, cache gave %+v", inst2, ok2, inst)
+	}
+	c.NoBlockCache = false
+
+	// DecodedAt must not disturb the core: PC and Err stay put.
+	if c.PC != ramBase || c.Err != nil {
+		t.Fatalf("DecodedAt moved the core: pc=%#x err=%v", c.PC, c.Err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		pc   uint32
+		kind ErrKind
+	}{
+		{"misaligned", ramBase + 1, ErrIllegalJump},
+		{"outside RAM", ramBase + ramSize, ErrIllegalJump},
+		{"undecodable word", ramBase + 0x100, ErrIllegalInstr},
+	} {
+		if _, ok := c.DecodedAt(tc.pc); ok {
+			t.Errorf("%s: DecodedAt succeeded", tc.name)
+		}
+		if got := c.FetchErrAt(tc.pc); got != tc.kind {
+			t.Errorf("%s: FetchErrAt = %v, want %v", tc.name, got, tc.kind)
+		}
+	}
+}
+
+// TestSymstepSnapshots: the auxiliary-state accessors return copies
+// that do not alias the core's private state.
+func TestSymstepSnapshots(t *testing.T) {
+	c := run(t, `
+	_start:
+		la a0, buf
+		li a1, 2
+		la a2, name
+		li a7, 1
+		ecall            # make_symbolic(buf, 2, "s")
+		la a0, buf
+		li a1, 2
+		li a2, 77
+		li a7, 8
+		ecall            # register_protect(buf, 2, 77)
+		li a0, 0
+	`+exitSeq+`
+	.data
+	buf: .space 4
+	name: .asciz "s"
+	`)
+	if c.Err != nil {
+		t.Fatalf("guest failed: %v", c.Err)
+	}
+	zones := c.ZonesSnapshot()
+	if len(zones) != 2 {
+		t.Fatalf("zones = %v, want the 2 guard zones of one protect", zones)
+	}
+	zones[0] = Zone{}
+	if z := c.ZonesSnapshot(); z[0] == (Zone{}) {
+		t.Error("ZonesSnapshot aliases the core's zones")
+	}
+	gens := c.SymCounterSnapshot()
+	if gens["s"] != 1 {
+		t.Fatalf("symGen = %v, want s:1 after one make_symbolic", gens)
+	}
+	gens["s"] = 99
+	if c.SymCounterSnapshot()["s"] != 1 {
+		t.Error("SymCounterSnapshot aliases the core's counters")
+	}
+	if c.PendingHostWork() != 0 {
+		t.Errorf("PendingHostWork = %d on a peripheral-free core", c.PendingHostWork())
+	}
+	if !c.InRAM(ramBase, 4) || c.InRAM(ramBase+ramSize-1, 2) {
+		t.Error("InRAM bounds are off")
+	}
+}

@@ -1,6 +1,7 @@
 package qcache
 
 import (
+	"fmt"
 	"testing"
 
 	"rvcte/internal/smt"
@@ -84,5 +85,44 @@ func BenchmarkQueryCacheEvalReuse(b *testing.B) {
 	b.StopTimer()
 	if st := c.Stats(); st.SolverCalls != 1 {
 		b.Fatalf("reuse benchmark must not re-solve (%+v)", st)
+	}
+}
+
+// largeConds builds an n-element constraint set over independent byte
+// variables — the shape of a deep path condition (a long prefix of small
+// per-variable facts). At this size canonicalization, the sorted key and
+// the candidate Eval scans dominate resolve latency, not SAT work.
+func largeConds(bld *smt.Builder, n int) []*smt.Expr {
+	conds := make([]*smt.Expr, 0, n)
+	for i := 0; len(conds) < n; i++ {
+		v := bld.Var(8, fmt.Sprintf("lv[%d]", i))
+		conds = append(conds, bld.Ne(v, bld.Const(8, uint64(i%251))))
+		if len(conds) < n {
+			conds = append(conds, bld.Ult(v, bld.Const(8, 250)))
+		}
+	}
+	return conds
+}
+
+// BenchmarkQCacheResolveLarge guards the canonicalization cost of an
+// ~800-element constraint set: after the seed solve every iteration is
+// an exact hit, so the loop measures hashing, key construction and
+// lookup at BMC/deep-path scale with zero SAT work.
+func BenchmarkQCacheResolveLarge(b *testing.B) {
+	bld := smt.NewBuilder()
+	conds := largeConds(bld, 800)
+	c := New(bld, Options{})
+	solver := smt.NewSolver(bld)
+	if sat, _, _ := c.Check(solver, conds, nil); !sat {
+		b.Fatal("seed query must be sat")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sat, _, _ := c.Check(solver, conds, nil); !sat {
+			b.Fatal("hit must stay sat")
+		}
+	}
+	if st := c.Stats(); st.SolverCalls != 1 {
+		b.Fatalf("benchmark must not re-solve (%+v)", st)
 	}
 }

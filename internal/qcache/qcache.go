@@ -33,6 +33,7 @@ package qcache
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rvcte/internal/obs"
 	"rvcte/internal/smt"
@@ -41,6 +42,10 @@ import (
 const (
 	numShards   = 16
 	maxElemList = 32 // cap per-element index lists (exact map is unbounded)
+	// largeSetThreshold classifies a constraint set as "large" for the
+	// qcache.large_sets counter — beyond it, canonicalization and the
+	// candidate Eval scans dominate resolve latency, not the SAT solve.
+	largeSetThreshold = 256
 )
 
 // Options tunes a cache.
@@ -114,7 +119,12 @@ type Cache struct {
 	obsQueries, obsHits, obsEvalHits, obsSubsumeHits *obs.Counter
 	obsSolverCalls, obsSliceSolves, obsUnknowns, obsStores *obs.Counter
 	obsEntries *obs.Gauge
-	tracer     *obs.Tracer
+	// obsResolveUS buckets end-to-end resolve latency (lookup + slicing +
+	// residual solve) by constraint-set size; obsLargeSets counts resolves
+	// beyond largeSetThreshold elements.
+	obsResolveUS [4]*obs.Histogram
+	obsLargeSets *obs.Counter
+	tracer       *obs.Tracer
 }
 
 // SetObs wires the cache into an observability bundle: hit/miss/store
@@ -135,7 +145,26 @@ func (c *Cache) SetObs(o *obs.Obs) {
 	c.obsUnknowns = m.Counter("qcache.unknowns")
 	c.obsStores = m.Counter("qcache.stores")
 	c.obsEntries = m.Gauge("qcache.entries")
+	for i, size := range [4]string{"le8", "le64", "le256", "gt256"} {
+		c.obsResolveUS[i] = m.Histogram("qcache.resolve_us."+size, obs.LatencyBoundsUS)
+	}
+	c.obsLargeSets = m.Counter("qcache.large_sets")
 	c.tracer = o.Trace()
+}
+
+// resolveHist picks the resolve-latency histogram for a constraint set
+// of n elements (nil when the cache is unwired).
+func (c *Cache) resolveHist(n int) *obs.Histogram {
+	switch {
+	case n <= 8:
+		return c.obsResolveUS[0]
+	case n <= 64:
+		return c.obsResolveUS[1]
+	case n <= largeSetThreshold:
+		return c.obsResolveUS[2]
+	default:
+		return c.obsResolveUS[3]
+	}
 }
 
 // hit records one cache-answered query of the given class.
@@ -222,7 +251,18 @@ func (c *Cache) Check(solver *smt.Solver, conds []*smt.Expr, hint smt.Assignment
 	}
 	atomic.AddInt64(&c.stats.Queries, 1)
 	c.obsQueries.Inc()
+	var t0 time.Time
+	wired := c.obsResolveUS[0] != nil
+	if wired {
+		t0 = time.Now()
+	}
 	sat, model, unknown, fromCache := c.resolve(solver, live, hint)
+	if wired {
+		c.resolveHist(len(live)).ObserveDuration(time.Since(t0))
+		if len(live) > largeSetThreshold {
+			c.obsLargeSets.Inc()
+		}
+	}
 	if c.OnAnswer != nil && !unknown {
 		c.OnAnswer(live, sat, model, fromCache)
 	}

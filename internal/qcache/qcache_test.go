@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"rvcte/internal/obs"
 	"rvcte/internal/smt"
 )
 
@@ -388,5 +389,44 @@ func TestConcurrentSharedCache(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestResolveLatencyHistograms: with an obs bundle wired, every
+// non-trivial Check lands in exactly one size-keyed resolve histogram,
+// and sets beyond largeSetThreshold elements tick the large-set counter.
+func TestResolveLatencyHistograms(t *testing.T) {
+	bld := smt.NewBuilder()
+	c := New(bld, Options{})
+	ob := obs.New()
+	c.SetObs(ob)
+	solver := smt.NewSolver(bld)
+
+	small := []*smt.Expr{bld.Eq(bld.Var(32, "hx"), bld.Const(32, 1))}
+	if sat, _, _ := c.Check(solver, small, nil); !sat {
+		t.Fatal("small set must be sat")
+	}
+	large := largeConds(bld, largeSetThreshold+44)
+	if sat, _, _ := c.Check(solver, large, nil); !sat {
+		t.Fatal("large set must be sat")
+	}
+
+	snap := ob.Snapshot()
+	for name, want := range map[string]int64{
+		"qcache.resolve_us.le8":   1,
+		"qcache.resolve_us.le64":  0,
+		"qcache.resolve_us.le256": 0,
+		"qcache.resolve_us.gt256": 1,
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %s missing (have %v)", name, snap.Histograms)
+		}
+		if h.Count != want {
+			t.Errorf("%s count = %d, want %d", name, h.Count, want)
+		}
+	}
+	if got := snap.Counters["qcache.large_sets"]; got != 1 {
+		t.Errorf("qcache.large_sets = %d, want 1", got)
 	}
 }

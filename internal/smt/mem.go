@@ -1,0 +1,106 @@
+package smt
+
+// This file holds the state-merging primitives the bounded-model-checking
+// backend builds on: n-ary guard combinators and a symbolic byte-array
+// overlay. They live in smt (not bmc) because they are generic over any
+// guarded-update encoding: a value per guard, merged with ite at join
+// points, over a concrete background.
+
+// AndAll builds the width-1 conjunction of xs, folding constants. An
+// empty slice is true.
+func (b *Builder) AndAll(xs []*Expr) *Expr {
+	out := b.Bool(true)
+	for _, x := range xs {
+		if x.IsFalse() {
+			return x
+		}
+		out = b.And(out, x)
+	}
+	return out
+}
+
+// OrAll builds the width-1 disjunction of xs, folding constants. An
+// empty slice is false.
+func (b *Builder) OrAll(xs []*Expr) *Expr {
+	out := b.Bool(false)
+	for _, x := range xs {
+		if x.IsTrue() {
+			return x
+		}
+		out = b.Or(out, x)
+	}
+	return out
+}
+
+// Mem is a symbolic byte array: a sparse overlay of symbolic byte
+// expressions over an immutable concrete-ish background (Base). It is
+// the memory encoding of one merged symbolic state: loads read through
+// to Base for untouched addresses, stores go to the overlay, and two
+// states that reach the same program point merge their overlays with
+// ite on the deciding guard instead of forking.
+type Mem struct {
+	// Base supplies the background byte at addr (width-8, possibly
+	// symbolic). It must be pure: same addr, same expression.
+	Base func(addr uint32) *Expr
+	over map[uint32]*Expr
+}
+
+// NewMem creates an empty overlay over base.
+func NewMem(base func(addr uint32) *Expr) *Mem {
+	return &Mem{Base: base, over: map[uint32]*Expr{}}
+}
+
+// Load reads the byte at addr: the overlay if written, else Base.
+func (m *Mem) Load(addr uint32) *Expr {
+	if e, ok := m.over[addr]; ok {
+		return e
+	}
+	return m.Base(addr)
+}
+
+// Store writes the width-8 expression v at addr. Storing exactly the
+// background byte erases the overlay entry (keeps merged states small
+// after memset-style re-initialization).
+func (m *Mem) Store(addr uint32, v *Expr) {
+	if v.Width != 8 {
+		panic("smt: Mem.Store wants a width-8 byte")
+	}
+	if m.Base(addr) == v {
+		delete(m.over, addr)
+		return
+	}
+	m.over[addr] = v
+}
+
+// Clone copies the overlay; Base is shared.
+func (m *Mem) Clone() *Mem {
+	n := &Mem{Base: m.Base, over: make(map[uint32]*Expr, len(m.over))}
+	for a, e := range m.over {
+		n.over[a] = e
+	}
+	return n
+}
+
+// Overlay returns the number of overlaid bytes.
+func (m *Mem) Overlay() int { return len(m.over) }
+
+// Merge folds other into m as ite(g, m, other) per byte: under guard g
+// the receiver's contents win, otherwise other's. Bytes equal in both
+// (hash-consing makes that a pointer comparison) merge to themselves.
+func (m *Mem) Merge(b *Builder, g *Expr, other *Mem) {
+	for a, e := range m.over {
+		oe := other.Load(a)
+		if e != oe {
+			m.over[a] = b.Ite(g, e, oe)
+		}
+	}
+	for a, oe := range other.over {
+		if _, ok := m.over[a]; ok {
+			continue // handled above
+		}
+		e := m.Base(a)
+		if e != oe {
+			m.over[a] = b.Ite(g, e, oe)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package smt
+
+import "testing"
+
+func TestAndAllOrAll(t *testing.T) {
+	b := NewBuilder()
+	if !b.AndAll(nil).IsTrue() {
+		t.Error("AndAll(nil) is not true")
+	}
+	if !b.OrAll(nil).IsFalse() {
+		t.Error("OrAll(nil) is not false")
+	}
+	x := b.Var(1, "aa_x") // var 0
+	y := b.Var(1, "aa_y") // var 1
+	if got := b.AndAll([]*Expr{b.Bool(true), x}); got != x {
+		t.Errorf("AndAll(true, x) = %v, want x", got)
+	}
+	if got := b.OrAll([]*Expr{b.Bool(false), y}); got != y {
+		t.Errorf("OrAll(false, y) = %v, want y", got)
+	}
+	if !b.AndAll([]*Expr{x, b.Bool(false), y}).IsFalse() {
+		t.Error("AndAll with a false element is not false")
+	}
+	if !b.OrAll([]*Expr{x, b.Bool(true), y}).IsTrue() {
+		t.Error("OrAll with a true element is not true")
+	}
+	// Truth tables of the folded n-ary forms.
+	and := b.AndAll([]*Expr{x, y})
+	or := b.OrAll([]*Expr{x, y})
+	for xv := uint64(0); xv <= 1; xv++ {
+		for yv := uint64(0); yv <= 1; yv++ {
+			env := Assignment{0: xv, 1: yv}
+			if got := Eval(and, env); got != xv&yv {
+				t.Errorf("AndAll(%d,%d) = %d", xv, yv, got)
+			}
+			if got := Eval(or, env); got != xv|yv {
+				t.Errorf("OrAll(%d,%d) = %d", xv, yv, got)
+			}
+		}
+	}
+}
+
+// memEnv builds a Mem whose background is Const(8, addr&0xff) — easy to
+// predict and pure, like the BMC executor's snapshot-backed base.
+func memEnv(b *Builder) *Mem {
+	return NewMem(func(addr uint32) *Expr { return b.Const(8, uint64(addr&0xff)) })
+}
+
+func TestMemLoadStore(t *testing.T) {
+	b := NewBuilder()
+	m := memEnv(b)
+	if got := Eval(m.Load(0x42), nil); got != 0x42 {
+		t.Fatalf("untouched load = %#x, want background", got)
+	}
+	v := b.Var(8, "m_v") // var 0
+	m.Store(0x42, v)
+	if m.Load(0x42) != v {
+		t.Fatal("overlaid load does not return the stored expression")
+	}
+	if m.Overlay() != 1 {
+		t.Fatalf("overlay size = %d, want 1", m.Overlay())
+	}
+	// Storing exactly the background byte erases the overlay entry.
+	m.Store(0x42, b.Const(8, 0x42))
+	if m.Overlay() != 0 {
+		t.Fatalf("overlay size after background re-store = %d, want 0", m.Overlay())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Store of a non-byte width did not panic")
+		}
+	}()
+	m.Store(0, b.Const(32, 0))
+}
+
+func TestMemCloneIsIndependent(t *testing.T) {
+	b := NewBuilder()
+	m := memEnv(b)
+	m.Store(1, b.Const(8, 0xaa))
+	n := m.Clone()
+	n.Store(1, b.Const(8, 0xbb))
+	n.Store(2, b.Const(8, 0xcc))
+	if got := Eval(m.Load(1), nil); got != 0xaa {
+		t.Errorf("clone write leaked into original: %#x", got)
+	}
+	if m.Overlay() != 1 || n.Overlay() != 2 {
+		t.Errorf("overlay sizes = %d/%d, want 1/2", m.Overlay(), n.Overlay())
+	}
+}
+
+// TestMemMerge checks the join-point semantics: after m.Merge(g, other),
+// every byte reads as ite(g, m's value, other's value), including bytes
+// overlaid on only one side; bytes equal on both sides stay un-ite'd.
+func TestMemMerge(t *testing.T) {
+	b := NewBuilder()
+	g := b.Var(1, "mg") // var 0
+	m := memEnv(b)
+	o := memEnv(b)
+	m.Store(1, b.Const(8, 0x11)) // both sides, different
+	o.Store(1, b.Const(8, 0x22))
+	m.Store(2, b.Const(8, 0x33)) // m only
+	o.Store(3, b.Const(8, 0x44)) // o only
+	m.Store(4, b.Const(8, 0x55)) // both sides, identical
+	o.Store(4, b.Const(8, 0x55))
+
+	m.Merge(b, g, o)
+	for _, tc := range []struct {
+		addr       uint32
+		whenG, els uint64
+	}{
+		{1, 0x11, 0x22},
+		{2, 0x33, 0x02}, // else-side reads o's background
+		{3, 0x03, 0x44}, // guard-side reads m's background
+		{4, 0x55, 0x55},
+		{9, 0x09, 0x09}, // untouched background everywhere
+	} {
+		e := m.Load(tc.addr)
+		if got := Eval(e, Assignment{0: 1}); got != tc.whenG {
+			t.Errorf("addr %d under g: %#x, want %#x", tc.addr, got, tc.whenG)
+		}
+		if got := Eval(e, Assignment{0: 0}); got != tc.els {
+			t.Errorf("addr %d under !g: %#x, want %#x", tc.addr, got, tc.els)
+		}
+	}
+	// The identical byte and the untouched byte must not have minted an
+	// ite: the identical store stays a plain constant.
+	if m.Load(4) != b.Const(8, 0x55) {
+		t.Error("identical bytes were ite-merged")
+	}
+}
