@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz-smoke trace-smoke campaign-smoke bmc-smoke bench bench-iss bench-fork examples clean
+.PHONY: all build vet test race verify fuzz-smoke trace-smoke campaign-smoke bmc-smoke stateful-smoke bench bench-iss bench-fork examples clean
 
 all: verify
 
@@ -21,6 +21,7 @@ test:
 # campaign coordinator serving many workers) must stay race-clean.
 race:
 	$(GO) test -race ./internal/cte/... ./internal/fuzz/... ./internal/qcache/... ./internal/concolic/... ./internal/smt/... ./internal/iss/... ./internal/campaign/... ./internal/bmc/...
+	$(GO) test -race -short ./internal/guest/...
 
 # A bounded hybrid-fuzzing run against the tcpip stack: must report at
 # least one finding (exit code 1) well inside the time budget.
@@ -70,10 +71,21 @@ bmc-smoke: build
 	/tmp/cte-smoke -prog storm-s -bmc -k 100 >/dev/null
 	rc=0; /tmp/cte-smoke -prog storm-s -bmc >/dev/null || rc=$$?; test $$rc -eq 1
 
+# Stateful-campaign smoke: a 3-packet hybrid run on the session guest
+# with the full detector set must rediscover one of the seeded deep
+# bugs (exit 1 = finding reported). State-banked coverage plus concolic
+# escalation is what reaches packet depth 3; the generous
+# -dry-escalations keeps the fuzzer escalating through the stateful
+# plateau instead of declaring dry.
+stateful-smoke: build
+	$(GO) build -o /tmp/cte-smoke ./cmd/cte
+	/tmp/cte-smoke -prog tcpip-session -pkts 3 -detectors all -fuzz -fuzz-time 180s -dry-escalations 2000 -seed 1; test $$? -eq 1
+
 # The repo's verification recipe (see README.md and
 # .claude/skills/verify/SKILL.md): build, vet, full tests, race pass,
-# then the end-to-end fuzzing, tracing, campaign and BMC smokes.
-verify: build vet test race fuzz-smoke trace-smoke campaign-smoke bmc-smoke
+# then the end-to-end fuzzing, tracing, campaign, BMC and stateful
+# smokes.
+verify: build vet test race fuzz-smoke trace-smoke campaign-smoke bmc-smoke stateful-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -7,6 +7,7 @@ package rvcte
 // concretization trace conditions (§2.2).
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -80,13 +81,13 @@ func TestAblationCloneAfterInit(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	freshRep := cte.New(fresh, cte.Options{MaxPaths: 40}).Run()
+	freshRep := cte.NewSession(fresh, cte.Config{Budget: cte.Budget{MaxPaths: 40}}).Run(context.Background())
 	freshTime := time.Since(start)
 
 	// From the post-init snapshot.
 	snap, _ := snapshotAfterInit(t)
 	start = time.Now()
-	snapRep := cte.New(snap, cte.Options{MaxPaths: 40}).Run()
+	snapRep := cte.NewSession(snap, cte.Config{Budget: cte.Budget{MaxPaths: 40}}).Run(context.Background())
 	snapTime := time.Since(start)
 
 	if len(freshRep.Findings) != len(snapRep.Findings) {
@@ -113,7 +114,7 @@ func BenchmarkAblationCloneAfterInit(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cte.New(core, cte.Options{MaxPaths: 40}).Run()
+			cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 40}}).Run(context.Background())
 		}
 	})
 	b.Run("clone-after-init", func(b *testing.B) {
@@ -121,7 +122,7 @@ func BenchmarkAblationCloneAfterInit(b *testing.B) {
 			b.StopTimer()
 			snap, _ := snapshotAfterInit(b)
 			b.StartTimer()
-			cte.New(snap, cte.Options{MaxPaths: 40}).Run()
+			cte.NewSession(snap, cte.Config{Budget: cte.Budget{MaxPaths: 40}}).Run(context.Background())
 		}
 	})
 }
@@ -138,7 +139,7 @@ func BenchmarkAblationSearchStrategy(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep := cte.New(core, cte.Options{MaxPaths: 1500, Strategy: s, Seed: 7}).Run()
+				rep := cte.NewSession(core, cte.Config{Seed: 7, Budget: cte.Budget{MaxPaths: 1500}, Explore: cte.ExploreConfig{Strategy: s}}).Run(context.Background())
 				if !rep.Exhausted {
 					b.Fatalf("%s did not exhaust", s)
 				}
@@ -158,7 +159,7 @@ func TestAblationSearchStrategyBugTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := cte.New(core, cte.Options{MaxPaths: 2000, Strategy: s, Seed: 11, StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{Seed: 11, StopOnError: true, Budget: cte.Budget{MaxPaths: 2000}, Explore: cte.ExploreConfig{Strategy: s}}).Run(context.Background())
 		if len(rep.Findings) == 0 {
 			t.Errorf("%s: bug 1 not found in %d paths", s, rep.Paths)
 			continue
@@ -185,7 +186,7 @@ func TestAblationConcretizationTCs(t *testing.T) {
 			t.Fatal(err)
 		}
 		core.NoConcretizationTCs = disable
-		return cte.New(core, cte.Options{MaxPaths: 3000, StopOnError: true}).Run()
+		return cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 3000}}).Run(context.Background())
 	}
 
 	with := run(false)

@@ -12,6 +12,7 @@ package rvcte
 // runs, and the six TCP/IP bugs found in order of increasing depth.
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -114,7 +115,7 @@ func explore(tb testing.TB, p guest.Program, maxPaths int, nested bool, workers 
 		nestedvm.Attach(core)
 	}
 	start := time.Now()
-	rep := cte.New(core, cte.Options{MaxPaths: maxPaths, Workers: workers}).Run()
+	rep := cte.NewSession(core, cte.Config{Workers: workers, Budget: cte.Budget{MaxPaths: maxPaths}}).Run(context.Background())
 	return rep, time.Since(start)
 }
 
@@ -199,13 +200,13 @@ func TestTable2(t *testing.T) {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		rep := cte.New(core, cte.Options{MaxPaths: 10000, StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 10000}}).Run(context.Background())
 		elapsed := time.Since(start)
 		if len(rep.Findings) == 0 {
 			t.Fatalf("stage %d: no finding in %d paths", stage, rep.Paths)
 		}
 		f := rep.Findings[0]
-		bug := guest.ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		bug := guest.Classify("tcpip", elf, f.Err.Kind, f.Err.PC, fixed)
 		if bug == 0 || found[bug] {
 			t.Fatalf("stage %d: bad classification %d for %v", stage, bug, f.Err)
 		}
@@ -237,7 +238,7 @@ func TestFigure4Paths(t *testing.T) {
 		result string
 	}
 	var paths []pathInfo
-	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}})
 	eng.OnPath = func(_ int, c *iss.Core) {
 		r := "completed"
 		if c.Err != nil {
@@ -245,7 +246,7 @@ func TestFigure4Paths(t *testing.T) {
 		}
 		paths = append(paths, pathInfo{cte.DescribeInput(b, c.Input), r})
 	}
-	rep := eng.Run()
+	rep := eng.Run(context.Background())
 
 	// I0: empty input -> pruned inside the peripheral's range assume.
 	if len(paths) == 0 || paths[0].result != iss.ErrAssumeFail.String() {
@@ -326,7 +327,7 @@ func BenchmarkTable2FirstBug(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep := cte.New(core, cte.Options{MaxPaths: 400, StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 400}}).Run(context.Background())
 		if len(rep.Findings) == 0 {
 			b.Fatal("bug 1 not found")
 		}
@@ -350,7 +351,7 @@ func BenchmarkParallelExploreTCPIP(b *testing.B) {
 			b.ResetTimer()
 			paths := 0
 			for i := 0; i < b.N; i++ {
-				rep := cte.New(core, cte.Options{MaxPaths: 200, Workers: j}).Run()
+				rep := cte.NewSession(core, cte.Config{Workers: j, Budget: cte.Budget{MaxPaths: 200}}).Run(context.Background())
 				paths += rep.Paths
 			}
 			b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
@@ -373,7 +374,7 @@ func BenchmarkParallelExploreCounter(b *testing.B) {
 			b.ResetTimer()
 			paths := 0
 			for i := 0; i < b.N; i++ {
-				rep := cte.New(core, cte.Options{MaxPaths: 1500, Workers: j}).Run()
+				rep := cte.NewSession(core, cte.Config{Workers: j, Budget: cte.Budget{MaxPaths: 1500}}).Run(context.Background())
 				paths += rep.Paths
 			}
 			b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
@@ -406,7 +407,7 @@ func BenchmarkQueryCacheExplore(b *testing.B) {
 				}
 			}
 		}
-		rep := cte.New(core, cte.Options{MaxPaths: 2000, Workers: 1, Cache: qc}).Run()
+		rep := cte.NewSession(core, cte.Config{Workers: 1, Budget: cte.Budget{MaxPaths: 2000}, Cache: cte.CacheConfig{Queries: qc}}).Run(context.Background())
 		if cacheFile != "" && !load {
 			if err := qc.Save(cacheFile); err != nil {
 				b.Fatal(err)
@@ -449,7 +450,7 @@ func BenchmarkFigure4Sensor(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 		if len(rep.Findings) == 0 {
 			b.Fatal("sensor bug not found")
 		}

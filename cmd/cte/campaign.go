@@ -25,6 +25,9 @@ type campaignOpts struct {
 
 	prog, fixList string
 	pktMax        int
+	pkts          int
+	pktCaps       []int
+	detectors     []string
 	fuzz          bool
 	bmc           bool
 	bmcK          int
@@ -165,6 +168,7 @@ func runConnect(ctx context.Context, o campaignOpts) int {
 func specFor(o campaignOpts, fixList string) campaign.Spec {
 	s := campaign.Spec{
 		Prog: o.prog, FixList: fixList, PktMax: o.pktMax,
+		Pkts: o.pkts, PktCaps: o.pktCaps, Detectors: o.detectors,
 		Shards: o.shards, Batch: o.batch, LeaseTTLMS: o.leaseTTL.Milliseconds(),
 		MaxPaths: o.maxPaths, MaxInstr: o.maxInstr, MaxConflicts: o.maxConflicts,
 		StopOnError: o.stopOnError, Seed: o.seed,

@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,14 +50,17 @@ import (
 )
 
 func main() {
-	progName := flag.String("prog", "", "built-in program: sensor, sensor-fixed, tcpip, freertos-sensor, qsort-s, counter-s, fibonacci-s, storm-s")
-	fixList := flag.String("fix", "", "tcpip only: comma-separated bug numbers to patch (1-6)")
+	progName := flag.String("prog", "", "built-in program: sensor, sensor-fixed, tcpip, tcpip-session, freertos-sensor, qsort-s, counter-s, fibonacci-s, storm-s")
+	fixList := flag.String("fix", "", "tcpip/tcpip-session only: comma-separated bug numbers to patch (1-9)")
 	maxPaths := flag.Int("max-paths", 1000, "path budget (0 = unlimited)")
 	maxInstr := flag.Uint64("max-instr", 0, "per-path instruction budget (0 = program default)")
 	strategy := flag.String("strategy", "bfs", "search strategy: bfs, dfs, random, coverage")
 	stopOnError := flag.Bool("stop-on-error", true, "stop at the first finding")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
-	pktMax := flag.Int("pkt-max", 64, "tcpip only: bound on the symbolic packet size")
+	pktMax := flag.Int("pkt-max", 64, "tcpip/tcpip-session: bound on the symbolic packet size")
+	pkts := flag.Int("pkts", 0, "tcpip-session only: session depth in packets (0 = program default)")
+	pktCaps := flag.String("pkt-caps", "", "tcpip-session only: comma-separated per-packet symbolic size caps; the last cap repeats (default: -pkt-max for every packet)")
+	detectors := flag.String("detectors", "", "comma-separated bug-detector set to attach (heap-guard, heap-uaf, stack-canary, irq-reentrancy, or \"all\"; empty = default heap-guard)")
 	verbose := flag.Bool("v", false, "print each explored path")
 	cover := flag.Bool("cover", false, "print per-function coverage after exploration")
 	errTrace := flag.Int("err-trace", 0, "print the last N instructions of each finding")
@@ -74,6 +78,7 @@ func main() {
 	bmcK := flag.Int("k", 0, "with -bmc: unroll depth bound in instructions (0 = -max-instr, then the program default)")
 	fuzzTime := flag.Duration("fuzz-time", 30*time.Second, "fuzzing wall-clock budget (0 = until dry or first finding)")
 	corpusDir := flag.String("corpus-dir", "", "fuzz only: load initial inputs from this directory and persist the final corpus back to it")
+	dryEscalations := flag.Int("dry-escalations", 0, "fuzz only: stop after this many consecutive escalations without new coverage (0 = engine default; deep stateful guests need hundreds)")
 	forkMode := flag.Bool("fork", true, "resume divergence checkpoints instead of re-executing path prefixes from the snapshot (disable for the restart-only ablation baseline)")
 	forkMinPrefix := flag.Uint64("fork-min-prefix", 2000, "skip checkpoint capture on path prefixes shorter than this many instructions (restarting a short prefix is cheaper than checkpointing it; 0 = checkpoint every divergence)")
 	bbCache := flag.Bool("bbcache", true, "enable the predecoded basic-block cache (direct-threaded dispatch; disable to use the legacy fetch/decode/execute loop)")
@@ -89,12 +94,31 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "with -submit: lease lifetime before re-assignment (0 = coordinator default)")
 	flag.Parse()
 
+	// -pkt-max has a tcpip-oriented default (64); for the stateful
+	// session guest an unset flag must keep the program's own
+	// per-packet caps (32) — otherwise the depth-2-clean property of
+	// the seeded deep bugs silently changes with a flag default.
+	if *progName == "tcpip-session" && !flagWasSet("pkt-max") {
+		*pktMax = 0
+	}
+	for _, d := range parseNameList(*detectors) {
+		if d == "all" {
+			continue
+		}
+		if _, err := iss.NewDetector(d); err != nil {
+			fmt.Fprintln(os.Stderr, "cte:", err)
+			os.Exit(2)
+		}
+	}
+
 	copts := campaignOpts{
 		serve: *serveAddr, spool: *spoolDir,
 		connect: *connectAddr, workerID: *workerID,
 		submit: *submitAddr, findFix: *findFix,
-		prog: *progName, fixList: *fixList, pktMax: *pktMax, fuzz: *fuzzMode,
-		bmc: *bmcMode, bmcK: *bmcK,
+		prog: *progName, fixList: *fixList, pktMax: *pktMax,
+		pkts: *pkts, pktCaps: parseIntList(*pktCaps), detectors: parseNameList(*detectors),
+		fuzz: *fuzzMode,
+		bmc:  *bmcMode, bmcK: *bmcK,
 		shards: *shards, batch: *batch, leaseTTL: *leaseTTL,
 		maxPaths: *maxPaths, maxInstr: *maxInstr, maxConflicts: *maxConflicts,
 		stopOnError: *stopOnError, seed: *seed,
@@ -112,9 +136,12 @@ func main() {
 	var elf *relf.File
 	var err error
 
+	var prg guest.Program
 	switch {
 	case *progName != "":
-		core, elf, err = buildProg(b, *progName, *fixList, *pktMax)
+		prg, core, elf, err = buildProg(b, *progName, guest.ProgramOpts{
+			Fix: *fixList, PktMax: *pktMax, Pkts: *pkts, PktCaps: parseIntList(*pktCaps),
+		})
 	case flag.NArg() == 1:
 		var data []byte
 		data, err = os.ReadFile(flag.Arg(0))
@@ -154,7 +181,7 @@ func main() {
 			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 				die(err)
 			}
-			cacheFile = filepath.Join(*cacheDir, cacheID(*progName, *fixList, *pktMax, flag.Args())+".qcache")
+			cacheFile = filepath.Join(*cacheDir, cacheID(*progName, *fixList, *pktMax, *pkts, flag.Args())+".qcache")
 			if err := qc.Load(cacheFile); err != nil && !os.IsNotExist(err) {
 				fmt.Fprintf(os.Stderr, "cte: warning: ignoring cache file: %v\n", err)
 			}
@@ -187,28 +214,42 @@ func main() {
 	}
 
 	cfg := cte.Config{
-		Common: cte.Common{
-			Workers: *workers,
-			Budget: cte.Budget{
-				Timeout:              *timeout,
-				MaxPaths:             *maxPaths,
-				MaxInstrPerRun:       *maxInstr,
-				MaxConflictsPerQuery: *maxConflicts,
-			},
-			Cache:       qc,
-			Strategy:    strat,
-			Obs:         ob,
-			Seed:        *seed,
-			StopOnError: *stopOnError,
+		Workers: *workers,
+		Budget: cte.Budget{
+			Timeout:              *timeout,
+			MaxPaths:             *maxPaths,
+			MaxInstrPerRun:       *maxInstr,
+			MaxConflictsPerQuery: *maxConflicts,
 		},
-		TrackCoverage: *cover,
-		TraceDepth:    *errTrace,
-		Fork:          *forkMode,
-		ForkMinPrefix: *forkMinPrefix,
+		Cache:       cte.CacheConfig{Queries: qc},
+		Obs:         ob,
+		Seed:        *seed,
+		StopOnError: *stopOnError,
+		Detectors:   parseNameList(*detectors),
+		Explore: cte.ExploreConfig{
+			Strategy:      strat,
+			TrackCoverage: *cover,
+			TraceDepth:    *errTrace,
+		},
+		Fork: cte.ForkConfig{Enabled: *forkMode, MinPrefix: *forkMinPrefix},
+	}
+	// Stateful guests publish their protocol-state byte; wiring it banks
+	// edge coverage by protocol state and scopes the run to the session
+	// depth the guest was built with.
+	if prg.Proto.StateSym != "" && elf != nil {
+		if addr, ok := elf.Symbol(prg.Proto.StateSym); ok {
+			cfg.Protocol = cte.ProtocolConfig{
+				Packets:   prg.Proto.Pkts,
+				PktMax:    prg.Proto.Caps,
+				StateAddr: addr,
+				States:    prg.Proto.States,
+			}
+		}
 	}
 	if *fuzzMode {
 		cfg.Mode = cte.ModeHybrid
 		cfg.Budget.Timeout = *fuzzTime
+		cfg.Fuzz.DryEscalations = *dryEscalations
 		if *corpusDir != "" {
 			seeds, err := fuzz.LoadDir(*corpusDir)
 			die(err)
@@ -266,7 +307,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(b, elf, *progName, rep)
+		emitJSON(b, elf, *progName, cfg, rep)
 	} else if rep.Mode == cte.ModeHybrid {
 		printFuzzReport(elf, rep)
 	} else if rep.Mode == cte.ModeBMC {
@@ -351,12 +392,56 @@ func printCoverage(elf *relf.File, covered map[uint32]struct{}) {
 	}
 }
 
-func buildProg(b *smt.Builder, name, fixList string, pktMax int) (*iss.Core, *relf.File, error) {
-	p, err := guest.ProgramFor(name, fixList, pktMax)
+func buildProg(b *smt.Builder, name string, opts guest.ProgramOpts) (guest.Program, *iss.Core, *relf.File, error) {
+	p, err := guest.ProgramFor(name, opts)
 	if err != nil {
-		return nil, nil, err
+		return guest.Program{}, nil, nil, err
 	}
-	return guest.NewCore(b, p)
+	core, elf, err := guest.NewCore(b, p)
+	return p, core, elf, err
+}
+
+// parseIntList parses a comma-separated list of non-negative ints;
+// malformed entries are usage errors.
+func parseIntList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			die(fmt.Errorf("bad list entry %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// flagWasSet reports whether the named flag was given on the command
+// line (flag.Visit only walks explicitly-set flags).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseNameList splits a comma-separated name list, dropping blanks.
+func parseNameList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(part); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // printFuzzReport is the human summary of a hybrid fuzzing run.
@@ -465,6 +550,15 @@ type jsonBMC struct {
 	Unsupported map[string]int `json:"unsupported,omitempty"`
 }
 
+// jsonProtocol is the machine-readable form of a stateful multi-packet
+// campaign's protocol wiring.
+type jsonProtocol struct {
+	Packets   int   `json:"packets"`
+	States    int   `json:"states"`
+	StateAddr int64 `json:"state_addr"`
+	PktCaps   []int `json:"pkt_caps,omitempty"`
+}
+
 // jsonFuzz is the machine-readable form of the hybrid side of a run.
 type jsonFuzz struct {
 	Execs          uint64  `json:"execs"`
@@ -482,13 +576,16 @@ type jsonFuzz struct {
 
 // cacheID derives the persisted cache's file stem from the guest
 // identity: same guest (and constraint-shaping options) — same file.
-func cacheID(prog, fixList string, pktMax int, args []string) string {
+func cacheID(prog, fixList string, pktMax, pkts int, args []string) string {
 	id := prog
 	if id == "" && len(args) == 1 {
 		id = strings.TrimSuffix(filepath.Base(args[0]), ".elf")
 	}
-	if id == "tcpip" {
+	if id == "tcpip" || id == "tcpip-session" {
 		id = fmt.Sprintf("%s-p%d", id, pktMax)
+		if prog == "tcpip-session" && pkts > 0 {
+			id += fmt.Sprintf("-n%d", pkts)
+		}
 		if fixList != "" {
 			id += "-fix" + strings.ReplaceAll(fixList, ",", "_")
 		}
@@ -538,6 +635,8 @@ type jsonReport struct {
 	Pruned     int               `json:"pruned"`
 	Exhausted  bool              `json:"exhausted"`
 	CoveredPCs int               `json:"covered_pcs"`
+	Detectors  []string          `json:"detectors,omitempty"`
+	Protocol   *jsonProtocol     `json:"protocol,omitempty"`
 	Cache      *qcache.Stats     `json:"cache,omitempty"`
 	PerWorker  []cte.WorkerStats `json:"per_worker,omitempty"`
 	Fuzz       *jsonFuzz         `json:"fuzz,omitempty"`
@@ -546,7 +645,7 @@ type jsonReport struct {
 	Findings   []jsonFinding     `json:"findings"`
 }
 
-func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
+func emitJSON(b *smt.Builder, elf *relf.File, prog string, cfg cte.Config, rep *cte.Report) {
 	jr := jsonReport{
 		Program:    prog,
 		Mode:       rep.Mode.String(),
@@ -566,7 +665,16 @@ func emitJSON(b *smt.Builder, elf *relf.File, prog string, rep *cte.Report) {
 		Cache:      rep.Cache,
 		PerWorker:  rep.PerWorker,
 		Obs:        rep.Obs,
+		Detectors:  rep.Detectors,
 		Findings:   []jsonFinding{},
+	}
+	if cfg.Protocol.StateAddr != 0 {
+		jr.Protocol = &jsonProtocol{
+			Packets:   cfg.Protocol.Packets,
+			States:    cfg.Protocol.States,
+			StateAddr: int64(cfg.Protocol.StateAddr),
+			PktCaps:   cfg.Protocol.PktMax,
+		}
 	}
 	if st := rep.Fuzz; st != nil {
 		rate := 0.0

@@ -45,10 +45,10 @@ func explore(cacheFile string, load bool) (*cte.Report, *qcache.Cache, error) {
 			}
 		}
 	}
-	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+	rep := cte.NewSession(core, cte.Config{
 		Budget: cte.Budget{MaxPaths: 2000},
-		Cache:  qc,
-	}}).Run(context.Background())
+		Cache:  cte.CacheConfig{Queries: qc},
+	}).Run(context.Background())
 	if cacheFile != "" && !load {
 		if err := qc.Save(cacheFile); err != nil {
 			return nil, nil, err

@@ -106,10 +106,10 @@ int main(void) {
 	// Enable the optional address-concretization TCs (§2.2) so the
 	// symbolic index is steered toward out-of-bounds values.
 	core.AddressTCs = true
-	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+	rep := cte.NewSession(core, cte.Config{
 		Budget:      cte.Budget{MaxPaths: 50},
 		StopOnError: true,
-	}}).Run(context.Background())
+	}).Run(context.Background())
 	if len(rep.Findings) == 0 {
 		fmt.Println("no overflow found (unexpected)")
 		return

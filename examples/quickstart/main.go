@@ -41,10 +41,10 @@ func main() {
 	fmt.Printf("trace conditions emitted: %d\n", len(first.Trace))
 
 	fmt.Println("\n== concolic exploration ==")
-	sess := cte.NewSession(core, cte.Config{Common: cte.Common{
+	sess := cte.NewSession(core, cte.Config{
 		Budget:      cte.Budget{MaxPaths: 64},
 		StopOnError: true,
-	}})
+	})
 	sess.OnPath = func(path int, c *iss.Core) {
 		status := "completed"
 		if c.Err != nil {
@@ -73,9 +73,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep2 := cte.NewSession(fixedCore, cte.Config{Common: cte.Common{
+	rep2 := cte.NewSession(fixedCore, cte.Config{
 		Budget: cte.Budget{MaxPaths: 200},
-	}}).Run(context.Background())
+	}).Run(context.Background())
 	fmt.Printf("exploration: %d paths, findings: %d, exhausted: %v\n",
 		rep2.Paths, len(rep2.Findings), rep2.Exhausted)
 }

@@ -42,16 +42,16 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+		rep := cte.NewSession(core, cte.Config{
 			Budget:      cte.Budget{MaxPaths: 10000},
 			StopOnError: true,
-		}}).Run(context.Background())
+		}).Run(context.Background())
 		elapsed := time.Since(start)
 		if len(rep.Findings) == 0 {
 			log.Fatalf("stage %d: no error found in %d paths", stage, rep.Paths)
 		}
 		f := rep.Findings[0]
-		bug := guest.ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		bug := guest.Classify("tcpip", elf, f.Err.Kind, f.Err.PC, fixed)
 		if bug == 0 {
 			log.Fatalf("stage %d: unclassified finding %v", stage, f.Err)
 		}
@@ -67,8 +67,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := cte.NewSession(core, cte.Config{Common: cte.Common{
+	rep := cte.NewSession(core, cte.Config{
 		Budget: cte.Budget{MaxPaths: 1000},
-	}}).Run(context.Background())
+	}).Run(context.Background())
 	fmt.Printf("clean sweep: %d paths, %d findings\n", rep.Paths, len(rep.Findings))
 }

@@ -1,6 +1,7 @@
 package rvcte
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,13 +23,13 @@ func exploreOrdered(tb testing.TB, p guest.Program, fork bool, maxPaths int) ([]
 	if err != nil {
 		tb.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: maxPaths, Workers: 1, Fork: fork})
+	eng := cte.NewSession(core, cte.Config{Workers: 1, Budget: cte.Budget{MaxPaths: maxPaths}, Fork: cte.ForkConfig{Enabled: fork}})
 	var recs []string
 	eng.OnPath = func(_ int, c *iss.Core) {
 		recs = append(recs, fmt.Sprintf("in=%s exit=%d err=%v out=%q instr=%d",
 			cte.DescribeInput(b, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
 	}
-	return recs, eng.Run()
+	return recs, eng.Run(context.Background())
 }
 
 // TestForkEquivalenceDeepGuests is the acceptance gate for state
@@ -112,11 +113,11 @@ func BenchmarkForkVsRestart(b *testing.B) {
 	}
 	modes := []struct {
 		name string
-		opt  func(*cte.Options)
+		opt  func(*cte.Config)
 	}{
-		{"fork", func(o *cte.Options) { o.Fork = true }},
-		{"fork-min2k", func(o *cte.Options) { o.Fork = true; o.ForkMinPrefix = 2000 }},
-		{"restart", func(o *cte.Options) {}},
+		{"fork", func(o *cte.Config) { o.Fork.Enabled = true }},
+		{"fork-min2k", func(o *cte.Config) { o.Fork.Enabled = true; o.Fork.MinPrefix = 2000 }},
+		{"restart", func(o *cte.Config) {}},
 	}
 	for _, g := range guests {
 		for _, m := range modes {
@@ -128,9 +129,9 @@ func BenchmarkForkVsRestart(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					opt := cte.Options{MaxPaths: g.maxPaths, Workers: 1}
+					opt := cte.Config{Workers: 1, Budget: cte.Budget{MaxPaths: g.maxPaths}}
 					m.opt(&opt)
-					rep := cte.New(core, opt).Run()
+					rep := cte.NewSession(core, opt).Run(context.Background())
 					instr += rep.TotalInstr
 				}
 				b.ReportMetric(float64(instr)/float64(b.N), "instr/explore")

@@ -5,6 +5,7 @@ package rvcte
 // what the cmd/minicc + cmd/cte tools do.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -67,7 +68,7 @@ int main(void) {
 	core := iss.New(b, iss.Config{RamBase: 0x80000000, RamSize: 4 << 20, MaxInstr: 10_000_000})
 	core.LoadImage(loaded.Addr, loaded.Data, loaded.Entry)
 
-	rep := cte.New(core, cte.Options{MaxPaths: 100, StopOnError: true}).Run()
+	rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 100}}).Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("exploration must find the PIN backdoor: %v", rep)
 	}
@@ -96,7 +97,7 @@ func TestReplayDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatal("no finding")
 	}
@@ -133,7 +134,7 @@ func TestEPCConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 32})
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 32}})
 	checked := 0
 	eng.OnPath = func(_ int, c *iss.Core) {
 		for _, cond := range c.EPC {
@@ -143,7 +144,7 @@ func TestEPCConsistency(t *testing.T) {
 			checked++
 		}
 	}
-	eng.Run()
+	eng.Run(context.Background())
 	if checked == 0 {
 		t.Error("no EPC conjuncts checked")
 	}

@@ -212,6 +212,17 @@ func New(snap *iss.Core, cfg Config) (*Executor, error) {
 		cfg:   cfg,
 		unsup: map[string]int{},
 	}
+	// The unrolling models exactly one detector: the heap guard (zones
+	// become reachability queries). Any other detector attached to the
+	// snapshot — UAF quarantine, stack canary, IRQ reentrancy — watches
+	// runtime events this encoding does not carry, so its bugs would be
+	// silently missed. Record each as unsupported up front: the run
+	// still executes, but Complete/Exhausted stay honestly false.
+	for _, kind := range snap.DetectorKinds() {
+		if kind != iss.KindHeapGuard {
+			x.unsup["detector:"+kind]++
+		}
+	}
 	if o := cfg.Obs; o != nil {
 		m := o.Registry()
 		x.obsSteps = m.Counter("bmc.steps")

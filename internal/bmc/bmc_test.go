@@ -236,3 +236,34 @@ func TestHeapGuardViolation(t *testing.T) {
 		t.Errorf("model x = %d, want 42 (the only overflowing input)", got)
 	}
 }
+
+// TestDetectorKindsUnsupported: the unrolling only models the paper's
+// heap guard-zone check. Attaching richer detectors (UAF quarantine,
+// canaries, IRQ reentrancy) must not silently weaken the absence proof:
+// each extra kind is recorded as an unsupported drop up front, so a run
+// that would otherwise be Complete/Exhausted honestly reports neither.
+func TestDetectorKindsUnsupported(t *testing.T) {
+	snap := buildSnap(t, "counter-s") // Complete under the stock set (TestCounterS)
+	if err := snap.AttachDetectorSet([]string{"all"}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := bmc.New(snap, bmc.Config{K: 1 << 20})
+	if err != nil {
+		t.Fatalf("bmc.New: %v", err)
+	}
+	rep := x.Run(context.Background())
+	for _, kind := range []string{iss.KindHeapUAF, iss.KindStackCanary, iss.KindIRQReentrancy} {
+		if rep.Unsupported["detector:"+kind] == 0 {
+			t.Errorf("detector %q not recorded as unsupported: %v", kind, rep.Unsupported)
+		}
+	}
+	if n := rep.Unsupported["detector:"+iss.KindHeapGuard]; n != 0 {
+		t.Errorf("heap-guard is modeled by the unrolling, must not be dropped (%d)", n)
+	}
+	if rep.Complete {
+		t.Error("Complete with unmodeled detectors attached")
+	}
+	if rep.Exhausted {
+		t.Error("Exhausted with unmodeled detectors attached")
+	}
+}

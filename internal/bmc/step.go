@@ -285,7 +285,7 @@ func (x *Executor) fetch(s *state) (rv32.Inst, bool) {
 	}
 	modified := false
 	for i := uint32(0); i < uint32(size); i++ {
-		if s.mem.Load(pc+i) != x.base(pc + i) {
+		if s.mem.Load(pc+i) != x.base(pc+i) {
 			modified = true
 			break
 		}

@@ -18,7 +18,7 @@ import (
 func singleSessionSemantics(t *testing.T, prog string) []string {
 	t.Helper()
 	b := smt.NewBuilder()
-	p, err := guest.ProgramFor(prog, "", 0)
+	p, err := guest.ProgramFor(prog, guest.ProgramOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,28 +24,31 @@ type Runner struct {
 	snap  *iss.Core
 	elf   *relf.File
 	qc    *qcache.Cache
-	qsent map[uint64]bool // qcache keys already exchanged with the coordinator
-	qseq  int             // sync cursor into the coordinator's entry list
-	cseq  int             // sync cursor into the coordinator's corpus
-	seeds [][]byte        // synced corpus (hybrid seeds)
-	fixed uint            // tcpip fixed-bug mask, for classification
+	qsent map[uint64]bool    // qcache keys already exchanged with the coordinator
+	qseq  int                // sync cursor into the coordinator's entry list
+	cseq  int                // sync cursor into the coordinator's corpus
+	seeds [][]byte           // synced corpus (hybrid seeds)
+	fixed uint               // fixed-bug mask, for classification
+	proto cte.ProtocolConfig // stateful guests: resolved protocol-state wiring
 }
 
 // NewRunner builds the worker-local state for spec. The program name
 // resolves through the same table as cmd/cte's -prog, so every worker
 // of a campaign executes a bit-identical guest.
 func NewRunner(spec Spec) (*Runner, error) {
-	p, err := guest.ProgramFor(spec.Prog, spec.FixList, spec.PktMax)
+	p, err := guest.ProgramFor(spec.Prog, guest.ProgramOpts{
+		Fix: spec.FixList, PktMax: spec.PktMax, Pkts: spec.Pkts, PktCaps: spec.PktCaps,
+	})
 	if err != nil {
 		return nil, err
 	}
-	fixed, _ := guest.ParseFixList(spec.FixList)
+	fixed, _ := guest.ParseFixList(spec.FixList, 1, 9)
 	b := smt.NewBuilder()
 	snap, elf, err := guest.NewCore(b, p)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{
+	r := &Runner{
 		spec:  spec,
 		b:     b,
 		snap:  snap,
@@ -53,7 +56,20 @@ func NewRunner(spec Spec) (*Runner, error) {
 		qc:    qcache.New(b, qcache.Options{}),
 		qsent: map[uint64]bool{},
 		fixed: fixed,
-	}, nil
+	}
+	// Stateful guests publish their protocol-state symbol; resolving it
+	// here means every worker banks edge coverage identically.
+	if p.Proto.StateSym != "" {
+		if addr, ok := elf.Symbol(p.Proto.StateSym); ok {
+			r.proto = cte.ProtocolConfig{
+				Packets:   p.Proto.Pkts,
+				PktMax:    p.Proto.Caps,
+				StateAddr: addr,
+				States:    p.Proto.States,
+			}
+		}
+	}
+	return r, nil
 }
 
 // Cursors returns the sync cursors to send with the next lease request.
@@ -99,20 +115,22 @@ func (r *Runner) runConcolic(ctx context.Context, l Lease) Result {
 		roots[i] = cte.ImportInput(r.b, wi)
 	}
 	cfg := cte.Config{
-		Common: cte.Common{
-			Workers: 1, // sequential: path i is leased input i
-			Budget: cte.Budget{
-				MaxPaths:             len(roots),
-				MaxInstrPerRun:       r.spec.MaxInstr,
-				MaxConflictsPerQuery: r.spec.MaxConflicts,
-			},
-			Cache:       r.qc,
-			Strategy:    cte.BFS,
-			Seed:        r.spec.Seed,
-			StopOnError: r.spec.StopOnError,
+		Workers: 1, // sequential: path i is leased input i
+		Budget: cte.Budget{
+			MaxPaths:             len(roots),
+			MaxInstrPerRun:       r.spec.MaxInstr,
+			MaxConflictsPerQuery: r.spec.MaxConflicts,
 		},
-		Roots:          roots,
-		ExportFrontier: true,
+		Cache:       cte.CacheConfig{Queries: r.qc},
+		Seed:        r.spec.Seed,
+		StopOnError: r.spec.StopOnError,
+		Detectors:   r.spec.Detectors,
+		Explore: cte.ExploreConfig{
+			Strategy:       cte.BFS,
+			Roots:          roots,
+			ExportFrontier: true,
+		},
+		Protocol: r.proto,
 	}
 	res := Result{Lease: l.ID}
 	sess := cte.NewSession(r.snap, cfg)
@@ -150,21 +168,22 @@ func (r *Runner) runHybrid(ctx context.Context, l Lease) Result {
 	start := time.Now()
 	cfg := cte.Config{
 		Mode: cte.ModeHybrid,
-		Common: cte.Common{
-			Budget: cte.Budget{
-				Timeout:              time.Duration(l.FuzzMS) * time.Millisecond,
-				MaxInstrPerRun:       r.spec.MaxInstr,
-				MaxConflictsPerQuery: r.spec.MaxConflicts,
-			},
-			Cache:       r.qc,
-			Seed:        r.spec.Seed,
-			StopOnError: r.spec.StopOnError,
+		Budget: cte.Budget{
+			Timeout:              time.Duration(l.FuzzMS) * time.Millisecond,
+			MaxInstrPerRun:       r.spec.MaxInstr,
+			MaxConflictsPerQuery: r.spec.MaxConflicts,
 		},
+		Cache:       cte.CacheConfig{Queries: r.qc},
+		Seed:        r.spec.Seed,
+		StopOnError: r.spec.StopOnError,
+		Detectors:   r.spec.Detectors,
 		Fuzz: cte.FuzzConfig{
-			Seeds:      r.seeds,
-			Batch:      r.spec.FuzzBatch,
-			StallExecs: r.spec.StallExecs,
+			Seeds:          r.seeds,
+			Batch:          r.spec.FuzzBatch,
+			StallExecs:     r.spec.StallExecs,
+			DryEscalations: r.spec.DryEscalations,
 		},
+		Protocol: r.proto,
 	}
 	rep := cte.NewSession(r.snap, cfg).Run(ctx)
 
@@ -211,8 +230,8 @@ func (r *Runner) wireFinding(f cte.Finding) WireFinding {
 	if f.Input != nil {
 		wf.Input = cte.ExportInput(r.b, cte.Input{Assignment: f.Input})
 	}
-	if r.spec.Prog == "tcpip" {
-		wf.Bug = guest.ClassifyTCPIPFinding(r.elf, f.Err.Kind, f.Err.PC, r.fixed)
+	if bug := guest.Classify(r.spec.Prog, r.elf, f.Err.Kind, f.Err.PC, r.fixed); bug != 0 {
+		wf.Bug = bug
 	}
 	return wf
 }

@@ -18,6 +18,7 @@ import (
 
 	"rvcte/internal/cte"
 	"rvcte/internal/guest"
+	"rvcte/internal/iss"
 	"rvcte/internal/qcache"
 )
 
@@ -38,6 +39,15 @@ type Spec struct {
 	FixList string `json:"fix,omitempty"`     // tcpip: bugs to patch ("1,2")
 	PktMax  int    `json:"pkt_max,omitempty"` // tcpip: symbolic packet bound
 	Mode    string `json:"mode,omitempty"`    // "concolic" (default) | "hybrid"
+	// Pkts/PktCaps describe stateful multi-packet sessions
+	// (tcpip-session): the session depth and the per-packet symbolic
+	// size caps (last cap repeats; empty falls back to PktMax).
+	Pkts    int   `json:"pkts,omitempty"`
+	PktCaps []int `json:"pkt_caps,omitempty"`
+	// Detectors names the iss bug-detector set every worker attaches
+	// ("heap-guard", "stack-canary", ..., or "all"); empty keeps the
+	// default set.
+	Detectors []string `json:"detectors,omitempty"`
 
 	Shards     int   `json:"shards,omitempty"`       // frontier shards (default 4)
 	Batch      int   `json:"batch,omitempty"`        // inputs per lease (default 16)
@@ -53,6 +63,11 @@ type Spec struct {
 	MaxExecs    uint64 `json:"max_execs,omitempty"`     // hybrid: total execution budget
 	FuzzBatch   int    `json:"fuzz_batch,omitempty"`    // hybrid: execs between stall checks
 	StallExecs  uint64 `json:"stall_execs,omitempty"`   // hybrid: stall window before escalation
+	// DryEscalations ends a hybrid lease after this many consecutive
+	// escalations without new coverage (0 = engine default). Stateful
+	// session guests need hundreds: their state-banked coverage map
+	// keeps paying out long after a single-packet guest would be done.
+	DryEscalations int `json:"dry_escalations,omitempty"`
 }
 
 // normalize applies defaults and validates the program spec (the same
@@ -76,8 +91,21 @@ func (s *Spec) normalize() error {
 	if s.FuzzLeaseMS <= 0 {
 		s.FuzzLeaseMS = 5_000
 	}
-	_, err := guest.ProgramFor(s.Prog, s.FixList, s.PktMax)
-	return err
+	_, err := guest.ProgramFor(s.Prog, guest.ProgramOpts{
+		Fix: s.FixList, PktMax: s.PktMax, Pkts: s.Pkts, PktCaps: s.PktCaps,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range s.Detectors {
+		if d == "all" {
+			continue
+		}
+		if _, derr := iss.NewDetector(d); derr != nil {
+			return fmt.Errorf("campaign: %v", derr)
+		}
+	}
+	return nil
 }
 
 // PathRecord is the semantic identity of one executed path: the

@@ -41,7 +41,7 @@ func bmcDepth(snap *iss.Core, cfg Config) int {
 func bmcConfig(snap *iss.Core, cfg Config) bmc.Config {
 	return bmc.Config{
 		K:            bmcDepth(snap, cfg),
-		Cache:        cfg.Cache,
+		Cache:        cfg.Cache.Queries,
 		MaxConflicts: cfg.Budget.MaxConflictsPerQuery,
 		MaxStates:    cfg.BMC.MaxStates,
 		NoReplay:     cfg.BMC.NoReplay,
@@ -74,8 +74,8 @@ func runBMC(ctx context.Context, snap *iss.Core, cfg Config) *Report {
 			Input: f.Input,
 		})
 	}
-	if cfg.Cache != nil {
-		cs := cfg.Cache.Stats()
+	if cfg.Cache.Queries != nil {
+		cs := cfg.Cache.Queries.Stats()
 		rep.Cache = &cs
 	}
 	rep.WallTime = time.Since(start)
@@ -126,6 +126,6 @@ func BMCCrossCheck(ctx context.Context, snap *iss.Core, cfg Config, maxSamples i
 	if err != nil || cross == nil {
 		return cross, nil, err
 	}
-	diff, derr := cross.BMC.DiffCheck(snap.B, cfg.Cache, cfg.Budget.MaxConflictsPerQuery, samples)
+	diff, derr := cross.BMC.DiffCheck(snap.B, cfg.Cache.Queries, cfg.Budget.MaxConflictsPerQuery, samples)
 	return cross, diff, derr
 }

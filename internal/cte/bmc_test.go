@@ -32,8 +32,8 @@ func guestSnap(t *testing.T, name string) *iss.Core {
 // under exactly one of the unrolling's accounted guards.
 func TestBMCConcolicAgreement(t *testing.T) {
 	snap := guestSnap(t, "storm-s")
-	cfg := Config{Common: Common{
-		Cache: qcache.New(snap.B, qcache.Options{}),
+	cfg := Config{Cache: CacheConfig{
+		Queries: qcache.New(snap.B, qcache.Options{}),
 	}}
 	cross, diff, err := BMCCrossCheck(context.Background(), snap, cfg, 32)
 	if err != nil {
@@ -97,7 +97,7 @@ func TestBMCDepthLadder(t *testing.T) {
 	if got := bmcDepth(snap, Config{}); got != int(snap.Cfg.MaxInstr) {
 		t.Errorf("default depth = %d, want snapshot MaxInstr %d", got, snap.Cfg.MaxInstr)
 	}
-	if got := bmcDepth(snap, Config{Common: Common{Budget: Budget{MaxInstrPerRun: 77}}}); got != 77 {
+	if got := bmcDepth(snap, Config{Budget: Budget{MaxInstrPerRun: 77}}); got != 77 {
 		t.Errorf("budget depth = %d, want 77", got)
 	}
 	if got := bmcDepth(snap, Config{BMC: BMCConfig{K: 9}}); got != 9 {

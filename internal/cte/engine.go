@@ -5,7 +5,7 @@
 // strategy. Generational bounds (à la SAGE) prevent re-exploration of
 // already-covered path prefixes.
 //
-// Exploration can run on a pool of parallel workers (Options.Workers):
+// Exploration can run on a pool of parallel workers (Config.Workers):
 // every path is independent by construction — the snapshot is frozen
 // once, each worker clones it and runs on its own core with its own
 // solver — so only the input queue, the dedup set, the coverage map and
@@ -95,81 +95,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("path %d: %v (input %v)", f.Path, f.Err, f.Input)
 }
 
-// Options tunes one exploration run.
-//
-// Deprecated: new code should use the unified Config/NewSession API;
-// Options remains as the concolic engine's internal configuration and
-// as a compatibility entry point.
-type Options struct {
-	MaxPaths       int           // stop after this many executed paths (0 = unlimited)
-	MaxInstrPerRun uint64        // per-path instruction budget (0 = snapshot default)
-	Timeout        time.Duration // wall-clock budget (0 = unlimited)
-	Strategy       Strategy
-	StopOnError    bool  // stop at the first finding (paper §4.2.3 workflow)
-	Seed           int64 // for the Random strategy
-	// TrackCoverage aggregates executed PCs across all paths into
-	// Report.Covered (implied by the Coverage strategy).
-	TrackCoverage bool
-	// TraceDepth enables the per-core diagnostic instruction ring (the
-	// finding's last instructions are exposed via Finding.Trace).
-	TraceDepth int
-	// Workers is the number of parallel exploration workers. 0 or 1
-	// keeps the sequential deterministic engine; AutoWorkers (or any
-	// negative value) selects runtime.NumCPU(). With several workers
-	// path order is scheduling-dependent but the explored path set,
-	// dedup and findings are not (cmd/cte exposes this as -j).
-	Workers int
-	// MaxConflictsPerQuery bounds each individual solver query; a query
-	// exceeding the budget counts as an unknown TC (Report.UnknownTCs)
-	// instead of blocking exploration. 0 = unlimited.
-	MaxConflictsPerQuery int
-	// Fork enables state forking (DESIGN.md "State forking"): solved
-	// trace conditions resume a checkpoint taken at the divergence
-	// instruction instead of re-executing the path prefix from the
-	// snapshot. Path sets and findings are bit-identical either way
-	// (fork-unsafe sites fall back to restarts automatically); off is
-	// the restart-only ablation baseline.
-	Fork bool
-	// ForkMinPrefix suppresses checkpoint capture on path prefixes
-	// shorter than this many instructions: below it a restart re-executes
-	// less than a capture costs, so those children restart instead (the
-	// results are identical either way). Zero captures at every site.
-	ForkMinPrefix uint64
-	// Cache, when non-nil, is the SMT query cache consulted before any
-	// solver call. One cache is shared by every worker of a parallel run
-	// (it is internally synchronized); its counters land in Report.Cache.
-	Cache *qcache.Cache
-	// Obs, when non-nil, wires the run into the observability layer
-	// (metrics registry, tracer); see Config.Common.Obs.
-	Obs *obs.Obs
-	// Roots seeds the frontier with explicit pending inputs instead of
-	// the default empty-assignment root. A campaign worker executes a
-	// leased frontier batch by combining Roots with MaxPaths ==
-	// len(Roots) and the BFS strategy: exactly the leased inputs run,
-	// and their children stay queued for ExportFrontier. Root keys are
-	// pre-seeded into the dedup set so a child identical to a sibling
-	// root is not re-enqueued.
-	Roots []Input
-	// ExportFrontier drains the unexplored frontier into
-	// Report.Frontier when the run stops, so a coordinator can
-	// redistribute the pending inputs across shards. Fork checkpoints
-	// are dropped in the export (they are process-local).
-	ExportFrontier bool
-}
-
-// AutoWorkers selects one exploration worker per CPU.
+// AutoWorkers selects one worker per CPU (Config.Workers).
 const AutoWorkers = -1
 
-// effectiveWorkers resolves Workers to a concrete pool size.
-func (o Options) effectiveWorkers() int {
-	if o.Workers < 0 {
-		return runtime.NumCPU()
-	}
-	if o.Workers == 0 {
-		return 1
-	}
-	return o.Workers
-}
+func autoWorkers() int { return runtime.NumCPU() }
 
 // WorkerStats is the per-worker breakdown of a parallel run.
 type WorkerStats struct {
@@ -179,9 +108,10 @@ type WorkerStats struct {
 }
 
 // Report aggregates the statistics the paper's tables use. It is the
-// unified result of both engines: concolic runs fill the path-level
-// counters, hybrid runs additionally carry the Fuzz section; an
-// observability snapshot rides along when the run was wired.
+// unified result of every engine: concolic runs fill the path-level
+// counters, hybrid runs additionally carry the Fuzz section, BMC runs
+// the BMC section; an observability snapshot rides along when the run
+// was wired.
 type Report struct {
 	Mode       Mode          // which engine produced this report
 	Paths      int           // #paths column (concolic)
@@ -195,14 +125,14 @@ type Report struct {
 	// Forked counts paths that resumed a divergence checkpoint instead
 	// of restarting from the snapshot; ForkRestarts counts children that
 	// wanted a fork but fell back to a restart (capture skipped at an
-	// unsafe site). Both stay zero with Options.Fork off.
+	// unsafe site). Both stay zero with Fork.Enabled off.
 	Forked       int
 	ForkRestarts int
 	Findings     []Finding
 	Pruned       int
 	Exhausted    bool // queue drained (full exploration)
 	// Frontier holds the pending inputs left unexplored when the run
-	// stopped (Options.ExportFrontier only): the hand-off unit of the
+	// stopped (Explore.ExportFrontier only): the hand-off unit of the
 	// campaign coordinator's sharded frontier.
 	Frontier []Input
 	// Stopped says why the run ended: "exhausted" | "path-budget" |
@@ -210,13 +140,17 @@ type Report struct {
 	// "escalation-budget".
 	Stopped string
 	// Covered holds every PC executed on any path (when
-	// Options.TrackCoverage or the Coverage strategy is active).
+	// Explore.TrackCoverage or the Coverage strategy is active).
 	Covered map[uint32]struct{}
 	// Workers is the resolved pool size; PerWorker holds the per-worker
 	// breakdown for parallel runs (nil for sequential runs).
 	Workers   int
 	PerWorker []WorkerStats
-	// Cache holds the query-cache counters when Options.Cache was set
+	// Detectors lists the bug-detector kinds that were attached for the
+	// run — the expansion of Config.Detectors ("all" resolved, defaults
+	// applied), so reports are self-describing.
+	Detectors []string
+	// Cache holds the query-cache counters when Cache.Queries was set
 	// (nil otherwise). Queries then counts only the SAT queries that
 	// missed the cache.
 	Cache *qcache.Stats
@@ -241,20 +175,20 @@ func (r *Report) String() string {
 	return s
 }
 
-// Engine drives concolic exploration from a VP snapshot.
-type Engine struct {
+// engine drives concolic exploration from a VP snapshot (the
+// ModeConcolic half of a Session).
+type engine struct {
 	Builder  *smt.Builder
 	Solver   *smt.Solver // used by sequential runs; parallel workers own solvers
 	Snapshot *iss.Core
-	Opt      Options
+	Cfg      Config
 
-	// OnPath, when set, observes every executed core (testing hook and
-	// tool output). Parallel runs invoke it under the run lock, so the
-	// callback never races with itself, but invocation order is
-	// scheduling-dependent.
+	// OnPath observes every executed core (Session.OnPath). Parallel
+	// runs invoke it under the run lock, so the callback never races
+	// with itself, but invocation order is scheduling-dependent.
 	OnPath func(path int, core *iss.Core)
 
-	// Observability handles (Options.Obs); nil-safe when unwired.
+	// Observability handles (Config.Obs); nil-safe when unwired.
 	obsPaths, obsSat, obsUnsat, obsUnknown *obs.Counter
 	obsPruned, obsFindings                 *obs.Counter
 	obsForks, obsForkRestarts              *obs.Counter
@@ -265,21 +199,18 @@ type Engine struct {
 	tracer                                 *obs.Tracer
 }
 
-// New creates an engine around a prepared VP snapshot. The snapshot is
-// never mutated; every path runs on a clone (paper §3.1.1).
-//
-// Deprecated: use NewSession — New remains as a compatibility wrapper
-// around the concolic half of the Session API.
-func New(snapshot *iss.Core, opt Options) *Engine {
+// newEngine creates the concolic engine around a prepared VP snapshot.
+// The snapshot is never mutated; every path runs on a clone (§3.1.1).
+func newEngine(snapshot *iss.Core, cfg Config) *engine {
 	solver := smt.NewSolver(snapshot.B)
-	solver.MaxConflictsPerQuery = opt.MaxConflictsPerQuery
-	e := &Engine{
+	solver.MaxConflictsPerQuery = cfg.Budget.MaxConflictsPerQuery
+	e := &engine{
 		Builder:  snapshot.B,
 		Solver:   solver,
 		Snapshot: snapshot,
-		Opt:      opt,
+		Cfg:      cfg,
 	}
-	if m := opt.Obs.Registry(); m != nil {
+	if m := cfg.Obs.Registry(); m != nil {
 		e.obsPaths = m.Counter("cte.paths")
 		e.obsSat = m.Counter("cte.sat_tcs")
 		e.obsUnsat = m.Counter("cte.unsat_tcs")
@@ -297,35 +228,33 @@ func New(snapshot *iss.Core, opt Options) *Engine {
 		e.frontierG = m.Gauge("cte.frontier")
 		e.coverG = m.Gauge("cte.cover_pcs")
 		e.pathHist = m.Histogram("cte.path_us", obs.LatencyBoundsUS)
-		e.tracer = opt.Obs.Trace()
-		solver.SetObs(opt.Obs)
-		if opt.Cache != nil {
-			opt.Cache.SetObs(opt.Obs)
+		e.tracer = cfg.Obs.Trace()
+		solver.SetObs(cfg.Obs)
+		if cfg.Cache.Queries != nil {
+			cfg.Cache.Queries.SetObs(cfg.Obs)
 		}
 	}
 	return e
 }
 
-// Run explores until the queue is exhausted or a budget is hit.
-func (e *Engine) Run() *Report { return e.RunContext(context.Background()) }
-
-// RunContext is Run honoring cancellation: the sequential loop checks
-// ctx between paths and the parallel pool checks it at claim time, so
-// the run winds down within one path execution of ctx ending and still
-// returns a complete Report of the work done.
-func (e *Engine) RunContext(ctx context.Context) *Report {
+// run explores until the queue is exhausted or a budget is hit,
+// honoring cancellation: the sequential loop checks ctx between paths
+// and the parallel pool checks it at claim time, so the run winds down
+// within one path execution of ctx ending and still returns a complete
+// Report of the work done.
+func (e *engine) run(ctx context.Context) *Report {
 	// Freeze the snapshot's copy-on-write pages once, up front: Clone
 	// then never mutates shared state, making concurrent clones safe
 	// (and the sequential path identical).
 	e.Snapshot.Freeze()
 	var rep *Report
-	if w := e.Opt.effectiveWorkers(); w > 1 {
+	if w := e.Cfg.effectiveWorkers(); w > 1 {
 		rep = e.runParallel(ctx, w)
 	} else {
 		rep = e.runSequential(ctx)
 	}
-	if e.Opt.Cache != nil {
-		st := e.Opt.Cache.Stats()
+	if e.Cfg.Cache.Queries != nil {
+		st := e.Cfg.Cache.Queries.Stats()
 		rep.Cache = &st
 	}
 	return rep
@@ -350,7 +279,7 @@ type pathResult struct {
 // internally-locked builder are shared; the caller merges the result
 // under its own synchronization. pathID is the claim-order index used
 // for trace events (it matches Report path indices only at Workers<=1).
-func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResult {
+func (e *engine) executePath(in Input, solver *smt.Solver, pathID int) pathResult {
 	core := in.Fork
 	forked := core != nil
 	if !forked {
@@ -358,18 +287,18 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 		core.Input = in.Assignment
 		core.Bound = in.Bound
 	}
-	core.CaptureForks = e.Opt.Fork
-	core.ForkMinPrefix = e.Opt.ForkMinPrefix
+	core.CaptureForks = e.Cfg.Fork.Enabled
+	core.ForkMinPrefix = e.Cfg.Fork.MinPrefix
 	core.ObsInstr = e.issInstr
 	core.ObsExecs = e.issExecs
 	core.ObsBBHits = e.bbHits
 	core.ObsBBMisses = e.bbMisses
 	core.ObsBBInval = e.bbInval
-	if e.Opt.Strategy == Coverage || e.Opt.TrackCoverage {
+	if e.Cfg.Explore.Strategy == Coverage || e.Cfg.Explore.TrackCoverage {
 		core.TrackCoverage = true
 	}
-	if e.Opt.TraceDepth > 0 {
-		core.TraceDepth = e.Opt.TraceDepth
+	if e.Cfg.Explore.TraceDepth > 0 {
+		core.TraceDepth = e.Cfg.Explore.TraceDepth
 	}
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{Ev: obs.EvPathStart, Path: pathID})
@@ -381,7 +310,7 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 	// For a forked path InstrCount already covers the inherited prefix, so
 	// this counts only the re-executed suffix — the saving fork mode buys.
 	startInstr := core.InstrCount
-	core.Run(e.Opt.MaxInstrPerRun)
+	core.Run(e.Cfg.Budget.MaxInstrPerRun)
 	res := pathResult{core: core, instrs: core.InstrCount - startInstr, forked: forked}
 	dur := time.Since(pathStart)
 	e.pathHist.ObserveDuration(dur)
@@ -399,7 +328,7 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 			DurUS: dur.Microseconds(), N: int64(res.instrs), Result: status})
 	}
 
-	if e.Opt.StopOnError {
+	if e.Cfg.StopOnError {
 		if f, prune := findingOf(core, 0); f != nil && !prune {
 			// The run stops here anyway; skip the solver work.
 			return res
@@ -411,10 +340,10 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 		conds = append(conds, tc.Cond)
 		var sat, unknown bool
 		var model smt.Assignment
-		if e.Opt.Cache != nil {
+		if e.Cfg.Cache.Queries != nil {
 			// The incumbent input satisfied the whole prefix; passing it
 			// as the hint enables independence slicing in the cache.
-			sat, model, unknown = e.Opt.Cache.Check(solver, conds, in.Assignment)
+			sat, model, unknown = e.Cfg.Cache.Queries.Check(solver, conds, in.Assignment)
 		} else {
 			sat, model, unknown = solver.Check(conds...)
 		}
@@ -430,7 +359,7 @@ func (e *Engine) executePath(in Input, solver *smt.Solver, pathID int) pathResul
 				Bound:      tc.SiteIdx + 1,
 				Gen:        in.Gen + 1,
 			}
-			if e.Opt.Fork {
+			if e.Cfg.Fork.Enabled {
 				// Resume from the divergence checkpoint; a nil fork means
 				// capture was skipped at an unsafe site and the child
 				// restarts from the snapshot instead.
@@ -476,12 +405,12 @@ func childKey(b *smt.Builder, in Input) string {
 }
 
 // runSequential is the deterministic single-worker engine.
-func (e *Engine) runSequential(ctx context.Context) *Report {
+func (e *engine) runSequential(ctx context.Context) *Report {
 	start := time.Now()
 	rep := &Report{Workers: 1}
-	rng := rand.New(rand.NewSource(e.Opt.Seed + 1))
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 1))
 
-	front := newFrontier(e.Opt.Strategy, rng)
+	front := newFrontier(e.Cfg.Explore.Strategy, rng)
 	globalCover := make(map[uint32]struct{})
 	seen := map[string]bool{} // dedup of (bound, assignment) pairs
 	e.seedFrontier(front, seen)
@@ -491,11 +420,11 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 			rep.Stopped = "canceled"
 			break
 		}
-		if e.Opt.MaxPaths > 0 && rep.Paths >= e.Opt.MaxPaths {
+		if e.Cfg.Budget.MaxPaths > 0 && rep.Paths >= e.Cfg.Budget.MaxPaths {
 			rep.Stopped = "path-budget"
 			break
 		}
-		if e.Opt.Timeout > 0 && time.Since(start) > e.Opt.Timeout {
+		if e.Cfg.Budget.Timeout > 0 && time.Since(start) > e.Cfg.Budget.Timeout {
 			rep.Stopped = "timeout"
 			break
 		}
@@ -538,7 +467,7 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 		} else if f != nil {
 			rep.Findings = append(rep.Findings, *f)
 			e.recordFinding(f)
-			stopOnErr = e.Opt.StopOnError
+			stopOnErr = e.Cfg.StopOnError
 		}
 
 		rep.SatTCs += res.sat
@@ -573,15 +502,15 @@ func (e *Engine) runSequential(ctx context.Context) *Report {
 	return rep
 }
 
-// seedFrontier fills a fresh frontier from Options.Roots (dedup-seeded
+// seedFrontier fills a fresh frontier from Explore.Roots (dedup-seeded
 // so a later child identical to a root is dropped), or with the default
 // empty-assignment root when no explicit roots were configured.
-func (e *Engine) seedFrontier(front *frontier, seen map[string]bool) {
-	if len(e.Opt.Roots) == 0 {
+func (e *engine) seedFrontier(front *frontier, seen map[string]bool) {
+	if len(e.Cfg.Explore.Roots) == 0 {
 		front.push(Input{Assignment: smt.Assignment{}})
 		return
 	}
-	for _, r := range e.Opt.Roots {
+	for _, r := range e.Cfg.Explore.Roots {
 		if seen != nil {
 			seen[childKey(e.Builder, r)] = true
 		}
@@ -590,10 +519,10 @@ func (e *Engine) seedFrontier(front *frontier, seen map[string]bool) {
 }
 
 // exportFrontier drains the unexplored queue into rep.Frontier when
-// Options.ExportFrontier is set. Fork checkpoints are process-local and
+// Explore.ExportFrontier is set. Fork checkpoints are process-local and
 // dropped; an importing engine restarts those inputs from its snapshot.
-func (e *Engine) exportFrontier(front *frontier, rep *Report) {
-	if !e.Opt.ExportFrontier {
+func (e *engine) exportFrontier(front *frontier, rep *Report) {
+	if !e.Cfg.Explore.ExportFrontier {
 		return
 	}
 	rep.Frontier = make([]Input, 0, front.len())
@@ -608,7 +537,7 @@ func (e *Engine) exportFrontier(front *frontier, rep *Report) {
 }
 
 // recordFinding mirrors one finding into the observability layer.
-func (e *Engine) recordFinding(f *Finding) {
+func (e *engine) recordFinding(f *Finding) {
 	e.obsFindings.Inc()
 	if e.tracer != nil {
 		e.tracer.Emit(obs.Event{Ev: obs.EvFinding, Path: f.Path,
@@ -616,7 +545,7 @@ func (e *Engine) recordFinding(f *Finding) {
 	}
 }
 
-func (e *Engine) fillSolverStats(rep *Report) {
+func (e *engine) fillSolverStats(rep *Report) {
 	rep.Queries = e.Solver.Stats.Queries
 	rep.SolverTime = e.Solver.Stats.SolverTime
 }

@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/asm"
@@ -47,10 +48,10 @@ name: .asciz "x"
 `
 
 func TestExploreTwoPaths(t *testing.T) {
-	eng := New(snapshot(t, twoPathSrc), Options{MaxPaths: 10})
+	eng := NewSession(snapshot(t, twoPathSrc), Config{Budget: Budget{MaxPaths: 10}})
 	var exits []uint32
 	eng.OnPath = func(_ int, c *iss.Core) { exits = append(exits, c.ExitCode) }
-	rep := eng.Run()
+	rep := eng.Run(context.Background())
 	if rep.Paths != 2 {
 		t.Fatalf("paths: %d want 2 (%v)", rep.Paths, rep)
 	}
@@ -102,10 +103,10 @@ name: .asciz "x"
 func TestExploreCounterAllPaths(t *testing.T) {
 	for _, strat := range []Strategy{BFS, DFS, Random, Coverage} {
 		t.Run(strat.String(), func(t *testing.T) {
-			eng := New(snapshot(t, counterSrc), Options{MaxPaths: 100, Strategy: strat, Seed: 42})
+			eng := NewSession(snapshot(t, counterSrc), Config{Seed: 42, Budget: Budget{MaxPaths: 100}, Explore: ExploreConfig{Strategy: strat}})
 			exits := map[uint32]int{}
 			eng.OnPath = func(_ int, c *iss.Core) { exits[c.ExitCode]++ }
-			rep := eng.Run()
+			rep := eng.Run(context.Background())
 			// x&7 takes 8 values -> 8 distinct terminal loop counts.
 			if len(exits) != 8 {
 				t.Errorf("distinct exits: %d want 8 (%v)", len(exits), exits)
@@ -146,8 +147,8 @@ name: .asciz "x"
 `
 
 func TestFindAssertViolation(t *testing.T) {
-	eng := New(snapshot(t, assertBugSrc), Options{MaxPaths: 50, StopOnError: true})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, assertBugSrc), Config{StopOnError: true, Budget: Budget{MaxPaths: 50}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings: %v", rep.Findings)
 	}
@@ -155,7 +156,7 @@ func TestFindAssertViolation(t *testing.T) {
 	if f.Err.Kind != iss.ErrAssertFail {
 		t.Errorf("kind: %v", f.Err.Kind)
 	}
-	b := eng.Builder
+	b := eng.snap.B
 	if v := b.Value(f.Input, "x[0]"); v != 0x42 {
 		t.Errorf("violating input: %#x want 0x42", v)
 	}
@@ -165,8 +166,8 @@ func TestFindAssertViolation(t *testing.T) {
 }
 
 func TestStopOnErrorFalseCollectsAndContinues(t *testing.T) {
-	eng := New(snapshot(t, assertBugSrc), Options{MaxPaths: 50})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, assertBugSrc), Config{Budget: Budget{MaxPaths: 50}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("expected exactly one finding: %v", rep.Findings)
 	}
@@ -202,8 +203,8 @@ table: .word 1, 2, 3, 4
 `
 
 func TestFindIllegalAccess(t *testing.T) {
-	eng := New(snapshot(t, memBugSrc), Options{MaxPaths: 20, StopOnError: true})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, memBugSrc), Config{StopOnError: true, Budget: Budget{MaxPaths: 20}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings: %d (report %v)", len(rep.Findings), rep)
 	}
@@ -214,8 +215,8 @@ func TestFindIllegalAccess(t *testing.T) {
 }
 
 func TestMaxPathsBudget(t *testing.T) {
-	eng := New(snapshot(t, counterSrc), Options{MaxPaths: 3})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, counterSrc), Config{Budget: Budget{MaxPaths: 3}})
+	rep := eng.Run(context.Background())
 	if rep.Paths != 3 {
 		t.Errorf("paths: %d want 3", rep.Paths)
 	}
@@ -242,13 +243,8 @@ func TestReportString(t *testing.T) {
 }
 
 func TestEngineCoverageAndTrace(t *testing.T) {
-	eng := New(snapshot(t, assertBugSrc), Options{
-		MaxPaths:      50,
-		StopOnError:   true,
-		TrackCoverage: true,
-		TraceDepth:    8,
-	})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, assertBugSrc), Config{StopOnError: true, Budget: Budget{MaxPaths: 50}, Explore: ExploreConfig{TrackCoverage: true, TraceDepth: 8}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings: %v", rep.Findings)
 	}
@@ -269,8 +265,8 @@ func TestEngineCoverageAndTrace(t *testing.T) {
 func TestEngineTimeout(t *testing.T) {
 	// A 1ns budget expires before the first path is even scheduled: the
 	// run stops immediately without claiming exhaustion.
-	eng := New(snapshot(t, counterSrc), Options{MaxPaths: 0, Timeout: 1})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, counterSrc), Config{Budget: Budget{MaxPaths: 0, Timeout: 1}})
+	rep := eng.Run(context.Background())
 	if rep.Exhausted {
 		t.Error("timeout run must not report exhaustion")
 	}

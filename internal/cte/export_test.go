@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -69,9 +70,9 @@ func TestWireInputRoundTrip(t *testing.T) {
 func TestRootsBatchExecution(t *testing.T) {
 	// Uninterrupted baseline.
 	var want []string
-	base := New(snapshot(t, counterSrc), Options{MaxPaths: 100})
+	base := NewSession(snapshot(t, counterSrc), Config{Budget: Budget{MaxPaths: 100}})
 	base.OnPath = func(_ int, c *iss.Core) { want = append(want, semanticRecord(c)) }
-	baseRep := base.Run()
+	baseRep := base.Run(context.Background())
 	if !baseRep.Exhausted {
 		t.Fatal("baseline not exhausted")
 	}
@@ -92,19 +93,20 @@ func TestRootsBatchExecution(t *testing.T) {
 		}
 		pending = pending[len(batch):]
 
-		eng := New(snapshot(t, counterSrc), Options{}) // fresh process state
+		snap := snapshot(t, counterSrc) // fresh process state
 		roots := make([]Input, len(batch))
 		for i, wi := range batch {
-			roots[i] = ImportInput(eng.Builder, wi)
+			roots[i] = ImportInput(snap.B, wi)
 		}
-		eng.Opt = Options{MaxPaths: len(roots), Roots: roots, ExportFrontier: true}
+		eng := NewSession(snap, Config{Budget: Budget{MaxPaths: len(roots)},
+			Explore: ExploreConfig{Roots: roots, ExportFrontier: true}})
 		eng.OnPath = func(_ int, c *iss.Core) { got = append(got, semanticRecord(c)) }
-		rep := eng.Run()
+		rep := eng.Run(context.Background())
 		if rep.Paths != len(roots) {
 			t.Fatalf("lease executed %d paths want %d", rep.Paths, len(roots))
 		}
 		for _, ch := range rep.Frontier {
-			wi := ExportInput(eng.Builder, ch)
+			wi := ExportInput(snap.B, ch)
 			if !seen[wi.Key()] { // coordinator-side dedup
 				seen[wi.Key()] = true
 				pending = append(pending, wi)

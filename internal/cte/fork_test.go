@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,15 +14,15 @@ import (
 // instruction count — in execution order. Fork mode resumes checkpoints
 // mid-path, so any reconcretization or rewind bug shows up here as a
 // diverging record.
-func describePaths(t *testing.T, src string, opt Options) ([]string, *Report) {
+func describePaths(t *testing.T, src string, cfg Config) ([]string, *Report) {
 	t.Helper()
-	eng := New(snapshot(t, src), opt)
+	eng := NewSession(snapshot(t, src), cfg)
 	var recs []string
 	eng.OnPath = func(_ int, c *iss.Core) {
 		recs = append(recs, fmt.Sprintf("in=%s exit=%d err=%v out=%q instr=%d",
-			DescribeInput(eng.Builder, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
+			DescribeInput(eng.snap.B, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
 	}
-	rep := eng.Run()
+	rep := eng.Run(context.Background())
 	return recs, rep
 }
 
@@ -44,9 +45,9 @@ func TestForkRestartParity(t *testing.T) {
 	for _, g := range guests {
 		for _, strat := range []Strategy{BFS, DFS} {
 			t.Run(fmt.Sprintf("%s/%s", g.name, strat), func(t *testing.T) {
-				base := Options{MaxPaths: 400, Strategy: strat}
+				base := Config{Budget: Budget{MaxPaths: 400}, Explore: ExploreConfig{Strategy: strat}}
 				fOpt, rOpt := base, base
-				fOpt.Fork = true
+				fOpt.Fork.Enabled = true
 				forkRecs, forkRep := describePaths(t, g.src, fOpt)
 				restRecs, restRep := describePaths(t, g.src, rOpt)
 
@@ -100,7 +101,7 @@ func TestForkRestartParity(t *testing.T) {
 // behaves like unconditional capture on these guests.
 func TestForkMinPrefixParity(t *testing.T) {
 	run := func(fork bool, minPrefix uint64) ([]string, *Report) {
-		return describePaths(t, counterSrc, Options{MaxPaths: 100, Fork: fork, ForkMinPrefix: minPrefix})
+		return describePaths(t, counterSrc, Config{Budget: Budget{MaxPaths: 100}, Fork: ForkConfig{Enabled: fork, MinPrefix: minPrefix}})
 	}
 	restRecs, _ := run(false, 0)
 
@@ -133,12 +134,12 @@ func TestForkFallbackOnExecHook(t *testing.T) {
 	run := func(fork bool) ([]string, *Report) {
 		snap := snapshot(t, counterSrc)
 		snap.ExecHook = func(c *iss.Core, inst rv32.Inst) bool { return false }
-		eng := New(snap, Options{MaxPaths: 100, Fork: fork})
+		eng := NewSession(snap, Config{Budget: Budget{MaxPaths: 100}, Fork: ForkConfig{Enabled: fork}})
 		var recs []string
 		eng.OnPath = func(_ int, c *iss.Core) {
-			recs = append(recs, fmt.Sprintf("in=%s exit=%d", DescribeInput(eng.Builder, c.Input), c.ExitCode))
+			recs = append(recs, fmt.Sprintf("in=%s exit=%d", DescribeInput(eng.snap.B, c.Input), c.ExitCode))
 		}
-		return recs, eng.Run()
+		return recs, eng.Run(context.Background())
 	}
 	forkRecs, forkRep := run(true)
 	restRecs, _ := run(false)
@@ -167,7 +168,7 @@ func TestForkFallbackOnExecHook(t *testing.T) {
 // explored behavior set must match the restart baseline exactly.
 func TestForkParallelSameFindings(t *testing.T) {
 	run := func(fork bool) map[string]bool {
-		eng := New(snapshot(t, bitstormSrc), Options{MaxPaths: 400, Workers: 4, Fork: fork})
+		eng := NewSession(snapshot(t, bitstormSrc), Config{Workers: 4, Budget: Budget{MaxPaths: 400}, Fork: ForkConfig{Enabled: fork}})
 		set := map[string]bool{}
 		eng.OnPath = func(_ int, c *iss.Core) {
 			var bits [8]uint64
@@ -176,7 +177,7 @@ func TestForkParallelSameFindings(t *testing.T) {
 			}
 			set[fmt.Sprintf("%v|%d|%q", bits, c.ExitCode, c.Output)] = true
 		}
-		rep := eng.Run()
+		rep := eng.Run(context.Background())
 		if !rep.Exhausted {
 			t.Fatalf("fork=%v: not exhausted", fork)
 		}

@@ -11,148 +11,8 @@ import (
 	"rvcte/internal/fuzz"
 	"rvcte/internal/iss"
 	"rvcte/internal/obs"
-	"rvcte/internal/qcache"
 	"rvcte/internal/smt"
 )
-
-// HybridOptions tunes a hybrid (Driller-style) run: cheap concrete
-// fuzzing by default, concolic branch-solving when coverage stalls.
-//
-// Deprecated: use Config with Mode == ModeHybrid; HybridOptions remains
-// as a compatibility shim for RunHybrid.
-type HybridOptions struct {
-	Seed    int64
-	Workers int // fuzz executors and concolic solve workers (-j)
-
-	// FuzzBatch is the number of concrete executions between stall
-	// checks (default 500). StallExecs is the number of executions
-	// without new coverage that triggers a concolic escalation (default
-	// FuzzBatch).
-	FuzzBatch  int
-	StallExecs uint64
-
-	MaxExecs       uint64        // total concrete-execution budget (0 = unlimited)
-	MaxEscalations int           // concolic escalation budget (0 = unlimited)
-	Timeout        time.Duration // wall-clock budget (0 = unlimited)
-	MaxInstrPerRun uint64        // per-execution instruction budget (0 = snapshot default)
-	MapBits        int           // edge map size (log2; default 16)
-
-	// MaxFlipsPerEscalation bounds the unattempted branch flips solved
-	// per escalation (default 64) so one long trace cannot starve the
-	// fuzzing loop.
-	MaxFlipsPerEscalation int
-
-	// DryEscalations stops the run after this many consecutive
-	// escalations that injected nothing while coverage stayed flat
-	// (default 3): at that point both engines are exhausted.
-	DryEscalations int
-
-	StopOnError          bool
-	MaxConflictsPerQuery int
-	// Cache, when non-nil, is consulted before every flip query and
-	// shared across solve workers (same contract as Options.Cache).
-	Cache *qcache.Cache
-	// Seeds are initial corpus inputs handed to the fuzzer (e.g. a
-	// persisted corpus directory).
-	Seeds [][]byte
-}
-
-// config lowers the deprecated option struct to the unified Config.
-func (o HybridOptions) config() Config {
-	return Config{
-		Common: Common{
-			Workers: o.Workers,
-			Budget: Budget{
-				Timeout:              o.Timeout,
-				MaxInstrPerRun:       o.MaxInstrPerRun,
-				MaxConflictsPerQuery: o.MaxConflictsPerQuery,
-				MaxExecs:             o.MaxExecs,
-				MaxEscalations:       o.MaxEscalations,
-			},
-			Cache:       o.Cache,
-			Seed:        o.Seed,
-			StopOnError: o.StopOnError,
-		},
-		Mode: ModeHybrid,
-		Fuzz: FuzzConfig{
-			Batch:                 o.FuzzBatch,
-			StallExecs:            o.StallExecs,
-			MapBits:               o.MapBits,
-			MaxFlipsPerEscalation: o.MaxFlipsPerEscalation,
-			DryEscalations:        o.DryEscalations,
-			Seeds:                 o.Seeds,
-		},
-	}
-}
-
-// HybridReport aggregates both sides of a hybrid run.
-//
-// Deprecated: Session.Run returns the unified Report (Fuzz section set);
-// HybridReport remains as RunHybrid's compatibility result type.
-type HybridReport struct {
-	Workers  int
-	Fuzz     fuzz.Stats
-	Findings []fuzz.Finding // every finding flows through the fuzzer
-
-	Escalations    int // concolic escalations triggered by stalls
-	ReplayedInstrs uint64
-	Solves         int // solved branch flips injected back
-	FlipsAttempted int
-	Queries        int // SAT queries issued (cache misses when Cache is set)
-	SatTCs         int
-	UnsatTCs       int
-	UnknownTCs     int
-	SolverTime     time.Duration
-	WallTime       time.Duration
-
-	// SkipInitInstrs is the shared initialization prefix (instructions)
-	// executed once and frozen into the working snapshot instead of
-	// being re-run on every execution.
-	SkipInitInstrs uint64
-
-	Stopped string // "exec-budget" | "timeout" | "stop-on-error" | "dry" | "escalation-budget"
-	Cache   *qcache.Stats
-
-	// Corpus is the final corpus input data, in admission order (the CLI
-	// persists it for -corpus-dir warm starts).
-	Corpus [][]byte
-}
-
-// RunHybrid executes a hybrid fuzzing campaign over the snapshot.
-//
-// Deprecated: use NewSession with Mode == ModeHybrid; RunHybrid wraps it
-// and reshapes the unified Report into the legacy HybridReport.
-func RunHybrid(snapshot *iss.Core, opt HybridOptions) *HybridReport {
-	if opt.Workers <= 0 {
-		opt.Workers = 1 // legacy semantics: no AutoWorkers
-	}
-	rep := runHybrid(context.Background(), snapshot, opt.config())
-	h := &HybridReport{
-		Workers:        rep.Workers,
-		Fuzz:           rep.Fuzz.Stats,
-		Escalations:    rep.Fuzz.Escalations,
-		ReplayedInstrs: rep.Fuzz.ReplayedInstrs,
-		Solves:         rep.Fuzz.Solves,
-		FlipsAttempted: rep.Fuzz.FlipsAttempted,
-		Queries:        rep.Queries,
-		SatTCs:         rep.SatTCs,
-		UnsatTCs:       rep.UnsatTCs,
-		UnknownTCs:     rep.UnknownTCs,
-		SolverTime:     rep.SolverTime,
-		WallTime:       rep.WallTime,
-		SkipInitInstrs: rep.Fuzz.SkipInitInstrs,
-		Stopped:        rep.Stopped,
-		Cache:          rep.Cache,
-		Corpus:         rep.Fuzz.Corpus,
-	}
-	for _, f := range rep.Findings {
-		h.Findings = append(h.Findings, fuzz.Finding{
-			Err: f.Err, Data: f.Data, Exec: f.Exec,
-			Output: f.Output, Instrs: f.Instrs,
-		})
-	}
-	return h
-}
 
 // hybrid is the driver state for one run.
 type hybrid struct {
@@ -220,8 +80,8 @@ func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
 		h.bbMisses = m.Counter("iss.bb.misses")
 		h.bbInval = m.Counter("iss.bb.inval")
 		h.tracer = cfg.Obs.Trace()
-		if cfg.Cache != nil {
-			cfg.Cache.SetObs(cfg.Obs)
+		if cfg.Cache.Queries != nil {
+			cfg.Cache.Queries.SetObs(cfg.Obs)
 		}
 	}
 	h.fz = fuzz.New(working, fuzz.Options{
@@ -229,6 +89,7 @@ func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
 		Workers:        cfg.Workers,
 		MaxInstrPerRun: cfg.Budget.MaxInstrPerRun,
 		MapBits:        cfg.Fuzz.MapBits,
+		States:         cfg.Protocol.States,
 		Seeds:          cfg.Fuzz.Seeds,
 		Obs:            cfg.Obs,
 	})
@@ -316,8 +177,8 @@ func runHybrid(ctx context.Context, snapshot *iss.Core, cfg Config) *Report {
 		h.rep.SolverTime += s.Stats.SolverTime
 	}
 	h.rep.WallTime = time.Since(start)
-	if cfg.Cache != nil {
-		st := cfg.Cache.Stats()
+	if cfg.Cache.Queries != nil {
+		st := cfg.Cache.Queries.Stats()
 		h.rep.Cache = &st
 	}
 	return h.rep
@@ -462,11 +323,11 @@ func (h *hybrid) escalate(ctx context.Context, data []byte, bound int) int {
 				mu.Unlock()
 				var ok, unk bool
 				var model smt.Assignment
-				if h.cfg.Cache != nil {
+				if h.cfg.Cache.Queries != nil {
 					// The incumbent replay satisfied the whole prefix:
 					// its assignment is the slicing hint (same contract
 					// as the pure-concolic engine).
-					ok, model, unk = h.cfg.Cache.Check(solver, jobs[i].conds, c.Input)
+					ok, model, unk = h.cfg.Cache.Queries.Check(solver, jobs[i].conds, c.Input)
 				} else {
 					ok, model, unk = solver.Check(jobs[i].conds...)
 				}

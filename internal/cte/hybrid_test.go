@@ -2,6 +2,7 @@ package cte
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"rvcte/internal/iss"
@@ -72,12 +73,7 @@ name: .asciz "x"
 // gate; a coverage stall escalates to the concolic engine, one solved
 // flip is injected back, and the fuzzer's next execution finds the bug.
 func TestHybridSolvesMagicGate(t *testing.T) {
-	rep := RunHybrid(snapshot(t, magicSrc), HybridOptions{
-		Seed:        1,
-		FuzzBatch:   200,
-		MaxExecs:    50_000,
-		StopOnError: true,
-	})
+	rep := NewSession(snapshot(t, magicSrc), Config{Mode: ModeHybrid, Seed: 1, StopOnError: true, Budget: Budget{MaxExecs: 50_000}, Fuzz: FuzzConfig{Batch: 200}}).Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings %d want 1 (stopped: %s, %+v)", len(rep.Findings), rep.Stopped, rep.Fuzz)
 	}
@@ -88,9 +84,9 @@ func TestHybridSolvesMagicGate(t *testing.T) {
 	if len(f.Data) < 4 || !bytes.Equal(f.Data[:4], []byte{0xde, 0xc0, 0xad, 0x1b}) {
 		t.Errorf("finding input %x does not carry the solved magic word", f.Data)
 	}
-	if rep.Escalations == 0 || rep.Solves == 0 {
+	if rep.Fuzz.Escalations == 0 || rep.Fuzz.Solves == 0 {
 		t.Errorf("bug requires the concolic assist: escalations=%d solves=%d",
-			rep.Escalations, rep.Solves)
+			rep.Fuzz.Escalations, rep.Fuzz.Solves)
 	}
 	if rep.Stopped != "stop-on-error" {
 		t.Errorf("stopped = %q want stop-on-error", rep.Stopped)
@@ -104,13 +100,7 @@ func TestHybridSolvesMagicGate(t *testing.T) {
 // as in the pure-concolic engine, and the run still finds the bug.
 func TestHybridWithCache(t *testing.T) {
 	snap := snapshot(t, magicSrc)
-	rep := RunHybrid(snap, HybridOptions{
-		Seed:        1,
-		FuzzBatch:   200,
-		MaxExecs:    50_000,
-		StopOnError: true,
-		Cache:       qcache.New(snap.B, qcache.Options{}),
-	})
+	rep := NewSession(snap, Config{Mode: ModeHybrid, Seed: 1, StopOnError: true, Budget: Budget{MaxExecs: 50_000}, Fuzz: FuzzConfig{Batch: 200}, Cache: CacheConfig{Queries: qcache.New(snap.B, qcache.Options{})}}).Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings %d want 1", len(rep.Findings))
 	}
@@ -125,24 +115,19 @@ func TestHybridWithCache(t *testing.T) {
 // TestHybridDeterministicAtJ1: for a fixed seed and one worker, two
 // campaigns are replicas.
 func TestHybridDeterministicAtJ1(t *testing.T) {
-	run := func() *HybridReport {
-		return RunHybrid(snapshot(t, magicSrc), HybridOptions{
-			Seed:      9,
-			Workers:   1,
-			FuzzBatch: 150,
-			MaxExecs:  3000,
-		})
+	run := func() *Report {
+		return NewSession(snapshot(t, magicSrc), Config{Mode: ModeHybrid, Seed: 9, Workers: 1, Budget: Budget{MaxExecs: 3000}, Fuzz: FuzzConfig{Batch: 150}}).Run(context.Background())
 	}
 	a, b := run(), run()
 	if a.Fuzz.Execs != b.Fuzz.Execs || a.Fuzz.CorpusSize != b.Fuzz.CorpusSize ||
 		a.Fuzz.Edges != b.Fuzz.Edges {
 		t.Errorf("fuzz stats diverged:\n%+v\n%+v", a.Fuzz, b.Fuzz)
 	}
-	if a.Escalations != b.Escalations || a.Solves != b.Solves ||
-		a.FlipsAttempted != b.FlipsAttempted || a.Queries != b.Queries {
+	if a.Fuzz.Escalations != b.Fuzz.Escalations || a.Fuzz.Solves != b.Fuzz.Solves ||
+		a.Fuzz.FlipsAttempted != b.Fuzz.FlipsAttempted || a.Queries != b.Queries {
 		t.Errorf("concolic stats diverged: %d/%d/%d/%d vs %d/%d/%d/%d",
-			a.Escalations, a.Solves, a.FlipsAttempted, a.Queries,
-			b.Escalations, b.Solves, b.FlipsAttempted, b.Queries)
+			a.Fuzz.Escalations, a.Fuzz.Solves, a.Fuzz.FlipsAttempted, a.Queries,
+			b.Fuzz.Escalations, b.Fuzz.Solves, b.Fuzz.FlipsAttempted, b.Queries)
 	}
 	if len(a.Findings) != len(b.Findings) {
 		t.Fatalf("finding counts diverged: %d vs %d", len(a.Findings), len(b.Findings))
@@ -158,15 +143,10 @@ func TestHybridDeterministicAtJ1(t *testing.T) {
 // TestHybridSkipInit: the shared init prefix is executed once into the
 // working snapshot, and the gate is still solvable from there.
 func TestHybridSkipInit(t *testing.T) {
-	rep := RunHybrid(snapshot(t, initMagicSrc), HybridOptions{
-		Seed:        2,
-		FuzzBatch:   200,
-		MaxExecs:    50_000,
-		StopOnError: true,
-	})
-	if rep.SkipInitInstrs < 3000 {
+	rep := NewSession(snapshot(t, initMagicSrc), Config{Mode: ModeHybrid, Seed: 2, StopOnError: true, Budget: Budget{MaxExecs: 50_000}, Fuzz: FuzzConfig{Batch: 200}}).Run(context.Background())
+	if rep.Fuzz.SkipInitInstrs < 3000 {
 		t.Errorf("skip-init advanced only %d instructions; the init loop alone is ~6000",
-			rep.SkipInitInstrs)
+			rep.Fuzz.SkipInitInstrs)
 	}
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings %d want 1 (stopped: %s)", len(rep.Findings), rep.Stopped)
@@ -180,13 +160,7 @@ func TestHybridSkipInit(t *testing.T) {
 // solving) still finds the gated bug; run under -race by the verify
 // target.
 func TestHybridParallel(t *testing.T) {
-	rep := RunHybrid(snapshot(t, magicSrc), HybridOptions{
-		Seed:        3,
-		Workers:     4,
-		FuzzBatch:   200,
-		MaxExecs:    50_000,
-		StopOnError: true,
-	})
+	rep := NewSession(snapshot(t, magicSrc), Config{Mode: ModeHybrid, Seed: 3, Workers: 4, StopOnError: true, Budget: Budget{MaxExecs: 50_000}, Fuzz: FuzzConfig{Batch: 200}}).Run(context.Background())
 	if len(rep.Findings) != 1 {
 		t.Fatalf("findings %d want 1 (stopped: %s)", len(rep.Findings), rep.Stopped)
 	}
@@ -196,12 +170,7 @@ func TestHybridParallel(t *testing.T) {
 // immediately; after DryEscalations fruitless escalations the run ends
 // on its own.
 func TestHybridDryTermination(t *testing.T) {
-	rep := RunHybrid(snapshot(t, twoPathSrc), HybridOptions{
-		Seed:           4,
-		FuzzBatch:      100,
-		StallExecs:     100,
-		DryEscalations: 2,
-	})
+	rep := NewSession(snapshot(t, twoPathSrc), Config{Mode: ModeHybrid, Seed: 4, Fuzz: FuzzConfig{Batch: 100, StallExecs: 100, DryEscalations: 2}}).Run(context.Background())
 	if rep.Stopped != "dry" {
 		t.Errorf("stopped = %q want dry", rep.Stopped)
 	}

@@ -15,7 +15,7 @@ import (
 // worker-owned and needs no locking. The condition variable wakes idle
 // workers when children are enqueued or the run stops.
 type parallelRun struct {
-	e    *Engine
+	e    *engine
 	ctx  context.Context
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -48,12 +48,12 @@ func (x *parallelRun) halt(reason string, abandon bool) {
 // trace conditions on its own solver; results are merged under the run
 // lock. Path order depends on scheduling; the explored path set, dedup
 // and findings do not (paths are independent by construction, §3.1.1).
-func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
+func (e *engine) runParallel(ctx context.Context, workers int) *Report {
 	start := time.Now()
 	x := &parallelRun{
 		e:     e,
 		ctx:   ctx,
-		front: newFrontier(e.Opt.Strategy, rand.New(rand.NewSource(e.Opt.Seed+1))),
+		front: newFrontier(e.Cfg.Explore.Strategy, rand.New(rand.NewSource(e.Cfg.Seed+1))),
 		seen:  map[string]bool{},
 		cover: make(map[uint32]struct{}),
 		rep:   &Report{Workers: workers, PerWorker: make([]WorkerStats, workers)},
@@ -62,11 +62,11 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 	e.seedFrontier(x.front, x.seen)
 
 	var timer *time.Timer
-	if e.Opt.Timeout > 0 {
-		x.deadline = start.Add(e.Opt.Timeout)
+	if e.Cfg.Budget.Timeout > 0 {
+		x.deadline = start.Add(e.Cfg.Budget.Timeout)
 		// The deadline is checked at claim time; the timer additionally
 		// wakes workers blocked waiting for new queue entries.
-		timer = time.AfterFunc(e.Opt.Timeout, func() {
+		timer = time.AfterFunc(e.Cfg.Budget.Timeout, func() {
 			x.mu.Lock()
 			x.halt("timeout", true)
 			x.mu.Unlock()
@@ -111,7 +111,7 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 	if rep.Stopped == "" {
 		if rep.Exhausted {
 			rep.Stopped = "exhausted"
-		} else if x.e.Opt.MaxPaths > 0 && x.started >= x.e.Opt.MaxPaths {
+		} else if x.e.Cfg.Budget.MaxPaths > 0 && x.started >= x.e.Cfg.Budget.MaxPaths {
 			rep.Stopped = "path-budget"
 		}
 	}
@@ -131,8 +131,8 @@ func (e *Engine) runParallel(ctx context.Context, workers int) *Report {
 // the builder behind it is shared and internally locked.
 func (x *parallelRun) worker(id int) {
 	solver := smt.NewSolver(x.e.Builder)
-	solver.MaxConflictsPerQuery = x.e.Opt.MaxConflictsPerQuery
-	solver.SetObs(x.e.Opt.Obs)
+	solver.MaxConflictsPerQuery = x.e.Cfg.Budget.MaxConflictsPerQuery
+	solver.SetObs(x.e.Cfg.Obs)
 	paths := 0
 	for {
 		x.mu.Lock()
@@ -154,7 +154,7 @@ func (x *parallelRun) worker(id int) {
 			x.finish(id, solver, paths)
 			return
 		}
-		if x.e.Opt.MaxPaths > 0 && x.started >= x.e.Opt.MaxPaths {
+		if x.e.Cfg.Budget.MaxPaths > 0 && x.started >= x.e.Cfg.Budget.MaxPaths {
 			x.halt("path-budget", false)
 			x.finish(id, solver, paths)
 			return
@@ -237,7 +237,7 @@ func (x *parallelRun) merge(res pathResult) {
 	} else if f != nil {
 		rep.Findings = append(rep.Findings, *f)
 		e.recordFinding(f)
-		if e.Opt.StopOnError {
+		if e.Cfg.StopOnError {
 			// In-flight siblings still merge their results, so the
 			// report may carry more than one finding; no new paths are
 			// claimed after this point.

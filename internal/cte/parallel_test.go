@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -10,12 +11,12 @@ import (
 )
 
 // runExits explores and returns the sorted multiset of path exit codes.
-func runExits(t *testing.T, src string, opt Options) (*Report, []uint32) {
+func runExits(t *testing.T, src string, cfg Config) (*Report, []uint32) {
 	t.Helper()
-	eng := New(snapshot(t, src), opt)
+	eng := NewSession(snapshot(t, src), cfg)
 	var exits []uint32
 	eng.OnPath = func(_ int, c *iss.Core) { exits = append(exits, c.ExitCode) }
-	rep := eng.Run()
+	rep := eng.Run(context.Background())
 	sort.Slice(exits, func(i, j int) bool { return exits[i] < exits[j] })
 	return rep, exits
 }
@@ -25,8 +26,8 @@ func runExits(t *testing.T, src string, opt Options) (*Report, []uint32) {
 // scheduling. Workers=4 must find exactly the sequential engine's paths
 // (modulo order) and the same aggregate statistics.
 func TestParallelMatchesSequential(t *testing.T) {
-	seqRep, seqExits := runExits(t, counterSrc, Options{MaxPaths: 100, Workers: 1})
-	parRep, parExits := runExits(t, counterSrc, Options{MaxPaths: 100, Workers: 4})
+	seqRep, seqExits := runExits(t, counterSrc, Config{Workers: 1, Budget: Budget{MaxPaths: 100}})
+	parRep, parExits := runExits(t, counterSrc, Config{Workers: 4, Budget: Budget{MaxPaths: 100}})
 
 	if !seqRep.Exhausted || !parRep.Exhausted {
 		t.Fatalf("both runs must exhaust (seq=%v par=%v)", seqRep.Exhausted, parRep.Exhausted)
@@ -60,14 +61,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 // TestParallelFindsAssertViolation: a finding surfaces under parallel
 // exploration with StopOnError, with the same violating input.
 func TestParallelFindsAssertViolation(t *testing.T) {
-	eng := New(snapshot(t, assertBugSrc), Options{MaxPaths: 50, StopOnError: true, Workers: 4})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, assertBugSrc), Config{StopOnError: true, Workers: 4, Budget: Budget{MaxPaths: 50}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("no finding: %v", rep)
 	}
 	found := false
 	for _, f := range rep.Findings {
-		if f.Err.Kind == iss.ErrAssertFail && eng.Builder.Value(f.Input, "x[0]") == 0x42 {
+		if f.Err.Kind == iss.ErrAssertFail && eng.snap.B.Value(f.Input, "x[0]") == 0x42 {
 			found = true
 		}
 	}
@@ -82,8 +83,8 @@ func TestParallelFindsAssertViolation(t *testing.T) {
 // TestParallelMaxPaths: the claim counter bounds executed paths exactly,
 // even with workers racing for the queue.
 func TestParallelMaxPaths(t *testing.T) {
-	eng := New(snapshot(t, counterSrc), Options{MaxPaths: 3, Workers: 4})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, counterSrc), Config{Workers: 4, Budget: Budget{MaxPaths: 3}})
+	rep := eng.Run(context.Background())
 	if rep.Paths != 3 {
 		t.Errorf("paths: %d want 3", rep.Paths)
 	}
@@ -95,8 +96,8 @@ func TestParallelMaxPaths(t *testing.T) {
 // TestParallelTimeout: an already-expired deadline stops the run before
 // the first claim, like the sequential engine.
 func TestParallelTimeout(t *testing.T) {
-	eng := New(snapshot(t, counterSrc), Options{Timeout: time.Nanosecond, Workers: 4})
-	rep := eng.Run()
+	eng := NewSession(snapshot(t, counterSrc), Config{Workers: 4, Budget: Budget{Timeout: time.Nanosecond}})
+	rep := eng.Run(context.Background())
 	if rep.Exhausted {
 		t.Error("timeout run must not report exhaustion")
 	}
@@ -110,10 +111,10 @@ func TestParallelTimeout(t *testing.T) {
 func TestParallelStrategies(t *testing.T) {
 	for _, strat := range []Strategy{BFS, DFS, Random, Coverage} {
 		t.Run(strat.String(), func(t *testing.T) {
-			eng := New(snapshot(t, counterSrc), Options{MaxPaths: 100, Strategy: strat, Seed: 42, Workers: 4})
+			eng := NewSession(snapshot(t, counterSrc), Config{Seed: 42, Workers: 4, Budget: Budget{MaxPaths: 100}, Explore: ExploreConfig{Strategy: strat}})
 			exits := map[uint32]int{}
 			eng.OnPath = func(_ int, c *iss.Core) { exits[c.ExitCode]++ }
-			rep := eng.Run()
+			rep := eng.Run(context.Background())
 			if len(exits) != 8 {
 				t.Errorf("distinct exits: %d want 8 (%v)", len(exits), exits)
 			}
@@ -154,13 +155,13 @@ func TestConcurrentSnapshotClone(t *testing.T) {
 }
 
 func TestWorkerResolution(t *testing.T) {
-	if got := (Options{}).effectiveWorkers(); got != 1 {
+	if got := (Config{}).effectiveWorkers(); got != 1 {
 		t.Errorf("zero value: %d want 1 (sequential)", got)
 	}
-	if got := (Options{Workers: 3}).effectiveWorkers(); got != 3 {
+	if got := (Config{Workers: 3}).effectiveWorkers(); got != 3 {
 		t.Errorf("explicit: %d want 3", got)
 	}
-	if got := (Options{Workers: AutoWorkers}).effectiveWorkers(); got < 1 {
+	if got := (Config{Workers: AutoWorkers}).effectiveWorkers(); got < 1 {
 		t.Errorf("auto: %d want >= 1", got)
 	}
 }
@@ -198,7 +199,7 @@ name: .asciz "x"
 // as proven-unsat).
 func TestUnknownTCsCounted(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		rep := New(snapshot(t, mulGateSrc), Options{MaxPaths: 20, Workers: workers, MaxConflictsPerQuery: 1}).Run()
+		rep := NewSession(snapshot(t, mulGateSrc), Config{Workers: workers, Budget: Budget{MaxPaths: 20, MaxConflictsPerQuery: 1}}).Run(context.Background())
 		if rep.UnknownTCs == 0 {
 			t.Errorf("workers=%d: factoring TC should exhaust a 1-conflict budget (report %v)", workers, rep)
 		}
@@ -207,7 +208,7 @@ func TestUnknownTCsCounted(t *testing.T) {
 		}
 
 		// Without a budget the same TC is solved and both sides run.
-		full := New(snapshot(t, mulGateSrc), Options{MaxPaths: 20, Workers: workers}).Run()
+		full := NewSession(snapshot(t, mulGateSrc), Config{Workers: workers, Budget: Budget{MaxPaths: 20}}).Run(context.Background())
 		if full.UnknownTCs != 0 || full.Paths < 2 {
 			t.Errorf("workers=%d: unbudgeted run should solve the gate (report %v)", workers, full)
 		}

@@ -1,6 +1,7 @@
 package cte
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -11,10 +12,10 @@ import (
 	"rvcte/internal/smt"
 )
 
-// cachedOptions returns opt with a fresh cache for the engine's builder.
-func cachedOptions(snap *iss.Core, opt Options) Options {
-	opt.Cache = qcache.New(snap.B, qcache.Options{})
-	return opt
+// cachedOptions returns cfg with a fresh cache for the engine's builder.
+func cachedOptions(snap *iss.Core, cfg Config) Config {
+	cfg.Cache.Queries = qcache.New(snap.B, qcache.Options{})
+	return cfg
 }
 
 // stormSrc is the cache-friendly workload: three symbolic bytes, one
@@ -64,10 +65,10 @@ name: .asciz "x"
 func TestCachedMatchesUncached(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			plain, plainExits := runExits(t, stormSrc, Options{MaxPaths: 200, Workers: workers})
+			plain, plainExits := runExits(t, stormSrc, Config{Workers: workers, Budget: Budget{MaxPaths: 200}})
 
 			snap := snapshot(t, stormSrc)
-			eng := New(snap, cachedOptions(snap, Options{MaxPaths: 200, Workers: workers}))
+			eng := NewSession(snap, cachedOptions(snap, Config{Workers: workers, Budget: Budget{MaxPaths: 200}}))
 			var cachedExits []uint32
 			var mu sync.Mutex
 			eng.OnPath = func(_ int, c *iss.Core) {
@@ -75,7 +76,7 @@ func TestCachedMatchesUncached(t *testing.T) {
 				cachedExits = append(cachedExits, c.ExitCode)
 				mu.Unlock()
 			}
-			cached := eng.Run()
+			cached := eng.Run(context.Background())
 
 			if !plain.Exhausted || !cached.Exhausted {
 				t.Fatalf("both runs must exhaust (plain=%v cached=%v)", plain.Exhausted, cached.Exhausted)
@@ -128,11 +129,11 @@ func TestCachedMatchesUncached(t *testing.T) {
 // with the cache-independent qcache.ValidateModel.
 func TestSharedCacheHitModelsValid(t *testing.T) {
 	snap := snapshot(t, stormSrc)
-	opt := cachedOptions(snap, Options{MaxPaths: 200, Workers: 4})
+	opt := cachedOptions(snap, Config{Workers: 4, Budget: Budget{MaxPaths: 200}})
 
 	var mu sync.Mutex
 	audited, cacheServed := 0, 0
-	opt.Cache.OnAnswer = func(conds []*smt.Expr, sat bool, model smt.Assignment, fromCache bool) {
+	opt.Cache.Queries.OnAnswer = func(conds []*smt.Expr, sat bool, model smt.Assignment, fromCache bool) {
 		mu.Lock()
 		audited++
 		if fromCache {
@@ -143,7 +144,7 @@ func TestSharedCacheHitModelsValid(t *testing.T) {
 			t.Errorf("cache answer (fromCache=%v) carries an invalid model %v", fromCache, model)
 		}
 	}
-	rep := New(snap, opt).Run()
+	rep := NewSession(snap, opt).Run(context.Background())
 	if audited == 0 || cacheServed == 0 {
 		t.Fatalf("audit hook saw %d answers, %d cache-served (%v)", audited, cacheServed, rep)
 	}
@@ -156,9 +157,9 @@ func TestCacheWarmStartEngine(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "counter.qcache")
 
 	snap1 := snapshot(t, counterSrc)
-	opt1 := cachedOptions(snap1, Options{MaxPaths: 100})
-	first := New(snap1, opt1).Run()
-	if err := opt1.Cache.Save(path); err != nil {
+	opt1 := cachedOptions(snap1, Config{Budget: Budget{MaxPaths: 100}})
+	first := NewSession(snap1, opt1).Run(context.Background())
+	if err := opt1.Cache.Queries.Save(path); err != nil {
 		t.Fatal(err)
 	}
 	if first.Queries == 0 {
@@ -166,11 +167,11 @@ func TestCacheWarmStartEngine(t *testing.T) {
 	}
 
 	snap2 := snapshot(t, counterSrc)
-	opt2 := cachedOptions(snap2, Options{MaxPaths: 100})
-	if err := opt2.Cache.Load(path); err != nil {
+	opt2 := cachedOptions(snap2, Config{Budget: Budget{MaxPaths: 100}})
+	if err := opt2.Cache.Queries.Load(path); err != nil {
 		t.Fatal(err)
 	}
-	second := New(snap2, opt2).Run()
+	second := NewSession(snap2, opt2).Run(context.Background())
 	if second.Paths != first.Paths {
 		t.Errorf("warm run explored %d paths, cold %d", second.Paths, first.Paths)
 	}
@@ -186,8 +187,8 @@ func TestCacheWarmStartEngine(t *testing.T) {
 // uncached and keep being counted as UnknownTCs.
 func TestCacheWithBudgetedSolver(t *testing.T) {
 	snap := snapshot(t, mulGateSrc)
-	opt := cachedOptions(snap, Options{MaxPaths: 20, MaxConflictsPerQuery: 1})
-	rep := New(snap, opt).Run()
+	opt := cachedOptions(snap, Config{Budget: Budget{MaxPaths: 20, MaxConflictsPerQuery: 1}})
+	rep := NewSession(snap, opt).Run(context.Background())
 	if rep.UnknownTCs == 0 {
 		t.Errorf("budgeted factoring TC should stay unknown through the cache (%v)", rep)
 	}

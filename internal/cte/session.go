@@ -52,36 +52,33 @@ type Budget struct {
 	MaxEscalations       int    // hybrid: concolic escalation budget
 }
 
-// Common is the configuration core shared by both engines.
-type Common struct {
-	// Workers sizes the worker pool: exploration workers in concolic
-	// mode, fuzz executors plus flip-solve workers in hybrid mode. 0 or
-	// 1 is sequential and deterministic; AutoWorkers picks NumCPU.
-	Workers int
-	Budget  Budget
-	// Cache, when non-nil, is the SMT query cache consulted before any
-	// solver call, shared by every worker (internally synchronized).
-	Cache *qcache.Cache
+// ExploreConfig tunes the concolic engine's search. The other modes
+// ignore it (hybrid mode's corpus energy schedule orders its own work).
+type ExploreConfig struct {
 	// Strategy orders the concolic frontier (BFS/DFS/Random/Coverage).
-	// Hybrid mode ignores it (the corpus energy schedule decides).
 	Strategy Strategy
-	// Obs, when non-nil, wires the whole run — engines, solvers, cache,
-	// fuzzer, ISS — into one observability bundle; the final Report
-	// carries its snapshot.
-	Obs         *obs.Obs
-	Seed        int64 // PRNG seed; runs are reproducible for a fixed seed at Workers <= 1
-	StopOnError bool  // stop at the first finding (paper §4.2.3 workflow)
+	// TrackCoverage aggregates executed PCs into Report.Covered
+	// (implied by the Coverage strategy).
+	TrackCoverage bool
+	// TraceDepth enables the per-core diagnostic instruction ring (the
+	// finding's last instructions are exposed via Finding.Trace).
+	TraceDepth int
+	// Roots seeds the frontier with explicit pending inputs and
+	// ExportFrontier drains the unexplored queue into Report.Frontier —
+	// the campaign coordinator's shard hand-off.
+	Roots          []Input
+	ExportFrontier bool
 }
 
 // FuzzConfig tunes hybrid mode; zero values select the documented
-// defaults. Concolic mode ignores it.
+// defaults. The other modes ignore it.
 type FuzzConfig struct {
 	// Batch is the number of concrete executions between stall checks
 	// (default 500). StallExecs is the number of executions without new
 	// coverage that triggers a concolic escalation (default Batch).
 	Batch      int
 	StallExecs uint64
-	MapBits    int // edge map size (log2; default 16)
+	MapBits    int // edge map size per protocol-state bank (log2; default 16)
 	// MaxFlipsPerEscalation bounds the branch flips solved per
 	// escalation (default 64). DryEscalations stops the run after this
 	// many consecutive fruitless escalations (default 3).
@@ -91,56 +88,89 @@ type FuzzConfig struct {
 	Seeds [][]byte
 }
 
-// Config is the unified configuration of a Session: the Common core
-// plus per-mode extensions. It replaces the Options/HybridOptions split.
-type Config struct {
-	Common
-	Mode Mode
-
-	// Concolic-mode extensions.
-	TrackCoverage bool // aggregate executed PCs into Report.Covered
-	TraceDepth    int  // diagnostic instruction ring for findings
-	// Fork resumes divergence checkpoints instead of re-executing path
-	// prefixes from the snapshot (Options.Fork; cmd/cte -fork).
-	Fork bool
-	// ForkMinPrefix skips capture below this prefix length in
-	// instructions (Options.ForkMinPrefix; cmd/cte -fork-min-prefix).
-	ForkMinPrefix uint64
-	// Roots seeds the frontier with explicit pending inputs and
-	// ExportFrontier drains the unexplored queue into Report.Frontier —
-	// the campaign coordinator's shard hand-off (Options.Roots /
-	// Options.ExportFrontier).
-	Roots          []Input
-	ExportFrontier bool
-
-	// Hybrid-mode extensions.
-	Fuzz FuzzConfig
-
-	// BMC-mode extensions.
-	BMC BMCConfig
+// CacheConfig wires shared caches into a run.
+type CacheConfig struct {
+	// Queries, when non-nil, is the SMT query cache consulted before
+	// any solver call, shared by every worker (internally
+	// synchronized).
+	Queries *qcache.Cache
 }
 
-// engineOptions lowers a Config to the legacy Options the concolic
-// engine runs on.
-func (c Config) engineOptions() Options {
-	return Options{
-		MaxPaths:             c.Budget.MaxPaths,
-		MaxInstrPerRun:       c.Budget.MaxInstrPerRun,
-		Timeout:              c.Budget.Timeout,
-		Strategy:             c.Strategy,
-		StopOnError:          c.StopOnError,
-		Seed:                 c.Seed,
-		TrackCoverage:        c.TrackCoverage,
-		TraceDepth:           c.TraceDepth,
-		Fork:                 c.Fork,
-		ForkMinPrefix:        c.ForkMinPrefix,
-		Workers:              c.Workers,
-		MaxConflictsPerQuery: c.Budget.MaxConflictsPerQuery,
-		Cache:                c.Cache,
-		Obs:                  c.Obs,
-		Roots:                c.Roots,
-		ExportFrontier:       c.ExportFrontier,
+// ForkConfig tunes state forking (DESIGN.md "State forking").
+type ForkConfig struct {
+	// Enabled resumes divergence checkpoints instead of re-executing
+	// path prefixes from the snapshot (cmd/cte -fork). For stateful
+	// multi-packet guests this is also the cross-packet checkpointing:
+	// a divergence inside packet k resumes with packets 1..k-1 already
+	// replayed.
+	Enabled bool
+	// MinPrefix skips capture below this prefix length in instructions
+	// (cmd/cte -fork-min-prefix).
+	MinPrefix uint64
+}
+
+// ProtocolConfig describes a stateful multi-packet campaign: the
+// session depth, per-packet symbolic sizing and the guest's
+// protocol-state byte. The engines bank edge coverage by that state
+// (state × edge product coverage) and re-read it at every guest store
+// to it; StateAddr == 0 disables all of it (single-packet behavior).
+type ProtocolConfig struct {
+	// Packets is the session depth in packets (descriptive: the guest
+	// build fixes the actual depth; reports and campaign wire specs
+	// carry it).
+	Packets int
+	// PktMax holds the per-packet symbolic size caps (last repeats).
+	PktMax []int
+	// StateAddr is the guest address of the protocol-state byte
+	// (usually a symbol like "sess_state" resolved via the ELF).
+	StateAddr uint32
+	// States is the number of protocol states; edge coverage gets one
+	// bank per state.
+	States int
+	// Probe, when set, observes every protocol-state change at the
+	// next instruction boundary — the inter-packet guest-state probe
+	// (diagnostics, campaign progress displays).
+	Probe func(core *iss.Core, state uint32)
+}
+
+// Config is the unified configuration of a Session: mode, budgets and
+// shared knobs at the top level plus per-concern sub-configs.
+type Config struct {
+	Mode Mode
+	// Workers sizes the worker pool: exploration workers in concolic
+	// mode, fuzz executors plus flip-solve workers in hybrid mode. 0 or
+	// 1 is sequential and deterministic; AutoWorkers picks NumCPU.
+	Workers int
+	Budget  Budget
+	// Obs, when non-nil, wires the whole run — engines, solvers, cache,
+	// fuzzer, ISS — into one observability bundle; the final Report
+	// carries its snapshot.
+	Obs         *obs.Obs
+	Seed        int64 // PRNG seed; runs are reproducible for a fixed seed at Workers <= 1
+	StopOnError bool  // stop at the first finding (paper §4.2.3 workflow)
+	// Detectors names the iss bug-detector set attached to the
+	// snapshot before the run ("heap-guard", "heap-uaf", ..., or "all").
+	// nil keeps the snapshot's current set (iss.DefaultDetectors for a
+	// fresh core).
+	Detectors []string
+
+	Explore  ExploreConfig
+	Fuzz     FuzzConfig
+	Cache    CacheConfig
+	Fork     ForkConfig
+	BMC      BMCConfig
+	Protocol ProtocolConfig
+}
+
+// effectiveWorkers resolves Workers to a concrete pool size.
+func (c Config) effectiveWorkers() int {
+	if c.Workers < 0 {
+		return autoWorkers()
 	}
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
 }
 
 // FuzzStats is the hybrid-mode section of a Report: the concrete
@@ -161,25 +191,38 @@ type FuzzStats struct {
 	Corpus [][]byte `json:"-"`
 }
 
-// Session is the single entry point for both exploration engines: build
-// one with NewSession and call Run. The snapshot is never mutated;
-// every execution runs on a clone (paper §3.1.1).
+// Session is the single entry point for every exploration engine: build
+// one with NewSession and call Run. The snapshot is never mutated after
+// Run starts; every execution runs on a clone (paper §3.1.1).
 type Session struct {
 	snap *iss.Core
 	cfg  Config
+	err  error // deferred configuration error (unknown detector, ...)
 
 	// OnPath, when set before Run, observes every executed core in
-	// concolic mode (same contract as Engine.OnPath: serialized, but
-	// scheduling-ordered with Workers > 1). Hybrid mode ignores it.
+	// concolic mode (serialized, but scheduling-ordered with
+	// Workers > 1). The other modes ignore it.
 	OnPath func(path int, core *iss.Core)
 }
 
-// NewSession prepares a run of cfg's Mode over the snapshot.
+// NewSession prepares a run of cfg's Mode over the snapshot, attaching
+// the configured detector set and protocol-state coverage wiring to it.
+// Configuration errors (an unknown detector name) surface as the
+// Report.Stopped of the subsequent Run.
 func NewSession(snapshot *iss.Core, cfg Config) *Session {
-	if cfg.Cache != nil {
-		cfg.Cache.SetObs(cfg.Obs)
+	if cfg.Cache.Queries != nil {
+		cfg.Cache.Queries.SetObs(cfg.Obs)
 	}
-	return &Session{snap: snapshot, cfg: cfg}
+	s := &Session{snap: snapshot, cfg: cfg}
+	if err := snapshot.AttachDetectorSet(cfg.Detectors); err != nil {
+		s.err = err
+	}
+	if cfg.Protocol.StateAddr != 0 {
+		snapshot.ProtoStateAddr = cfg.Protocol.StateAddr
+		snapshot.ProtoStates = cfg.Protocol.States
+		snapshot.ProtoProbe = cfg.Protocol.Probe
+	}
+	return s
 }
 
 // Run executes the session until a budget is hit, the state space is
@@ -190,17 +233,20 @@ func NewSession(snapshot *iss.Core, cfg Config) *Session {
 func (s *Session) Run(ctx context.Context) *Report {
 	start := time.Now()
 	var rep *Report
-	switch s.cfg.Mode {
-	case ModeHybrid:
+	switch {
+	case s.err != nil:
+		rep = &Report{Stopped: "config: " + s.err.Error()}
+	case s.cfg.Mode == ModeHybrid:
 		rep = runHybrid(ctx, s.snap, s.cfg)
-	case ModeBMC:
+	case s.cfg.Mode == ModeBMC:
 		rep = runBMC(ctx, s.snap, s.cfg)
 	default:
-		eng := New(s.snap, s.cfg.engineOptions())
+		eng := newEngine(s.snap, s.cfg)
 		eng.OnPath = s.OnPath
-		rep = eng.RunContext(ctx)
+		rep = eng.run(ctx)
 	}
 	rep.Mode = s.cfg.Mode
+	rep.Detectors = s.snap.DetectorKinds()
 	rep.Obs = s.cfg.Obs.Snapshot()
 	if tr := s.cfg.Obs.Trace(); tr != nil {
 		tr.Emit(obs.Event{Ev: obs.EvRunEnd,

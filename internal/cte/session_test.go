@@ -115,13 +115,13 @@ func TestSessionObsMatchesReport(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			snap := snapshot(t, bitstormSrc)
-			cfg := Config{Common: Common{
+			cfg := Config{
 				Workers: tc.workers,
 				Budget:  Budget{MaxPaths: 400},
 				Obs:     obs.New(),
-			}}
+			}
 			if tc.cache {
-				cfg.Cache = qcache.New(snap.B, qcache.Options{})
+				cfg.Cache.Queries = qcache.New(snap.B, qcache.Options{})
 			}
 			rep := NewSession(snap, cfg).Run(context.Background())
 			if rep.Paths == 0 || !rep.Exhausted {
@@ -140,15 +140,13 @@ func TestSessionObsMatchesReport(t *testing.T) {
 func TestSessionHybridObsMatchesReport(t *testing.T) {
 	snap := snapshot(t, magicSrc)
 	cfg := Config{
-		Common: Common{
-			Workers:     1,
-			Budget:      Budget{MaxExecs: 50_000},
-			Obs:         obs.New(),
-			Seed:        1,
-			StopOnError: true,
-		},
-		Mode: ModeHybrid,
-		Fuzz: FuzzConfig{Batch: 200},
+		Mode:        ModeHybrid,
+		Workers:     1,
+		Budget:      Budget{MaxExecs: 50_000},
+		Obs:         obs.New(),
+		Seed:        1,
+		StopOnError: true,
+		Fuzz:        FuzzConfig{Batch: 200},
 	}
 	rep := NewSession(snap, cfg).Run(context.Background())
 	if rep.Fuzz == nil || rep.Obs == nil {
@@ -195,7 +193,7 @@ func TestSessionTraceEvents(t *testing.T) {
 	var buf bytes.Buffer
 	ob := obs.New()
 	ob.Tracer = obs.NewTracer(&buf)
-	rep := NewSession(snapshot(t, bitstormSrc), Config{Common: Common{Obs: ob}}).
+	rep := NewSession(snapshot(t, bitstormSrc), Config{Obs: ob}).
 		Run(context.Background())
 	if err := ob.Tracer.Close(); err != nil {
 		t.Fatal(err)
@@ -241,7 +239,7 @@ func TestSessionCancelSequential(t *testing.T) {
 // down promptly with a partial report.
 func TestSessionCancelParallel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	sess := NewSession(snapshot(t, bitstormSrc), Config{Common: Common{Workers: 4}})
+	sess := NewSession(snapshot(t, bitstormSrc), Config{Workers: 4})
 	sess.OnPath = func(path int, _ *iss.Core) {
 		if path == 0 {
 			cancel()
@@ -270,40 +268,5 @@ func TestSessionCancelHybrid(t *testing.T) {
 	}
 	if rep.Fuzz == nil || rep.Fuzz.Execs != 0 {
 		t.Errorf("canceled hybrid run still fuzzed: %+v", rep.Fuzz)
-	}
-}
-
-// TestSessionMatchesDeprecatedConcolic: the Session API and the
-// deprecated New/Options entry point explore identically.
-func TestSessionMatchesDeprecatedConcolic(t *testing.T) {
-	repNew := NewSession(snapshot(t, bitstormSrc), Config{Common: Common{
-		Budget: Budget{MaxPaths: 400},
-	}}).Run(context.Background())
-	repOld := New(snapshot(t, bitstormSrc), Options{MaxPaths: 400}).Run()
-	if repNew.Paths != repOld.Paths || repNew.SatTCs != repOld.SatTCs ||
-		repNew.UnsatTCs != repOld.UnsatTCs || repNew.Queries != repOld.Queries ||
-		len(repNew.Findings) != len(repOld.Findings) {
-		t.Errorf("session and deprecated runs diverged:\n%v\n%v", repNew, repOld)
-	}
-}
-
-// TestSessionMatchesDeprecatedHybrid: the Session API and the deprecated
-// RunHybrid wrapper run the same campaign for the same seed.
-func TestSessionMatchesDeprecatedHybrid(t *testing.T) {
-	cfg := Config{
-		Common: Common{Workers: 1, Budget: Budget{MaxExecs: 3000}, Seed: 9},
-		Mode:   ModeHybrid,
-		Fuzz:   FuzzConfig{Batch: 150},
-	}
-	repNew := NewSession(snapshot(t, magicSrc), cfg).Run(context.Background())
-	repOld := RunHybrid(snapshot(t, magicSrc), HybridOptions{
-		Seed: 9, Workers: 1, FuzzBatch: 150, MaxExecs: 3000,
-	})
-	if repNew.Fuzz.Execs != repOld.Fuzz.Execs ||
-		repNew.Fuzz.CorpusSize != repOld.Fuzz.CorpusSize ||
-		repNew.Fuzz.Escalations != repOld.Escalations ||
-		repNew.Fuzz.Solves != repOld.Solves ||
-		repNew.Queries != repOld.Queries {
-		t.Errorf("session and deprecated hybrid runs diverged:\n%+v %+v\n%+v", repNew.Fuzz, repNew, repOld)
 	}
 }

@@ -6,9 +6,9 @@ import "testing"
 // skipped, and the signature is order- and content-sensitive.
 func TestBucketize(t *testing.T) {
 	edge := make([]byte, 64)
-	edge[3] = 1   // bucket 1
-	edge[10] = 3  // bucket 4
-	edge[17] = 9  // bucket 16
+	edge[3] = 1    // bucket 1
+	edge[10] = 3   // bucket 4
+	edge[17] = 9   // bucket 16
 	edge[40] = 200 // bucket 128
 	cov, sig := bucketize(edge)
 	want := []edgeBit{{3, 1}, {10, 4}, {17, 16}, {40, 128}}

@@ -32,8 +32,14 @@ type Options struct {
 	// MaxInstrPerRun bounds one execution (0 = the snapshot's own
 	// Cfg.MaxInstr); runs that exhaust it are not findings.
 	MaxInstrPerRun uint64
-	MapBits        int // log2 of the edge map size (default 16 → 64 KiB)
-	MaxLen         int // mutation length cap (default 4096)
+	MapBits        int // log2 of the per-bank edge map size (default 16 → 64 KiB)
+	// States is the number of protocol-state coverage banks (stateful
+	// multi-packet guests; see iss.Core.ProtoStates). The edge map gets
+	// one bank per state — rounded up to a power of two — so the same
+	// edge reached in different protocol states counts as new coverage.
+	// 0 or 1 keeps the single flat map.
+	States int
+	MaxLen int // mutation length cap (default 4096)
 	// DetBytes bounds the deterministic stages to an input prefix so one
 	// long entry cannot monopolize the schedule (default 64).
 	DetBytes int
@@ -135,10 +141,11 @@ func New(snap *iss.Core, opt Options) *Fuzzer {
 		opt.DetBytes = 64
 	}
 	snap.Freeze()
+	mapLen := iss.EdgeBanks(opt.States) << opt.MapBits
 	f := &Fuzzer{
 		snap:    snap,
 		opt:     opt,
-		virgin:  make([]byte, 1<<opt.MapBits),
+		virgin:  make([]byte, mapLen),
 		sigs:    make(map[uint64]bool),
 		seenBug: make(map[findingKey]bool),
 		queue:   []queued{{data: []byte{}}},
@@ -149,7 +156,7 @@ func New(snap *iss.Core, opt Options) *Fuzzer {
 	for i := 0; i < opt.Workers; i++ {
 		f.ws = append(f.ws, &workerState{
 			rng:  rand.New(rand.NewSource(opt.Seed + int64(i)*0x9e3779b97f4a7c)),
-			edge: make([]byte, 1<<opt.MapBits),
+			edge: make([]byte, mapLen),
 		})
 	}
 	if m := opt.Obs.Registry(); m != nil {
@@ -408,15 +415,24 @@ func (f *Fuzzer) EscalationTarget() (data []byte, bound int, ok bool) {
 }
 
 // EdgeCovered reports whether any execution this campaign has taken the
-// control-flow edge from→to (virgin-map granularity, so hash collisions
-// can report false positives). The hybrid driver consults this before
-// paying solver time for a branch flip whose target the fuzzer already
-// reaches.
+// control-flow edge from→to in ANY protocol-state bank (virgin-map
+// granularity, so hash collisions can report false positives). The
+// hybrid driver consults this before paying solver time for a branch
+// flip whose target the fuzzer already reaches; checking all banks
+// keeps that filter conservative — a flip is only "new" when no state
+// has seen the edge.
 func (f *Fuzzer) EdgeCovered(from, to uint32) bool {
-	idx := iss.EdgeIndex(from, to, len(f.virgin))
+	banks := iss.EdgeBanks(f.opt.States)
+	bankLen := len(f.virgin) / banks
+	idx := int(iss.EdgeIndex(from, to, bankLen))
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.virgin[idx] != 0
+	for b := 0; b < banks; b++ {
+		if f.virgin[b*bankLen+idx] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SinceNewCover reports executions elapsed since coverage last grew —

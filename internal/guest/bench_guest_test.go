@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/cte"
@@ -89,8 +90,8 @@ func TestCounterSymbolicExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 1500})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 1500}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("counter has no bugs, found %v", rep.Findings)
 	}
@@ -112,8 +113,8 @@ func TestFibonacciSymbolicExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 200})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 200}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("fibonacci has no bugs, found %v", rep.Findings)
 	}
@@ -136,8 +137,8 @@ func TestQsortSymbolicExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 600})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 600}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("qsort-s: sort must be correct on every path, found %v", rep.Findings)
 	}

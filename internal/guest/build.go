@@ -41,6 +41,17 @@ type PeriphSpec struct {
 	BufSym       string
 }
 
+// ProtoSpec describes the stateful session shape of a multi-packet
+// guest: how many packets a session consumes, the per-packet symbolic
+// size caps, and which guest symbol holds the protocol-state byte that
+// the engines bank edge coverage by.
+type ProtoSpec struct {
+	Pkts     int    // packets per session (0 = single-packet guest)
+	Caps     []int  // per-packet size caps; last entry repeats
+	StateSym string // guest symbol holding the protocol-state byte
+	States   int    // number of protocol states for banked coverage
+}
+
 // Program describes a guest build.
 type Program struct {
 	Name        string
@@ -57,6 +68,9 @@ type Program struct {
 	// Compress enables the assembler's RV32C pass: eligible
 	// instructions are emitted as 16-bit compressed encodings.
 	Compress bool
+	// Proto is set for stateful multi-packet guests (zero value for
+	// single-packet ones).
+	Proto ProtoSpec
 }
 
 func (p *Program) defaults() {

@@ -50,9 +50,9 @@ func TestClassifyTCPIPFinding(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := ClassifyTCPIPFinding(elf, tc.kind, sym(tc.fn), tc.fixed)
+			got := Classify("tcpip", elf, tc.kind, sym(tc.fn), tc.fixed)
 			if got != tc.want {
-				t.Errorf("ClassifyTCPIPFinding(%s@%s, fixed=%06b) = %d, want %d",
+				t.Errorf("Classify(tcpip, %s@%s, fixed=%06b) = %d, want %d",
 					tc.kind, tc.fn, tc.fixed, got, tc.want)
 			}
 		})

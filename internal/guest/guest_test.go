@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/cte"
@@ -119,8 +120,8 @@ func TestSensorExampleBugFound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("exploration must find the sensor bug: %v", rep)
 	}
@@ -155,8 +156,8 @@ func TestSensorExampleFixedClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 200})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 200}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("fixed sensor must be clean, got %v", rep.Findings)
 	}
@@ -294,7 +295,7 @@ func TestCompressedSensorExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("compressed sensor exploration must find the bug: %v", rep)
 	}

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/cte"
@@ -14,21 +15,23 @@ import (
 // windows keep the solver in the loop — on this workload the gates are
 // comparison-shaped, so concrete mutation mostly serves to execute
 // solved inputs cheaply and harvest their neighborhoods.
-func tcpipHybridOptions(b *smt.Builder) cte.HybridOptions {
-	return cte.HybridOptions{
+func tcpipHybridOptions(b *smt.Builder) cte.Config {
+	return cte.Config{
+		Mode: cte.ModeHybrid,
 		// Query-cache reuse is part of the hybrid design: flip queries
 		// along sibling paths share long prefixes, which the cache's
 		// model-reuse and slicing exploit.
-		Cache: qcache.New(b, qcache.Options{}),
-		Seed:           1,
-		FuzzBatch:      200,
-		StallExecs:     200,
-		MaxExecs:       150_000,
-		MaxInstrPerRun: 2_000_000,
-		StopOnError:    true,
-		// The corpus grows into the hundreds on this stack; give the
-		// escalation rotation a full sweep before declaring exhaustion.
-		DryEscalations: 500,
+		Cache:       cte.CacheConfig{Queries: qcache.New(b, qcache.Options{})},
+		Seed:        1,
+		StopOnError: true,
+		Budget:      cte.Budget{MaxExecs: 150_000, MaxInstrPerRun: 2_000_000},
+		Fuzz: cte.FuzzConfig{
+			Batch:      200,
+			StallExecs: 200,
+			// The corpus grows into the hundreds on this stack; give the
+			// escalation rotation a full sweep before declaring exhaustion.
+			DryEscalations: 500,
+		},
 	}
 }
 
@@ -53,15 +56,15 @@ func TestTCPIPHybridFindFixRerun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := cte.RunHybrid(core, tcpipHybridOptions(b))
+		rep := cte.NewSession(core, tcpipHybridOptions(b)).Run(context.Background())
 		hybridQueries += rep.Queries
 		hybridExecs += rep.Fuzz.Execs
 		if len(rep.Findings) == 0 {
 			t.Fatalf("hybrid stage %d (fixed=%06b): no finding (stopped=%s execs=%d escalations=%d solves=%d)",
-				stage, fixed, rep.Stopped, rep.Fuzz.Execs, rep.Escalations, rep.Solves)
+				stage, fixed, rep.Stopped, rep.Fuzz.Execs, rep.Fuzz.Escalations, rep.Fuzz.Solves)
 		}
 		f := rep.Findings[0]
-		bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		bug := Classify("tcpip", elf, f.Err.Kind, f.Err.PC, fixed)
 		if bug == 0 {
 			t.Fatalf("hybrid stage %d: unclassifiable finding %v in %s", stage, f.Err, LocateFunc(elf, f.Err.PC))
 		}
@@ -72,7 +75,7 @@ func TestTCPIPHybridFindFixRerun(t *testing.T) {
 		fixed |= 1 << (bug - 1)
 		t.Logf("hybrid stage %d: bug %d (%v in %s) after %d execs, %d escalations, %d solves, %d queries, %.2fs solver, skip-init %d instr",
 			stage, bug, f.Err.Kind, LocateFunc(elf, f.Err.PC), rep.Fuzz.Execs,
-			rep.Escalations, rep.Solves, rep.Queries, rep.SolverTime.Seconds(), rep.SkipInitInstrs)
+			rep.Fuzz.Escalations, rep.Fuzz.Solves, rep.Queries, rep.SolverTime.Seconds(), rep.Fuzz.SkipInitInstrs)
 	}
 	for i := 1; i <= 6; i++ {
 		if !found[i] {
@@ -90,13 +93,13 @@ func TestTCPIPHybridFindFixRerun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := cte.New(core, cte.Options{MaxPaths: budgets[stage], StopOnError: true}).Run()
+		rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: budgets[stage]}}).Run(context.Background())
 		concolicQueries += rep.Queries
 		if len(rep.Findings) == 0 {
 			t.Fatalf("concolic stage %d: no finding", stage)
 		}
 		f := rep.Findings[0]
-		bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		bug := Classify("tcpip", elf, f.Err.Kind, f.Err.PC, fixed)
 		if bug == 0 {
 			t.Fatalf("concolic stage %d: unclassifiable finding", stage)
 		}
@@ -130,7 +133,7 @@ func TestTCPIPPureFuzzBaseline(t *testing.T) {
 	st := f.Stats()
 	var bugs []int
 	for _, fd := range f.Findings() {
-		if bug := ClassifyTCPIPFinding(elf, fd.Err.Kind, fd.Err.PC, 0); bug != 0 {
+		if bug := Classify("tcpip", elf, fd.Err.Kind, fd.Err.PC, 0); bug != 0 {
 			bugs = append(bugs, bug)
 		}
 	}

@@ -16,6 +16,8 @@ void CTE_free_protected_memory(void *addr);
 void cte_putchar(int c);
 void CTE_cancel_notify(void *fn);
 unsigned int CTE_is_symbolic(unsigned int v);
+void CTE_canary_arm(void *addr, unsigned int size);
+void CTE_canary_disarm(void *addr);
 
 void *memcpy(void *dst, const void *src, unsigned int n);
 void *memmove(void *dst, const void *src, unsigned int n);
@@ -274,9 +276,17 @@ void sensor_transport(unsigned int addr, unsigned char *data, unsigned int size,
 // (write 1: receive next packet -> raises IRQ), 0x4 RX_SIZE, 0x8
 // DMA_ADDR, 0xc DMA_START (copies the packet into guest memory).
 const netcardModel = `
+#ifndef NET_PKT_CAP
 #define NET_PKT_CAP 512
+#endif
 #ifndef NET_PKT_MAX
 #define NET_PKT_MAX 512
+#endif
+#ifdef NET_PKT_CAPS_FN
+/* Per-packet symbolic size caps: a session program provides
+   net_pkt_cap_for(packet_index) so packet k of a multi-packet sequence
+   gets its own bound (generated by guest.TCPIPSessionProgram). */
+unsigned int net_pkt_cap_for(unsigned int idx);
 #endif
 
 unsigned char net_packet[NET_PKT_CAP];
@@ -290,7 +300,11 @@ void plic_raise(unsigned int src);
 static void net_receive_packet(void) {
     CTE_make_symbolic(net_packet, NET_PKT_CAP, "pkt");
     CTE_make_symbolic(&net_rx_size, sizeof(net_rx_size), "N");
+#ifdef NET_PKT_CAPS_FN
+    CTE_assume(net_rx_size <= net_pkt_cap_for(net_pkts_injected));
+#else
     CTE_assume(net_rx_size <= NET_PKT_MAX);
+#endif
     net_pkts_injected++;
     plic_raise(3 /* NetcardIRQ */);
 }

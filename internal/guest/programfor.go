@@ -6,26 +6,50 @@ import (
 	"strings"
 )
 
+// ProgramOpts carries the build knobs shared by cmd/cte and campaign
+// workers: the same options must resolve to the same binary on every
+// machine, so a coordinator's program spec is portable.
+type ProgramOpts struct {
+	// Fix is a comma-separated list of seeded bug numbers to compile
+	// out (1-6 for tcpip, 7-9 for tcpip-session).
+	Fix string
+	// PktMax caps the symbolic packet length for single-packet guests
+	// (0 = program default). For tcpip-session it is the uniform
+	// per-packet cap when PktCaps is empty.
+	PktMax int
+	// Pkts is the session depth in packets for stateful guests
+	// (0 = program default).
+	Pkts int
+	// PktCaps holds per-packet symbolic size caps for stateful guests;
+	// the last entry repeats for deeper packets.
+	PktCaps []int
+}
+
 // ProgramFor resolves a program name — the -prog vocabulary of cmd/cte,
-// shared verbatim by campaign workers so a coordinator's program spec
-// means the same binary on every machine — to a buildable Program.
-//
-// fixList is a comma-separated list of Table-2 bug numbers (1–6) to
-// compile out, meaningful only for "tcpip"; pktMax caps the symbolic
-// packet length (0 = program default). Unknown names and malformed fix
-// entries are errors.
-func ProgramFor(name, fixList string, pktMax int) (Program, error) {
+// shared verbatim by campaign workers — to a buildable Program.
+// Unknown names and malformed fix entries are errors.
+func ProgramFor(name string, opts ProgramOpts) (Program, error) {
 	switch name {
 	case "sensor":
 		return SensorProgram(false), nil
 	case "sensor-fixed":
 		return SensorProgram(true), nil
 	case "tcpip":
-		fixed, err := ParseFixList(fixList)
+		fixed, err := ParseFixList(opts.Fix, 1, 6)
 		if err != nil {
 			return Program{}, err
 		}
-		return TCPIPProgram(fixed, pktMax), nil
+		return TCPIPProgram(fixed, opts.PktMax), nil
+	case "tcpip-session":
+		fixed, err := ParseFixList(opts.Fix, 7, 9)
+		if err != nil {
+			return Program{}, err
+		}
+		caps := opts.PktCaps
+		if len(caps) == 0 && opts.PktMax > 0 {
+			caps = []int{opts.PktMax}
+		}
+		return TCPIPSessionProgram(fixed, caps, opts.Pkts), nil
 	case "freertos-sensor":
 		return FreeRTOSSensorProgram(true, 2), nil
 	default:
@@ -36,17 +60,18 @@ func ProgramFor(name, fixList string, pktMax int) (Program, error) {
 	}
 }
 
-// ParseFixList parses a comma-separated list of tcpip bug numbers
-// ("2,5") into the fixed-bug bitmask TCPIPProgram takes. The empty
-// string is an empty mask.
-func ParseFixList(fixList string) (uint, error) {
+// ParseFixList parses a comma-separated list of seeded bug numbers
+// ("2,5") into the fixed-bug bitmask the tcpip and tcpip-session
+// builders take. Entries outside [lo, hi] — the guest's own bug
+// numbering — are errors. The empty string is an empty mask.
+func ParseFixList(fixList string, lo, hi int) (uint, error) {
 	var fixed uint
 	if fixList == "" {
 		return 0, nil
 	}
 	for _, s := range strings.Split(fixList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 || n > 6 {
+		if err != nil || n < lo || n > hi {
 			return 0, fmt.Errorf("bad -fix entry %q", s)
 		}
 		fixed |= 1 << (n - 1)

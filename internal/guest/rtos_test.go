@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/cte"
@@ -206,8 +207,8 @@ func TestFreeRTOSSensorSymbolic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 60})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 60}})
+	rep := eng.Run(context.Background())
 	// filter = 5 < MIN: the seeded sensor bug is dormant, so no findings;
 	// but multiple paths from the symbolic sensor range assumes.
 	for _, f := range rep.Findings {

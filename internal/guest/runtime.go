@@ -102,6 +102,18 @@ CTE_is_symbolic:
 	ecall
 	ret
 
+.globl CTE_canary_arm
+CTE_canary_arm:
+	li a7, 13
+	ecall
+	ret
+
+.globl CTE_canary_disarm
+CTE_canary_disarm:
+	li a7, 14
+	ecall
+	ret
+
 # Trap entry: saves caller-saved registers, calls the C-level handler
 # (trap_handler), restores and mret. Installed by runtime_init.
 .globl __trap_entry

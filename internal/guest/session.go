@@ -1,0 +1,272 @@
+package guest
+
+import "fmt"
+
+// mtcpSession is the stateful multi-packet protocol target: a miniature
+// TCP-like session state machine (LISTEN -> SYN_RCVD -> ESTABLISHED)
+// fed a *sequence* of NET_SESSION_PKTS symbolic packets through the
+// netcard peripheral. Where the single-packet mtcp stack seeds heap
+// overflows, this guest seeds the deeper bug classes of ROADMAP item 4
+// — each reachable only at packet depth >= 3 and individually fixable
+// with FIX_BUG7..FIX_BUG9 defines:
+//
+//  7. use-after-free: RST frees the session block but leaves the
+//     pointer dangling; a later DATA packet on the stats path
+//     (flags & 0x80) touches it (SYN, RST, DATA = 3 packets).
+//     Detected by the heap-uaf detector.
+//  8. stack smashing: DATA reassembly appends payloads into a 64-byte
+//     window with no cumulative bound; per-packet payloads are capped
+//     at 28 bytes, so overflowing into the armed canary tail needs
+//     three DATA packets (2 x 28 = 56 < 64 < 3 x 28). Detected by the
+//     stack-canary detector.
+//  9. IRQ-handler reentrancy: two magic ACKs arm a receive "fast
+//     path" that re-enables interrupts inside the netcard IRQ handler
+//     and requests the next packet from there — the third packet's IRQ
+//     then re-enters the still-active handler. Detected by the
+//     irq-reentrancy detector.
+//
+// Frame format (after the netcard DMA): f[0] = op (1 SYN, 2 ACK,
+// 3 DATA, 4 RST), f[1] = flags, f[2..3] reserved, f[4..] payload.
+// sess_state is the protocol-state byte the engines bank edge coverage
+// by (Program.Proto.StateSym).
+const mtcpSession = `
+/* ---- Fig. 5 heap guard wrappers (as in the mtcp stack) ---- */
+#define PROT_ZONE_SIZE 64
+
+void *__wrap_pvPortMalloc(unsigned int xWantedSize) {
+    unsigned int xSize = xWantedSize + 2 * PROT_ZONE_SIZE;
+    unsigned char *p = (unsigned char *)pvPortMalloc(xSize);
+    if (p == 0) return 0;
+    void *addr = (void *)(p + PROT_ZONE_SIZE);
+    CTE_register_protected_memory(addr, xWantedSize, PROT_ZONE_SIZE);
+    return addr;
+}
+
+void __wrap_vPortFree(void *pv) {
+    CTE_assert(pv != 0);
+    CTE_free_protected_memory(pv);
+    void *pv_real = (void *)((unsigned char *)pv - PROT_ZONE_SIZE);
+    vPortFree(pv_real);
+}
+
+#define pvPortMalloc __wrap_pvPortMalloc
+#define vPortFree __wrap_vPortFree
+
+/* ---- session state machine ---- */
+#define OP_SYN 1
+#define OP_ACK 2
+#define OP_DATA 3
+#define OP_RST 4
+
+#define SESS_LISTEN 0
+#define SESS_SYN_RCVD 1
+#define SESS_ESTABLISHED 2
+
+#define REASM_CAP 64
+
+typedef struct sess {
+    unsigned int rx_bytes;
+    unsigned int tx_bytes;
+    unsigned int flags;
+} sess_t;
+
+/* The protocol-state byte: engines bank edge coverage by it. */
+unsigned char sess_state = SESS_LISTEN;
+
+sess_t *cur_sess = 0;
+unsigned int sess_acks = 0;
+volatile unsigned int sess_fastpath = 0;
+
+/* Reassembly window: logical capacity REASM_CAP; the 32-byte tail is
+   armed as a canary region at boot. */
+unsigned char sess_reasm[96];
+unsigned int sess_off = 0;
+
+void prvSessionInput(unsigned char *f, unsigned int n) {
+    unsigned int op = f[0];
+    unsigned int flags = f[1];
+    unsigned int plen = n - 4;
+
+    if (op == OP_SYN) {
+        if (sess_state == SESS_LISTEN) {
+            if (cur_sess == 0) {
+                cur_sess = (sess_t *)pvPortMalloc(sizeof(sess_t));
+                if (cur_sess == 0) return;
+                cur_sess->rx_bytes = 0;
+                cur_sess->tx_bytes = 0;
+                cur_sess->flags = flags;
+            }
+            sess_state = SESS_SYN_RCVD;
+        }
+    } else if (op == OP_ACK) {
+        if (sess_state == SESS_SYN_RCVD) sess_state = SESS_ESTABLISHED;
+        if (flags == 0x5A) {
+            sess_acks = sess_acks + 1;
+            if (sess_acks >= 2) sess_fastpath = 1;
+        }
+    } else if (op == OP_DATA) {
+        if (flags & 0x80) {
+            /* Stats path. BUG7 when unfixed: after an RST freed the
+               session block, cur_sess still points at it. */
+            if (cur_sess != 0) {
+                cur_sess->rx_bytes = cur_sess->rx_bytes + plen;
+            }
+        } else {
+            /* Reassembly path. BUG8 when unfixed: no cumulative bound
+               on the appended payload total. */
+#ifdef FIX_BUG8
+            if (sess_off >= REASM_CAP) return;
+            if (plen > REASM_CAP - sess_off) plen = REASM_CAP - sess_off;
+#endif
+            memcpy(sess_reasm + sess_off, f + 4, plen);
+            sess_off = sess_off + plen;
+        }
+    } else if (op == OP_RST) {
+        if (cur_sess != 0) {
+            vPortFree((void *)cur_sess);
+#ifdef FIX_BUG7
+            cur_sess = 0;
+#endif
+        }
+        sess_state = SESS_LISTEN;
+        sess_off = 0;
+    }
+}
+`
+
+// mtcpSessionApp drives the session: one task requests NET_SESSION_PKTS
+// packets from the netcard, DMAs each into a static frame buffer and
+// feeds it to prvSessionInput — packet N is fully processed before
+// packet N+1 is requested, so session state at packet k depends on the
+// whole prefix. The netcard IRQ handler carries the bug-9 fast path.
+const mtcpSessionApp = `
+#ifndef NET_SESSION_PKTS
+#define NET_SESSION_PKTS 3
+#endif
+#ifndef NET_PKT_CAP
+#define NET_PKT_CAP 64
+#endif
+
+unsigned int *NET_CTRL = (unsigned int *)0x10030000;
+unsigned int *NET_RX_SIZE = (unsigned int *)0x10030004;
+unsigned int *NET_DMA_ADDR = (unsigned int *)0x10030008;
+unsigned int *NET_DMA_START = (unsigned int *)0x1003000c;
+
+volatile unsigned int net_irq_seen = 0;
+unsigned int reent_kick = 0;
+extern volatile unsigned int sess_fastpath;
+
+unsigned char rx_frame[NET_PKT_CAP];
+unsigned char sess_canary_probe = 0;
+unsigned int sess_stack[768];
+
+void prvSessionInput(unsigned char *f, unsigned int n);
+extern unsigned char sess_reasm[96];
+
+void net_irq_handler(void) {
+    net_irq_seen = 1;
+#ifndef FIX_BUG9
+    /* BUG9 when unfixed: the receive fast path re-enables interrupts
+       inside the handler and immediately requests the next packet, so
+       its IRQ re-enters this still-active handler. */
+    if (sess_fastpath && reent_kick < 2) {
+        reent_kick = reent_kick + 1;
+        __enable_mie();
+        *NET_CTRL = 1;
+    }
+#endif
+}
+
+void vSessionTask(void *arg) {
+    unsigned int k;
+    register_interrupt_handler(3 /* netcard */, net_irq_handler);
+    for (k = 0; k < NET_SESSION_PKTS; k++) {
+        *NET_CTRL = 1;               /* request the next symbolic packet */
+        while (!net_irq_seen) {
+            vTaskDelay(1);
+        }
+        net_irq_seen = 0;
+        unsigned int size = *NET_RX_SIZE;
+        if (size >= 4 && size <= NET_PKT_CAP) {
+            *NET_DMA_ADDR = (unsigned int)rx_frame;
+            *NET_DMA_START = 1;
+            prvSessionInput(rx_frame, size);
+        }
+        /* else: undersized/oversized frame dropped; the slot is spent */
+    }
+    CTE_exit(0);
+}
+
+int main(void) {
+    /* Arm the canary over the reassembly window's tail (no-op unless
+       the stack-canary detector is attached). */
+    CTE_canary_arm(sess_reasm + 64, 32);
+    xTaskCreate(vSessionTask, "sess", sess_stack, 768, (void *)0, 2);
+    vTaskStartScheduler();
+    return 0;
+}
+`
+
+// TCPIPSessionProgram builds the stateful multi-packet session target
+// with the given bugs fixed (bitmask, bit 6 = FIX_BUG7 ... bit 8 =
+// FIX_BUG9; the tcpip bits 0-5 are ignored). pktCaps holds per-packet
+// symbolic size caps — packet k is bounded by pktCaps[k], with the
+// last entry repeating for deeper packets; nil defaults every packet
+// to 32 bytes. pkts is the session depth in packets (default 3).
+func TCPIPSessionProgram(fixedBugs uint, pktCaps []int, pkts int) Program {
+	if pkts <= 0 {
+		pkts = 3
+	}
+	if len(pktCaps) == 0 {
+		pktCaps = []int{32}
+	}
+	caps := make([]int, len(pktCaps))
+	for i, c := range pktCaps {
+		if c < 8 {
+			c = 8
+		}
+		if c > 64 {
+			c = 64
+		}
+		caps[i] = c
+	}
+	// Per-packet symbolic sizing: the netcard asks this function for
+	// packet k's bound (NET_PKT_CAPS_FN in periph.go).
+	capsSrc := "unsigned int net_pkt_cap_for(unsigned int idx) {\n"
+	for i := 0; i < len(caps)-1; i++ {
+		capsSrc += fmt.Sprintf("    if (idx == %d) return %d;\n", i, caps[i])
+	}
+	capsSrc += fmt.Sprintf("    return %d;\n}\n", caps[len(caps)-1])
+
+	periphSrcs, specs := RTOSPeriphs()
+	defines := map[string]string{
+		"NET_PKT_CAP":      "64",
+		"NET_PKT_CAPS_FN":  "1",
+		"NET_SESSION_PKTS": itoa(pkts),
+	}
+	for i := 6; i < 9; i++ {
+		if fixedBugs&(1<<i) != 0 {
+			defines["FIX_BUG"+itoa(i+1)] = "1"
+		}
+	}
+	srcs := append([]Source{}, RTOSSources()...)
+	srcs = append(srcs, periphSrcs...)
+	srcs = append(srcs,
+		C("caps.c", capsSrc),
+		C("session.c", mrtosHeader+mtcpSession),
+		C("sessapp.c", mrtosHeader+mtcpSessionApp),
+	)
+	return Program{
+		Name:        "freertos-tcpip-session",
+		Sources:     srcs,
+		Peripherals: specs,
+		Defines:     defines,
+		MaxInstr:    30_000_000,
+		Proto: ProtoSpec{
+			Pkts:     pkts,
+			Caps:     caps,
+			StateSym: "sess_state",
+			States:   4,
+		},
+	}
+}

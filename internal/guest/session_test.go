@@ -1,0 +1,159 @@
+package guest
+
+import (
+	"testing"
+
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// sessPkt encodes one packet of the netcard's fuzz-input stream: 64
+// frame bytes (NET_PKT_CAP) followed by the 4-byte little-endian
+// symbolic size, matching the make-symbolic order in net_receive_packet.
+func sessPkt(frame []byte, size int) []byte {
+	buf := make([]byte, 68)
+	copy(buf, frame)
+	buf[64] = byte(size)
+	buf[65] = byte(size >> 8)
+	buf[66] = byte(size >> 16)
+	buf[67] = byte(size >> 24)
+	return buf
+}
+
+// runSession replays a concrete packet sequence against a
+// depth-len(pkts) session guest with the given detector set and
+// returns the core.
+func runSession(t *testing.T, fixed uint, detectors []string, pkts ...[]byte) *iss.Core {
+	t.Helper()
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, TCPIPSessionProgram(fixed, nil, len(pkts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.AttachDetectorSet(detectors); err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	for _, p := range pkts {
+		stream = append(stream, p...)
+	}
+	core.ConcreteOnly = true
+	core.FuzzInput = stream
+	core.Run(0)
+	return core
+}
+
+// TestSessionSinglePath sanity-checks plain execution: all-zero packets
+// have size 0 < 4, are dropped by the driver, and the session task exits
+// after spending its NET_SESSION_PKTS slots.
+func TestSessionSinglePath(t *testing.T) {
+	b := smt.NewBuilder()
+	core, _, err := NewCore(b, TCPIPSessionProgram(0, nil, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Run(0)
+	if core.Err != nil {
+		t.Fatalf("single path error: %v (pc=%#x)", core.Err, core.PC)
+	}
+	if !core.Exited {
+		t.Fatal("must exit after three dropped packets")
+	}
+}
+
+// The three deep bugs, each replayed concretely at its minimal depth of
+// three packets with the matching detector attached.
+
+func TestSessionBug7UAFFires(t *testing.T) {
+	core := runSession(t, 0, []string{"heap-guard", "heap-uaf"},
+		sessPkt([]byte{1}, 4),       // SYN: allocate session
+		sessPkt([]byte{4}, 4),       // RST: free it, pointer dangles
+		sessPkt([]byte{3, 0x80}, 5), // DATA stats: touch freed block
+	)
+	if core.Err == nil || core.Err.Kind != iss.ErrUseAfterFree {
+		t.Fatalf("want ErrUseAfterFree, got %v", core.Err)
+	}
+}
+
+func TestSessionBug8CanaryFires(t *testing.T) {
+	data := make([]byte, 64)
+	data[0] = 3 // DATA, flags 0 -> reassembly path, plen = 28
+	core := runSession(t, 0, []string{"heap-guard", "stack-canary"},
+		sessPkt(data, 32), sessPkt(data, 32), sessPkt(data, 32),
+	)
+	if core.Err == nil || core.Err.Kind != iss.ErrStackSmash {
+		t.Fatalf("want ErrStackSmash, got %v", core.Err)
+	}
+}
+
+func TestSessionBug9ReentrancyFires(t *testing.T) {
+	ack := []byte{2, 0x5A} // magic ACK arms the fast path at the 2nd
+	core := runSession(t, 0, []string{"heap-guard", "irq-reentrancy"},
+		sessPkt(ack, 4), sessPkt(ack, 4), sessPkt([]byte{1}, 4),
+	)
+	if core.Err == nil || core.Err.Kind != iss.ErrIRQReentrancy {
+		t.Fatalf("want ErrIRQReentrancy, got %v", core.Err)
+	}
+}
+
+// TestSessionDepthTwoClean: the same attack prefixes truncated to two
+// packets stay clean — the seeded bugs genuinely need depth >= 3.
+func TestSessionDepthTwoClean(t *testing.T) {
+	data := make([]byte, 64)
+	data[0] = 3
+	for name, pkts := range map[string][][]byte{
+		"uaf":    {sessPkt([]byte{1}, 4), sessPkt([]byte{4}, 4)},
+		"canary": {sessPkt(data, 32), sessPkt(data, 32)},
+		"reent":  {sessPkt([]byte{2, 0x5A}, 4), sessPkt([]byte{2, 0x5A}, 4)},
+	} {
+		core := runSession(t, 0, []string{"all"}, pkts...)
+		if core.Err != nil {
+			t.Errorf("%s prefix at depth 2: unexpected %v", name, core.Err)
+		}
+		if !core.Exited {
+			t.Errorf("%s prefix at depth 2: did not exit", name)
+		}
+	}
+}
+
+// TestSessionUnregisteredDetectorsNeverFire: without the matching
+// detector attached, the buggy traces run to completion — the stock
+// heap-guard set alone reports nothing for the three deep bugs.
+func TestSessionUnregisteredDetectorsNeverFire(t *testing.T) {
+	data := make([]byte, 64)
+	data[0] = 3
+	for name, pkts := range map[string][][]byte{
+		"uaf":    {sessPkt([]byte{1}, 4), sessPkt([]byte{4}, 4), sessPkt([]byte{3, 0x80}, 5)},
+		"canary": {sessPkt(data, 32), sessPkt(data, 32), sessPkt(data, 32)},
+		"reent":  {sessPkt([]byte{2, 0x5A}, 4), sessPkt([]byte{2, 0x5A}, 4), sessPkt([]byte{1}, 4)},
+	} {
+		core := runSession(t, 0, []string{"heap-guard"}, pkts...)
+		if core.Err != nil {
+			t.Errorf("%s without its detector: unexpected %v", name, core.Err)
+		}
+		if !core.Exited {
+			t.Errorf("%s without its detector: did not exit", name)
+		}
+	}
+}
+
+// TestSessionFixedClean: with FIX_BUG7..9 compiled in, the full
+// detector set finds nothing on the three attack sequences.
+func TestSessionFixedClean(t *testing.T) {
+	data := make([]byte, 64)
+	data[0] = 3
+	fixed := uint(1<<6 | 1<<7 | 1<<8)
+	for name, pkts := range map[string][][]byte{
+		"uaf":    {sessPkt([]byte{1}, 4), sessPkt([]byte{4}, 4), sessPkt([]byte{3, 0x80}, 5)},
+		"canary": {sessPkt(data, 32), sessPkt(data, 32), sessPkt(data, 32)},
+		"reent":  {sessPkt([]byte{2, 0x5A}, 4), sessPkt([]byte{2, 0x5A}, 4), sessPkt([]byte{1}, 4)},
+	} {
+		core := runSession(t, fixed, []string{"all"}, pkts...)
+		if core.Err != nil {
+			t.Errorf("%s with fixes: unexpected %v", name, core.Err)
+		}
+		if !core.Exited {
+			t.Errorf("%s with fixes: did not exit", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,8 +20,8 @@ func exploreTCPIP(t *testing.T, fixedBugs uint, maxPaths int) (*cte.Report, *smt
 		t.Fatal(err)
 	}
 	_ = elf
-	eng := cte.New(core, cte.Options{MaxPaths: maxPaths, StopOnError: true})
-	return eng.Run(), b, core
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: maxPaths}})
+	return eng.Run(context.Background()), b, core
 }
 
 func isHeapOverflow(k iss.ErrKind) bool {
@@ -36,8 +37,8 @@ func TestTCPIPBug1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 400, StopOnError: true})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 400}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("bug 1 not found: %v", rep)
 	}
@@ -45,7 +46,7 @@ func TestTCPIPBug1(t *testing.T) {
 	if !isHeapOverflow(f.Err.Kind) {
 		t.Fatalf("expected a heap overflow, got %v", f.Err)
 	}
-	if bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, 0); bug != 1 {
+	if bug := Classify("tcpip", elf, f.Err.Kind, f.Err.PC, 0); bug != 1 {
 		t.Fatalf("first finding should be bug 1, classified as %d (%v in %s)",
 			bug, f.Err, LocateFunc(elf, f.Err.PC))
 	}
@@ -73,13 +74,13 @@ func TestTCPIPFindFixRerun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng := cte.New(core, cte.Options{MaxPaths: budgets[stage], StopOnError: true})
-		rep := eng.Run()
+		eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: budgets[stage]}})
+		rep := eng.Run(context.Background())
 		if len(rep.Findings) == 0 {
 			t.Fatalf("stage %d (fixed=%06b): no error found in %d paths", stage, fixed, rep.Paths)
 		}
 		f := rep.Findings[0]
-		bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, fixed)
+		bug := Classify("tcpip", elf, f.Err.Kind, f.Err.PC, fixed)
 		if bug == 0 {
 			t.Fatalf("stage %d: unclassifiable finding %v in %s", stage, f.Err, LocateFunc(elf, f.Err.PC))
 		}
@@ -104,8 +105,8 @@ func TestTCPIPFindFixRerun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 600})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 600}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Errorf("all-fixed stack must be clean, found %v", rep.Findings)
 	}
@@ -120,8 +121,8 @@ func TestTCPIPAllFixed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 400})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 400}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("fixed stack must be clean, found %v", rep.Findings)
 	}
@@ -158,8 +159,8 @@ func TestTCPIPChecksumValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := cte.New(core, cte.Options{MaxPaths: 1500, StopOnError: true})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 1500}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("bug 1 must be reachable through the checksum: %v", rep)
 	}
@@ -167,7 +168,7 @@ func TestTCPIPChecksumValidation(t *testing.T) {
 	if !isHeapOverflow(f.Err.Kind) {
 		t.Fatalf("kind: %v", f.Err)
 	}
-	if bug := ClassifyTCPIPFinding(elf, f.Err.Kind, f.Err.PC, 0); bug != 1 {
+	if bug := Classify("tcpip", elf, f.Err.Kind, f.Err.PC, 0); bug != 1 {
 		t.Errorf("expected bug 1 first, got %d", bug)
 	}
 	// Verify the model really carries a valid checksum: fold the summed

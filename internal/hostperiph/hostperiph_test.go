@@ -1,6 +1,7 @@
 package hostperiph
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/cte"
@@ -32,8 +33,8 @@ func buildHostSensorSystem(t testing.TB, fixed bool) (*iss.Core, *smt.Builder) {
 // violating input region.
 func TestHostModelFindsSameBug(t *testing.T) {
 	core, b := buildHostSensorSystem(t, false)
-	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("host-model exploration must find the sensor bug: %v", rep)
 	}
@@ -56,7 +57,7 @@ func TestHostModelFindsSameBug(t *testing.T) {
 // host-model system explores cleanly.
 func TestHostModelFixedClean(t *testing.T) {
 	core, _ := buildHostSensorSystem(t, true)
-	rep := cte.New(core, cte.Options{MaxPaths: 200}).Run()
+	rep := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 200}}).Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("fixed host sensor must be clean: %v", rep.Findings)
 	}
@@ -70,7 +71,7 @@ func TestHostModelFixedClean(t *testing.T) {
 func TestHostModelCloneIsolation(t *testing.T) {
 	core, _ := buildHostSensorSystem(t, false)
 	var filters []uint32
-	eng := cte.New(core, cte.Options{MaxPaths: 16})
+	eng := cte.NewSession(core, cte.Config{Budget: cte.Budget{MaxPaths: 16}})
 	eng.OnPath = func(_ int, c *iss.Core) {
 		for i := range c.Peripherals {
 			if s, ok := c.Peripherals[i].Host.(*Sensor); ok {
@@ -78,7 +79,7 @@ func TestHostModelCloneIsolation(t *testing.T) {
 			}
 		}
 	}
-	eng.Run()
+	eng.Run(context.Background())
 	// The base snapshot's sensor must remain untouched.
 	for i := range core.Peripherals {
 		if s, ok := core.Peripherals[i].Host.(*Sensor); ok {
@@ -110,7 +111,7 @@ func BenchmarkPeripheralIntegration(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+			rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 			if len(rep.Findings) == 0 {
 				b.Fatal("bug not found")
 			}
@@ -119,7 +120,7 @@ func BenchmarkPeripheralIntegration(b *testing.B) {
 	b.Run("host-model", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core, _ := buildHostSensorSystem(b, false)
-			rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+			rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 			if len(rep.Findings) == 0 {
 				b.Fatal("bug not found")
 			}

@@ -288,6 +288,12 @@ func (c *Core) noteMemWrite(addr uint32, n int) {
 		// Any memory mutation ends the window in which consecutive fork
 		// checkpoints may share one memory snapshot (captureFork).
 		c.capMemo = nil
+		// A write covering the protocol-state byte re-reads it at the
+		// next instruction boundary (the hook fires before the bytes
+		// land, so the new value is not visible yet).
+		if c.ProtoStateAddr != 0 && addr <= c.ProtoStateAddr && c.ProtoStateAddr-addr < uint32(n) {
+			c.protoDirty = true
+		}
 	}
 	bc := c.bb
 	if bc == nil || n <= 0 {

@@ -58,6 +58,10 @@ const (
 	ErrBadFree
 	ErrDeadlock // wfi with no pending event source
 	ErrLimit    // instruction budget exhausted
+	// Detector-raised kinds (detect.go).
+	ErrUseAfterFree  // access to a quarantined freed heap block
+	ErrStackSmash    // write into an armed stack/buffer canary region
+	ErrIRQReentrancy // same-cause nested interrupt handler entry
 )
 
 var errKindNames = map[ErrKind]string{
@@ -68,6 +72,8 @@ var errKindNames = map[ErrKind]string{
 	ErrProtectedRead: "heap buffer overflow (read)", ErrProtectedWrite: "heap buffer overflow (write)",
 	ErrDoubleFree: "double free", ErrBadFree: "free of non-allocated block",
 	ErrDeadlock: "wfi deadlock", ErrLimit: "instruction limit exceeded",
+	ErrUseAfterFree: "heap use after free", ErrStackSmash: "stack smashing (canary write)",
+	ErrIRQReentrancy: "irq handler reentrancy",
 }
 
 func (k ErrKind) String() string {
@@ -292,9 +298,34 @@ type Core struct {
 	// (AFL-style; the length must be a power of two). Unlike the
 	// Coverage map it costs one multiply, one xor and a saturating
 	// increment per retired instruction — cheap enough for fuzzing
-	// throughput.
+	// throughput. With ProtoStates > 1 the map is split into that many
+	// equal power-of-two banks and each edge lands in the bank selected
+	// by the guest's current protocol state (stateful-fuzzer
+	// state × edge coverage): revisiting an edge in a new protocol
+	// state counts as new coverage.
 	EdgeMap []byte
 	prevLoc uint32
+
+	// ProtoStateAddr, when non-zero, names the guest byte holding the
+	// protocol state (e.g. a TCP session state variable). Writes that
+	// cover the address re-read it at the next instruction boundary:
+	// the edge map switches to the bank for the new state (clamped to
+	// ProtoStates-1) and ProtoProbe, when set, observes the transition —
+	// the inter-packet guest-state probe of multi-packet campaigns.
+	ProtoStateAddr uint32
+	ProtoStates    int
+	ProtoProbe     func(c *Core, state uint32)
+	protoBank      uint32
+	protoDirty     bool
+	edgeMask       uint32 // per-bank index mask; 0 = not yet derived
+
+	// Pluggable bug detectors (detect.go) with per-event dispatch
+	// slices derived by deriveDetectors.
+	detectors []Detector
+	accessDet []AccessDetector
+	heapDet   []HeapDetector
+	trapDet   []TrapDetector
+	canaryDet []CanaryDetector
 
 	// TraceDepth keeps a ring buffer of the last N executed
 	// instructions for error diagnosis (0 disables).
@@ -366,9 +397,9 @@ type Core struct {
 	stepUnsafe bool
 	// Pre-instruction rewind state for mid-instruction TC emission
 	// (recordPreState), valid only while CaptureForks is set.
-	preEPCLen  int
-	preSite    int
-	preRingLen int
+	preEPCLen   int
+	preSite     int
+	preRingLen  int
 	preRingNext int
 	// outSym shadows Output with the symbolic expression of each byte that
 	// was printed from a symbolic value (nil for concrete bytes); indexes
@@ -406,6 +437,7 @@ func New(b *smt.Builder, cfg Config) *Core {
 	c.Regs[2] = concolic.Concrete(cfg.StackTop)
 	c.bb = newBBCache(cfg.RamBase, cfg.RamSize)
 	c.Mem.OnWrite = c.noteMemWrite
+	c.SetDetectors(DefaultDetectors()...)
 	return c
 }
 
@@ -479,6 +511,12 @@ func (c *Core) cloneNoMem() *Core {
 	n.SymOrder = nil
 	n.EdgeMap = nil
 	n.prevLoc = 0
+	n.edgeMask = 0
+	n.protoBank = 0
+	n.protoDirty = false
+	// Detector state (UAF quarantines, armed canaries, active IRQ
+	// causes) is per-path and forks with the clone.
+	c.cloneDetectorsInto(n)
 	// The clone shares the immutable frozen block layer (if any) and
 	// rebuilds its private layer lazily; it invalidates against its own
 	// memory writes through its own hook.
@@ -636,9 +674,15 @@ func (c *Core) Step() {
 	if !ok {
 		return
 	}
+	if c.protoDirty {
+		c.protoRefresh()
+	}
 	if c.EdgeMap != nil {
+		if c.edgeMask == 0 {
+			c.initEdgeBank()
+		}
 		cur := (c.PC >> 1) * 0x9e3779b1
-		idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+		idx := c.protoBank + (cur^c.prevLoc)&c.edgeMask
 		if c.EdgeMap[idx] != 0xff {
 			c.EdgeMap[idx]++
 		}
@@ -840,7 +884,65 @@ func (c *Core) takeInterrupt() bool {
 	c.MStatus = c.MStatus&^mpieBit | (c.MStatus&mieBit)<<4
 	c.MStatus &^= mieBit
 	c.PC = c.MTVec &^ 3
+	for _, d := range c.trapDet {
+		if err := d.OnTrap(c, cause); err != nil {
+			if c.Err == nil {
+				c.Err = err
+			}
+			break
+		}
+	}
 	return true
+}
+
+// EdgeBanks resolves a protocol-state count to the edge-map bank count:
+// the next power of two, so every bank length stays a power of two and
+// the in-bank index can be a mask. 0 and 1 states mean one bank.
+func EdgeBanks(states int) int {
+	banks := 1
+	for banks < states {
+		banks <<= 1
+	}
+	return banks
+}
+
+// initEdgeBank derives the per-bank index mask from the installed edge
+// map and the configured protocol-state bank count, then resolves the
+// current bank. Called lazily on the first edge-map update after a map
+// is installed (cloneNoMem resets the mask).
+func (c *Core) initEdgeBank() {
+	banks := EdgeBanks(c.ProtoStates)
+	bankLen := len(c.EdgeMap) / banks
+	if bankLen < 2 {
+		bankLen = len(c.EdgeMap)
+	}
+	c.edgeMask = uint32(bankLen - 1)
+	c.protoRefresh()
+}
+
+// protoRefresh re-reads the protocol-state byte after a write covered
+// it: fires the inter-packet probe and switches the edge-map bank.
+func (c *Core) protoRefresh() {
+	c.protoDirty = false
+	if c.ProtoStateAddr == 0 {
+		return
+	}
+	b, _ := c.Mem.LoadByteRaw(c.ProtoStateAddr)
+	st := uint32(b)
+	if c.ProtoStates > 1 && st >= uint32(c.ProtoStates) {
+		st = uint32(c.ProtoStates) - 1
+	}
+	if c.ProtoProbe != nil {
+		c.ProtoProbe(c, st)
+	}
+	if c.EdgeMap != nil && c.ProtoStates > 1 && c.edgeMask != 0 {
+		bank := st * (c.edgeMask + 1)
+		// A map too small to hold one bank per state fell back to a
+		// single shared bank in initEdgeBank; don't index past it.
+		if int(bank)+int(c.edgeMask) < len(c.EdgeMap) {
+			c.protoBank = bank
+		}
+	}
 }
 
 // WaitForInterrupt implements WFI: fast-forward the cycle counter to the

@@ -23,6 +23,8 @@ const (
 	SysPutChar         = 10 // putchar(ch)
 	SysCancelNotify    = 11 // CTE_cancel_notify(fn)
 	SysIsSymbolic      = 12 // CTE_is_symbolic(value) -> 0/1
+	SysCanaryArm       = 13 // CTE_canary_arm(addr, size)
+	SysCanaryDisarm    = 14 // CTE_canary_disarm(addr)
 )
 
 // ecall dispatches a CTE-interface call.
@@ -150,31 +152,38 @@ func (c *Core) ecall() {
 		c.zones = append(c.zones,
 			Zone{Start: addr - zone, Size: zone, Block: addr},
 			Zone{Start: addr + size, Size: zone, Block: addr})
+		for _, d := range c.heapDet {
+			d.OnProtect(c, addr, size)
+		}
 
 	case SysFreeProtect:
 		addr := c.concretize(a0, "free addr")
-		if addr == 0 {
-			c.fail(ErrBadFree, addr, "free(NULL)")
-			return
-		}
+		// Derive the block size from its post-guard zone (Start ==
+		// block+size) before removal, then strip both guard zones and
+		// let the heap detectors classify the event: heap-guard raises
+		// free(NULL)/double-free/bad-free, heap-uaf quarantines the
+		// freed range.
+		var size uint32
 		removed := 0
 		kept := c.zones[:0]
 		for _, z := range c.zones {
-			if z.Block == addr {
+			if z.Block == addr && addr != 0 {
+				if z.Start > addr {
+					size = z.Start - addr
+				}
 				removed++
 				continue
 			}
 			kept = append(kept, z)
 		}
 		c.zones = kept
-		switch removed {
-		case 2:
-			// ok: both guard zones removed
-		case 0:
-			// Double free or free of a non-allocated block.
-			c.fail(ErrDoubleFree, addr, "no protected zones registered for block")
-		default:
-			c.fail(ErrBadFree, addr, "inconsistent protected zones")
+		for _, d := range c.heapDet {
+			if err := d.OnUnprotect(c, addr, size, removed); err != nil {
+				if c.Err == nil {
+					c.Err = err
+				}
+				return
+			}
 		}
 
 	case SysPutChar:
@@ -203,6 +212,19 @@ func (c *Core) ecall() {
 			c.setReg(10, concolic.Concrete(1))
 		} else {
 			c.setReg(10, concolic.Concrete(0))
+		}
+
+	case SysCanaryArm:
+		addr := c.concretize(a0, "canary addr")
+		size := c.concretize(a1, "canary size")
+		for _, d := range c.canaryDet {
+			d.Arm(c, addr, size)
+		}
+
+	case SysCanaryDisarm:
+		addr := c.concretize(a0, "canary addr")
+		for _, d := range c.canaryDet {
+			d.Disarm(c, addr)
 		}
 
 	default:

@@ -1,0 +1,134 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+
+	"rvcte/internal/smt"
+)
+
+func detTestCore() *Core {
+	return New(smt.NewBuilder(), Config{RamBase: 0x80000000, RamSize: 1 << 16})
+}
+
+// TestRegisteredDetectorKinds: the four built-in detectors are
+// constructible by name and report the kind they were registered under;
+// unknown names fail with the registered set in the message.
+func TestRegisteredDetectorKinds(t *testing.T) {
+	kinds := RegisteredDetectors()
+	for _, want := range []string{KindHeapGuard, KindHeapUAF, KindStackCanary, KindIRQReentrancy} {
+		found := false
+		for _, k := range kinds {
+			found = found || k == want
+		}
+		if !found {
+			t.Errorf("kind %q not registered (got %v)", want, kinds)
+		}
+		d, err := NewDetector(want)
+		if err != nil {
+			t.Errorf("NewDetector(%q): %v", want, err)
+		} else if d.Kind() != want {
+			t.Errorf("NewDetector(%q).Kind() = %q", want, d.Kind())
+		}
+	}
+	if _, err := NewDetector("bogus"); err == nil {
+		t.Error("unknown detector must fail")
+	} else if !strings.Contains(err.Error(), KindHeapGuard) {
+		t.Errorf("error should list the registered kinds: %v", err)
+	}
+}
+
+// TestAttachDetectorSet pins the attachment contract used by
+// cte.NewSession and the campaign runner: nil keeps the current set, a
+// name list replaces it, "all" expands to every registered kind, and a
+// bad name leaves the set untouched.
+func TestAttachDetectorSet(t *testing.T) {
+	c := detTestCore()
+	if got := c.DetectorKinds(); len(got) != 1 || got[0] != KindHeapGuard {
+		t.Fatalf("stock set = %v, want [%s]", got, KindHeapGuard)
+	}
+	if err := c.AttachDetectorSet(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DetectorKinds(); len(got) != 1 || got[0] != KindHeapGuard {
+		t.Fatalf("nil must keep the set, got %v", got)
+	}
+	if err := c.AttachDetectorSet([]string{KindHeapUAF, KindStackCanary}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DetectorKinds(); len(got) != 2 || got[0] != KindHeapUAF || got[1] != KindStackCanary {
+		t.Fatalf("explicit list not honored: %v", got)
+	}
+	if err := c.AttachDetectorSet([]string{"no-such-detector"}); err == nil {
+		t.Fatal("bad name must fail")
+	}
+	if got := c.DetectorKinds(); len(got) != 2 {
+		t.Fatalf("failed attach must not change the set: %v", got)
+	}
+	if err := c.AttachDetectorSet([]string{"all"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DetectorKinds(); len(got) != len(RegisteredDetectors()) {
+		t.Fatalf(`"all" = %v, want every registered kind`, got)
+	}
+}
+
+// TestDetectorKindsSurviveClone: clones carry their own deep-copied
+// detector list (per-path state must fork with the path).
+func TestDetectorKindsSurviveClone(t *testing.T) {
+	c := detTestCore()
+	if err := c.AttachDetectorSet([]string{"all"}); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Clone()
+	if got, want := n.DetectorKinds(), c.DetectorKinds(); len(got) != len(want) {
+		t.Fatalf("clone kinds %v != parent %v", got, want)
+	}
+	for i, d := range n.detectors {
+		if d == c.detectors[i] && d.Kind() != KindHeapGuard { // heapGuard is stateless, shared by design
+			t.Errorf("stateful detector %q shared between clone and parent", d.Kind())
+		}
+	}
+}
+
+// TestDetectorCloneIsolation: mutating a detector after CloneDetector
+// must not leak into the copy — UAF quarantines, armed canaries and
+// active IRQ causes are per-path state.
+func TestDetectorCloneIsolation(t *testing.T) {
+	u := newHeapUAF()
+	u.freed = append(u.freed, freedRange{start: 0x100, end: 0x200})
+	uc := u.CloneDetector().(*heapUAF)
+	u.freed[0].start = 0x500
+	u.freed = append(u.freed, freedRange{start: 1, end: 2})
+	if len(uc.freed) != 1 || uc.freed[0].start != 0x100 {
+		t.Errorf("heapUAF clone shares state: %+v", uc.freed)
+	}
+
+	s := newStackCanary()
+	s.Arm(nil, 0x80001000, 32)
+	sc := s.CloneDetector().(*stackCanary)
+	s.Disarm(nil, 0x80001000)
+	if len(sc.armed) != 1 {
+		t.Errorf("stackCanary clone shares state: %+v", sc.armed)
+	}
+
+	r := newIRQReent()
+	r.active = append(r.active, 7)
+	rc := r.CloneDetector().(*irqReent)
+	r.OnMRet(nil)
+	if len(rc.active) != 1 || rc.active[0] != 7 {
+		t.Errorf("irqReent clone shares state: %+v", rc.active)
+	}
+}
+
+// TestEdgeBanks pins the protocol-state bank rounding: next power of
+// two, minimum one bank.
+func TestEdgeBanks(t *testing.T) {
+	for _, tc := range []struct{ states, banks int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := EdgeBanks(tc.states); got != tc.banks {
+			t.Errorf("EdgeBanks(%d) = %d want %d", tc.states, got, tc.banks)
+		}
+	}
+}

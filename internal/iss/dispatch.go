@@ -159,9 +159,15 @@ func (c *Core) runBlock(b *bblock, maxInstr uint64) {
 		if c.CaptureForks {
 			c.recordPreState()
 		}
+		if c.protoDirty {
+			c.protoRefresh()
+		}
 		if c.EdgeMap != nil {
+			if c.edgeMask == 0 {
+				c.initEdgeBank()
+			}
 			cur := (c.PC >> 1) * 0x9e3779b1
-			idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+			idx := c.protoBank + (cur^c.prevLoc)&c.edgeMask
 			if c.EdgeMap[idx] != 0xff {
 				c.EdgeMap[idx]++
 			}
@@ -232,8 +238,11 @@ func (c *Core) pairBoundary(d *decoded) {
 	}
 	c.PC = d.pc2
 	if c.EdgeMap != nil {
+		// Fused pairs never contain stores, so the bank cannot change at
+		// the internal boundary and the mask is already derived (the
+		// pair's own block prologue ran first).
 		cur := (d.pc2 >> 1) * 0x9e3779b1
-		idx := (cur ^ c.prevLoc) & uint32(len(c.EdgeMap)-1)
+		idx := c.protoBank + (cur^c.prevLoc)&c.edgeMask
 		if c.EdgeMap[idx] != 0xff {
 			c.EdgeMap[idx]++
 		}
@@ -524,6 +533,9 @@ func stepMRET(c *Core, d *decoded) rv32.Op {
 	c.MStatus = c.MStatus&^mieBit | (c.MStatus&mpieBit)>>4
 	c.MStatus |= mpieBit
 	c.PC = c.MEPC
+	for _, det := range c.trapDet {
+		det.OnMRet(c)
+	}
 	return d.op
 }
 

@@ -162,6 +162,9 @@ func (c *Core) execute(in rv32.Inst) {
 		c.MStatus = c.MStatus&^mieBit | (c.MStatus&mpieBit)>>4
 		c.MStatus |= mpieBit
 		c.PC = c.MEPC
+		for _, d := range c.trapDet {
+			d.OnMRet(c)
+		}
 		return
 	case rv32.OpWFI:
 		c.waitForInterrupt()
@@ -409,8 +412,10 @@ func (c *Core) extendLoaded(v concolic.Value, size int, signed bool) concolic.Va
 	return v
 }
 
-// checkAccess runs the generic runtime checks: null dereference,
-// alignment, and protected zones. Returns true when the path has failed.
+// checkAccess runs the generic runtime checks: null dereference and
+// alignment inline, then every attached access detector (detect.go —
+// the stock set scans the protected heap guard zones). Returns true
+// when the path has failed.
 func (c *Core) checkAccess(addr uint32, size int, isWrite bool) bool {
 	if addr < 0x100 {
 		c.fail(ErrNullDeref, addr, "")
@@ -420,14 +425,11 @@ func (c *Core) checkAccess(addr uint32, size int, isWrite bool) bool {
 		c.fail(ErrMisaligned, addr, fmt.Sprintf("%d-byte access", size))
 		return true
 	}
-	for i := range c.zones {
-		z := &c.zones[i]
-		if addr < z.Start+z.Size && addr+uint32(size) > z.Start {
-			kind := ErrProtectedRead
-			if isWrite {
-				kind = ErrProtectedWrite
+	for _, d := range c.accessDet {
+		if err := d.OnAccess(c, addr, size, isWrite); err != nil {
+			if c.Err == nil {
+				c.Err = err
 			}
-			c.fail(kind, addr, fmt.Sprintf("protected zone of block %#x", z.Block))
 			return true
 		}
 	}

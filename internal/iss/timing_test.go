@@ -1,6 +1,7 @@
 package iss_test
 
 import (
+	"context"
 	"testing"
 
 	"rvcte/internal/asm"
@@ -97,8 +98,8 @@ func TestSymbolicNotificationTimeFindsRace(t *testing.T) {
 	core.LoadImage(img.Origin, img.Bytes, img.Entry())
 	core.SymbolicTimes = true
 
-	eng := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true})
-	rep := eng.Run()
+	eng := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}})
+	rep := eng.Run(context.Background())
 	if len(rep.Findings) == 0 {
 		t.Fatalf("timing exploration must find the lost update: %v", rep)
 	}
@@ -128,7 +129,7 @@ func TestSymbolicTimesOffMissesRace(t *testing.T) {
 	core.LoadImage(img.Origin, img.Bytes, img.Entry())
 	// SymbolicTimes left off.
 
-	rep := cte.New(core, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	rep := cte.NewSession(core, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 	if len(rep.Findings) != 0 {
 		t.Fatalf("without timing exploration the race should stay hidden, found %v", rep.Findings)
 	}

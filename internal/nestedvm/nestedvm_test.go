@@ -1,6 +1,7 @@
 package nestedvm
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -71,7 +72,7 @@ func TestNestedSymbolicEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nativeRep := cte.New(nativeCore, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	nativeRep := cte.NewSession(nativeCore, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 
 	b2 := smt.NewBuilder()
 	nestedCore, _, err := guest.NewCore(b2, guest.SensorProgram(false))
@@ -79,7 +80,7 @@ func TestNestedSymbolicEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	Attach(nestedCore)
-	nestedRep := cte.New(nestedCore, cte.Options{MaxPaths: 64, StopOnError: true}).Run()
+	nestedRep := cte.NewSession(nestedCore, cte.Config{StopOnError: true, Budget: cte.Budget{MaxPaths: 64}}).Run(context.Background())
 
 	if len(nativeRep.Findings) == 0 || len(nestedRep.Findings) == 0 {
 		t.Fatalf("both engines must find the sensor bug: native=%v nested=%v",

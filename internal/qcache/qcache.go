@@ -116,9 +116,9 @@ type Cache struct {
 	// of truth for Report.Cache; these handles additionally feed the
 	// shared metrics registry ("qcache.*") and the tracer. All nil-safe,
 	// so an unwired cache pays one nil test per event.
-	obsQueries, obsHits, obsEvalHits, obsSubsumeHits *obs.Counter
+	obsQueries, obsHits, obsEvalHits, obsSubsumeHits       *obs.Counter
 	obsSolverCalls, obsSliceSolves, obsUnknowns, obsStores *obs.Counter
-	obsEntries *obs.Gauge
+	obsEntries                                             *obs.Gauge
 	// obsResolveUS buckets end-to-end resolve latency (lookup + slicing +
 	// residual solve) by constraint-set size; obsLargeSets counts resolves
 	// beyond largeSetThreshold elements.

@@ -1,0 +1,89 @@
+package rvcte
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rvcte/internal/cte"
+	"rvcte/internal/guest"
+	"rvcte/internal/iss"
+	"rvcte/internal/smt"
+)
+
+// exploreSession explores the stateful session guest at the given
+// packet depth with the full detector set and the protocol wiring of
+// cmd/cte, either resuming cross-packet fork checkpoints or restarting
+// from the snapshot on every path.
+func exploreSession(tb testing.TB, depth, maxPaths int, fork bool) ([]string, *cte.Report) {
+	tb.Helper()
+	b := smt.NewBuilder()
+	p := guest.TCPIPSessionProgram(0, nil, depth)
+	core, elf, err := guest.NewCore(b, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	addr, ok := elf.Symbol(p.Proto.StateSym)
+	if !ok {
+		tb.Fatalf("state symbol %q missing", p.Proto.StateSym)
+	}
+	eng := cte.NewSession(core, cte.Config{
+		Workers:   1,
+		Budget:    cte.Budget{MaxPaths: maxPaths},
+		Detectors: []string{"all"},
+		Fork:      cte.ForkConfig{Enabled: fork},
+		Protocol: cte.ProtocolConfig{
+			Packets: p.Proto.Pkts, PktMax: p.Proto.Caps,
+			StateAddr: addr, States: p.Proto.States,
+		},
+	})
+	var recs []string
+	eng.OnPath = func(_ int, c *iss.Core) {
+		recs = append(recs, fmt.Sprintf("in=%s exit=%d err=%v out=%q instr=%d",
+			cte.DescribeInput(b, c.Input), c.ExitCode, c.Err, c.Output, c.InstrCount))
+	}
+	return recs, eng.Run(context.Background())
+}
+
+// TestSessionForkCrossPacket is the stateful-campaign half of the fork
+// acceptance gate (EXPERIMENTS.md "Cross-packet fork checkpointing"):
+// on a multi-packet session, divergences in packet k checkpoint the
+// whole guest state — heap, detector state, protocol-state byte — so
+// sibling paths resume without re-executing packets 1..k-1. Fork and
+// restart must agree on the ordered path records while fork re-executes
+// measurably fewer instructions, and the saving must grow with depth.
+func TestSessionForkCrossPacket(t *testing.T) {
+	prevRatio := 0.0
+	for _, depth := range []int{2, 3} {
+		t.Run(fmt.Sprintf("depth-%d", depth), func(t *testing.T) {
+			forkRecs, forkRep := exploreSession(t, depth, 50, true)
+			restRecs, restRep := exploreSession(t, depth, 50, false)
+
+			if len(forkRecs) != len(restRecs) {
+				t.Fatalf("path counts: fork %d restart %d", len(forkRecs), len(restRecs))
+			}
+			for i := range forkRecs {
+				if forkRecs[i] != restRecs[i] {
+					t.Fatalf("path %d diverges:\n fork:    %s\n restart: %s",
+						i, forkRecs[i], restRecs[i])
+				}
+			}
+			if forkRep.Forked == 0 {
+				t.Error("fork mode never resumed a checkpoint")
+			}
+			if forkRep.TotalInstr >= restRep.TotalInstr {
+				t.Errorf("no cross-packet re-execution saved: fork %d restart %d instrs",
+					forkRep.TotalInstr, restRep.TotalInstr)
+			}
+			ratio := float64(restRep.TotalInstr) / float64(forkRep.TotalInstr)
+			t.Logf("depth %d: %d paths, instr fork=%d restart=%d (%.2fx), forked=%d fallback=%d",
+				depth, forkRep.Paths, forkRep.TotalInstr, restRep.TotalInstr,
+				ratio, forkRep.Forked, forkRep.ForkRestarts)
+			if ratio < prevRatio {
+				t.Logf("note: saving did not grow from depth %d (%.2fx -> %.2fx)",
+					depth-1, prevRatio, ratio)
+			}
+			prevRatio = ratio
+		})
+	}
+}
